@@ -1,0 +1,449 @@
+// Benchmark harness: one benchmark family per table/figure of the
+// paper (see DESIGN.md §4 and EXPERIMENTS.md for the paper-vs-measured
+// comparison).
+//
+//	BenchmarkTable2/*           §VI Table II — brute force vs Algorithm 1 across (m, z)
+//	BenchmarkTableI/*           §V.C Table I — the three similarity measures
+//	BenchmarkFig1EndToEnd/*     Fig. 1 — REST round trip through the architecture
+//	BenchmarkFig2Pipeline/*     Fig. 2 — the three MapReduce jobs, by worker count
+//	BenchmarkEq1Relevance       Eq. 1 — per-user relevance prediction
+//	BenchmarkTopK/*             §IV — in-memory vs MapReduce top-k ([5])
+//	BenchmarkAblation/*         DESIGN.md §5 ablations (aggregators, δ sweep)
+//	BenchmarkSearch/*           Fig. 1 — document search engine
+//	BenchmarkWAL/*              storage substrate — append/replay
+//	BenchmarkClustering/*       [17] — full-scan vs clustered peer discovery
+//
+// Run: go test -bench=. -benchmem
+package fairhealth_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"fairhealth"
+	"fairhealth/internal/cf"
+	"fairhealth/internal/clustering"
+	"fairhealth/internal/core"
+	"fairhealth/internal/dataset"
+	"fairhealth/internal/diversity"
+	"fairhealth/internal/eval"
+	"fairhealth/internal/httpapi"
+	"fairhealth/internal/model"
+	"fairhealth/internal/mrpipeline"
+	"fairhealth/internal/phr"
+	"fairhealth/internal/search"
+	"fairhealth/internal/simfn"
+	"fairhealth/internal/snomed"
+	"fairhealth/internal/topk"
+	"fairhealth/internal/wal"
+)
+
+// ---------------------------------------------------------------------------
+// Table II — brute force vs Algorithm 1 (§VI)
+
+// benchTable2Grid lists the (m, z) cells benchmarked for each solver.
+// The heuristic runs the paper's full grid; the brute force stops at
+// z=12 for m=30 (C(30,16) ≈ 1.45·10⁸ subsets ≈ seconds per iteration —
+// regenerate those cells with `fairrec table2 -full`).
+var benchTable2Grid = []struct {
+	m, z  int
+	brute bool
+}{
+	{10, 4, true}, {10, 8, true},
+	{20, 4, true}, {20, 8, true}, {20, 12, true}, {20, 16, true}, {20, 20, true},
+	{30, 4, true}, {30, 8, true}, {30, 12, true},
+	{30, 16, false}, {30, 20, false},
+}
+
+func BenchmarkTable2(b *testing.B) {
+	const groupSize, listK = 4, 10
+	for _, cell := range benchTable2Grid {
+		problem := eval.SyntheticProblem(1, groupSize, cell.m, listK)
+		b.Run(fmt.Sprintf("heuristic/m=%d/z=%d", cell.m, cell.z), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Greedy(problem.Input, cell.z); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if !cell.brute {
+			continue
+		}
+		b.Run(fmt.Sprintf("bruteforce/m=%d/z=%d", cell.m, cell.z), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BruteForce(problem.Input, cell.z, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table I — similarity measures (§V)
+
+func BenchmarkTableI(b *testing.B) {
+	ont := snomed.Load()
+	profiles := phr.NewStore(ont)
+	for _, p := range phr.TableIPatients() {
+		if err := profiles.Put(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("semantic", func(b *testing.B) {
+		sem := simfn.Semantic{Ont: ont, Problems: profiles.Problems}
+		for i := 0; i < b.N; i++ {
+			if _, ok := sem.Similarity("patient1", "patient3"); !ok {
+				b.Fatal("undefined")
+			}
+		}
+	})
+	b.Run("profile-tfidf", func(b *testing.B) {
+		pc, err := simfn.BuildProfileCosine(profiles, ont, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := pc.Similarity("patient1", "patient3"); !ok {
+				b.Fatal("undefined")
+			}
+		}
+	})
+	b.Run("pathlength", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ont.PathLength(snomed.AcuteBronchitis, snomed.ChestPain); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Pearson on a realistic store (Table I itself has no ratings)
+	b.Run("pearson", func(b *testing.B) {
+		ds, err := dataset.Generate(dataset.Config{Seed: 3, Users: 50, Items: 100, RatingsPerUser: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := simfn.Pearson{Store: ds.Ratings, MinOverlap: 2}
+		users := ds.Profiles.IDs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Similarity(users[i%len(users)], users[(i+7)%len(users)])
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 — end-to-end architecture round trip
+
+func BenchmarkFig1EndToEnd(b *testing.B) {
+	sys, err := fairhealth.New(fairhealth.Config{Delta: 0.55, MinOverlap: 4, K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := dataset.Generate(dataset.Config{Seed: 5, Users: 60, Items: 120, RatingsPerUser: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tr := range ds.Ratings.Triples() {
+		if err := sys.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(httpapi.New(sys, nil))
+	defer srv.Close()
+	grp := ds.SampleGroup(1, 3, 0)
+	url := fmt.Sprintf("%s/api/group-recommendations?users=%s,%s,%s&z=6", srv.URL, grp[0], grp[1], grp[2])
+
+	b.Run("group-recommendation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var body httpapi.GroupResponse
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if body.Fairness != 1 {
+				b.Fatalf("fairness = %v", body.Fairness)
+			}
+		}
+	})
+	b.Run("post-rating", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			payload, _ := json.Marshal(httpapi.RatingBody{
+				User: "benchuser", Item: fmt.Sprintf("doc%04d", i%120), Value: float64(1 + i%5),
+			})
+			resp, err := http.Post(srv.URL+"/api/ratings", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2 — the MapReduce pipeline, worker-count scaling
+
+func BenchmarkFig2Pipeline(b *testing.B) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 9, Users: 150, Items: 250, RatingsPerUser: 35})
+	if err != nil {
+		b.Fatal(err)
+	}
+	triples := ds.Ratings.Triples()
+	grp := ds.SampleGroup(2, 3, 0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := mrpipeline.Config{
+				Group: grp, Delta: 0.55, MinOverlap: 4, K: 8, Z: 6,
+				Aggregator: "avg", Mappers: workers, Reducers: workers,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := mrpipeline.Run(context.Background(), triples, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("direct-path", func(b *testing.B) {
+		sys, err := fairhealth.New(fairhealth.Config{Delta: 0.55, MinOverlap: 4, K: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tr := range triples {
+			if err := sys.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		users := make([]string, len(grp))
+		for k, u := range grp {
+			users[k] = string(u)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.GroupRecommend(users, 6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Eq. 1 — relevance prediction throughput
+
+func BenchmarkEq1Relevance(b *testing.B) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 11, Users: 100, Items: 200, RatingsPerUser: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &cf.Recommender{
+		Store: ds.Ratings,
+		Sim:   simfn.NewCached(simfn.Normalized{S: simfn.Pearson{Store: ds.Ratings, MinOverlap: 3}}),
+		Delta: 0.55,
+	}
+	users := ds.Profiles.IDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rec.AllRelevances(users[i%len(users)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// §IV — top-k selection: in-memory heap vs MapReduce job ([5])
+
+func BenchmarkTopK(b *testing.B) {
+	items := make([]model.ScoredItem, 100_000)
+	for i := range items {
+		items[i] = model.ScoredItem{
+			Item:  model.ItemID(fmt.Sprintf("d%06d", i)),
+			Score: float64((i * 2654435761) % 1000),
+		}
+	}
+	for _, k := range []int{10, 100} {
+		b.Run(fmt.Sprintf("heap/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				topk.Top(items, k)
+			}
+		})
+		b.Run(fmt.Sprintf("mapreduce/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := mrpipeline.TopKJob(context.Background(), items, k, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+
+func BenchmarkAblation(b *testing.B) {
+	// aggregator choice: does min vs avg change Algorithm 1 cost?
+	problem := eval.SyntheticProblem(1, 4, 30, 10)
+	b.Run("aggregators", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.RunAggregatorAblation(1, 4, 30, 10, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// greedy cost as z grows (heuristic scaling, the flat line of Table II)
+	for _, z := range []int{4, 12, 20, 28} {
+		b.Run(fmt.Sprintf("greedy-z/z=%d", z), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Greedy(problem.Input, z); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// δ sweep: peer-set size effect on Eq. 1 cost
+	ds, err := dataset.Generate(dataset.Config{Seed: 13, Users: 80, Items: 150, RatingsPerUser: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, delta := range []float64{0.5, 0.7, 0.9} {
+		b.Run(fmt.Sprintf("delta-sweep/delta=%.1f", delta), func(b *testing.B) {
+			rec := &cf.Recommender{
+				Store: ds.Ratings,
+				Sim:   simfn.NewCached(simfn.Normalized{S: simfn.Pearson{Store: ds.Ratings, MinOverlap: 3}}),
+				Delta: delta,
+			}
+			users := ds.Profiles.IDs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rec.AllRelevances(users[i%len(users)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// substrate benchmarks: search engine, WAL, clustering
+
+func BenchmarkSearch(b *testing.B) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 21, Items: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := search.NewIndex(nil)
+	for _, d := range ds.Documents {
+		if err := ix.Add(d.ID, d.Title, d.Body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if hits := ix.Search("chemotherapy nutrition protein", 10); len(hits) == 0 {
+				b.Fatal("no hits")
+			}
+		}
+	})
+	b.Run("index-doc", func(b *testing.B) {
+		ix2 := search.NewIndex(nil)
+		for i := 0; i < b.N; i++ {
+			d := ds.Documents[i%len(ds.Documents)]
+			_ = ix2.Add(model.ItemID(fmt.Sprintf("%s-%d", d.ID, i)), d.Title, d.Body)
+		}
+	})
+}
+
+func BenchmarkWAL(b *testing.B) {
+	dir := b.TempDir()
+	log, err := wal.Open(dir + "/bench.wal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	b.Run("append", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := log.AppendRating(
+				model.UserID(fmt.Sprintf("u%d", i%100)),
+				model.ItemID(fmt.Sprintf("d%d", i%1000)),
+				model.Rating(1+i%5)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := wal.LoadState(dir+"/bench.wal", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkClustering(b *testing.B) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 23, Users: 200, Items: 300, RatingsPerUser: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("kmeans-k4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := clustering.KMeans(ds.Ratings, clustering.Config{K: 4, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// peer discovery: full scan vs clustered candidates. Each mode
+	// gets its OWN similarity cache — a shared one would let whichever
+	// bench runs first pre-warm the other's lookups.
+	res, err := clustering.KMeans(ds.Ratings, clustering.Config{K: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := ds.Ratings.Users()
+	b.Run("peers-fullscan", func(b *testing.B) {
+		sim := simfn.NewCached(simfn.Normalized{S: simfn.Pearson{Store: ds.Ratings, MinOverlap: 3}})
+		rec := &cf.Recommender{Store: ds.Ratings, Sim: sim, Delta: 0.55}
+		for i := 0; i < b.N; i++ {
+			if _, err := rec.Peers(users[i%len(users)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("peers-clustered", func(b *testing.B) {
+		sim := simfn.NewCached(simfn.Normalized{S: simfn.Pearson{Store: ds.Ratings, MinOverlap: 3}})
+		rec := &cf.Recommender{Store: ds.Ratings, Sim: sim, Delta: 0.55, Candidates: res.CandidateSource()}
+		for i := 0; i < b.N; i++ {
+			if _, err := rec.Peers(users[i%len(users)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDiversity measures MMR re-ranking cost ([18]-style peer and
+// item diversification).
+func BenchmarkDiversity(b *testing.B) {
+	peers := make([]cf.Peer, 100)
+	for i := range peers {
+		peers[i] = cf.Peer{User: model.UserID(fmt.Sprintf("u%03d", i)), Sim: 1 - float64(i)/200}
+	}
+	pairSim := simfn.Func(func(a, bb model.UserID) (float64, bool) {
+		if a[1] == bb[1] { // same leading digit → redundant block
+			return 0.9, true
+		}
+		return 0.1, true
+	})
+	b.Run("peers-mmr-k10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := diversity.Peers(peers, pairSim, 10, 0.6); len(got) != 10 {
+				b.Fatal("short selection")
+			}
+		}
+	})
+}

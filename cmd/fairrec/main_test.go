@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// genTestData runs cmdGen into a temp dir and returns the ratings and
+// profiles paths.
+func genTestData(t *testing.T) (ratingsPath, profilesPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := cmdGen([]string{"-seed", "3", "-users", "30", "-items", "40", "-ratings-per-user", "15", "-out", dir}); err != nil {
+		t.Fatalf("cmdGen: %v", err)
+	}
+	return filepath.Join(dir, "ratings.csv"), filepath.Join(dir, "profiles.json")
+}
+
+func TestCmdGenWritesFiles(t *testing.T) {
+	ratingsPath, profilesPath := genTestData(t)
+	for _, p := range []string{ratingsPath, profilesPath} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("missing output %s: %v", p, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("empty output %s", p)
+		}
+	}
+	raw, err := os.ReadFile(ratingsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 30*15 {
+		t.Errorf("ratings rows = %d, want 450", len(lines))
+	}
+}
+
+func TestCmdRecommend(t *testing.T) {
+	ratingsPath, profilesPath := genTestData(t)
+	if err := cmdRecommend([]string{"-ratings", ratingsPath, "-profiles", profilesPath, "-user", "patient0001", "-k", "5"}); err != nil {
+		t.Errorf("cmdRecommend: %v", err)
+	}
+	if err := cmdRecommend([]string{"-ratings", ratingsPath}); err == nil {
+		t.Error("missing -user accepted")
+	}
+	if err := cmdRecommend([]string{"-ratings", "/nonexistent.csv", "-user", "x"}); err == nil {
+		t.Error("missing ratings file accepted")
+	}
+}
+
+func TestCmdGroupMethods(t *testing.T) {
+	ratingsPath, _ := genTestData(t)
+	users := "patient0000,patient0001,patient0002"
+	for _, method := range []string{"greedy", "brute", "topz"} {
+		if err := cmdGroup([]string{"-ratings", ratingsPath, "-users", users, "-z", "4", "-method", method, "-m", "12"}); err != nil {
+			t.Errorf("cmdGroup %s: %v", method, err)
+		}
+	}
+	if err := cmdGroup([]string{"-ratings", ratingsPath, "-users", users, "-method", "psychic"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := cmdGroup([]string{"-ratings", ratingsPath}); err == nil {
+		t.Error("missing -users accepted")
+	}
+}
+
+func TestCmdMR(t *testing.T) {
+	ratingsPath, _ := genTestData(t)
+	if err := cmdMR([]string{"-ratings", ratingsPath, "-users", "patient0000,patient0001", "-z", "4"}); err != nil {
+		t.Errorf("cmdMR: %v", err)
+	}
+	if err := cmdMR([]string{"-ratings", ratingsPath}); err == nil {
+		t.Error("missing -users accepted")
+	}
+}
+
+func TestCmdTable2Quick(t *testing.T) {
+	if err := cmdTable2([]string{"-quick", "-reps", "1"}); err != nil {
+		t.Errorf("cmdTable2: %v", err)
+	}
+	if err := cmdTable2([]string{"-quick", "-reps", "1", "-csv"}); err != nil {
+		t.Errorf("cmdTable2 csv: %v", err)
+	}
+}
+
+func TestCmdAblation(t *testing.T) {
+	if err := cmdAblation([]string{"-m", "15", "-z", "5"}); err != nil {
+		t.Errorf("cmdAblation: %v", err)
+	}
+}
+
+func TestCmdTableI(t *testing.T) {
+	if err := cmdTableI(nil); err != nil {
+		t.Errorf("cmdTableI: %v", err)
+	}
+}
+
+func TestCmdEvaluate(t *testing.T) {
+	ratingsPath, _ := genTestData(t)
+	if err := cmdEvaluate([]string{"-ratings", ratingsPath, "-k", "5"}); err != nil {
+		t.Errorf("cmdEvaluate: %v", err)
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	ratingsPath, _ := genTestData(t)
+	if err := cmdSweep([]string{"-ratings", ratingsPath, "-k", "5"}); err != nil {
+		t.Errorf("cmdSweep: %v", err)
+	}
+}
+
+func TestCmdClustering(t *testing.T) {
+	ratingsPath, _ := genTestData(t)
+	if err := cmdClustering([]string{"-ratings", ratingsPath, "-k", "3"}); err != nil {
+		t.Errorf("cmdClustering: %v", err)
+	}
+	if err := cmdClustering([]string{"-ratings", ratingsPath, "-k", "three"}); err == nil {
+		t.Error("bad -k accepted")
+	}
+}

@@ -1,0 +1,103 @@
+// Command iphrd serves the recommender over HTTP — the iPHR-style
+// service of the paper's architecture (Fig. 1). Patients post profiles
+// and document ratings; caregivers query fair group recommendations.
+//
+//	iphrd -addr :8080 -demo            # start with a demo dataset loaded
+//	curl localhost:8080/api/group-recommendations?users=patient0000,patient0001&z=10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"fairhealth"
+	"fairhealth/internal/dataset"
+	"fairhealth/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	demo := flag.Bool("demo", false, "preload a synthetic demo dataset")
+	demoSeed := flag.Int64("demo-seed", 1, "demo dataset seed")
+	demoUsers := flag.Int("demo-users", 60, "demo dataset patients")
+	delta := flag.Float64("delta", 0.5, "peer threshold δ")
+	k := flag.Int("k", 10, "personal list size (fairness)")
+	aggr := flag.String("aggr", "avg", "group aggregation: avg or min")
+	state := flag.String("state", "", "state directory for durable storage (empty = in-memory)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "iphrd ", log.LstdFlags)
+	cfg := fairhealth.Config{Delta: *delta, K: *k, Aggregation: *aggr}
+	var sys *fairhealth.System
+	var err error
+	if *state != "" {
+		sys, err = fairhealth.NewPersistent(cfg, *state)
+		if err == nil {
+			defer sys.Close()
+			st := sys.Stats()
+			logger.Printf("restored state from %s: %d ratings, %d patients", *state, st.Ratings, st.Patients)
+		}
+	} else {
+		sys, err = fairhealth.New(cfg)
+	}
+	if err != nil {
+		logger.Fatalf("config: %v", err)
+	}
+
+	if *demo && sys.Stats().Ratings > 0 {
+		logger.Printf("state already populated; skipping demo load")
+		*demo = false
+	}
+	if *demo {
+		start := time.Now()
+		ds, err := dataset.Generate(dataset.Config{Seed: *demoSeed, Users: *demoUsers, Items: 120, RatingsPerUser: 25})
+		if err != nil {
+			logger.Fatalf("demo dataset: %v", err)
+		}
+		for _, tr := range ds.Ratings.Triples() {
+			if err := sys.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
+				logger.Fatalf("demo rating: %v", err)
+			}
+		}
+		for _, id := range ds.Profiles.IDs() {
+			prof, err := ds.Profiles.Get(id)
+			if err != nil {
+				logger.Fatalf("demo profile: %v", err)
+			}
+			problems := make([]string, len(prof.Problems))
+			for i, c := range prof.Problems {
+				problems[i] = string(c)
+			}
+			err = sys.AddPatient(fairhealth.Patient{
+				ID: string(prof.ID), Age: prof.Age, Gender: string(prof.Gender),
+				Problems: problems, Medications: prof.Medications,
+			})
+			if err != nil {
+				logger.Fatalf("demo patient: %v", err)
+			}
+		}
+		for _, d := range ds.Documents {
+			if err := sys.AddDocument(string(d.ID), d.Title, d.Body); err != nil {
+				logger.Fatalf("demo document: %v", err)
+			}
+		}
+		st := sys.Stats()
+		logger.Printf("demo data loaded in %v: %d patients, %d items, %d ratings, %d documents",
+			time.Since(start).Round(time.Millisecond), st.Patients, st.Items, st.Ratings, st.Documents)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(sys, logger),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	logger.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logger.Fatalf("serve: %v", err)
+	}
+	fmt.Println("bye")
+}

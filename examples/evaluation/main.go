@@ -1,0 +1,70 @@
+// Evaluation workbench: the accuracy instrumentation the paper's
+// preliminary evaluation leaves for future work. On a synthetic
+// clustered population it runs
+//
+//  1. a holdout accuracy evaluation of the paper's CF model
+//     (RMSE / MAE / precision / recall / nDCG / coverage),
+//  2. a δ threshold sweep — the Def. 1 knob trading peer-set size
+//     against prediction coverage, and
+//  3. the clustering speed-up of Ntoutsi et al. [17]: full-scan vs
+//     cluster-restricted peer discovery.
+//
+// Run: go run ./examples/evaluation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fairhealth/internal/dataset"
+	"fairhealth/internal/eval"
+	"fairhealth/internal/metrics"
+)
+
+func main() {
+	ds, err := dataset.Generate(dataset.Config{
+		Seed: 99, Users: 120, Items: 180, RatingsPerUser: 35, Clusters: 4, Noise: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic population: %d patients, %d documents, %d ratings (sparsity %.1f%%)\n\n",
+		ds.Ratings.NumUsers(), ds.Ratings.NumItems(), ds.Ratings.Len(), 100*ds.Ratings.Sparsity())
+
+	// ---- 1. holdout accuracy ------------------------------------------------
+	rep, err := metrics.EvaluateHoldout(ds.Ratings, metrics.CFFactory(0.55, 3),
+		metrics.HoldoutConfig{Seed: 1, K: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("holdout accuracy of the paper's CF model (δ=0.55):")
+	fmt.Printf("  RMSE %.3f   MAE %.3f   pred.coverage %.3f\n", rep.RMSE, rep.MAE, rep.PredictionCoverage)
+	fmt.Printf("  P@10 %.3f   R@10 %.3f   nDCG@10 %.3f   catalog coverage %.3f\n\n",
+		rep.PrecisionAtK, rep.RecallAtK, rep.NDCGAtK, rep.CatalogCoverage)
+
+	// ---- 2. δ sweep -----------------------------------------------------------
+	fmt.Println("δ threshold sweep (Def. 1): bigger δ → fewer peers → better precision,")
+	fmt.Println("worse coverage:")
+	sweep, err := eval.RunDeltaSweep(ds.Ratings, []float64{0.5, 0.6, 0.7, 0.8, 0.9}, 3,
+		metrics.HoldoutConfig{Seed: 1, K: 10}, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eval.WriteDeltaSweep(os.Stdout, sweep); err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- 3. clustering ablation ------------------------------------------------
+	fmt.Println("\npeer discovery: full scan vs user clustering ([17]):")
+	rows, err := eval.RunClusteringAblation(ds.Ratings, []int{4, 8}, 0.55, 3,
+		metrics.HoldoutConfig{Seed: 2, K: 10}, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eval.WriteClusteringAblation(os.Stdout, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncluster-restricted scans answer queries faster at near-identical RMSE")
+	fmt.Println("on cluster-structured populations — the speed-up [17] reports.")
+}

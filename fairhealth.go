@@ -1,0 +1,875 @@
+// Package fairhealth is a fairness-aware group recommender for the
+// health domain — a from-scratch Go implementation of Stratigi,
+// Kondylakis & Stefanidis, "Fairness in Group Recommendations in the
+// Health Domain" (ICDE 2017).
+//
+// The system serves a caregiver responsible for a group of patients:
+// it predicts each patient's interest in health documents with
+// collaborative filtering (peers selected by a similarity threshold δ,
+// Def. 1; relevance by similarity-weighted averaging, Eq. 1),
+// aggregates the predictions into group scores with veto (min) or
+// majority (avg) semantics (Def. 2), and selects the top-z
+// recommendations that are both highly relevant and fair — where a set
+// is fair to a patient when it contains at least one item from their
+// personal top-k (Def. 3).
+//
+// Three user-similarity measures are available (§V): Pearson
+// correlation over shared ratings, cosine over TF-IDF profile vectors,
+// semantic distance of coded health problems over a SNOMED-CT-style
+// ontology, or a weighted hybrid of all three.
+//
+// Basic use:
+//
+//	sys, _ := fairhealth.New(fairhealth.Config{})
+//	sys.AddRating("alice", "doc1", 5)
+//	...
+//	res, _ := sys.GroupRecommend([]string{"alice", "bob"}, 10)
+//	fmt.Println(res.Items, res.Fairness)
+package fairhealth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"fairhealth/internal/cf"
+	"fairhealth/internal/core"
+	"fairhealth/internal/group"
+	"fairhealth/internal/model"
+	"fairhealth/internal/mrpipeline"
+	"fairhealth/internal/ontology"
+	"fairhealth/internal/phr"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/reasoning"
+	"fairhealth/internal/search"
+	"fairhealth/internal/simfn"
+	"fairhealth/internal/snomed"
+	"fairhealth/internal/wal"
+)
+
+// Public errors.
+var (
+	// ErrBadConfig reports an invalid Config.
+	ErrBadConfig = errors.New("fairhealth: bad config")
+	// ErrUnknownPatient reports an unregistered patient ID.
+	ErrUnknownPatient = errors.New("fairhealth: unknown patient")
+	// ErrEmptyGroup reports an empty or invalid group.
+	ErrEmptyGroup = errors.New("fairhealth: empty group")
+)
+
+// SimilarityKind selects the §V measure used for peer discovery.
+type SimilarityKind string
+
+// Available similarity kinds.
+const (
+	// SimilarityRatings is Pearson correlation over co-rated items
+	// (Eq. 2), normalized to [0,1].
+	SimilarityRatings SimilarityKind = "ratings"
+	// SimilarityProfile is cosine similarity over TF-IDF vectors of
+	// rendered patient profiles (Def. 4 + Eq. 3).
+	SimilarityProfile SimilarityKind = "profile"
+	// SimilaritySemantic is ontology path similarity of coded health
+	// problems aggregated by harmonic mean (Eq. 4).
+	SimilaritySemantic SimilarityKind = "semantic"
+	// SimilarityHybrid blends all three with Config.HybridWeights.
+	SimilarityHybrid SimilarityKind = "hybrid"
+)
+
+// HybridWeights weights the components of SimilarityHybrid.
+type HybridWeights struct {
+	Ratings, Profile, Semantic float64
+}
+
+// Config tunes a System. The zero value is usable: δ=0.5, MinOverlap=2,
+// K=10, ratings similarity, average aggregation.
+type Config struct {
+	// Delta is the peer threshold δ of Def. 1, applied to similarities
+	// normalized into [0,1].
+	Delta float64
+	// MinOverlap is the minimum co-rated items for ratings similarity.
+	MinOverlap int
+	// K sizes each member's personal top-k list A_u (fairness Def. 3).
+	K int
+	// Similarity selects the §V measure (default SimilarityRatings).
+	Similarity SimilarityKind
+	// HybridWeights applies when Similarity == SimilarityHybrid
+	// (default 1/1/1).
+	HybridWeights HybridWeights
+	// Aggregation selects the Def. 2 semantics: "avg" (majority,
+	// default), "min" (veto), or the extensions "max", "median" and
+	// "consensus" (Amer-Yahia et al. [1], relevance + agreement). The
+	// MapReduce path supports only the paper's "avg" and "min".
+	Aggregation string
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Delta == 0 {
+		c.Delta = 0.5
+	}
+	if c.Delta < 0 || c.Delta > 1 {
+		return c, fmt.Errorf("%w: delta %v outside [0,1]", ErrBadConfig, c.Delta)
+	}
+	if c.MinOverlap <= 0 {
+		c.MinOverlap = 2
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Similarity == "" {
+		c.Similarity = SimilarityRatings
+	}
+	switch c.Similarity {
+	case SimilarityRatings, SimilarityProfile, SimilaritySemantic, SimilarityHybrid:
+	default:
+		return c, fmt.Errorf("%w: similarity %q", ErrBadConfig, c.Similarity)
+	}
+	if c.HybridWeights == (HybridWeights{}) {
+		c.HybridWeights = HybridWeights{Ratings: 1, Profile: 1, Semantic: 1}
+	}
+	if c.Aggregation == "" {
+		c.Aggregation = "avg"
+	}
+	if _, err := group.ParseAggregator(c.Aggregation); err != nil {
+		return c, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return c, nil
+}
+
+// Patient is a public mirror of a personal health record profile.
+type Patient struct {
+	ID          string
+	Age         int
+	Gender      string
+	Problems    []string // ontology concept codes (see snomed)
+	Medications []string
+	Procedures  []string
+	Allergies   []string
+	Notes       string
+}
+
+// Recommendation is one scored item.
+type Recommendation struct {
+	Item  string
+	Score float64
+}
+
+// Peer is a similar user with its similarity score.
+type Peer struct {
+	User       string
+	Similarity float64
+}
+
+// GroupResult is the outcome of a fairness-aware group recommendation.
+type GroupResult struct {
+	// Items are the selected recommendations with their GROUP scores
+	// (Def. 2 under the configured aggregation), in selection order.
+	Items []Recommendation
+	// Fairness is |G_D|/|G| (Def. 3).
+	Fairness float64
+	// Value is fairness × Σ group scores — the paper's objective.
+	Value float64
+	// PerMember exposes each member's personal top-k list A_u.
+	PerMember map[string][]Recommendation
+	// Combinations is the number of candidate subsets scored (brute
+	// force only).
+	Combinations int64
+}
+
+// SearchResult is one document search hit (Fig. 1's search engine).
+type SearchResult struct {
+	Item  string
+	Title string
+	Score float64
+}
+
+// Stats summarizes system contents.
+type Stats struct {
+	Users     int
+	Items     int
+	Ratings   int
+	Patients  int
+	Documents int
+	Sparsity  float64
+}
+
+// System is the recommender facade. Create it with New; it is safe for
+// concurrent use.
+type System struct {
+	cfg Config
+
+	ratings  *ratings.Store
+	profiles *phr.Store
+	ont      *ontology.Ontology
+	index    *search.Index
+	walLog   *wal.Log // nil for in-memory systems
+	walPath  string
+
+	mu       sync.Mutex // guards the caches below
+	simCache *simfn.Cached
+	simDirty bool
+	pcDirty  bool
+	pc       *simfn.ProfileCosine
+	pcBuilt  bool
+}
+
+// New builds a System with the curated mini-SNOMED ontology.
+func New(cfg Config) (*System, error) {
+	return NewWithOntology(cfg, snomed.Load())
+}
+
+// NewWithOntology builds a System over a caller-provided ontology
+// (e.g. a generated one for scale experiments).
+func NewWithOntology(cfg Config, ont *ontology.Ontology) (*System, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:      c,
+		ratings:  ratings.New(),
+		profiles: phr.NewStore(ont),
+		ont:      ont,
+		index:    search.NewIndex(nil),
+		simDirty: true,
+		pcDirty:  true,
+	}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// NewPersistent builds a System whose ratings and profiles survive
+// restarts: state is replayed from dir/events.wal on start and every
+// successful write is appended to it (write-ahead, flushed before the
+// in-memory apply). Call Close when done and CompactLog occasionally
+// to fold the log down to current state.
+func NewPersistent(cfg Config, dir string) (*System, error) {
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fairhealth: create state dir: %w", err)
+	}
+	path := filepath.Join(dir, "events.wal")
+	if _, statErr := os.Stat(path); statErr == nil {
+		if _, err := wal.ReplayFile(path, sys.applyRecord); err != nil {
+			return nil, fmt.Errorf("fairhealth: replay %s: %w", path, err)
+		}
+	}
+	log, err := wal.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sys.walLog = log
+	sys.walPath = path
+	sys.invalidate(true)
+	return sys, nil
+}
+
+func (s *System) applyRecord(rec wal.Record) error {
+	switch rec.Op {
+	case wal.OpRate:
+		return s.ratings.Add(rec.User, rec.Item, rec.Value)
+	case wal.OpUnrate:
+		if err := s.ratings.Remove(rec.User, rec.Item); err != nil && !errors.Is(err, ratings.ErrNotFound) {
+			return err
+		}
+		return nil
+	case wal.OpPatient:
+		if rec.Patient == nil {
+			return errors.New("fairhealth: patient record without payload")
+		}
+		if s.profiles.Has(rec.Patient.ID) {
+			return s.profiles.Update(rec.Patient)
+		}
+		return s.profiles.Put(rec.Patient)
+	default:
+		return fmt.Errorf("fairhealth: unknown wal op %q", rec.Op)
+	}
+}
+
+// Close releases the persistence log (no-op for in-memory systems).
+func (s *System) Close() error {
+	if s.walLog == nil {
+		return nil
+	}
+	return s.walLog.Close()
+}
+
+// CompactLog rewrites the event log to current state, dropping
+// superseded records, and reopens it for appends.
+func (s *System) CompactLog() (records int, err error) {
+	if s.walLog == nil {
+		return 0, errors.New("fairhealth: system is not persistent")
+	}
+	if err := s.walLog.Close(); err != nil {
+		return 0, err
+	}
+	n, err := wal.Compact(s.walPath, s.ratings, s.profiles)
+	if err != nil {
+		return 0, err
+	}
+	log, err := wal.Open(s.walPath)
+	if err != nil {
+		return n, err
+	}
+	s.walLog = log
+	return n, nil
+}
+
+// ---------------------------------------------------------------------------
+// ingest
+
+// AddRating records that user rated item with value stars (1–5). On
+// persistent systems the event is logged (and flushed) before the
+// in-memory apply.
+func (s *System) AddRating(user, item string, value float64) error {
+	u, i, v := model.UserID(user), model.ItemID(item), model.Rating(value)
+	if u == "" || i == "" {
+		return ratings.ErrEmptyID
+	}
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if s.walLog != nil {
+		if _, err := s.walLog.AppendRating(u, i, v); err != nil {
+			return err
+		}
+	}
+	if err := s.ratings.Add(u, i, v); err != nil {
+		return err
+	}
+	s.invalidate(false)
+	return nil
+}
+
+// RemoveRating deletes a rating.
+func (s *System) RemoveRating(user, item string) error {
+	u, i := model.UserID(user), model.ItemID(item)
+	if !s.ratings.HasRated(u, i) {
+		return fmt.Errorf("%w: %s/%s", ratings.ErrNotFound, user, item)
+	}
+	if s.walLog != nil {
+		if _, err := s.walLog.AppendUnrate(u, i); err != nil {
+			return err
+		}
+	}
+	if err := s.ratings.Remove(u, i); err != nil {
+		return err
+	}
+	s.invalidate(false)
+	return nil
+}
+
+// LoadRatingsCSV bulk-loads "user,item,rating" rows (logged on
+// persistent systems).
+func (s *System) LoadRatingsCSV(r io.Reader) (int, error) {
+	st, err := ratings.ReadCSV(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, t := range st.Triples() {
+		if err := s.AddRating(string(t.User), string(t.Item), float64(t.Value)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// AddPatient registers (or replaces) a patient profile.
+func (s *System) AddPatient(p Patient) error {
+	prof := toProfile(p)
+	if err := prof.Validate(s.ont); err != nil {
+		return err
+	}
+	if s.walLog != nil {
+		if _, err := s.walLog.AppendPatient(prof); err != nil {
+			return err
+		}
+	}
+	if s.profiles.Has(prof.ID) {
+		if err := s.profiles.Update(prof); err != nil {
+			return err
+		}
+	} else if err := s.profiles.Put(prof); err != nil {
+		return err
+	}
+	s.invalidate(true)
+	return nil
+}
+
+// Patient returns the stored profile for id.
+func (s *System) Patient(id string) (Patient, error) {
+	prof, err := s.profiles.Get(model.UserID(id))
+	if err != nil {
+		return Patient{}, fmt.Errorf("%w: %s", ErrUnknownPatient, id)
+	}
+	return fromProfile(prof), nil
+}
+
+// Patients lists all registered patient IDs.
+func (s *System) Patients() []string {
+	ids := s.profiles.IDs()
+	out := make([]string, len(ids))
+	for k, id := range ids {
+		out[k] = string(id)
+	}
+	return out
+}
+
+// Stats reports system contents.
+func (s *System) Stats() Stats {
+	return Stats{
+		Users:     s.ratings.NumUsers(),
+		Items:     s.ratings.NumItems(),
+		Ratings:   s.ratings.Len(),
+		Patients:  s.profiles.Len(),
+		Documents: s.index.Len(),
+		Sparsity:  s.ratings.Sparsity(),
+	}
+}
+
+// AddDocument indexes a recommendable document in the Fig. 1 search
+// engine. The document ID doubles as the rating item ID, so "search,
+// read, rate" round-trips work against the same identifier.
+func (s *System) AddDocument(id, title, body string) error {
+	return s.index.Add(model.ItemID(id), title, body)
+}
+
+// SearchDocuments ranks indexed documents against a free-text query
+// (TF-IDF, see internal/search) and returns the top k.
+func (s *System) SearchDocuments(query string, k int) []SearchResult {
+	hits := s.index.Search(query, k)
+	out := make([]SearchResult, len(hits))
+	for i, h := range hits {
+		out[i] = SearchResult{Item: string(h.Doc), Title: h.Title, Score: h.Score}
+	}
+	return out
+}
+
+// DocumentTitle resolves an indexed document's title.
+func (s *System) DocumentTitle(id string) (string, bool) {
+	return s.index.Title(model.ItemID(id))
+}
+
+// SearchPersonalized ranks documents for a free-text query boosted by
+// the patient's (ontology-expanded) problem vocabulary — the
+// semantically enhanced retrieval of the paper's §VIII future work.
+// boost ≤ 0 degrades to plain SearchDocuments.
+func (s *System) SearchPersonalized(user, query string, k int, boost float64) ([]SearchResult, error) {
+	eng := reasoning.New(s.ont, s.profiles)
+	hits, err := eng.PersonalizedSearch(s.index, model.UserID(user), query, k, boost)
+	if err != nil {
+		if errors.Is(err, reasoning.ErrNoProfile) {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownPatient, user)
+		}
+		return nil, err
+	}
+	out := make([]SearchResult, len(hits))
+	for i, h := range hits {
+		out[i] = SearchResult{Item: string(h.Doc), Title: h.Title, Score: h.Score}
+	}
+	return out, nil
+}
+
+// Correspondence is a public mirror of a reasoning explanation: why two
+// patients' profiles relate.
+type Correspondence struct {
+	ProblemA, ProblemB string
+	CommonAncestor     string
+	Distance           int
+	Explanation        string
+}
+
+// ProfileCorrespondences explains every problem-pair link between two
+// patients, strongest first (the §VIII "reasoning engine to identify
+// correspondences in patient profiles").
+func (s *System) ProfileCorrespondences(a, b string) ([]Correspondence, error) {
+	eng := reasoning.New(s.ont, s.profiles)
+	cs, err := eng.Correspondences(model.UserID(a), model.UserID(b))
+	if err != nil {
+		if errors.Is(err, reasoning.ErrNoProfile) {
+			return nil, fmt.Errorf("%w: %v", ErrUnknownPatient, err)
+		}
+		return nil, err
+	}
+	out := make([]Correspondence, len(cs))
+	for i, c := range cs {
+		out[i] = Correspondence{
+			ProblemA:       string(c.ProblemA),
+			ProblemB:       string(c.ProblemB),
+			CommonAncestor: string(c.CommonAncestor),
+			Distance:       c.Distance,
+			Explanation:    c.Explanation,
+		}
+	}
+	return out, nil
+}
+
+func toProfile(p Patient) *phr.Profile {
+	problems := make([]ontology.ConceptID, len(p.Problems))
+	for k, c := range p.Problems {
+		problems[k] = ontology.ConceptID(c)
+	}
+	return &phr.Profile{
+		ID:          model.UserID(p.ID),
+		Age:         p.Age,
+		Gender:      phr.Gender(p.Gender),
+		Problems:    problems,
+		Medications: append([]string(nil), p.Medications...),
+		Procedures:  append([]string(nil), p.Procedures...),
+		Allergies:   append([]string(nil), p.Allergies...),
+		Notes:       p.Notes,
+	}
+}
+
+func fromProfile(prof *phr.Profile) Patient {
+	problems := make([]string, len(prof.Problems))
+	for k, c := range prof.Problems {
+		problems[k] = string(c)
+	}
+	return Patient{
+		ID:          string(prof.ID),
+		Age:         prof.Age,
+		Gender:      string(prof.Gender),
+		Problems:    problems,
+		Medications: append([]string(nil), prof.Medications...),
+		Procedures:  append([]string(nil), prof.Procedures...),
+		Allergies:   append([]string(nil), prof.Allergies...),
+		Notes:       prof.Notes,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// similarity wiring
+
+func (s *System) invalidate(profilesChanged bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.simDirty = true
+	if profilesChanged {
+		s.pcDirty = true
+	}
+}
+
+func (s *System) profileCosine() (*simfn.ProfileCosine, error) {
+	// caller holds s.mu
+	if s.pcBuilt && !s.pcDirty {
+		return s.pc, nil
+	}
+	pc, err := simfn.BuildProfileCosine(s.profiles, s.ont, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.pc, s.pcBuilt, s.pcDirty = pc, true, false
+	return pc, nil
+}
+
+// similarity assembles the configured measure, memoized until the next
+// write invalidates it.
+func (s *System) similarity() (simfn.UserSimilarity, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.simCache != nil && !s.simDirty {
+		return s.simCache, nil
+	}
+	base, err := s.buildSimilarityLocked()
+	if err != nil {
+		return nil, err
+	}
+	s.simCache = simfn.NewCached(base)
+	s.simDirty = false
+	return s.simCache, nil
+}
+
+func (s *System) buildSimilarityLocked() (simfn.UserSimilarity, error) {
+	pearson := simfn.Normalized{S: simfn.Pearson{Store: s.ratings, MinOverlap: s.cfg.MinOverlap}}
+	semantic := simfn.Semantic{Ont: s.ont, Problems: s.profiles.Problems}
+	switch s.cfg.Similarity {
+	case SimilarityRatings:
+		return pearson, nil
+	case SimilaritySemantic:
+		return semantic, nil
+	case SimilarityProfile:
+		pc, err := s.profileCosine()
+		if err != nil {
+			return nil, err
+		}
+		return pc, nil
+	case SimilarityHybrid:
+		pc, err := s.profileCosine()
+		if err != nil {
+			return nil, err
+		}
+		return simfn.Weighted{Components: []simfn.Component{
+			{S: pearson, Weight: s.cfg.HybridWeights.Ratings},
+			{S: pc, Weight: s.cfg.HybridWeights.Profile},
+			{S: semantic, Weight: s.cfg.HybridWeights.Semantic},
+		}}, nil
+	default:
+		return nil, fmt.Errorf("%w: similarity %q", ErrBadConfig, s.cfg.Similarity)
+	}
+}
+
+func (s *System) recommender() (*cf.Recommender, error) {
+	sim, err := s.similarity()
+	if err != nil {
+		return nil, err
+	}
+	return &cf.Recommender{
+		Store:           s.ratings,
+		Sim:             sim,
+		Delta:           s.cfg.Delta,
+		RequirePositive: true,
+	}, nil
+}
+
+func (s *System) aggregator() group.Aggregator {
+	a, err := group.ParseAggregator(s.cfg.Aggregation)
+	if err != nil {
+		return group.Average{} // unreachable: Config validated at New
+	}
+	return a
+}
+
+// ---------------------------------------------------------------------------
+// queries
+
+// SimilarityBetween evaluates the configured measure for two users;
+// ok=false means undefined.
+func (s *System) SimilarityBetween(a, b string) (sim float64, ok bool, err error) {
+	m, err := s.similarity()
+	if err != nil {
+		return 0, false, err
+	}
+	sim, ok = m.Similarity(model.UserID(a), model.UserID(b))
+	return sim, ok, nil
+}
+
+// Peers returns the user's peer set P_u (Def. 1), best-first.
+func (s *System) Peers(user string) ([]Peer, error) {
+	rec, err := s.recommender()
+	if err != nil {
+		return nil, err
+	}
+	peers, err := rec.Peers(model.UserID(user))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Peer, len(peers))
+	for k, p := range peers {
+		out[k] = Peer{User: string(p.User), Similarity: p.Sim}
+	}
+	return out, nil
+}
+
+// Recommend returns the user's personal top-k list A_u (§III.A).
+func (s *System) Recommend(user string, k int) ([]Recommendation, error) {
+	rec, err := s.recommender()
+	if err != nil {
+		return nil, err
+	}
+	items, err := rec.Recommend(model.UserID(user), k)
+	if err != nil {
+		return nil, err
+	}
+	return toRecs(items), nil
+}
+
+func toRecs(items []model.ScoredItem) []Recommendation {
+	out := make([]Recommendation, len(items))
+	for k, it := range items {
+		out[k] = Recommendation{Item: string(it.Item), Score: it.Score}
+	}
+	return out
+}
+
+// groupProblem assembles the core.Input shared by the fair solvers.
+func (s *System) groupProblem(users []string) (core.Input, map[model.UserID]map[model.ItemID]float64, error) {
+	g := make(model.Group, len(users))
+	for k, u := range users {
+		g[k] = model.UserID(u)
+	}
+	g = g.Dedup()
+	if err := g.Validate(); err != nil {
+		return core.Input{}, nil, fmt.Errorf("%w: %v", ErrEmptyGroup, err)
+	}
+	rec, err := s.recommender()
+	if err != nil {
+		return core.Input{}, nil, err
+	}
+	grec := &group.Recommender{Single: rec, Aggr: s.aggregator()}
+	cands, err := grec.Candidates(g)
+	if err != nil {
+		if errors.Is(err, group.ErrEmptyGroup) {
+			return core.Input{}, nil, ErrEmptyGroup
+		}
+		return core.Input{}, nil, err
+	}
+	aggr := s.aggregator()
+	groupRel := make(map[model.ItemID]float64, len(cands))
+	perUser := make(map[model.UserID]map[model.ItemID]float64, len(g))
+	for _, u := range g {
+		perUser[u] = make(map[model.ItemID]float64)
+	}
+	for item, scores := range cands {
+		groupRel[item] = aggr.Aggregate(scores)
+		for k, u := range g {
+			perUser[u][item] = scores[k]
+		}
+	}
+	in := core.Input{
+		Group:    g,
+		Lists:    core.ListsFromRelevances(perUser, s.cfg.K),
+		GroupRel: groupRel,
+		Rel: func(u model.UserID, i model.ItemID) (float64, bool) {
+			sc, ok := perUser[u][i]
+			return sc, ok
+		},
+	}
+	return in, perUser, nil
+}
+
+func (s *System) toGroupResult(in core.Input, res core.Result) *GroupResult {
+	out := &GroupResult{
+		Items:        make([]Recommendation, len(res.Items)),
+		Fairness:     res.Fairness,
+		Value:        res.Value,
+		PerMember:    make(map[string][]Recommendation, len(in.Group)),
+		Combinations: res.Combinations,
+	}
+	for k, item := range res.Items {
+		out.Items[k] = Recommendation{Item: string(item), Score: in.GroupRel[item]}
+	}
+	for u, list := range in.Lists {
+		out.PerMember[string(u)] = toRecs(list)
+	}
+	return out
+}
+
+// GroupRecommend runs the paper's Algorithm 1: the fairness-aware
+// top-z recommendations for the group.
+func (s *System) GroupRecommend(users []string, z int) (*GroupResult, error) {
+	in, _, err := s.groupProblem(users)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Greedy(in, z)
+	if err != nil {
+		return nil, err
+	}
+	return s.toGroupResult(in, res), nil
+}
+
+// GroupRecommendBruteForce runs the exponential baseline of §III.D over
+// the top-m candidates (m ≤ 0 means all candidates). Use small m —
+// the cost is C(m,z).
+func (s *System) GroupRecommendBruteForce(users []string, z, m int, maxCombos int64) (*GroupResult, error) {
+	in, _, err := s.groupProblem(users)
+	if err != nil {
+		return nil, err
+	}
+	if m > 0 {
+		in.GroupRel = core.TopCandidates(in.GroupRel, m)
+	}
+	res, err := core.BruteForce(in, z, maxCombos)
+	if err != nil {
+		return nil, err
+	}
+	return s.toGroupResult(in, res), nil
+}
+
+// GroupTopZ returns the plain (fairness-agnostic) top-z group list —
+// the §III.B baseline that Algorithm 1 improves on.
+func (s *System) GroupTopZ(users []string, z int) ([]Recommendation, error) {
+	in, _, err := s.groupProblem(users)
+	if err != nil {
+		return nil, err
+	}
+	return toRecs(core.SortedItems(in.GroupRel)[:min(z, len(in.GroupRel))]), nil
+}
+
+// GroupRecommendMapReduce executes the §IV MapReduce pipeline (three
+// jobs + centralized Algorithm 1) instead of the in-memory path. Only
+// the ratings similarity and the paper's min/avg aggregations are
+// supported, matching the paper's pipeline.
+func (s *System) GroupRecommendMapReduce(ctx context.Context, users []string, z int) (*GroupResult, error) {
+	if s.cfg.Aggregation != "avg" && s.cfg.Aggregation != "min" {
+		return nil, fmt.Errorf("%w: MapReduce path supports avg|min, not %q", ErrBadConfig, s.cfg.Aggregation)
+	}
+	g := make(model.Group, len(users))
+	for k, u := range users {
+		g[k] = model.UserID(u)
+	}
+	g = g.Dedup()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEmptyGroup, err)
+	}
+	out, err := mrpipeline.Run(ctx, s.ratings.Triples(), mrpipeline.Config{
+		Group:      g,
+		Delta:      s.cfg.Delta,
+		MinOverlap: s.cfg.MinOverlap,
+		K:          s.cfg.K,
+		Z:          z,
+		Aggregator: s.cfg.Aggregation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	in := core.Input{Group: g, Lists: out.Lists, GroupRel: out.GroupRel}
+	return s.toGroupResult(in, out.Fair), nil
+}
+
+// ---------------------------------------------------------------------------
+// introspection helpers for examples and tools
+
+// RatingTriples exposes a snapshot of all rating triples (user, item,
+// value) in deterministic order.
+func (s *System) RatingTriples() []struct {
+	User, Item string
+	Value      float64
+} {
+	ts := s.ratings.Triples()
+	out := make([]struct {
+		User, Item string
+		Value      float64
+	}, len(ts))
+	for k, t := range ts {
+		out[k].User, out[k].Item, out[k].Value = string(t.User), string(t.Item), float64(t.Value)
+	}
+	return out
+}
+
+// ConceptName resolves an ontology code to its display name.
+func (s *System) ConceptName(code string) (string, bool) {
+	c, ok := s.ont.Concept(ontology.ConceptID(code))
+	if !ok {
+		return "", false
+	}
+	return c.Name, true
+}
+
+// ProblemDistance returns the ontology path length between two problem
+// codes (§V.C).
+func (s *System) ProblemDistance(a, b string) (int, error) {
+	return s.ont.PathLength(ontology.ConceptID(a), ontology.ConceptID(b))
+}
+
+// SortedUsers lists every user with at least one rating.
+func (s *System) SortedUsers() []string {
+	us := s.ratings.Users()
+	out := make([]string, len(us))
+	for k, u := range us {
+		out[k] = string(u)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,217 @@
+// Package cf implements the single-user collaborative-filtering model
+// of §III.A: peers are all users whose similarity to the query user
+// meets a threshold δ (Def. 1), and the relevance of an unrated item
+// is the similarity-weighted average of the peers' ratings (Eq. 1):
+//
+//	relevance(u,i) = Σ_{u'∈Pu∩U(i)} simU(u,u')·rating(u',i)
+//	               / Σ_{u'∈Pu∩U(i)} simU(u,u')
+//
+// The per-user top-k list A_u produced here is both the single-user
+// recommendation output and the input to the fairness-aware group
+// algorithm (package core).
+package cf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/simfn"
+	"fairhealth/internal/topk"
+)
+
+// Common errors.
+var (
+	// ErrAlreadyRated is returned by Relevance when the user has an
+	// explicit rating for the item (Eq. 1 is defined only for unrated
+	// items).
+	ErrAlreadyRated = errors.New("cf: item already rated by user")
+	// ErrNoConfig is returned when a Recommender is missing its store
+	// or similarity function.
+	ErrNoConfig = errors.New("cf: recommender not configured")
+)
+
+// Peer is one member of P_u with its similarity score.
+type Peer struct {
+	User model.UserID
+	Sim  float64
+}
+
+// Recommender predicts item relevance for single users.
+type Recommender struct {
+	// Store holds the observed ratings.
+	Store *ratings.Store
+	// Sim is the user-similarity measure simU. For peer selection its
+	// output is compared against Delta, so measures with negative
+	// ranges (raw Pearson) are usually wrapped in simfn.Normalized.
+	Sim simfn.UserSimilarity
+	// Delta is the peer threshold δ of Def. 1.
+	Delta float64
+	// RequirePositive drops peers with similarity ≤ 0 even when
+	// Delta ≤ 0; negative-similarity peers would otherwise produce
+	// negative Eq. 1 weights.
+	RequirePositive bool
+	// Candidates optionally restricts peer discovery to a candidate
+	// subset — e.g. the query user's cluster from package clustering,
+	// the speed-up of Ntoutsi et al. [17] the paper's related work
+	// discusses. nil (or a nil return) scans every user in the store.
+	Candidates func(model.UserID) []model.UserID
+}
+
+func (r *Recommender) check() error {
+	if r == nil || r.Store == nil || r.Sim == nil {
+		return ErrNoConfig
+	}
+	return nil
+}
+
+// Peers returns P_u: every other user whose similarity to u is ≥ δ
+// (Def. 1), best-first with ties on ascending user ID. Users for whom
+// simU is undefined are excluded.
+func (r *Recommender) Peers(u model.UserID) ([]Peer, error) {
+	if err := r.check(); err != nil {
+		return nil, err
+	}
+	candidates := r.Store.Users() // ascending, for deterministic ties
+	if r.Candidates != nil {
+		if cs := r.Candidates(u); cs != nil {
+			candidates = append([]model.UserID(nil), cs...)
+			sort.Slice(candidates, func(a, b int) bool { return candidates[a] < candidates[b] })
+		}
+	}
+	var peers []Peer
+	for _, other := range candidates {
+		if other == u {
+			continue
+		}
+		s, ok := r.Sim.Similarity(u, other)
+		if !ok || s < r.Delta {
+			continue
+		}
+		if r.RequirePositive && s <= 0 {
+			continue
+		}
+		peers = append(peers, Peer{User: other, Sim: s})
+	}
+	// Users() is ascending, so equal-similarity peers are already in
+	// ID order; sort stably by similarity descending.
+	for i := 1; i < len(peers); i++ {
+		for j := i; j > 0 && peers[j].Sim > peers[j-1].Sim; j-- {
+			peers[j], peers[j-1] = peers[j-1], peers[j]
+		}
+	}
+	return peers, nil
+}
+
+// PeerSet returns the peers as a map for O(1) membership checks.
+func (r *Recommender) PeerSet(u model.UserID) (map[model.UserID]float64, error) {
+	peers, err := r.Peers(u)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[model.UserID]float64, len(peers))
+	for _, p := range peers {
+		out[p.User] = p.Sim
+	}
+	return out, nil
+}
+
+// Relevance predicts Eq. 1 for a single (user, item) pair. ok=false
+// means no peer has rated the item (the estimate is undefined); an
+// ErrAlreadyRated error means the user has an explicit rating.
+func (r *Recommender) Relevance(u model.UserID, i model.ItemID) (score float64, ok bool, err error) {
+	if err := r.check(); err != nil {
+		return 0, false, err
+	}
+	if r.Store.HasRated(u, i) {
+		return 0, false, fmt.Errorf("%w: user %s item %s", ErrAlreadyRated, u, i)
+	}
+	peers, err := r.PeerSet(u)
+	if err != nil {
+		return 0, false, err
+	}
+	return relevanceWithPeers(r.Store, peers, i)
+}
+
+// relevanceWithPeers evaluates Eq. 1 given a prebuilt peer map.
+func relevanceWithPeers(store *ratings.Store, peers map[model.UserID]float64, i model.ItemID) (float64, bool, error) {
+	var num, den float64
+	store.VisitItemRatings(i, func(u model.UserID, rating model.Rating) bool {
+		if s, ok := peers[u]; ok {
+			num += s * float64(rating)
+			den += s
+		}
+		return true
+	})
+	if den == 0 {
+		return 0, false, nil
+	}
+	return num / den, true, nil
+}
+
+// AllRelevances predicts Eq. 1 for every item the user has NOT rated
+// and at least one peer has. The result maps item → score.
+func (r *Recommender) AllRelevances(u model.UserID) (map[model.ItemID]float64, error) {
+	if err := r.check(); err != nil {
+		return nil, err
+	}
+	peers, err := r.PeerSet(u)
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate numerator/denominator per item over peers' ratings —
+	// O(Σ|I(peer)|) instead of O(|I|·|peers|).
+	type acc struct{ num, den float64 }
+	accs := make(map[model.ItemID]*acc)
+	for peer, sim := range peers {
+		r.Store.VisitUserRatings(peer, func(i model.ItemID, rating model.Rating) bool {
+			a, ok := accs[i]
+			if !ok {
+				a = &acc{}
+				accs[i] = a
+			}
+			a.num += sim * float64(rating)
+			a.den += sim
+			return true
+		})
+	}
+	out := make(map[model.ItemID]float64, len(accs))
+	for i, a := range accs {
+		if r.Store.HasRated(u, i) || a.den == 0 {
+			continue
+		}
+		out[i] = a.num / a.den
+	}
+	return out, nil
+}
+
+// Recommend returns A_u: the top-k unrated items by predicted
+// relevance (§III.A: "the items A_u with the top-k relevance scores
+// can be suggested to u").
+func (r *Recommender) Recommend(u model.UserID, k int) ([]model.ScoredItem, error) {
+	scores, err := r.AllRelevances(u)
+	if err != nil {
+		return nil, err
+	}
+	return topk.TopOfMap(scores, k), nil
+}
+
+// Coverage reports what fraction of the user's unrated items receive a
+// defined prediction — a diagnostic for δ tuning (the δ-sweep ablation
+// in DESIGN.md).
+func (r *Recommender) Coverage(u model.UserID) (float64, error) {
+	if err := r.check(); err != nil {
+		return 0, err
+	}
+	scores, err := r.AllRelevances(u)
+	if err != nil {
+		return 0, err
+	}
+	unrated := r.Store.NumItems() - r.Store.NumRatedBy(u)
+	if unrated <= 0 {
+		return 0, nil
+	}
+	return float64(len(scores)) / float64(unrated), nil
+}

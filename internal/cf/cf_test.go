@@ -1,0 +1,331 @@
+package cf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/simfn"
+)
+
+// fixedSim builds a similarity measure from a symmetric table keyed by
+// "a|b" with a<b; missing pairs are undefined.
+func fixedSim(table map[string]float64) simfn.UserSimilarity {
+	return simfn.Func(func(a, b model.UserID) (float64, bool) {
+		if b < a {
+			a, b = b, a
+		}
+		s, ok := table[string(a)+"|"+string(b)]
+		return s, ok
+	})
+}
+
+func storeWith(t *testing.T, triples ...model.Triple) *ratings.Store {
+	t.Helper()
+	s, err := ratings.FromTriples(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func tr(u, i string, v float64) model.Triple {
+	return model.Triple{User: model.UserID(u), Item: model.ItemID(i), Value: model.Rating(v)}
+}
+
+func TestPeersThreshold(t *testing.T) {
+	store := storeWith(t,
+		tr("u", "d0", 3),
+		tr("a", "d1", 3), tr("b", "d1", 3), tr("c", "d1", 3),
+	)
+	sim := fixedSim(map[string]float64{
+		"a|u": 0.3, "b|u": 0.6, "c|u": 0.9,
+	})
+	r := &Recommender{Store: store, Sim: sim, Delta: 0.5}
+	peers, err := r.Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].User != "c" || peers[1].User != "b" {
+		t.Errorf("Peers = %+v, want [c b]", peers)
+	}
+	if peers[0].Sim != 0.9 || peers[1].Sim != 0.6 {
+		t.Errorf("peer sims = %+v", peers)
+	}
+}
+
+func TestPeersExcludesSelfAndUndefined(t *testing.T) {
+	store := storeWith(t, tr("u", "d0", 3), tr("a", "d1", 3), tr("x", "d1", 3))
+	sim := fixedSim(map[string]float64{"a|u": 0.9}) // x|u undefined
+	r := &Recommender{Store: store, Sim: sim, Delta: 0}
+	peers, err := r.Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 1 || peers[0].User != "a" {
+		t.Errorf("Peers = %+v, want [a]", peers)
+	}
+	for _, p := range peers {
+		if p.User == "u" {
+			t.Error("user is its own peer")
+		}
+	}
+}
+
+func TestPeersRequirePositive(t *testing.T) {
+	store := storeWith(t, tr("u", "d0", 3), tr("a", "d1", 3), tr("b", "d1", 3))
+	sim := fixedSim(map[string]float64{"a|u": -0.4, "b|u": 0.4})
+	r := &Recommender{Store: store, Sim: sim, Delta: -1, RequirePositive: true}
+	peers, err := r.Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 1 || peers[0].User != "b" {
+		t.Errorf("Peers = %+v, want [b]", peers)
+	}
+}
+
+func TestPeersTieOrderDeterministic(t *testing.T) {
+	store := storeWith(t, tr("u", "d0", 3), tr("b", "d1", 3), tr("a", "d1", 3), tr("c", "d1", 3))
+	sim := fixedSim(map[string]float64{"a|u": 0.5, "b|u": 0.5, "c|u": 0.5})
+	r := &Recommender{Store: store, Sim: sim}
+	peers, err := r.Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.UserID{"a", "b", "c"}
+	for i, p := range peers {
+		if p.User != want[i] {
+			t.Fatalf("tie order = %+v, want %v", peers, want)
+		}
+	}
+}
+
+// TestRelevanceHandComputed pins Eq. 1 on a worked example:
+// peers a (sim .5) and b (sim 1) rated d1 with 4 and 2 →
+// (0.5·4 + 1·2) / 1.5 = 8/3.
+func TestRelevanceHandComputed(t *testing.T) {
+	store := storeWith(t,
+		tr("u", "d0", 3),
+		tr("a", "d1", 4), tr("b", "d1", 2),
+	)
+	sim := fixedSim(map[string]float64{"a|u": 0.5, "b|u": 1.0})
+	r := &Recommender{Store: store, Sim: sim}
+	got, ok, err := r.Relevance("u", "d1")
+	if err != nil || !ok {
+		t.Fatal(err, ok)
+	}
+	if want := 8.0 / 3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("relevance = %v, want %v", got, want)
+	}
+}
+
+func TestRelevanceIgnoresNonPeers(t *testing.T) {
+	store := storeWith(t,
+		tr("u", "d0", 3),
+		tr("a", "d1", 5),
+		tr("z", "d1", 1), // z is not a peer (undefined sim)
+	)
+	sim := fixedSim(map[string]float64{"a|u": 1.0})
+	r := &Recommender{Store: store, Sim: sim}
+	got, ok, err := r.Relevance("u", "d1")
+	if err != nil || !ok {
+		t.Fatal(err, ok)
+	}
+	if got != 5 {
+		t.Errorf("relevance = %v, want 5 (z must not contribute)", got)
+	}
+}
+
+func TestRelevanceAlreadyRated(t *testing.T) {
+	store := storeWith(t, tr("u", "d1", 3), tr("a", "d1", 5))
+	r := &Recommender{Store: store, Sim: fixedSim(map[string]float64{"a|u": 1})}
+	_, _, err := r.Relevance("u", "d1")
+	if !errors.Is(err, ErrAlreadyRated) {
+		t.Errorf("err = %v, want ErrAlreadyRated", err)
+	}
+}
+
+func TestRelevanceUndefinedWhenNoPeerRated(t *testing.T) {
+	store := storeWith(t, tr("u", "d0", 3), tr("a", "d1", 4), tr("z", "d2", 2))
+	sim := fixedSim(map[string]float64{"a|u": 1.0})
+	r := &Recommender{Store: store, Sim: sim}
+	// d2 rated only by non-peer z
+	_, ok, err := r.Relevance("u", "d2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("relevance should be undefined when no peer rated the item")
+	}
+}
+
+func TestAllRelevancesMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var triples []model.Triple
+	for u := 0; u < 8; u++ {
+		for i := 0; i < 15; i++ {
+			if rng.Float64() < 0.5 {
+				triples = append(triples, tr(fmt.Sprintf("u%d", u), fmt.Sprintf("d%d", i), float64(1+rng.Intn(5))))
+			}
+		}
+	}
+	store := storeWith(t, triples...)
+	sim := simfn.Normalized{S: simfn.Pearson{Store: store, MinOverlap: 2}}
+	r := &Recommender{Store: store, Sim: sim, Delta: 0.3}
+
+	all, err := r.AllRelevances("u0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// every batch score must match the pointwise path
+	for item, score := range all {
+		got, ok, err := r.Relevance("u0", item)
+		if err != nil || !ok {
+			t.Fatalf("pointwise Relevance(%s): %v %v", item, err, ok)
+		}
+		if math.Abs(got-score) > 1e-12 {
+			t.Errorf("batch %v vs pointwise %v for %s", score, got, item)
+		}
+	}
+	// and no rated item may appear
+	for item := range all {
+		if store.HasRated("u0", item) {
+			t.Errorf("rated item %s in AllRelevances", item)
+		}
+	}
+	// every unrated item with a defined pointwise score must appear
+	for _, item := range store.Items() {
+		if store.HasRated("u0", item) {
+			continue
+		}
+		if got, ok, _ := r.Relevance("u0", item); ok {
+			if batch, present := all[item]; !present || math.Abs(batch-got) > 1e-12 {
+				t.Errorf("item %s missing from batch (pointwise %v)", item, got)
+			}
+		}
+	}
+}
+
+func TestRecommendTopK(t *testing.T) {
+	store := storeWith(t,
+		tr("u", "d0", 3),
+		tr("a", "d1", 5), tr("a", "d2", 3), tr("a", "d3", 1), tr("a", "d4", 4),
+	)
+	sim := fixedSim(map[string]float64{"a|u": 1.0})
+	r := &Recommender{Store: store, Sim: sim}
+	recs, err := r.Recommend("u", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Item != "d1" || recs[1].Item != "d4" {
+		t.Errorf("Recommend = %v, want [d1 d4]", recs)
+	}
+	if recs[0].Score != 5 || recs[1].Score != 4 {
+		t.Errorf("scores = %v", recs)
+	}
+}
+
+func TestRecommendEmptyWhenNoPeers(t *testing.T) {
+	store := storeWith(t, tr("u", "d0", 3), tr("a", "d1", 5))
+	sim := fixedSim(nil) // everything undefined
+	r := &Recommender{Store: store, Sim: sim}
+	recs, err := r.Recommend("u", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("Recommend with no peers = %v, want empty", recs)
+	}
+}
+
+func TestNotConfigured(t *testing.T) {
+	var r *Recommender
+	if _, err := r.Peers("u"); !errors.Is(err, ErrNoConfig) {
+		t.Errorf("nil recommender: %v", err)
+	}
+	r2 := &Recommender{}
+	if _, _, err := r2.Relevance("u", "d"); !errors.Is(err, ErrNoConfig) {
+		t.Errorf("empty recommender: %v", err)
+	}
+	if _, err := (&Recommender{Store: ratings.New()}).Recommend("u", 3); !errors.Is(err, ErrNoConfig) {
+		t.Errorf("missing sim: %v", err)
+	}
+}
+
+// TestEndToEndPearson checks the full CF loop: u0 agrees with u1 and
+// disagrees with u2, so predictions for u0 should track u1's ratings.
+func TestEndToEndPearson(t *testing.T) {
+	store := storeWith(t,
+		// u0 and u1 rate alike on d1..d4; u2 rates opposite
+		tr("u0", "d1", 5), tr("u0", "d2", 4), tr("u0", "d3", 1), tr("u0", "d4", 2),
+		tr("u1", "d1", 5), tr("u1", "d2", 5), tr("u1", "d3", 1), tr("u1", "d4", 1),
+		tr("u2", "d1", 1), tr("u2", "d2", 1), tr("u2", "d3", 5), tr("u2", "d4", 5),
+		// the candidates
+		tr("u1", "dGood", 5), tr("u2", "dGood", 2),
+		tr("u1", "dBad", 1), tr("u2", "dBad", 5),
+	)
+	sim := simfn.Normalized{S: simfn.Pearson{Store: store, MinOverlap: 2}}
+	r := &Recommender{Store: store, Sim: sim, Delta: 0.8}
+	recs, err := r.Recommend("u0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Item != "dGood" {
+		t.Fatalf("Recommend = %v, want dGood first", recs)
+	}
+	// with δ=0.8 only u1 is a peer, so scores equal u1's ratings
+	if recs[0].Score != 5 {
+		t.Errorf("score(dGood) = %v, want 5", recs[0].Score)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	store := storeWith(t,
+		tr("u", "d0", 3),
+		tr("a", "d1", 4), tr("a", "d2", 2),
+		tr("z", "d3", 5),
+	)
+	sim := fixedSim(map[string]float64{"a|u": 1.0})
+	r := &Recommender{Store: store, Sim: sim}
+	// items: d0(rated by u), d1,d2 predictable, d3 not (z not a peer)
+	cov, err := r.Coverage("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0 / 3; math.Abs(cov-want) > 1e-12 {
+		t.Errorf("coverage = %v, want %v", cov, want)
+	}
+}
+
+// Property: with positive peer weights, Eq. 1 is a convex combination,
+// so every prediction lies within the peers' rating range.
+func TestRelevanceWithinRatingBounds(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var triples []model.Triple
+		for u := 0; u < 10; u++ {
+			for i := 0; i < 12; i++ {
+				if rng.Float64() < 0.4 {
+					triples = append(triples, tr(fmt.Sprintf("u%d", u), fmt.Sprintf("d%d", i), float64(1+rng.Intn(5))))
+				}
+			}
+		}
+		store := storeWith(t, triples...)
+		sim := simfn.Normalized{S: simfn.Pearson{Store: store, MinOverlap: 1}}
+		r := &Recommender{Store: store, Sim: sim, Delta: 0.1, RequirePositive: true}
+		all, err := r.AllRelevances("u0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for item, score := range all {
+			if score < float64(model.MinRating)-1e-9 || score > float64(model.MaxRating)+1e-9 {
+				t.Errorf("seed %d: relevance(%s) = %v outside [1,5]", seed, item, score)
+			}
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package clustering implements user clustering for fast peer
+// discovery. The paper's related work (§VII) builds on Ntoutsi et al.
+// [17], which "employ[s] full-dimensional clustering" to pre-partition
+// users so that peer search (Def. 1) scans one cluster instead of the
+// whole user base. This package provides seeded spherical k-means over
+// mean-centered sparse rating vectors, plus the glue that narrows a
+// cf.Recommender's candidate scan to the query user's cluster.
+//
+// Distances use cosine over mean-centered vectors (adjusted cosine),
+// the same signal Pearson similarity measures, so cluster locality
+// aligns with peer locality.
+package clustering
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+)
+
+// Common errors.
+var (
+	// ErrEmptyStore is returned when the store has no users.
+	ErrEmptyStore = errors.New("clustering: empty rating store")
+	// ErrBadK is returned for k < 1.
+	ErrBadK = errors.New("clustering: k must be ≥ 1")
+)
+
+// Config parameterizes KMeans.
+type Config struct {
+	// K is the number of clusters (clamped to the user count).
+	K int
+	// MaxIter bounds the Lloyd iterations (default 50).
+	MaxIter int
+	// Seed drives initialization; equal seeds → identical clusterings.
+	Seed int64
+}
+
+// Result is a finished clustering.
+type Result struct {
+	// Assignment maps every user to a cluster in [0, K).
+	Assignment map[model.UserID]int
+	// Members lists each cluster's users, ascending.
+	Members [][]model.UserID
+	// Iterations actually run until convergence.
+	Iterations int
+	// Inertia is the final total within-cluster dissimilarity
+	// Σ (1 − cos(u, centroid)).
+	Inertia float64
+}
+
+// vector is a sparse mean-centered rating vector stored as parallel
+// item-sorted slices, so dot products are merge joins with a
+// deterministic summation order (map iteration would make inertia
+// drift across runs in the last float bit).
+type vector struct {
+	items []model.ItemID // ascending
+	vals  []float64
+	norm  float64
+}
+
+func vectorFromMap(w map[model.ItemID]float64) vector {
+	items := make([]model.ItemID, 0, len(w))
+	for i := range w {
+		items = append(items, i)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	vals := make([]float64, len(items))
+	var sq float64
+	for k, i := range items {
+		vals[k] = w[i]
+		sq += w[i] * w[i]
+	}
+	return vector{items: items, vals: vals, norm: math.Sqrt(sq)}
+}
+
+func newVector(store *ratings.Store, u model.UserID) vector {
+	mean, _ := store.MeanRating(u)
+	w := make(map[model.ItemID]float64)
+	store.VisitUserRatings(u, func(i model.ItemID, r model.Rating) bool {
+		if v := float64(r) - mean; v != 0 {
+			w[i] = v
+		}
+		return true
+	})
+	return vectorFromMap(w)
+}
+
+func (v vector) cosine(c vector) float64 {
+	if v.norm == 0 || c.norm == 0 {
+		return 0
+	}
+	var dot float64
+	a, b := 0, 0
+	for a < len(v.items) && b < len(c.items) {
+		switch {
+		case v.items[a] == c.items[b]:
+			dot += v.vals[a] * c.vals[b]
+			a++
+			b++
+		case v.items[a] < c.items[b]:
+			a++
+		default:
+			b++
+		}
+	}
+	return dot / (v.norm * c.norm)
+}
+
+// KMeans clusters every user in the store.
+func KMeans(store *ratings.Store, cfg Config) (*Result, error) {
+	users := store.Users()
+	if len(users) == 0 {
+		return nil, ErrEmptyStore
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadK, cfg.K)
+	}
+	k := cfg.K
+	if k > len(users) {
+		k = len(users)
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	vecs := make([]vector, len(users))
+	for idx, u := range users {
+		vecs[idx] = newVector(store, u)
+	}
+
+	// k-means++-style seeding: first centroid uniform, then farthest-
+	// biased picks (probability ∝ 1 − best cosine so far).
+	centroids := make([]vector, 0, k)
+	first := rng.Intn(len(users))
+	centroids = append(centroids, cloneVector(vecs[first]))
+	bestSim := make([]float64, len(users))
+	for i := range bestSim {
+		bestSim[i] = vecs[i].cosine(centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		weights := make([]float64, len(users))
+		for i := range users {
+			w := 1 - bestSim[i]
+			if w < 0 {
+				w = 0
+			}
+			weights[i] = w
+			total += w
+		}
+		pick := 0
+		if total > 0 {
+			r := rng.Float64() * total
+			for i, w := range weights {
+				r -= w
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(len(users))
+		}
+		centroids = append(centroids, cloneVector(vecs[pick]))
+		for i := range users {
+			if s := vecs[i].cosine(centroids[len(centroids)-1]); s > bestSim[i] {
+				bestSim[i] = s
+			}
+		}
+	}
+
+	assign := make([]int, len(users))
+	for i := range assign {
+		assign[i] = -1
+	}
+	iterations := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iterations = iter + 1
+		changed := false
+		for i, v := range vecs {
+			best, bestScore := 0, math.Inf(-1)
+			for c, cent := range centroids {
+				s := v.cosine(cent)
+				// deterministic tie-break: lower cluster index wins
+				if s > bestScore {
+					best, bestScore = c, s
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// recompute centroids as the mean of member vectors
+		sums := make([]map[model.ItemID]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make(map[model.ItemID]float64)
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for k, item := range v.items {
+				sums[c][item] += v.vals[k]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// empty cluster: reseed with the point farthest from
+				// its centroid (deterministic: first minimal cosine)
+				worst, worstScore := 0, math.Inf(1)
+				for i, v := range vecs {
+					if s := v.cosine(centroids[assign[i]]); s < worstScore {
+						worst, worstScore = i, s
+					}
+				}
+				centroids[c] = cloneVector(vecs[worst])
+				continue
+			}
+			w := make(map[model.ItemID]float64, len(sums[c]))
+			for item, s := range sums[c] {
+				if v := s / float64(counts[c]); v != 0 {
+					w[item] = v
+				}
+			}
+			centroids[c] = vectorFromMap(w)
+		}
+	}
+
+	res := &Result{
+		Assignment: make(map[model.UserID]int, len(users)),
+		Members:    make([][]model.UserID, k),
+		Iterations: iterations,
+	}
+	for i, u := range users {
+		c := assign[i]
+		res.Assignment[u] = c
+		res.Members[c] = append(res.Members[c], u)
+		res.Inertia += 1 - vecs[i].cosine(centroids[c])
+	}
+	for c := range res.Members {
+		sort.Slice(res.Members[c], func(a, b int) bool { return res.Members[c][a] < res.Members[c][b] })
+	}
+	return res, nil
+}
+
+func cloneVector(v vector) vector {
+	return vector{
+		items: append([]model.ItemID(nil), v.items...),
+		vals:  append([]float64(nil), v.vals...),
+		norm:  v.norm,
+	}
+}
+
+// K returns the number of clusters.
+func (r *Result) K() int { return len(r.Members) }
+
+// ClusterOf returns the user's cluster, or -1 when unknown.
+func (r *Result) ClusterOf(u model.UserID) int {
+	c, ok := r.Assignment[u]
+	if !ok {
+		return -1
+	}
+	return c
+}
+
+// CandidateSource narrows peer discovery (Def. 1) to the query user's
+// cluster — plug it into cf.Recommender.Candidates. Unknown users fall
+// back to nil (the recommender then scans everyone).
+func (r *Result) CandidateSource() func(model.UserID) []model.UserID {
+	return func(u model.UserID) []model.UserID {
+		c, ok := r.Assignment[u]
+		if !ok {
+			return nil
+		}
+		return r.Members[c]
+	}
+}
+
+// Purity scores the clustering against ground-truth labels: the
+// fraction of users whose cluster's majority label matches their own.
+// Used by tests and ablations on synthetic data.
+func (r *Result) Purity(truth map[model.UserID]int) float64 {
+	if len(r.Assignment) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, members := range r.Members {
+		counts := map[int]int{}
+		for _, u := range members {
+			counts[truth[u]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(r.Assignment))
+}

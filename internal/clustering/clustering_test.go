@@ -1,0 +1,260 @@
+package clustering
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"fairhealth/internal/cf"
+	"fairhealth/internal/dataset"
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/simfn"
+)
+
+func clusteredDataset(t *testing.T, seed int64) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Seed: seed, Users: 60, Items: 90, RatingsPerUser: 40, Clusters: 3, Noise: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func truthOf(ds *dataset.Dataset) map[model.UserID]int {
+	truth := make(map[model.UserID]int, len(ds.ClusterOf))
+	for u, c := range ds.ClusterOf {
+		truth[u] = c
+	}
+	return truth
+}
+
+func TestKMeansRecoversLatentClusters(t *testing.T) {
+	ds := clusteredDataset(t, 1)
+	res, err := KMeans(ds.Ratings, Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 3 {
+		t.Fatalf("K = %d", res.K())
+	}
+	purity := res.Purity(truthOf(ds))
+	if purity < 0.9 {
+		t.Errorf("purity = %v, want ≥ 0.9 (clusters are well separated by construction)", purity)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	ds := clusteredDataset(t, 2)
+	a, err := KMeans(ds.Ratings, Config{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(ds.Ratings, Config{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Assignment, b.Assignment) {
+		t.Error("same seed produced different clusterings")
+	}
+	if a.Inertia != b.Inertia || a.Iterations != b.Iterations {
+		t.Errorf("metadata differs: %v/%v vs %v/%v", a.Inertia, a.Iterations, b.Inertia, b.Iterations)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(ratings.New(), Config{K: 2}); !errors.Is(err, ErrEmptyStore) {
+		t.Errorf("empty store: %v", err)
+	}
+	st := ratings.New()
+	if err := st.Add("u", "d", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KMeans(st, Config{K: 0}); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0: %v", err)
+	}
+}
+
+func TestKMeansClampsKToUsers(t *testing.T) {
+	st := ratings.New()
+	for _, u := range []string{"a", "b"} {
+		if err := st.Add(model.UserID(u), "d1", 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Add(model.UserID(u), "d2", 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := KMeans(st, Config{K: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 2 {
+		t.Errorf("K = %d, want clamped to 2", res.K())
+	}
+	total := 0
+	for _, m := range res.Members {
+		total += len(m)
+	}
+	if total != 2 {
+		t.Errorf("members total = %d", total)
+	}
+}
+
+func TestEveryUserAssignedExactlyOnce(t *testing.T) {
+	ds := clusteredDataset(t, 3)
+	res, err := KMeans(ds.Ratings, Config{K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[model.UserID]int{}
+	for c, members := range res.Members {
+		for _, u := range members {
+			seen[u]++
+			if res.Assignment[u] != c {
+				t.Errorf("user %s: Members says %d, Assignment says %d", u, c, res.Assignment[u])
+			}
+		}
+	}
+	if len(seen) != ds.Ratings.NumUsers() {
+		t.Errorf("assigned %d users, want %d", len(seen), ds.Ratings.NumUsers())
+	}
+	for u, n := range seen {
+		if n != 1 {
+			t.Errorf("user %s in %d clusters", u, n)
+		}
+	}
+}
+
+func TestClusterOf(t *testing.T) {
+	ds := clusteredDataset(t, 4)
+	res, err := KMeans(ds.Ratings, Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ds.Ratings.Users()[0]
+	if c := res.ClusterOf(u); c < 0 || c >= 3 {
+		t.Errorf("ClusterOf = %d", c)
+	}
+	if c := res.ClusterOf("ghost"); c != -1 {
+		t.Errorf("ClusterOf(unknown) = %d, want -1", c)
+	}
+}
+
+func TestPurityBounds(t *testing.T) {
+	ds := clusteredDataset(t, 5)
+	res, err := KMeans(ds.Ratings, Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// perfect self-labeling → purity 1
+	self := map[model.UserID]int{}
+	for u, c := range res.Assignment {
+		self[u] = c
+	}
+	if p := res.Purity(self); p != 1 {
+		t.Errorf("self purity = %v, want 1", p)
+	}
+	// all-same labels → purity 1 only with k=1
+	flat := map[model.UserID]int{}
+	for u := range res.Assignment {
+		flat[u] = 0
+	}
+	if p := res.Purity(flat); p != 1 {
+		t.Errorf("flat purity = %v, want 1 (majority label trivially matches)", p)
+	}
+	empty := &Result{}
+	if p := empty.Purity(nil); p != 0 {
+		t.Errorf("empty purity = %v", p)
+	}
+}
+
+// TestCandidateSourceSpeedsPeerSearch wires the clustering into
+// cf.Recommender and checks (a) cluster peers are a subset of
+// full-scan peers, and (b) on well-separated data the subset retains
+// the top peers.
+func TestCandidateSourceSpeedsPeerSearch(t *testing.T) {
+	ds := clusteredDataset(t, 6)
+	res, err := KMeans(ds.Ratings, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simfn.NewCached(simfn.Normalized{S: simfn.Pearson{Store: ds.Ratings, MinOverlap: 3}})
+	full := &cf.Recommender{Store: ds.Ratings, Sim: sim, Delta: 0.55}
+	clustered := &cf.Recommender{Store: ds.Ratings, Sim: sim, Delta: 0.55, Candidates: res.CandidateSource()}
+
+	u := ds.Ratings.Users()[0]
+	fullPeers, err := full.PeerSet(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterPeers, err := clustered.PeerSet(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusterPeers) == 0 {
+		t.Fatal("no cluster peers found")
+	}
+	if len(clusterPeers) > len(fullPeers) {
+		t.Errorf("cluster peers (%d) exceed full peers (%d)", len(clusterPeers), len(fullPeers))
+	}
+	for peer, s := range clusterPeers {
+		fs, ok := fullPeers[peer]
+		if !ok || math.Abs(fs-s) > 1e-12 {
+			t.Errorf("cluster peer %s not in full set (or sim differs)", peer)
+		}
+	}
+	// the single best full-scan peer should sit in the same cluster on
+	// this well-separated data
+	var bestPeer model.UserID
+	best := -1.0
+	for p, s := range fullPeers {
+		if s > best || (s == best && p < bestPeer) {
+			best, bestPeer = s, p
+		}
+	}
+	if _, ok := clusterPeers[bestPeer]; !ok {
+		t.Errorf("top peer %s (sim %v) missing from cluster peers", bestPeer, best)
+	}
+}
+
+// TestClusteredRecommendationQuality: restricting peers to the cluster
+// must not destroy prediction accuracy on cluster-structured data.
+func TestClusteredRecommendationQuality(t *testing.T) {
+	ds := clusteredDataset(t, 7)
+	res, err := KMeans(ds.Ratings, Config{K: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simfn.NewCached(simfn.Normalized{S: simfn.Pearson{Store: ds.Ratings, MinOverlap: 3}})
+	full := &cf.Recommender{Store: ds.Ratings, Sim: sim, Delta: 0.55}
+	clustered := &cf.Recommender{Store: ds.Ratings, Sim: sim, Delta: 0.55, Candidates: res.CandidateSource()}
+
+	users := ds.Ratings.Users()
+	var diff, n float64
+	for _, u := range users[:10] {
+		fullRel, err := full.AllRelevances(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusterRel, err := clustered.AllRelevances(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for item, fs := range fullRel {
+			if cs, ok := clusterRel[item]; ok {
+				diff += math.Abs(fs - cs)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no comparable predictions")
+	}
+	if avg := diff / n; avg > 0.3 {
+		t.Errorf("clustered predictions drift too far from full scan: mean |Δ| = %v", avg)
+	}
+}

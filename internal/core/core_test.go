@@ -1,0 +1,599 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fairhealth/internal/model"
+)
+
+func si(item string, score float64) model.ScoredItem {
+	return model.ScoredItem{Item: model.ItemID(item), Score: score}
+}
+
+func ids(items ...string) []model.ItemID {
+	out := make([]model.ItemID, len(items))
+	for k, i := range items {
+		out[k] = model.ItemID(i)
+	}
+	return out
+}
+
+// relFromLists derives a RelevanceFn from per-user scored lists: the
+// relevance of an item for a user is its score in the user's own list,
+// undefined otherwise.
+func relFromLists(lists UserLists) RelevanceFn {
+	return func(u model.UserID, i model.ItemID) (float64, bool) {
+		for _, it := range lists[u] {
+			if it.Item == i {
+				return it.Score, true
+			}
+		}
+		return 0, false
+	}
+}
+
+func TestFairnessDefinition(t *testing.T) {
+	g := model.Group{"a", "b", "c"}
+	lists := UserLists{
+		"a": {si("x", 5), si("y", 4)},
+		"b": {si("y", 5)},
+		"c": {si("z", 5)},
+	}
+	cases := []struct {
+		d    []model.ItemID
+		want float64
+	}{
+		{ids(), 0},
+		{ids("x"), 1.0 / 3},      // only a satisfied
+		{ids("y"), 2.0 / 3},      // a and b
+		{ids("x", "z"), 2.0 / 3}, // a and c
+		{ids("y", "z"), 1},
+		{ids("q"), 0}, // item in nobody's list
+	}
+	for _, c := range cases {
+		if got := Fairness(g, lists, c.d); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Fairness(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestFairnessEdgeCases(t *testing.T) {
+	if got := Fairness(nil, nil, ids("x")); got != 0 {
+		t.Errorf("empty group fairness = %v, want 0", got)
+	}
+	// member with empty list can never be satisfied
+	g := model.Group{"a", "b"}
+	lists := UserLists{"a": {si("x", 1)}}
+	if got := Fairness(g, lists, ids("x")); got != 0.5 {
+		t.Errorf("fairness with empty member list = %v, want 0.5", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	in := Input{
+		Group:    model.Group{"a", "b"},
+		Lists:    UserLists{"a": {si("x", 5)}, "b": {si("y", 5)}},
+		GroupRel: map[model.ItemID]float64{"x": 3, "y": 2, "w": 4},
+	}
+	r := Evaluate(in, ids("x", "w"))
+	if r.Fairness != 0.5 {
+		t.Errorf("fairness = %v, want 0.5", r.Fairness)
+	}
+	if r.SumRelevance != 7 {
+		t.Errorf("sum = %v, want 7", r.SumRelevance)
+	}
+	if r.Value != 3.5 {
+		t.Errorf("value = %v, want 3.5", r.Value)
+	}
+	if err := r.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// items missing from GroupRel contribute 0
+	r2 := Evaluate(in, ids("x", "mystery"))
+	if r2.SumRelevance != 3 {
+		t.Errorf("sum with unknown item = %v, want 3", r2.SumRelevance)
+	}
+}
+
+func TestGreedyPairSelection(t *testing.T) {
+	// Two members. A_a has items the paper's loop must scan for b's
+	// benefit and vice versa. With x=a, y=b the pick from A_b is the
+	// item maximizing relevance(a, ·).
+	lists := UserLists{
+		"a": {si("a1", 5), si("a2", 4)},
+		"b": {si("b1", 5), si("b2", 4)},
+	}
+	// cross relevances: a loves b2, b loves a2
+	rel := func(u model.UserID, i model.ItemID) (float64, bool) {
+		table := map[string]float64{
+			"a|b1": 1, "a|b2": 4.5,
+			"b|a1": 2, "b|a2": 4.8,
+		}
+		s, ok := table[string(u)+"|"+string(i)]
+		return s, ok
+	}
+	in := Input{
+		Group:    model.Group{"a", "b"},
+		Lists:    lists,
+		GroupRel: map[model.ItemID]float64{"a1": 1, "a2": 1, "b1": 1, "b2": 1},
+		Rel:      rel,
+	}
+	res, err := Greedy(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sweep order: (x=a,y=b) picks b2 (rel 4.5 > 1); (x=b,y=a) picks a2.
+	if !reflect.DeepEqual(res.Items, ids("b2", "a2")) {
+		t.Errorf("Items = %v, want [b2 a2]", res.Items)
+	}
+	if res.Fairness != 1 {
+		t.Errorf("fairness = %v, want 1", res.Fairness)
+	}
+	if err := res.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedySkipsItemsAlreadyChosen(t *testing.T) {
+	// Both members' lists contain the same single hot item; the second
+	// pick must move on to the next-best rather than stall.
+	lists := UserLists{
+		"a": {si("hot", 5), si("a2", 1)},
+		"b": {si("hot", 5), si("b2", 1)},
+	}
+	in := Input{
+		Group:    model.Group{"a", "b"},
+		Lists:    lists,
+		GroupRel: map[model.ItemID]float64{"hot": 5, "a2": 1, "b2": 1},
+		Rel:      relFromLists(lists),
+	}
+	res, err := Greedy(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 3 {
+		t.Fatalf("Items = %v, want 3 distinct", res.Items)
+	}
+	seen := model.NewItemSet(res.Items...)
+	if len(seen) != 3 || !seen.Has("hot") {
+		t.Errorf("Items = %v", res.Items)
+	}
+}
+
+func TestGreedyTerminatesWhenExhausted(t *testing.T) {
+	lists := UserLists{
+		"a": {si("x", 5)},
+		"b": {si("y", 5)},
+	}
+	in := Input{
+		Group:    model.Group{"a", "b"},
+		Lists:    lists,
+		GroupRel: map[model.ItemID]float64{"x": 1, "y": 1},
+		Rel:      relFromLists(lists),
+	}
+	res, err := Greedy(in, 10) // z far larger than available items
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 2 {
+		t.Errorf("Items = %v, want the 2 available", res.Items)
+	}
+	if res.Fairness != 1 {
+		t.Errorf("fairness = %v, want 1", res.Fairness)
+	}
+}
+
+func TestGreedySingletonGroup(t *testing.T) {
+	lists := UserLists{"solo": {si("x", 5), si("y", 4), si("w", 3)}}
+	in := Input{
+		Group:    model.Group{"solo"},
+		Lists:    lists,
+		GroupRel: map[model.ItemID]float64{"x": 5, "y": 4, "w": 3},
+	}
+	res, err := Greedy(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Items, ids("x", "y")) {
+		t.Errorf("Items = %v, want [x y]", res.Items)
+	}
+	if res.Fairness != 1 {
+		t.Errorf("singleton fairness = %v, want 1", res.Fairness)
+	}
+}
+
+func TestGreedyUndefinedRelevanceRanksLast(t *testing.T) {
+	lists := UserLists{
+		"a": {si("a1", 5)},
+		"b": {si("known", 1), si("mystery", 5)},
+	}
+	rel := func(u model.UserID, i model.ItemID) (float64, bool) {
+		if u == "a" && i == "known" {
+			return 0.5, true
+		}
+		return 0, false // a has no estimate for mystery
+	}
+	in := Input{
+		Group:    model.Group{"a", "b"},
+		Lists:    lists,
+		GroupRel: map[model.ItemID]float64{"a1": 1, "known": 1, "mystery": 1},
+		Rel:      rel,
+	}
+	res, err := Greedy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items[0] != "known" {
+		t.Errorf("first pick = %v, want known (defined relevance beats undefined)", res.Items)
+	}
+}
+
+func TestGreedyNilRelDeterministic(t *testing.T) {
+	lists := UserLists{
+		"a": {si("z", 5), si("m", 4)},
+		"b": {si("q", 5), si("b", 4)},
+	}
+	in := Input{
+		Group:    model.Group{"a", "b"},
+		Lists:    lists,
+		GroupRel: map[model.ItemID]float64{},
+	}
+	r1, err := Greedy(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Greedy(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Items, r2.Items) {
+		t.Errorf("nondeterministic: %v vs %v", r1.Items, r2.Items)
+	}
+	// with all relevances undefined, ties break on ascending item ID
+	if r1.Items[0] != "b" { // from A_b: min(q, b) = b
+		t.Errorf("first pick = %v, want b (ID tie-break)", r1.Items)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	in := Input{Group: model.Group{"a"}, Lists: UserLists{}, GroupRel: map[model.ItemID]float64{}}
+	if _, err := Greedy(Input{}, 3); !errors.Is(err, ErrEmptyGroup) {
+		t.Errorf("empty group: %v", err)
+	}
+	if _, err := Greedy(in, 0); !errors.Is(err, ErrBadZ) {
+		t.Errorf("z=0: %v", err)
+	}
+}
+
+// TestBruteForceTradesRelevanceForFairness pins the core trade-off on
+// a worked example: the pair {x,w} has the highest raw relevance but
+// covers only member a; {x,y} sacrifices relevance for fairness 1 and
+// wins on value (5.1 > 4.95).
+func TestBruteForceTradesRelevanceForFairness(t *testing.T) {
+	in := Input{
+		Group: model.Group{"a", "b"},
+		Lists: UserLists{
+			"a": {si("x", 5)},
+			"b": {si("y", 5)},
+		},
+		GroupRel: map[model.ItemID]float64{"x": 5, "w": 4.9, "y": 0.1},
+	}
+	res, err := BruteForce(in, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := model.NewItemSet(res.Items...)
+	if !got.Has("x") || !got.Has("y") {
+		t.Errorf("Items = %v, want {x,y}", res.Items)
+	}
+	if res.Fairness != 1 || math.Abs(res.Value-5.1) > 1e-12 {
+		t.Errorf("fairness=%v value=%v, want 1, 5.1", res.Fairness, res.Value)
+	}
+	if res.Combinations != 3 { // C(3,2)
+		t.Errorf("combinations = %d, want 3", res.Combinations)
+	}
+	if err := res.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteForceCombinationCount(t *testing.T) {
+	groupRel := make(map[model.ItemID]float64)
+	for k := 0; k < 10; k++ {
+		groupRel[model.ItemID(fmt.Sprintf("d%d", k))] = float64(k)
+	}
+	in := Input{
+		Group:    model.Group{"a"},
+		Lists:    UserLists{"a": {si("d9", 9)}},
+		GroupRel: groupRel,
+	}
+	res, err := BruteForce(in, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := CountCombinations(10, 4); res.Combinations != want {
+		t.Errorf("combinations = %d, want %d", res.Combinations, want)
+	}
+}
+
+func TestBruteForceZGeqM(t *testing.T) {
+	in := Input{
+		Group:    model.Group{"a"},
+		Lists:    UserLists{"a": {si("x", 1)}},
+		GroupRel: map[model.ItemID]float64{"x": 1, "y": 2},
+	}
+	res, err := BruteForce(in, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 2 || res.Combinations != 1 {
+		t.Errorf("res = %+v, want both items, 1 combination", res)
+	}
+}
+
+func TestBruteForceEmptyCandidates(t *testing.T) {
+	in := Input{Group: model.Group{"a"}, Lists: UserLists{}, GroupRel: map[model.ItemID]float64{}}
+	res, err := BruteForce(in, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 0 {
+		t.Errorf("Items = %v, want empty", res.Items)
+	}
+}
+
+func TestBruteForceCombinationLimit(t *testing.T) {
+	groupRel := make(map[model.ItemID]float64)
+	for k := 0; k < 30; k++ {
+		groupRel[model.ItemID(fmt.Sprintf("d%02d", k))] = float64(k)
+	}
+	in := Input{Group: model.Group{"a"}, Lists: UserLists{}, GroupRel: groupRel}
+	if _, err := BruteForce(in, 15, 1000); !errors.Is(err, ErrTooManyCombinations) {
+		t.Errorf("limit: %v", err)
+	}
+}
+
+func TestBruteForceDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randomInput(rng, 3, 12)
+	r1, err := BruteForce(in, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := BruteForce(in, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("nondeterministic brute force: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestCountCombinations(t *testing.T) {
+	cases := []struct {
+		m, z int
+		want int64
+	}{
+		{10, 4, 210},
+		{20, 8, 125970},
+		{30, 12, 86493225},
+		{30, 16, 145422675},
+		{5, 0, 1},
+		{5, 5, 1},
+		{4, 5, 0},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := CountCombinations(c.m, c.z); got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.m, c.z, got, c.want)
+		}
+	}
+	if got := CountCombinations(100, 50); got != -1 {
+		t.Errorf("C(100,50) = %d, want -1 (overflow)", got)
+	}
+}
+
+func TestTopCandidates(t *testing.T) {
+	groupRel := map[model.ItemID]float64{"a": 1, "b": 3, "c": 2, "d": 5}
+	top := TopCandidates(groupRel, 2)
+	if len(top) != 2 {
+		t.Fatalf("TopCandidates = %v", top)
+	}
+	if _, ok := top["d"]; !ok {
+		t.Error("missing best item d")
+	}
+	if _, ok := top["b"]; !ok {
+		t.Error("missing second item b")
+	}
+}
+
+func TestSortedItems(t *testing.T) {
+	got := SortedItems(map[model.ItemID]float64{"a": 1, "b": 3, "c": 3})
+	want := []model.ScoredItem{si("b", 3), si("c", 3), si("a", 1)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedItems = %v, want %v", got, want)
+	}
+}
+
+func TestListsFromRelevances(t *testing.T) {
+	per := map[model.UserID]map[model.ItemID]float64{
+		"a": {"x": 3, "y": 5, "w": 1},
+	}
+	lists := ListsFromRelevances(per, 2)
+	if !reflect.DeepEqual(lists["a"], []model.ScoredItem{si("y", 5), si("x", 3)}) {
+		t.Errorf("lists = %v", lists)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// randomized / property tests
+
+// randomInput builds a consistent random problem: n members, a pool of
+// poolSize items, per-user relevance for a random subset, A_u = top-5,
+// GroupRel = mean of defined user scores.
+func randomInput(rng *rand.Rand, n, poolSize int) Input {
+	g := make(model.Group, n)
+	for k := range g {
+		g[k] = model.UserID(fmt.Sprintf("u%d", k))
+	}
+	perUser := make(map[model.UserID]map[model.ItemID]float64, n)
+	for _, u := range g {
+		scores := make(map[model.ItemID]float64)
+		for i := 0; i < poolSize; i++ {
+			if rng.Float64() < 0.7 {
+				scores[model.ItemID(fmt.Sprintf("d%02d", i))] = 1 + 4*rng.Float64()
+			}
+		}
+		perUser[u] = scores
+	}
+	lists := ListsFromRelevances(perUser, 5)
+	groupRel := make(map[model.ItemID]float64)
+	for i := 0; i < poolSize; i++ {
+		item := model.ItemID(fmt.Sprintf("d%02d", i))
+		var sum float64
+		var cnt int
+		for _, u := range g {
+			if s, ok := perUser[u][item]; ok {
+				sum += s
+				cnt++
+			}
+		}
+		if cnt == len(g) { // candidates need all members defined (Def. 2 domain)
+			groupRel[item] = sum / float64(cnt)
+		}
+	}
+	return Input{
+		Group:    g,
+		Lists:    lists,
+		GroupRel: groupRel,
+		Rel: func(u model.UserID, i model.ItemID) (float64, bool) {
+			s, ok := perUser[u][i]
+			return s, ok
+		},
+	}
+}
+
+// TestProposition1 verifies the paper's Proposition 1: when z ≥ |G|
+// and every member has a non-empty list, Algorithm 1 achieves
+// fairness 1.
+func TestProposition1(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		in := randomInput(rng, n, 15+rng.Intn(20))
+		nonEmpty := true
+		for _, u := range in.Group {
+			if len(in.Lists[u]) == 0 {
+				nonEmpty = false
+			}
+		}
+		if !nonEmpty {
+			continue
+		}
+		z := n + rng.Intn(5)
+		res, err := Greedy(in, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fairness != 1 {
+			t.Errorf("seed %d: Proposition 1 violated: n=%d z=%d fairness=%v items=%v",
+				seed, n, z, res.Fairness, res.Items)
+		}
+		if err := res.Verify(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestBruteForceDominatesGreedy: the exhaustive optimum can never be
+// beaten by the heuristic on the same candidate pool.
+func TestBruteForceDominatesGreedy(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		in := randomInput(rng, n, 10+rng.Intn(4))
+		// keep greedy comparable: it only picks from lists, whose items
+		// may be missing from GroupRel (contributing 0) — that's fine,
+		// the brute force simply has a richer pool.
+		z := 1 + rng.Intn(4)
+		if CountCombinations(len(in.GroupRel), z) > 50_000 {
+			continue
+		}
+		bf, err := BruteForce(in, z, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := Greedy(in, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr.Value > bf.Value+1e-9 {
+			t.Errorf("seed %d: greedy value %v beats brute force %v (z=%d)", seed, gr.Value, bf.Value, z)
+		}
+		if err := bf.Verify(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestBruteForceMatchesNaiveReference cross-checks the bitmask
+// evaluation against a direct Evaluate() of every subset on tiny
+// instances.
+func TestBruteForceMatchesNaiveReference(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInput(rng, 2+rng.Intn(2), 7)
+		z := 1 + rng.Intn(3)
+		if len(in.GroupRel) < z {
+			continue
+		}
+		bf, err := BruteForce(in, z, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// naive: enumerate with Evaluate
+		cands := SortedItems(in.GroupRel)
+		bestVal := math.Inf(-1)
+		var rec func(start int, chosen []model.ItemID)
+		rec = func(start int, chosen []model.ItemID) {
+			if len(chosen) == z {
+				if v := Evaluate(in, chosen).Value; v > bestVal {
+					bestVal = v
+				}
+				return
+			}
+			for c := start; c < len(cands); c++ {
+				rec(c+1, append(chosen, cands[c].Item))
+			}
+		}
+		rec(0, nil)
+		if math.Abs(bf.Value-bestVal) > 1e-9 {
+			t.Errorf("seed %d: brute force value %v != naive %v", seed, bf.Value, bestVal)
+		}
+	}
+}
+
+// TestGreedyInvariants: results always verify, never exceed z items,
+// and never contain duplicates.
+func TestGreedyInvariants(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInput(rng, 1+rng.Intn(6), 5+rng.Intn(30))
+		z := 1 + rng.Intn(12)
+		res, err := Greedy(in, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Items) > z {
+			t.Errorf("seed %d: %d items exceed z=%d", seed, len(res.Items), z)
+		}
+		if err := res.Verify(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package dataset generates the synthetic health/nutrition workload
+// the evaluation runs on. The paper's own data (patient ratings of
+// expert-curated documents inside the iManageCancer platform, and the
+// nutrition dataset of its preliminary evaluation) is not public, so
+// this generator produces the closest reproducible equivalent: a
+// population of patients with coded health problems drawn from the
+// mini-SNOMED hierarchy, a corpus of health documents with
+// topic-specific vocabulary, and a rating matrix with a latent-cluster
+// preference structure so collaborative filtering has recoverable
+// signal (see DESIGN.md §2).
+//
+// Everything is deterministic per seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ontology"
+	"fairhealth/internal/phr"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/snomed"
+)
+
+// Topic identifies a document topic; every cluster has a preference
+// per topic.
+type Topic int
+
+// Document is one recommendable item with its rendered text (title +
+// body terms), used by examples that index the corpus.
+type Document struct {
+	ID    model.ItemID
+	Topic Topic
+	Title string
+	Body  string
+}
+
+// Config parameterizes generation. Zero values get sensible defaults.
+type Config struct {
+	// Seed drives all randomness; equal seeds → identical datasets.
+	Seed int64
+	// Users is the number of patients (default 100).
+	Users int
+	// Items is the number of documents (default 200).
+	Items int
+	// RatingsPerUser is the expected ratings each user contributes
+	// (default 20, capped at Items).
+	RatingsPerUser int
+	// Clusters is the number of latent preference clusters
+	// (default 4, capped at the number of topics).
+	Clusters int
+	// Noise is the standard deviation of rating noise in stars
+	// (default 0.6).
+	Noise float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Users <= 0 {
+		c.Users = 100
+	}
+	if c.Items <= 0 {
+		c.Items = 200
+	}
+	if c.RatingsPerUser <= 0 {
+		c.RatingsPerUser = 20
+	}
+	if c.RatingsPerUser > c.Items {
+		c.RatingsPerUser = c.Items
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = 4
+	}
+	if c.Clusters > len(topicVocab) {
+		c.Clusters = len(topicVocab)
+	}
+	if c.Noise <= 0 {
+		c.Noise = 0.6
+	}
+	return c
+}
+
+// Dataset is a fully generated world.
+type Dataset struct {
+	Config    Config
+	Ratings   *ratings.Store
+	Profiles  *phr.Store
+	Ontology  *ontology.Ontology
+	Documents []Document
+	// ClusterOf records each user's latent cluster — ground truth for
+	// cluster-signal tests and ablations.
+	ClusterOf map[model.UserID]int
+}
+
+// topicVocab maps each topic to its document vocabulary. The first
+// word of each slice doubles as the topic label.
+var topicVocab = [][]string{
+	{"nutrition", "diet", "fiber", "protein", "vitamin", "mineral", "meal", "calorie", "vegetable", "wholegrain", "hydration", "supplement"},
+	{"oncology", "chemotherapy", "radiotherapy", "tumor", "biopsy", "remission", "metastasis", "immunotherapy", "screening", "lymphoma", "oncologist", "staging"},
+	{"cardiology", "heart", "blood", "pressure", "cholesterol", "artery", "cardiac", "stroke", "circulation", "pulse", "hypertension", "statin"},
+	{"mental", "anxiety", "depression", "sleep", "stress", "therapy", "mindfulness", "counseling", "mood", "insomnia", "wellbeing", "relaxation"},
+	{"fitness", "exercise", "walking", "strength", "stretching", "rehabilitation", "mobility", "endurance", "physiotherapy", "posture", "training", "balance"},
+	{"digestive", "stomach", "gut", "gluten", "lactose", "bowel", "reflux", "probiotic", "digestion", "celiac", "intestine", "enzyme"},
+}
+
+// problemPools maps each topic to ontology concepts typical for
+// patients in clusters attached to that topic.
+var problemPools = [][]ontology.ConceptID{
+	{snomed.Malnutrition, snomed.IronDeficiency, snomed.VitaminDDeficiency, snomed.Obesity, "7140041", "7140020"},
+	{snomed.BreastCancer, snomed.LungCancer, snomed.ColonCancer, snomed.Leukemia, "7170020", "7170010"},
+	{snomed.Hypertension, snomed.HeartFailure, "7130031", "7130041", "7130032", "7130060"},
+	{snomed.Anxiety, snomed.Depression, "7180011", "7180002", "7180001", "7180003"},
+	{snomed.AcuteBronchitis, snomed.Asthma, "7160011", "7120003", "7160030", "7110040"},
+	{snomed.CeliacDisease, snomed.LactoseIntolerance, snomed.Gastritis, snomed.IBS, "7150020", "7150040"},
+}
+
+// medicationPools supplies realistic medication strings per topic.
+var medicationPools = [][]string{
+	{"Ferrous sulfate 325 MG Oral Tablet", "Cholecalciferol 1000 UNT Capsule", "Multivitamin Oral Tablet"},
+	{"Tamoxifen 20 MG Oral Tablet", "Ondansetron 8 MG Oral Tablet", "Filgrastim 300 MCG Injection"},
+	{"Ramipril 10 MG Oral Capsule", "Atorvastatin 40 MG Oral Tablet", "Metoprolol 50 MG Oral Tablet"},
+	{"Sertraline 50 MG Oral Tablet", "Melatonin 3 MG Oral Tablet", "Escitalopram 10 MG Oral Tablet"},
+	{"Ibuprofen 400 MG Oral Tablet", "Salbutamol 100 MCG Inhaler", "Paracetamol 500 MG Oral Tablet"},
+	{"Omeprazole 20 MG Oral Capsule", "Lactase 9000 UNT Oral Tablet", "Mesalamine 1200 MG Oral Tablet"},
+}
+
+// Generate builds a dataset from cfg.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ont := snomed.Load()
+
+	ds := &Dataset{
+		Config:    cfg,
+		Ratings:   ratings.New(),
+		Profiles:  phr.NewStore(ont),
+		Ontology:  ont,
+		ClusterOf: make(map[model.UserID]int, cfg.Users),
+	}
+
+	// ---- documents ---------------------------------------------------------
+	nTopics := len(topicVocab)
+	ds.Documents = make([]Document, cfg.Items)
+	for i := 0; i < cfg.Items; i++ {
+		topic := Topic(i % nTopics)
+		vocab := topicVocab[topic]
+		title := fmt.Sprintf("%s guide %d: %s and %s",
+			vocab[0], i, vocab[1+rng.Intn(len(vocab)-1)], vocab[1+rng.Intn(len(vocab)-1)])
+		var body string
+		for w := 0; w < 25; w++ {
+			body += vocab[rng.Intn(len(vocab))] + " "
+		}
+		ds.Documents[i] = Document{
+			ID:    model.ItemID(fmt.Sprintf("doc%04d", i)),
+			Topic: topic,
+			Title: title,
+			Body:  body,
+		}
+	}
+
+	// ---- latent cluster preferences -----------------------------------------
+	// Every cluster has a home topic it loves (≈4.6 stars), a disliked
+	// topic (≈1.4) and lukewarm feelings elsewhere.
+	prefs := make([][]float64, cfg.Clusters)
+	for c := range prefs {
+		prefs[c] = make([]float64, nTopics)
+		for t := range prefs[c] {
+			prefs[c][t] = 2 + rng.Float64() // 2.0–3.0 baseline
+		}
+		home := c % nTopics
+		prefs[c][home] = 4.6
+		prefs[c][(home+nTopics/2)%nTopics] = 1.4
+	}
+
+	// ---- patients ------------------------------------------------------------
+	genders := []phr.Gender{phr.GenderFemale, phr.GenderMale, phr.GenderOther}
+	for u := 0; u < cfg.Users; u++ {
+		id := model.UserID(fmt.Sprintf("patient%04d", u))
+		cluster := u % cfg.Clusters
+		ds.ClusterOf[id] = cluster
+		homeTopic := cluster % nTopics
+
+		pool := problemPools[homeTopic]
+		nProblems := 1 + rng.Intn(3)
+		problems := make([]ontology.ConceptID, 0, nProblems)
+		seen := map[ontology.ConceptID]bool{}
+		for len(problems) < nProblems {
+			p := pool[rng.Intn(len(pool))]
+			if !seen[p] {
+				seen[p] = true
+				problems = append(problems, p)
+			}
+		}
+		meds := medicationPools[homeTopic]
+		profile := &phr.Profile{
+			ID:          id,
+			Age:         18 + rng.Intn(70),
+			Gender:      genders[rng.Intn(len(genders))],
+			Problems:    problems,
+			Medications: []string{meds[rng.Intn(len(meds))]},
+		}
+		if err := ds.Profiles.Put(profile); err != nil {
+			return nil, fmt.Errorf("dataset: profile %s: %w", id, err)
+		}
+
+		// ---- ratings -----------------------------------------------------
+		perm := rng.Perm(cfg.Items)
+		for _, docIdx := range perm[:cfg.RatingsPerUser] {
+			doc := ds.Documents[docIdx]
+			mean := prefs[cluster][doc.Topic]
+			val := mean + rng.NormFloat64()*cfg.Noise
+			r := model.Rating(clamp(val, float64(model.MinRating), float64(model.MaxRating)))
+			if err := ds.Ratings.Add(id, doc.ID, r); err != nil {
+				return nil, fmt.Errorf("dataset: rating %s/%s: %w", id, doc.ID, err)
+			}
+		}
+	}
+	return ds, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SampleGroup returns n patients from the same latent cluster — the
+// typical caregiver scenario (e.g. an oncology ward). Deterministic
+// per seed.
+func (ds *Dataset) SampleGroup(seed int64, n, cluster int) model.Group {
+	rng := rand.New(rand.NewSource(seed))
+	var pool []model.UserID
+	for _, u := range ds.Profiles.IDs() {
+		if ds.ClusterOf[u] == cluster {
+			pool = append(pool, u)
+		}
+	}
+	if n > len(pool) {
+		n = len(pool)
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	g := append(model.Group(nil), pool[:n]...)
+	return g
+}
+
+// MixedGroup returns n patients spread round-robin over clusters — the
+// adversarial fairness scenario where members disagree. Deterministic
+// per seed.
+func (ds *Dataset) MixedGroup(seed int64, n int) model.Group {
+	rng := rand.New(rand.NewSource(seed))
+	byCluster := make(map[int][]model.UserID)
+	for _, u := range ds.Profiles.IDs() {
+		c := ds.ClusterOf[u]
+		byCluster[c] = append(byCluster[c], u)
+	}
+	for c := range byCluster {
+		rng.Shuffle(len(byCluster[c]), func(i, j int) {
+			byCluster[c][i], byCluster[c][j] = byCluster[c][j], byCluster[c][i]
+		})
+	}
+	g := make(model.Group, 0, n)
+	for k := 0; len(g) < n; k++ {
+		c := k % ds.Config.Clusters
+		pool := byCluster[c]
+		if len(pool) == 0 {
+			continue
+		}
+		g = append(g, pool[0])
+		byCluster[c] = pool[1:]
+		empty := true
+		for _, p := range byCluster {
+			if len(p) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			break
+		}
+	}
+	return g
+}
+
+// TopicLabel returns the human label of a topic.
+func TopicLabel(t Topic) string {
+	if int(t) < 0 || int(t) >= len(topicVocab) {
+		return "unknown"
+	}
+	return topicVocab[t][0]
+}
+
+// NumTopics returns the number of document topics.
+func NumTopics() int { return len(topicVocab) }

@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"testing"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/simfn"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	ds, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Profiles.Len() != 100 {
+		t.Errorf("users = %d, want 100", ds.Profiles.Len())
+	}
+	if len(ds.Documents) != 200 {
+		t.Errorf("documents = %d, want 200", len(ds.Documents))
+	}
+	if ds.Ratings.Len() != 100*20 {
+		t.Errorf("ratings = %d, want 2000", ds.Ratings.Len())
+	}
+	if ds.Ratings.NumUsers() != 100 {
+		t.Errorf("rating users = %d, want 100", ds.Ratings.NumUsers())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 7, Users: 30, Items: 50, RatingsPerUser: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 7, Users: 30, Items: 50, RatingsPerUser: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := a.Ratings.Triples(), b.Ratings.Triples()
+	if len(ta) != len(tb) {
+		t.Fatalf("triple counts differ: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("triple %d differs: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+	// different seeds → different data
+	c, err := Generate(Config{Seed: 8, Users: 30, Items: 50, RatingsPerUser: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	tc := c.Ratings.Triples()
+	for i := range ta {
+		if ta[i] != tc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestRatingsWithinBounds(t *testing.T) {
+	ds, err := Generate(Config{Seed: 3, Users: 40, Items: 60, RatingsPerUser: 15, Noise: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ds.Ratings.Triples() {
+		if !tr.Value.Valid() {
+			t.Fatalf("rating out of range: %+v", tr)
+		}
+	}
+}
+
+func TestProfilesValidAgainstOntology(t *testing.T) {
+	ds, err := Generate(Config{Seed: 5, Users: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ds.Profiles.IDs() {
+		p, err := ds.Profiles.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(ds.Ontology); err != nil {
+			t.Errorf("profile %s: %v", id, err)
+		}
+		if len(p.Problems) == 0 {
+			t.Errorf("profile %s has no problems", id)
+		}
+		if len(p.Medications) == 0 {
+			t.Errorf("profile %s has no medications", id)
+		}
+	}
+}
+
+func TestDocumentsHaveTopicVocabulary(t *testing.T) {
+	ds, err := Generate(Config{Seed: 2, Items: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds.Documents {
+		if d.Title == "" || d.Body == "" {
+			t.Errorf("document %s empty text", d.ID)
+		}
+		if TopicLabel(d.Topic) == "unknown" {
+			t.Errorf("document %s bad topic %d", d.ID, d.Topic)
+		}
+	}
+	if TopicLabel(Topic(-1)) != "unknown" || TopicLabel(Topic(999)) != "unknown" {
+		t.Error("TopicLabel out-of-range handling")
+	}
+	if NumTopics() < 4 {
+		t.Errorf("NumTopics = %d, want ≥ 4", NumTopics())
+	}
+}
+
+// TestClusterSignalRecoverable is the point of the latent-cluster
+// model: same-cluster users must look more similar to Pearson than
+// cross-cluster users on average, otherwise CF has nothing to find.
+func TestClusterSignalRecoverable(t *testing.T) {
+	ds, err := Generate(Config{Seed: 11, Users: 60, Items: 80, RatingsPerUser: 40, Clusters: 3, Noise: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pearson := simfn.Pearson{Store: ds.Ratings, MinOverlap: 5}
+	users := ds.Profiles.IDs()
+	var sameSum, crossSum float64
+	var sameN, crossN int
+	for i := 0; i < len(users); i++ {
+		for j := i + 1; j < len(users); j++ {
+			s, ok := pearson.Similarity(users[i], users[j])
+			if !ok {
+				continue
+			}
+			if ds.ClusterOf[users[i]] == ds.ClusterOf[users[j]] {
+				sameSum += s
+				sameN++
+			} else {
+				crossSum += s
+				crossN++
+			}
+		}
+	}
+	if sameN == 0 || crossN == 0 {
+		t.Fatalf("not enough defined pairs: same=%d cross=%d", sameN, crossN)
+	}
+	sameAvg, crossAvg := sameSum/float64(sameN), crossSum/float64(crossN)
+	if sameAvg <= crossAvg+0.2 {
+		t.Errorf("cluster signal too weak: same-cluster avg %v vs cross %v", sameAvg, crossAvg)
+	}
+}
+
+func TestSampleGroup(t *testing.T) {
+	ds, err := Generate(Config{Seed: 4, Users: 40, Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.SampleGroup(1, 5, 2)
+	if len(g) != 5 {
+		t.Fatalf("group size = %d, want 5", len(g))
+	}
+	for _, u := range g {
+		if ds.ClusterOf[u] != 2 {
+			t.Errorf("member %s from cluster %d, want 2", u, ds.ClusterOf[u])
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("group invalid: %v", err)
+	}
+	// deterministic
+	g2 := ds.SampleGroup(1, 5, 2)
+	for i := range g {
+		if g[i] != g2[i] {
+			t.Error("SampleGroup not deterministic")
+		}
+	}
+	// oversized request clamps
+	if g3 := ds.SampleGroup(1, 1000, 2); len(g3) != 10 {
+		t.Errorf("clamped group = %d members, want 10 (40 users / 4 clusters)", len(g3))
+	}
+}
+
+func TestMixedGroupSpansClusters(t *testing.T) {
+	ds, err := Generate(Config{Seed: 6, Users: 40, Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.MixedGroup(2, 4)
+	if len(g) != 4 {
+		t.Fatalf("group = %v, want 4 members", g)
+	}
+	seen := map[int]bool{}
+	for _, u := range g {
+		seen[ds.ClusterOf[u]] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("mixed group covers %d clusters, want 4: %v", len(seen), g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("group invalid: %v", err)
+	}
+}
+
+func TestConfigClamping(t *testing.T) {
+	ds, err := Generate(Config{Seed: 1, Users: 5, Items: 3, RatingsPerUser: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RatingsPerUser capped at Items
+	if got := ds.Ratings.NumRatedBy(model.UserID("patient0000")); got != 3 {
+		t.Errorf("ratings per user = %d, want 3 (capped)", got)
+	}
+	// Clusters capped at topics
+	ds2, err := Generate(Config{Seed: 1, Users: 5, Clusters: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Config.Clusters > NumTopics() {
+		t.Errorf("clusters = %d, want ≤ %d", ds2.Config.Clusters, NumTopics())
+	}
+}

@@ -1,0 +1,138 @@
+// Package diversity implements maximal-marginal-relevance (MMR)
+// selection for peers and recommendation lists. The paper's related
+// work (§VII) cites Ntoutsi et al., "Strength lies in differences:
+// Diversifying friends for recommendations" [18]: redundant peers add
+// correlated evidence to Eq. 1, so selecting peers that are similar to
+// the query user but DISSIMILAR to each other improves recommendation
+// variety at equal peer budget. The same greedy MMR applies to item
+// lists (avoid recommending five near-identical documents).
+//
+// Greedy MMR: repeatedly add the candidate maximizing
+//
+//	λ·relevance(c) − (1−λ)·max_{s∈Selected} redundancy(c, s)
+//
+// λ = 1 degrades to plain top-k; λ = 0 ignores relevance entirely.
+// Ties break on ascending ID, so selection is deterministic.
+package diversity
+
+import (
+	"fairhealth/internal/cf"
+	"fairhealth/internal/model"
+	"fairhealth/internal/simfn"
+)
+
+// PairFn reports the redundancy between two items in [0,1]; ok=false
+// is treated as redundancy 0 (no known overlap).
+type PairFn func(a, b model.ItemID) (float64, bool)
+
+// Peers selects k peers from candidates by MMR: relevance is the
+// peer's similarity to the query user, redundancy the pairwise
+// peer-peer similarity under pairSim. candidates should arrive
+// best-first (cf.Recommender.Peers order); the result preserves
+// selection order.
+func Peers(candidates []cf.Peer, pairSim simfn.UserSimilarity, k int, lambda float64) []cf.Peer {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	if lambda < 0 {
+		lambda = 0
+	} else if lambda > 1 {
+		lambda = 1
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	selected := make([]cf.Peer, 0, k)
+	remaining := append([]cf.Peer(nil), candidates...)
+	for len(selected) < k && len(remaining) > 0 {
+		bestIdx := -1
+		bestScore := 0.0
+		for idx, cand := range remaining {
+			redundancy := 0.0
+			for _, s := range selected {
+				if r, ok := pairSim.Similarity(cand.User, s.User); ok && r > redundancy {
+					redundancy = r
+				}
+			}
+			score := lambda*cand.Sim - (1-lambda)*redundancy
+			if bestIdx < 0 || score > bestScore ||
+				(score == bestScore && cand.User < remaining[bestIdx].User) {
+				bestIdx, bestScore = idx, score
+			}
+		}
+		selected = append(selected, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return selected
+}
+
+// Items selects k items from a scored candidate list by MMR:
+// relevance is the item's score (normalized by the list maximum so λ
+// weighs comparable magnitudes), redundancy the pairwise item
+// similarity under pair. candidates should arrive best-first.
+func Items(candidates []model.ScoredItem, pair PairFn, k int, lambda float64) []model.ScoredItem {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	if lambda < 0 {
+		lambda = 0
+	} else if lambda > 1 {
+		lambda = 1
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	maxScore := candidates[0].Score
+	for _, c := range candidates[1:] {
+		if c.Score > maxScore {
+			maxScore = c.Score
+		}
+	}
+	norm := func(s float64) float64 {
+		if maxScore == 0 {
+			return 0
+		}
+		return s / maxScore
+	}
+	selected := make([]model.ScoredItem, 0, k)
+	remaining := append([]model.ScoredItem(nil), candidates...)
+	for len(selected) < k && len(remaining) > 0 {
+		bestIdx := -1
+		bestScore := 0.0
+		for idx, cand := range remaining {
+			redundancy := 0.0
+			for _, s := range selected {
+				if r, ok := pair(cand.Item, s.Item); ok && r > redundancy {
+					redundancy = r
+				}
+			}
+			score := lambda*norm(cand.Score) - (1-lambda)*redundancy
+			if bestIdx < 0 || score > bestScore ||
+				(score == bestScore && cand.Item < remaining[bestIdx].Item) {
+				bestIdx, bestScore = idx, score
+			}
+		}
+		selected = append(selected, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return selected
+}
+
+// IntraListRedundancy is the diagnostic the ablation reports: the mean
+// pairwise redundancy of a selection (0 when fewer than 2 members).
+func IntraListRedundancy(items []model.ScoredItem, pair PairFn) float64 {
+	if len(items) < 2 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			if r, ok := pair(items[i].Item, items[j].Item); ok {
+				sum += r
+			}
+			n++
+		}
+	}
+	return sum / float64(n)
+}

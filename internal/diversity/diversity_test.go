@@ -1,0 +1,131 @@
+package diversity
+
+import (
+	"testing"
+
+	"fairhealth/internal/cf"
+	"fairhealth/internal/model"
+	"fairhealth/internal/simfn"
+)
+
+// pairTable builds a symmetric PairFn from "a|b" keys with a<b.
+func pairTable(table map[string]float64) PairFn {
+	return func(a, b model.ItemID) (float64, bool) {
+		if b < a {
+			a, b = b, a
+		}
+		v, ok := table[string(a)+"|"+string(b)]
+		return v, ok
+	}
+}
+
+func userPairTable(table map[string]float64) simfn.UserSimilarity {
+	return simfn.Func(func(a, b model.UserID) (float64, bool) {
+		if b < a {
+			a, b = b, a
+		}
+		v, ok := table[string(a)+"|"+string(b)]
+		return v, ok
+	})
+}
+
+func TestPeersLambdaOneIsTopK(t *testing.T) {
+	peers := []cf.Peer{{User: "a", Sim: 0.9}, {User: "b", Sim: 0.8}, {User: "c", Sim: 0.7}}
+	got := Peers(peers, userPairTable(nil), 2, 1)
+	if len(got) != 2 || got[0].User != "a" || got[1].User != "b" {
+		t.Errorf("λ=1 = %+v, want plain top-2", got)
+	}
+}
+
+func TestPeersPrunesRedundantPeer(t *testing.T) {
+	// a and b are near-clones; c is independent but slightly less
+	// similar to the query user. MMR with λ=0.5 must pick {a, c}.
+	peers := []cf.Peer{{User: "a", Sim: 0.9}, {User: "b", Sim: 0.85}, {User: "c", Sim: 0.7}}
+	pair := userPairTable(map[string]float64{"a|b": 0.95, "a|c": 0.1, "b|c": 0.1})
+	got := Peers(peers, pair, 2, 0.5)
+	if len(got) != 2 || got[0].User != "a" || got[1].User != "c" {
+		t.Errorf("MMR = %+v, want [a c] (b is redundant with a)", got)
+	}
+}
+
+func TestPeersDeterministicTies(t *testing.T) {
+	peers := []cf.Peer{{User: "z", Sim: 0.5}, {User: "a", Sim: 0.5}}
+	got := Peers(peers, userPairTable(nil), 1, 1)
+	if got[0].User != "a" {
+		t.Errorf("tie pick = %s, want a", got[0].User)
+	}
+}
+
+func TestPeersEdgeCases(t *testing.T) {
+	if got := Peers(nil, userPairTable(nil), 3, 0.5); got != nil {
+		t.Errorf("empty candidates = %v", got)
+	}
+	peers := []cf.Peer{{User: "a", Sim: 0.9}}
+	if got := Peers(peers, userPairTable(nil), 0, 0.5); got != nil {
+		t.Errorf("k=0 = %v", got)
+	}
+	// k beyond candidates clamps; out-of-range λ clamps
+	if got := Peers(peers, userPairTable(nil), 10, 7); len(got) != 1 {
+		t.Errorf("clamped = %v", got)
+	}
+}
+
+func TestItemsDiversification(t *testing.T) {
+	items := []model.ScoredItem{
+		{Item: "d1", Score: 5}, {Item: "d2", Score: 4.9}, {Item: "d3", Score: 4},
+	}
+	// d1 and d2 near-duplicates
+	pair := pairTable(map[string]float64{"d1|d2": 0.98, "d1|d3": 0.05, "d2|d3": 0.05})
+	got := Items(items, pair, 2, 0.5)
+	if len(got) != 2 || got[0].Item != "d1" || got[1].Item != "d3" {
+		t.Errorf("Items MMR = %v, want [d1 d3]", got)
+	}
+	// λ=1 keeps the duplicates
+	plain := Items(items, pair, 2, 1)
+	if plain[1].Item != "d2" {
+		t.Errorf("λ=1 = %v, want [d1 d2]", plain)
+	}
+}
+
+func TestItemsZeroScores(t *testing.T) {
+	items := []model.ScoredItem{{Item: "a", Score: 0}, {Item: "b", Score: 0}}
+	got := Items(items, pairTable(nil), 2, 0.7)
+	if len(got) != 2 {
+		t.Errorf("zero-score items = %v", got)
+	}
+}
+
+func TestIntraListRedundancy(t *testing.T) {
+	pair := pairTable(map[string]float64{"a|b": 0.8, "a|c": 0.2, "b|c": 0.2})
+	items := []model.ScoredItem{{Item: "a"}, {Item: "b"}, {Item: "c"}}
+	got := IntraListRedundancy(items, pair)
+	want := (0.8 + 0.2 + 0.2) / 3
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("redundancy = %v, want %v", got, want)
+	}
+	if IntraListRedundancy(items[:1], pair) != 0 {
+		t.Error("singleton redundancy should be 0")
+	}
+}
+
+// TestDiversifiedListLessRedundant is the [18] claim in miniature:
+// MMR selection yields lower intra-list redundancy than plain top-k at
+// equal list length.
+func TestDiversifiedListLessRedundant(t *testing.T) {
+	items := []model.ScoredItem{
+		{Item: "d1", Score: 5}, {Item: "d2", Score: 4.9}, {Item: "d3", Score: 4.8},
+		{Item: "d4", Score: 4}, {Item: "d5", Score: 3.9},
+	}
+	// d1..d3 form a redundant clique; d4, d5 are independent
+	pair := pairTable(map[string]float64{
+		"d1|d2": 0.9, "d1|d3": 0.9, "d2|d3": 0.9,
+		"d1|d4": 0.1, "d1|d5": 0.1, "d2|d4": 0.1, "d2|d5": 0.1,
+		"d3|d4": 0.1, "d3|d5": 0.1, "d4|d5": 0.1,
+	})
+	plain := Items(items, pair, 3, 1)
+	diverse := Items(items, pair, 3, 0.5)
+	if IntraListRedundancy(diverse, pair) >= IntraListRedundancy(plain, pair) {
+		t.Errorf("diverse list (%v) not less redundant than plain (%v)",
+			IntraListRedundancy(diverse, pair), IntraListRedundancy(plain, pair))
+	}
+}

@@ -1,0 +1,363 @@
+// Package eval is the experiment harness for the paper's preliminary
+// evaluation (§VI): it regenerates Table II — brute force vs the
+// fairness-aware heuristic (Algorithm 1) across candidate-pool sizes
+// m ∈ {10,20,30} and result sizes z ∈ {4,...,20} — and the ablation
+// sweeps DESIGN.md §5 calls out. Rows report wall time, achieved value
+// and fairness for both methods, and the harness asserts the paper's
+// Proposition 1 observation that both methods achieve identical
+// fairness.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"fairhealth/internal/core"
+	"fairhealth/internal/model"
+)
+
+// ErrInfeasible marks rows whose brute-force enumeration exceeds the
+// configured combination limit.
+var ErrInfeasible = errors.New("eval: brute force infeasible under combination limit")
+
+// Problem is one synthetic fairness-selection instance: a group, each
+// member's personal top-k list, per-member relevances and the group
+// relevance of every candidate — exactly the inputs of §III.D.
+type Problem struct {
+	Input core.Input
+	M     int // candidate pool size
+}
+
+// SyntheticProblem builds a reproducible instance with n group
+// members, m candidate items and per-member lists of size k. Item
+// scores follow the latent disagreement typical of mixed groups:
+// every member loves a private slice of the pool and is lukewarm
+// elsewhere, which makes fairness genuinely contested.
+func SyntheticProblem(seed int64, n, m, k int) Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := make(model.Group, n)
+	for i := range g {
+		g[i] = model.UserID(fmt.Sprintf("u%02d", i))
+	}
+	perUser := make(map[model.UserID]map[model.ItemID]float64, n)
+	for idx, u := range g {
+		scores := make(map[model.ItemID]float64, m)
+		for i := 0; i < m; i++ {
+			item := model.ItemID(fmt.Sprintf("d%03d", i))
+			base := 1.5 + rng.Float64() // lukewarm 1.5–2.5
+			if i%n == idx {             // member's private favourites
+				base = 4 + rng.Float64()
+			}
+			scores[item] = clamp(base, 1, 5)
+		}
+		perUser[u] = scores
+	}
+	groupRel := make(map[model.ItemID]float64, m)
+	for i := 0; i < m; i++ {
+		item := model.ItemID(fmt.Sprintf("d%03d", i))
+		var sum float64
+		for _, u := range g {
+			sum += perUser[u][item]
+		}
+		groupRel[item] = sum / float64(n)
+	}
+	return Problem{
+		M: m,
+		Input: core.Input{
+			Group:    g,
+			Lists:    core.ListsFromRelevances(perUser, k),
+			GroupRel: groupRel,
+			Rel: func(u model.UserID, i model.ItemID) (float64, bool) {
+				s, ok := perUser[u][i]
+				return s, ok
+			},
+		},
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Row is one (m, z) cell of Table II.
+type Row struct {
+	M, Z int
+	// BruteTime/HeurTime are the best-of-Repetitions wall times.
+	BruteTime, HeurTime time.Duration
+	// Combinations is C(m,z), the brute-force enumeration size.
+	Combinations int64
+	// Values and fairness achieved by each method.
+	BruteValue, HeurValue       float64
+	BruteFairness, HeurFairness float64
+	// Infeasible is set when the brute force was skipped because
+	// C(m,z) exceeded the limit; brute-force fields are then zero.
+	Infeasible bool
+}
+
+// Table2Config parameterizes the Table II sweep.
+type Table2Config struct {
+	// Ms and Zs are the parameter grids; defaults are the paper's
+	// m ∈ {10,20,30} and z ∈ {4,8,12,16,20}. The paper omits rows with
+	// z > m (e.g. m=10, z=12); so does the harness.
+	Ms, Zs []int
+	// GroupSize is |G| (default 4, the largest divisor of the paper's
+	// smallest z so Prop. 1 applies to every row).
+	GroupSize int
+	// ListK sizes each member's personal list A_u (default = z per
+	// row... no: fixed, default 10).
+	ListK int
+	// Seed drives the synthetic instance (default 1).
+	Seed int64
+	// Repetitions per cell; the minimum time is reported (default 3).
+	Repetitions int
+	// MaxCombinations guards the brute force (default
+	// core.DefaultMaxCombinations).
+	MaxCombinations int64
+}
+
+func (c Table2Config) withDefaults() Table2Config {
+	if len(c.Ms) == 0 {
+		c.Ms = []int{10, 20, 30}
+	}
+	if len(c.Zs) == 0 {
+		c.Zs = []int{4, 8, 12, 16, 20}
+	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = 4
+	}
+	if c.ListK <= 0 {
+		c.ListK = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	if c.MaxCombinations <= 0 {
+		c.MaxCombinations = core.DefaultMaxCombinations
+	}
+	return c
+}
+
+// RunTable2 executes the sweep and returns one row per feasible (m,z)
+// pair.
+func RunTable2(cfg Table2Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	for _, m := range cfg.Ms {
+		problem := SyntheticProblem(cfg.Seed, cfg.GroupSize, m, cfg.ListK)
+		for _, z := range cfg.Zs {
+			if z > m {
+				continue // as in the paper's table
+			}
+			row, err := runCell(problem, z, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("eval: m=%d z=%d: %w", m, z, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runCell(p Problem, z int, cfg Table2Config) (Row, error) {
+	row := Row{M: p.M, Z: z, Combinations: core.CountCombinations(p.M, z)}
+
+	// heuristic (Algorithm 1)
+	var heur core.Result
+	row.HeurTime = bestOf(cfg.Repetitions, func() error {
+		var err error
+		heur, err = core.Greedy(p.Input, z)
+		return err
+	})
+	if row.HeurTime < 0 {
+		return row, errors.New("greedy failed")
+	}
+	row.HeurValue, row.HeurFairness = heur.Value, heur.Fairness
+
+	// brute force
+	if row.Combinations < 0 || row.Combinations > cfg.MaxCombinations {
+		row.Infeasible = true
+		return row, nil
+	}
+	var brute core.Result
+	row.BruteTime = bestOf(cfg.Repetitions, func() error {
+		var err error
+		brute, err = core.BruteForce(p.Input, z, cfg.MaxCombinations)
+		return err
+	})
+	if row.BruteTime < 0 {
+		return row, errors.New("brute force failed")
+	}
+	row.BruteValue, row.BruteFairness = brute.Value, brute.Fairness
+	return row, nil
+}
+
+// bestOf runs fn reps times and returns the minimum duration, or a
+// negative duration if fn ever fails.
+func bestOf(reps int, fn func() error) time.Duration {
+	best := time.Duration(-1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return -1
+		}
+		if d := time.Since(start); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// WriteMarkdown renders rows in the layout of the paper's Table II
+// (plus the value/fairness columns our reproduction adds).
+func WriteMarkdown(w io.Writer, rows []Row) error {
+	if _, err := fmt.Fprintln(w, "| m | z | C(m,z) | Brute-force time | Heuristic time | BF value | Heur value | BF fairness | Heur fairness |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|--------|------------------|----------------|----------|------------|-------------|---------------|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		bfTime, bfVal, bfFair := "—", "—", "—"
+		if !r.Infeasible {
+			bfTime = r.BruteTime.String()
+			bfVal = fmt.Sprintf("%.3f", r.BruteValue)
+			bfFair = fmt.Sprintf("%.3f", r.BruteFairness)
+		}
+		if _, err := fmt.Fprintf(w, "| %d | %d | %d | %s | %s | %s | %.3f | %s | %.3f |\n",
+			r.M, r.Z, r.Combinations, bfTime, r.HeurTime, bfVal, r.HeurValue, bfFair, r.HeurFairness); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders rows as CSV with a header.
+func WriteCSV(w io.Writer, rows []Row) error {
+	if _, err := fmt.Fprintln(w, "m,z,combinations,brute_ns,heur_ns,brute_value,heur_value,brute_fairness,heur_fairness,infeasible"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%g,%g,%g,%g,%t\n",
+			r.M, r.Z, r.Combinations, r.BruteTime.Nanoseconds(), r.HeurTime.Nanoseconds(),
+			r.BruteValue, r.HeurValue, r.BruteFairness, r.HeurFairness, r.Infeasible); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckProposition1 asserts the §VI observation: "the fairness of the
+// produced results are identical in both cases verifying
+// Proposition 1" — for every feasible row with z ≥ group size, both
+// methods must reach fairness 1.
+func CheckProposition1(rows []Row, groupSize int) error {
+	var bad []string
+	for _, r := range rows {
+		if r.Z < groupSize {
+			continue
+		}
+		if r.HeurFairness != 1 {
+			bad = append(bad, fmt.Sprintf("m=%d z=%d heuristic fairness %v", r.M, r.Z, r.HeurFairness))
+		}
+		if !r.Infeasible && r.BruteFairness != 1 {
+			bad = append(bad, fmt.Sprintf("m=%d z=%d brute fairness %v", r.M, r.Z, r.BruteFairness))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("eval: Proposition 1 violated: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// AggregatorAblationRow is one row of the min-vs-avg ablation.
+type AggregatorAblationRow struct {
+	Aggregator string
+	Fairness   float64
+	Value      float64
+	SumRel     float64
+}
+
+// RunAggregatorAblation evaluates Algorithm 1 under different Def. 2
+// aggregation semantics on the same synthetic instance.
+func RunAggregatorAblation(seed int64, n, m, k, z int) ([]AggregatorAblationRow, error) {
+	p := SyntheticProblem(seed, n, m, k)
+	perItemScores := make(map[model.ItemID][]float64, m)
+	for item := range p.Input.GroupRel {
+		scores := make([]float64, 0, n)
+		for _, u := range p.Input.Group {
+			if s, ok := p.Input.Rel(u, item); ok {
+				scores = append(scores, s)
+			}
+		}
+		perItemScores[item] = scores
+	}
+	aggrs := []struct {
+		name string
+		fn   func([]float64) float64
+	}{
+		{"min", minOf},
+		{"avg", avgOf},
+		{"max", maxOf},
+	}
+	var rows []AggregatorAblationRow
+	for _, a := range aggrs {
+		groupRel := make(map[model.ItemID]float64, m)
+		for item, scores := range perItemScores {
+			groupRel[item] = a.fn(scores)
+		}
+		in := p.Input
+		in.GroupRel = groupRel
+		res, err := core.Greedy(in, z)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AggregatorAblationRow{
+			Aggregator: a.name,
+			Fairness:   res.Fairness,
+			Value:      res.Value,
+			SumRel:     res.SumRelevance,
+		})
+	}
+	return rows, nil
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func avgOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,219 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fairhealth/internal/core"
+)
+
+func TestSyntheticProblemShape(t *testing.T) {
+	p := SyntheticProblem(1, 4, 20, 5)
+	if p.M != 20 || len(p.Input.Group) != 4 {
+		t.Fatalf("problem shape: m=%d n=%d", p.M, len(p.Input.Group))
+	}
+	if len(p.Input.GroupRel) != 20 {
+		t.Errorf("groupRel size = %d, want 20", len(p.Input.GroupRel))
+	}
+	for _, u := range p.Input.Group {
+		if len(p.Input.Lists[u]) != 5 {
+			t.Errorf("list of %s has %d items, want 5", u, len(p.Input.Lists[u]))
+		}
+	}
+	// scores stay in rating range
+	for item, s := range p.Input.GroupRel {
+		if s < 1 || s > 5 {
+			t.Errorf("groupRel(%s) = %v outside [1,5]", item, s)
+		}
+	}
+	// relevance function defined on the pool
+	if _, ok := p.Input.Rel(p.Input.Group[0], "d000"); !ok {
+		t.Error("Rel undefined on pool item")
+	}
+}
+
+func TestSyntheticProblemDeterministic(t *testing.T) {
+	a := SyntheticProblem(9, 3, 15, 4)
+	b := SyntheticProblem(9, 3, 15, 4)
+	for item, s := range a.Input.GroupRel {
+		if b.Input.GroupRel[item] != s {
+			t.Fatalf("groupRel differs at %s", item)
+		}
+	}
+	for _, u := range a.Input.Group {
+		for k, it := range a.Input.Lists[u] {
+			if b.Input.Lists[u][k] != it {
+				t.Fatalf("lists differ for %s at %d", u, k)
+			}
+		}
+	}
+}
+
+func TestSyntheticProblemContested(t *testing.T) {
+	// each member's top item must differ — otherwise fairness is free
+	// and the instance is uninteresting
+	p := SyntheticProblem(3, 4, 20, 5)
+	tops := map[string]bool{}
+	for _, u := range p.Input.Group {
+		tops[string(p.Input.Lists[u][0].Item)] = true
+	}
+	if len(tops) < 3 {
+		t.Errorf("only %d distinct member favourites; instance not contested", len(tops))
+	}
+}
+
+func TestRunTable2SmallGrid(t *testing.T) {
+	rows, err := RunTable2(Table2Config{
+		Ms:          []int{10, 12},
+		Zs:          []int{4, 6, 14},
+		GroupSize:   3,
+		ListK:       5,
+		Seed:        2,
+		Repetitions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// z=14 > both ms → skipped; remaining 2×2 grid
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (%+v)", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r.Infeasible {
+			t.Errorf("m=%d z=%d unexpectedly infeasible", r.M, r.Z)
+			continue
+		}
+		if r.Combinations != core.CountCombinations(r.M, r.Z) {
+			t.Errorf("m=%d z=%d combos = %d", r.M, r.Z, r.Combinations)
+		}
+		if r.BruteValue+1e-9 < r.HeurValue {
+			t.Errorf("m=%d z=%d: heuristic value %v beats brute force %v", r.M, r.Z, r.HeurValue, r.BruteValue)
+		}
+		if r.BruteTime <= 0 || r.HeurTime <= 0 {
+			t.Errorf("m=%d z=%d: non-positive times %v %v", r.M, r.Z, r.BruteTime, r.HeurTime)
+		}
+	}
+	if err := CheckProposition1(rows, 3); err != nil {
+		t.Errorf("Proposition 1: %v", err)
+	}
+}
+
+func TestBruteForceSlowerOnLargeCells(t *testing.T) {
+	// the Table II shape: brute force cost explodes with m while the
+	// heuristic stays flat
+	rows, err := RunTable2(Table2Config{
+		Ms:          []int{18},
+		Zs:          []int{8},
+		GroupSize:   4,
+		Seed:        3,
+		Repetitions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.BruteTime < r.HeurTime {
+		t.Errorf("expected brute force (C(18,8)=%d subsets) to be slower: bf=%v heur=%v",
+			r.Combinations, r.BruteTime, r.HeurTime)
+	}
+}
+
+func TestInfeasibleRowsMarked(t *testing.T) {
+	rows, err := RunTable2(Table2Config{
+		Ms:              []int{24},
+		Zs:              []int{12},
+		GroupSize:       3,
+		Seed:            1,
+		Repetitions:     1,
+		MaxCombinations: 1000, // force infeasibility
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Infeasible {
+		t.Fatalf("rows = %+v, want single infeasible row", rows)
+	}
+	// heuristic must still run
+	if rows[0].HeurTime <= 0 || rows[0].HeurFairness != 1 {
+		t.Errorf("heuristic row incomplete: %+v", rows[0])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	rows := []Row{
+		{M: 10, Z: 4, Combinations: 210, BruteTime: 1000, HeurTime: 100, BruteValue: 9, HeurValue: 8.5, BruteFairness: 1, HeurFairness: 1},
+		{M: 30, Z: 20, Combinations: 30045015, Infeasible: true, HeurTime: 500, HeurValue: 7, HeurFairness: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| 10 | 4 | 210 |") {
+		t.Errorf("markdown missing row: %s", out)
+	}
+	if !strings.Contains(out, "—") {
+		t.Errorf("infeasible row not dashed: %s", out)
+	}
+	if strings.Count(out, "\n") != 4 { // header + separator + 2 rows
+		t.Errorf("line count = %d: %q", strings.Count(out, "\n"), out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Row{{M: 10, Z: 4, Combinations: 210, BruteTime: 1500, HeurTime: 120, BruteValue: 9.25, HeurValue: 8, BruteFairness: 1, HeurFairness: 1}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "m,z,combinations") {
+		t.Errorf("header = %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "10,4,210,1500,120,9.25,8,1,1,false") {
+		t.Errorf("row = %s", lines[1])
+	}
+}
+
+func TestCheckProposition1Violation(t *testing.T) {
+	rows := []Row{{M: 10, Z: 8, HeurFairness: 0.5}}
+	if err := CheckProposition1(rows, 4); err == nil {
+		t.Error("violation not detected")
+	}
+	// z below group size is exempt
+	rows2 := []Row{{M: 10, Z: 2, HeurFairness: 0.5}}
+	if err := CheckProposition1(rows2, 4); err != nil {
+		t.Errorf("exempt row flagged: %v", err)
+	}
+}
+
+func TestRunAggregatorAblation(t *testing.T) {
+	rows, err := RunAggregatorAblation(5, 4, 20, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	byName := map[string]AggregatorAblationRow{}
+	for _, r := range rows {
+		byName[r.Aggregator] = r
+		if r.Fairness < 0 || r.Fairness > 1 {
+			t.Errorf("%s fairness = %v", r.Aggregator, r.Fairness)
+		}
+	}
+	// with contested groups, min-aggregated sums cannot exceed max
+	if byName["min"].SumRel > byName["max"].SumRel+1e-9 {
+		t.Errorf("min sum %v exceeds max sum %v", byName["min"].SumRel, byName["max"].SumRel)
+	}
+	// z ≥ |G| → fairness 1 for all aggregators (Prop. 1)
+	for _, r := range rows {
+		if r.Fairness != 1 {
+			t.Errorf("%s fairness = %v, want 1", r.Aggregator, r.Fairness)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// experiments.go hosts the ablation studies DESIGN.md §5 calls out
+// beyond the paper's own Table II: the δ threshold sweep (peer-set
+// size vs prediction quality/coverage) and the clustering speed-up of
+// [17] (full-scan vs cluster-restricted peer discovery).
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fairhealth/internal/cf"
+	"fairhealth/internal/clustering"
+	"fairhealth/internal/metrics"
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/simfn"
+)
+
+// DeltaSweepRow reports one δ setting.
+type DeltaSweepRow struct {
+	Delta float64
+	// AvgPeers is the mean |P_u| over sampled users on the full store.
+	AvgPeers float64
+	// Holdout quality of the CF model at this δ.
+	RMSE, MAE          float64
+	PredictionCoverage float64
+	PrecisionAtK       float64
+}
+
+// RunDeltaSweep evaluates the paper's CF model across peer thresholds.
+// sampleUsers bounds the peer-count probe (0 = 20).
+func RunDeltaSweep(store *ratings.Store, deltas []float64, minOverlap int, holdout metrics.HoldoutConfig, sampleUsers int) ([]DeltaSweepRow, error) {
+	if sampleUsers <= 0 {
+		sampleUsers = 20
+	}
+	users := store.Users()
+	if sampleUsers > len(users) {
+		sampleUsers = len(users)
+	}
+	rows := make([]DeltaSweepRow, 0, len(deltas))
+	for _, delta := range deltas {
+		rec := &cf.Recommender{
+			Store: store,
+			Sim:   simfn.NewCached(simfn.Normalized{S: simfn.Pearson{Store: store, MinOverlap: minOverlap}}),
+			Delta: delta,
+		}
+		var peerSum int
+		for _, u := range users[:sampleUsers] {
+			peers, err := rec.Peers(u)
+			if err != nil {
+				return nil, fmt.Errorf("eval: peers at δ=%v: %w", delta, err)
+			}
+			peerSum += len(peers)
+		}
+		rep, err := metrics.EvaluateHoldout(store, metrics.CFFactory(delta, minOverlap), holdout)
+		if err != nil {
+			return nil, fmt.Errorf("eval: holdout at δ=%v: %w", delta, err)
+		}
+		rows = append(rows, DeltaSweepRow{
+			Delta:              delta,
+			AvgPeers:           float64(peerSum) / float64(sampleUsers),
+			RMSE:               rep.RMSE,
+			MAE:                rep.MAE,
+			PredictionCoverage: rep.PredictionCoverage,
+			PrecisionAtK:       rep.PrecisionAtK,
+		})
+	}
+	return rows, nil
+}
+
+// WriteDeltaSweep renders the sweep as markdown.
+func WriteDeltaSweep(w io.Writer, rows []DeltaSweepRow) error {
+	if _, err := fmt.Fprintln(w, "| δ | avg peers | RMSE | MAE | pred. coverage | P@k |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|-----------|------|-----|----------------|-----|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %.2f | %.1f | %.3f | %.3f | %.3f | %.3f |\n",
+			r.Delta, r.AvgPeers, r.RMSE, r.MAE, r.PredictionCoverage, r.PrecisionAtK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClusteringRow reports one peer-discovery mode.
+type ClusteringRow struct {
+	// Mode is "full-scan" or "k=<n>".
+	Mode string
+	// BuildTime is the one-off clustering cost (0 for full scan).
+	BuildTime time.Duration
+	// QueryTime is the total AllRelevances time over the sampled users.
+	QueryTime time.Duration
+	// RMSE from the same holdout split, for quality comparison.
+	RMSE               float64
+	PredictionCoverage float64
+}
+
+// RunClusteringAblation compares full-scan peer discovery against
+// cluster-restricted discovery ([17]) for each k in ks.
+func RunClusteringAblation(store *ratings.Store, ks []int, delta float64, minOverlap int, holdout metrics.HoldoutConfig, sampleUsers int) ([]ClusteringRow, error) {
+	if sampleUsers <= 0 {
+		sampleUsers = 15
+	}
+	users := store.Users()
+	if sampleUsers > len(users) {
+		sampleUsers = len(users)
+	}
+	sample := users[:sampleUsers]
+
+	newSim := func(st *ratings.Store) simfn.UserSimilarity {
+		return simfn.NewCached(simfn.Normalized{S: simfn.Pearson{Store: st, MinOverlap: minOverlap}})
+	}
+
+	queryTime := func(rec *cf.Recommender) (time.Duration, error) {
+		start := time.Now()
+		for _, u := range sample {
+			if _, err := rec.AllRelevances(u); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	var rows []ClusteringRow
+
+	// full scan baseline
+	full := &cf.Recommender{Store: store, Sim: newSim(store), Delta: delta}
+	qt, err := queryTime(full)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := metrics.EvaluateHoldout(store, metrics.CFFactory(delta, minOverlap), holdout)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ClusteringRow{
+		Mode:               "full-scan",
+		QueryTime:          qt,
+		RMSE:               rep.RMSE,
+		PredictionCoverage: rep.PredictionCoverage,
+	})
+
+	for _, k := range ks {
+		buildStart := time.Now()
+		res, err := clustering.KMeans(store, clustering.Config{K: k, Seed: 1})
+		if err != nil {
+			return nil, fmt.Errorf("eval: kmeans k=%d: %w", k, err)
+		}
+		buildTime := time.Since(buildStart)
+		clustered := &cf.Recommender{
+			Store: store, Sim: newSim(store), Delta: delta,
+			Candidates: res.CandidateSource(),
+		}
+		qt, err := queryTime(clustered)
+		if err != nil {
+			return nil, err
+		}
+		factory := func(train *ratings.Store) (metrics.Predictor, error) {
+			trainClusters, err := clustering.KMeans(train, clustering.Config{K: k, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return clusteredPredictor{rec: &cf.Recommender{
+				Store: train, Sim: newSim(train), Delta: delta,
+				RequirePositive: true,
+				Candidates:      trainClusters.CandidateSource(),
+			}}, nil
+		}
+		rep, err := metrics.EvaluateHoldout(store, factory, holdout)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ClusteringRow{
+			Mode:               fmt.Sprintf("k=%d", k),
+			BuildTime:          buildTime,
+			QueryTime:          qt,
+			RMSE:               rep.RMSE,
+			PredictionCoverage: rep.PredictionCoverage,
+		})
+	}
+	return rows, nil
+}
+
+// clusteredPredictor adapts a clustered cf.Recommender to
+// metrics.Predictor.
+type clusteredPredictor struct{ rec *cf.Recommender }
+
+func (p clusteredPredictor) Predict(u model.UserID, i model.ItemID) (float64, bool) {
+	score, ok, err := p.rec.Relevance(u, i)
+	if err != nil || !ok {
+		return 0, false
+	}
+	return score, true
+}
+
+func (p clusteredPredictor) Recommend(u model.UserID, k int) []model.ScoredItem {
+	recs, err := p.rec.Recommend(u, k)
+	if err != nil {
+		return nil
+	}
+	return recs
+}
+
+// WriteClusteringAblation renders the ablation as markdown.
+func WriteClusteringAblation(w io.Writer, rows []ClusteringRow) error {
+	if _, err := fmt.Fprintln(w, "| mode | build | query (sampled) | RMSE | pred. coverage |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|------|-------|-----------------|------|----------------|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		build := "—"
+		if r.BuildTime > 0 {
+			build = r.BuildTime.String()
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %.3f | %.3f |\n",
+			r.Mode, build, r.QueryTime, r.RMSE, r.PredictionCoverage); err != nil {
+			return err
+		}
+	}
+	return nil
+}

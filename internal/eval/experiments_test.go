@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fairhealth/internal/dataset"
+	"fairhealth/internal/metrics"
+)
+
+func evalDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Seed: 17, Users: 50, Items: 70, RatingsPerUser: 28, Clusters: 3, Noise: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRunDeltaSweep(t *testing.T) {
+	ds := evalDataset(t)
+	rows, err := RunDeltaSweep(ds.Ratings, []float64{0.5, 0.7, 0.9}, 3,
+		metrics.HoldoutConfig{Seed: 1, K: 10}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// peer counts must shrink as δ grows
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgPeers > rows[i-1].AvgPeers {
+			t.Errorf("peers grew with δ: %.1f@%.2f → %.1f@%.2f",
+				rows[i-1].AvgPeers, rows[i-1].Delta, rows[i].AvgPeers, rows[i].Delta)
+		}
+	}
+	// quality numbers must be sane where defined
+	for _, r := range rows {
+		if r.PredictionCoverage < 0 || r.PredictionCoverage > 1 {
+			t.Errorf("coverage = %v at δ=%v", r.PredictionCoverage, r.Delta)
+		}
+		if r.AvgPeers > 0 && r.RMSE <= 0 {
+			t.Errorf("δ=%v has peers but RMSE=%v", r.Delta, r.RMSE)
+		}
+	}
+}
+
+func TestWriteDeltaSweep(t *testing.T) {
+	rows := []DeltaSweepRow{{Delta: 0.5, AvgPeers: 12.5, RMSE: 0.8, MAE: 0.6, PredictionCoverage: 0.9, PrecisionAtK: 0.4}}
+	var buf bytes.Buffer
+	if err := WriteDeltaSweep(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| 0.50 | 12.5 | 0.800 |") {
+		t.Errorf("markdown = %q", buf.String())
+	}
+}
+
+func TestRunClusteringAblation(t *testing.T) {
+	ds := evalDataset(t)
+	rows, err := RunClusteringAblation(ds.Ratings, []int{3}, 0.55, 3,
+		metrics.HoldoutConfig{Seed: 2, K: 10}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	full, clustered := rows[0], rows[1]
+	if full.Mode != "full-scan" || clustered.Mode != "k=3" {
+		t.Errorf("modes = %s/%s", full.Mode, clustered.Mode)
+	}
+	if full.BuildTime != 0 || clustered.BuildTime <= 0 {
+		t.Errorf("build times = %v/%v", full.BuildTime, clustered.BuildTime)
+	}
+	if full.QueryTime <= 0 || clustered.QueryTime <= 0 {
+		t.Errorf("query times = %v/%v", full.QueryTime, clustered.QueryTime)
+	}
+	// clustered quality must stay close to full scan on clustered data
+	if clustered.RMSE > full.RMSE*1.5+0.2 {
+		t.Errorf("clustered RMSE %v much worse than full %v", clustered.RMSE, full.RMSE)
+	}
+}
+
+func TestWriteClusteringAblation(t *testing.T) {
+	rows := []ClusteringRow{
+		{Mode: "full-scan", QueryTime: 1000, RMSE: 0.8, PredictionCoverage: 0.95},
+		{Mode: "k=4", BuildTime: 500, QueryTime: 300, RMSE: 0.85, PredictionCoverage: 0.9},
+	}
+	var buf bytes.Buffer
+	if err := WriteClusteringAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "full-scan") || !strings.Contains(out, "k=4") {
+		t.Errorf("markdown = %q", out)
+	}
+	if !strings.Contains(out, "—") {
+		t.Errorf("full-scan build time should be dashed: %q", out)
+	}
+}

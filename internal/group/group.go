@@ -1,0 +1,264 @@
+// Package group implements the group rating model of §III.B: the
+// relevance of an item for a group aggregates the members' individual
+// relevance predictions (Def. 2),
+//
+//	relevanceG(G,i) = Aggr_{u∈G} relevance(u,i),
+//
+// with two designs carrying different semantics — Minimum, where
+// "strong user preferences act as a veto", and Average, which focuses
+// "on satisfying the majority of the group members". Median and
+// Maximum are provided as ablation baselines (DESIGN.md §5).
+package group
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fairhealth/internal/cf"
+	"fairhealth/internal/model"
+	"fairhealth/internal/topk"
+)
+
+// Common errors.
+var (
+	// ErrUnknownAggregator is returned by ParseAggregator.
+	ErrUnknownAggregator = errors.New("group: unknown aggregator")
+	// ErrEmptyGroup is returned when asked to recommend for no users.
+	ErrEmptyGroup = errors.New("group: empty group")
+)
+
+// Aggregator folds the group members' individual relevance scores into
+// one group score. Implementations receive at least one score.
+type Aggregator interface {
+	// Name is a stable identifier ("min", "avg", ...).
+	Name() string
+	// Aggregate folds scores; len(scores) ≥ 1.
+	Aggregate(scores []float64) float64
+}
+
+// Minimum implements the veto design: the group score is the least
+// member score.
+type Minimum struct{}
+
+// Name implements Aggregator.
+func (Minimum) Name() string { return "min" }
+
+// Aggregate implements Aggregator.
+func (Minimum) Aggregate(scores []float64) float64 {
+	min := scores[0]
+	for _, s := range scores[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// Average implements the majority design: the group score is the mean
+// member score.
+type Average struct{}
+
+// Name implements Aggregator.
+func (Average) Name() string { return "avg" }
+
+// Aggregate implements Aggregator.
+func (Average) Aggregate(scores []float64) float64 {
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	return sum / float64(len(scores))
+}
+
+// Maximum is the most-pleasure ablation baseline.
+type Maximum struct{}
+
+// Name implements Aggregator.
+func (Maximum) Name() string { return "max" }
+
+// Aggregate implements Aggregator.
+func (Maximum) Aggregate(scores []float64) float64 {
+	max := scores[0]
+	for _, s := range scores[1:] {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Median is a robust ablation baseline (even lengths average the two
+// central values).
+type Median struct{}
+
+// Name implements Aggregator.
+func (Median) Name() string { return "median" }
+
+// Aggregate implements Aggregator.
+func (Median) Aggregate(scores []float64) float64 {
+	c := append([]float64(nil), scores...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Consensus implements the consensus function of Amer-Yahia et al.
+// ("Group Recommendation: Semantics and Efficiency", VLDB 2009 — the
+// paper's reference [1]): a weighted blend of the group's average
+// relevance and its agreement,
+//
+//	score = w₁·avg(scores) + w₂·(1 − disagreement)·range
+//
+// where disagreement is the mean pairwise |difference| normalized by
+// the rating range, so both terms live on the rating scale. With
+// default weights (0.8/0.2) items the group agrees on edge out equally
+// relevant but divisive ones.
+type Consensus struct {
+	// RelevanceWeight (w₁) and DisagreementWeight (w₂) should sum to 1;
+	// both zero selects the 0.8/0.2 default.
+	RelevanceWeight    float64
+	DisagreementWeight float64
+}
+
+// Name implements Aggregator.
+func (Consensus) Name() string { return "consensus" }
+
+// Aggregate implements Aggregator.
+func (c Consensus) Aggregate(scores []float64) float64 {
+	w1, w2 := c.RelevanceWeight, c.DisagreementWeight
+	if w1 == 0 && w2 == 0 {
+		w1, w2 = 0.8, 0.2
+	}
+	avg := Average{}.Aggregate(scores)
+	ratingRange := float64(model.MaxRating - model.MinRating)
+	if len(scores) < 2 {
+		return w1*avg + w2*ratingRange // a lone voice fully agrees with itself
+	}
+	var diff float64
+	var pairs int
+	for i := 0; i < len(scores); i++ {
+		for j := i + 1; j < len(scores); j++ {
+			d := scores[i] - scores[j]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+			pairs++
+		}
+	}
+	disagreement := diff / float64(pairs) / ratingRange
+	if disagreement > 1 {
+		disagreement = 1
+	}
+	return w1*avg + w2*(1-disagreement)*ratingRange
+}
+
+// ParseAggregator maps a name to an Aggregator ("min", "avg", "max",
+// "median", "consensus").
+func ParseAggregator(name string) (Aggregator, error) {
+	switch name {
+	case "min", "minimum":
+		return Minimum{}, nil
+	case "avg", "average", "mean":
+		return Average{}, nil
+	case "max", "maximum":
+		return Maximum{}, nil
+	case "median":
+		return Median{}, nil
+	case "consensus":
+		return Consensus{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, name)
+	}
+}
+
+// Recommender layers the group model over single-user CF.
+type Recommender struct {
+	// Single is the per-user predictor.
+	Single *cf.Recommender
+	// Aggr selects the Def. 2 semantics; nil defaults to Average.
+	Aggr Aggregator
+}
+
+func (g *Recommender) aggr() Aggregator {
+	if g.Aggr == nil {
+		return Average{}
+	}
+	return g.Aggr
+}
+
+// Candidates returns, per Def. 2's domain, the items unrated by EVERY
+// member ("∀u ∈ G, ∄rating(u,i)") for which every member has a defined
+// individual prediction, mapped to the members' scores in group order.
+// Requiring all members keeps Minimum semantics honest: a missing
+// prediction is unknown, not zero.
+func (g *Recommender) Candidates(grp model.Group) (map[model.ItemID][]float64, error) {
+	if len(grp) == 0 {
+		return nil, ErrEmptyGroup
+	}
+	perUser := make([]map[model.ItemID]float64, len(grp))
+	for k, u := range grp {
+		scores, err := g.Single.AllRelevances(u)
+		if err != nil {
+			return nil, fmt.Errorf("group: member %s: %w", u, err)
+		}
+		perUser[k] = scores
+	}
+	out := make(map[model.ItemID][]float64)
+	for item, s0 := range perUser[0] {
+		ratedByMember := false
+		for _, u := range grp {
+			if g.Single.Store.HasRated(u, item) {
+				ratedByMember = true
+				break
+			}
+		}
+		if ratedByMember {
+			continue
+		}
+		scores := make([]float64, 0, len(grp))
+		scores = append(scores, s0)
+		defined := true
+		for k := 1; k < len(grp); k++ {
+			s, ok := perUser[k][item]
+			if !ok {
+				defined = false
+				break
+			}
+			scores = append(scores, s)
+		}
+		if defined {
+			out[item] = scores
+		}
+	}
+	return out, nil
+}
+
+// GroupRelevances evaluates Def. 2 for every candidate item.
+func (g *Recommender) GroupRelevances(grp model.Group) (map[model.ItemID]float64, error) {
+	cands, err := g.Candidates(grp)
+	if err != nil {
+		return nil, err
+	}
+	a := g.aggr()
+	out := make(map[model.ItemID]float64, len(cands))
+	for item, scores := range cands {
+		out[item] = a.Aggregate(scores)
+	}
+	return out, nil
+}
+
+// Recommend returns the top-k items by group relevance (§III.B: "the
+// items with the top-k relevance scores for the group are recommended
+// to the group").
+func (g *Recommender) Recommend(grp model.Group, k int) ([]model.ScoredItem, error) {
+	rel, err := g.GroupRelevances(grp)
+	if err != nil {
+		return nil, err
+	}
+	return topk.TopOfMap(rel, k), nil
+}

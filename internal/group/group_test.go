@@ -1,0 +1,332 @@
+package group
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairhealth/internal/cf"
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/simfn"
+)
+
+func TestAggregators(t *testing.T) {
+	scores := []float64{3, 1, 4, 2}
+	cases := []struct {
+		a    Aggregator
+		want float64
+		name string
+	}{
+		{Minimum{}, 1, "min"},
+		{Average{}, 2.5, "avg"},
+		{Maximum{}, 4, "max"},
+		{Median{}, 2.5, "median"},
+	}
+	for _, c := range cases {
+		if got := c.a.Aggregate(scores); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s.Aggregate = %v, want %v", c.name, got, c.want)
+		}
+		if c.a.Name() != c.name {
+			t.Errorf("Name = %q, want %q", c.a.Name(), c.name)
+		}
+	}
+}
+
+func TestAggregatorsSingleton(t *testing.T) {
+	for _, a := range []Aggregator{Minimum{}, Average{}, Maximum{}, Median{}} {
+		if got := a.Aggregate([]float64{2.5}); got != 2.5 {
+			t.Errorf("%s singleton = %v, want 2.5", a.Name(), got)
+		}
+	}
+}
+
+func TestMedianOddLength(t *testing.T) {
+	if got := (Median{}).Aggregate([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("median odd = %v, want 3", got)
+	}
+	// must not mutate input
+	in := []float64{3, 1, 2}
+	(Median{}).Aggregate(in)
+	if in[0] != 3 || in[1] != 1 {
+		t.Errorf("median mutated input: %v", in)
+	}
+}
+
+func TestParseAggregator(t *testing.T) {
+	for name, want := range map[string]string{
+		"min": "min", "minimum": "min",
+		"avg": "avg", "average": "avg", "mean": "avg",
+		"max": "max", "median": "median",
+	} {
+		a, err := ParseAggregator(name)
+		if err != nil || a.Name() != want {
+			t.Errorf("ParseAggregator(%q) = %v,%v", name, a, err)
+		}
+	}
+	if _, err := ParseAggregator("nope"); !errors.Is(err, ErrUnknownAggregator) {
+		t.Errorf("unknown: %v", err)
+	}
+}
+
+// buildFixture wires a deterministic world:
+//   - group members g1, g2 (rated d0 so they exist in the store)
+//   - peers p1 (sim 1 to both) and p2 (sim 0.5 to both)
+//   - candidate items dA..dC rated by the peers
+func buildFixture(t *testing.T) *Recommender {
+	t.Helper()
+	st, err := ratings.FromTriples([]model.Triple{
+		{User: "g1", Item: "d0", Value: 3},
+		{User: "g2", Item: "d0", Value: 3},
+		{User: "p1", Item: "dA", Value: 5}, {User: "p1", Item: "dB", Value: 1}, {User: "p1", Item: "dC", Value: 4},
+		{User: "p2", Item: "dA", Value: 1}, {User: "p2", Item: "dB", Value: 5}, {User: "p2", Item: "dC", Value: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simfn.Func(func(a, b model.UserID) (float64, bool) {
+		if b < a {
+			a, b = b, a
+		}
+		switch {
+		case (a == "g1" || a == "g2") && b == "p1":
+			return 1.0, true
+		case (a == "g1" || a == "g2") && b == "p2":
+			return 0.5, true
+		default:
+			return 0, false
+		}
+	})
+	return &Recommender{Single: &cf.Recommender{Store: st, Sim: sim}}
+}
+
+// Both members see the same peers, so individual relevances are:
+// dA: (1*5 + .5*1)/1.5 = 11/3 ≈ 3.667
+// dB: (1*1 + .5*5)/1.5 = 7/3  ≈ 2.333
+// dC: (1*4 + .5*4)/1.5 = 4
+func TestCandidates(t *testing.T) {
+	g := buildFixture(t)
+	cands, err := g.Candidates(model.Group{"g1", "g2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %v, want dA dB dC", cands)
+	}
+	for item, scores := range cands {
+		if len(scores) != 2 {
+			t.Errorf("%s: %d scores, want 2", item, len(scores))
+		}
+		if math.Abs(scores[0]-scores[1]) > 1e-12 {
+			t.Errorf("%s: members should agree here: %v", item, scores)
+		}
+	}
+	if math.Abs(cands["dA"][0]-11.0/3) > 1e-12 {
+		t.Errorf("score(dA) = %v, want 11/3", cands["dA"][0])
+	}
+}
+
+func TestCandidatesExcludeItemsRatedByAnyMember(t *testing.T) {
+	g := buildFixture(t)
+	// g2 rates dA → dA must drop out for the whole group (Def. 2:
+	// ∀u∈G, ∄rating(u,i)).
+	if err := g.Single.Store.Add("g2", "dA", 2); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := g.Candidates(model.Group{"g1", "g2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present := cands["dA"]; present {
+		t.Error("dA rated by g2 must not be a group candidate")
+	}
+	if _, present := cands["dB"]; !present {
+		t.Error("dB should remain a candidate")
+	}
+}
+
+func TestCandidatesRequireAllMembersDefined(t *testing.T) {
+	g := buildFixture(t)
+	// g3 has no peers → no predictions → no common candidates
+	if err := g.Single.Store.Add("g3", "d0", 3); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := g.Candidates(model.Group{"g1", "g3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("candidates with memberless peer = %v, want none", cands)
+	}
+}
+
+func TestCandidatesEmptyGroup(t *testing.T) {
+	g := buildFixture(t)
+	if _, err := g.Candidates(nil); !errors.Is(err, ErrEmptyGroup) {
+		t.Errorf("empty group: %v", err)
+	}
+}
+
+func TestGroupRelevancesMinVsAvg(t *testing.T) {
+	g := buildFixture(t)
+	// diverge the members: make g2's only peer p2 so predictions split
+	g.Single.Sim = simfn.Func(func(a, b model.UserID) (float64, bool) {
+		if b < a {
+			a, b = b, a
+		}
+		switch {
+		case a == "g1" && b == "p1":
+			return 1.0, true
+		case a == "g2" && b == "p2":
+			return 1.0, true
+		default:
+			return 0, false
+		}
+	})
+	// now: g1 sees p1's ratings exactly, g2 sees p2's.
+	// dA: g1=5, g2=1 → min 1, avg 3
+	// dB: g1=1, g2=5 → min 1, avg 3
+	// dC: g1=4, g2=4 → min 4, avg 4
+	g.Aggr = Minimum{}
+	minRel, err := g.GroupRelevances(model.Group{"g1", "g2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minRel["dA"] != 1 || minRel["dB"] != 1 || minRel["dC"] != 4 {
+		t.Errorf("min relevances = %v", minRel)
+	}
+	g.Aggr = Average{}
+	avgRel, err := g.GroupRelevances(model.Group{"g1", "g2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avgRel["dA"] != 3 || avgRel["dC"] != 4 {
+		t.Errorf("avg relevances = %v", avgRel)
+	}
+}
+
+func TestRecommendOrdering(t *testing.T) {
+	g := buildFixture(t)
+	g.Aggr = Average{}
+	recs, err := g.Recommend(model.Group{"g1", "g2"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scores: dC=4, dA=11/3, dB=7/3 → top2 = dC, dA
+	if len(recs) != 2 || recs[0].Item != "dC" || recs[1].Item != "dA" {
+		t.Errorf("Recommend = %v, want [dC dA]", recs)
+	}
+}
+
+func TestRecommendDefaultAggregatorIsAverage(t *testing.T) {
+	g := buildFixture(t)
+	g.Aggr = nil
+	got, err := g.GroupRelevances(model.Group{"g1", "g2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Aggr = Average{}
+	want, err := g.GroupRelevances(model.Group{"g1", "g2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for item := range want {
+		if math.Abs(got[item]-want[item]) > 1e-12 {
+			t.Errorf("default aggregator differs at %s: %v vs %v", item, got[item], want[item])
+		}
+	}
+}
+
+// Properties: min ≤ median ≤ max, min ≤ avg ≤ max for any score set.
+func TestAggregatorOrderingProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		for i, r := range raw {
+			scores[i] = 1 + 4*float64(r)/255
+		}
+		min := (Minimum{}).Aggregate(scores)
+		avg := (Average{}).Aggregate(scores)
+		med := (Median{}).Aggregate(scores)
+		max := (Maximum{}).Aggregate(scores)
+		return min <= avg+1e-9 && avg <= max+1e-9 && min <= med+1e-9 && med <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: singleton groups reduce Def. 2 to the single-user model
+// for every aggregator.
+func TestSingletonGroupEqualsSingleUser(t *testing.T) {
+	g := buildFixture(t)
+	single, err := g.Single.AllRelevances("g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Aggregator{Minimum{}, Average{}, Maximum{}, Median{}} {
+		g.Aggr = a
+		rel, err := g.GroupRelevances(model.Group{"g1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rel) != len(single) {
+			t.Fatalf("%s: %d items vs %d", a.Name(), len(rel), len(single))
+		}
+		for item, want := range single {
+			if math.Abs(rel[item]-want) > 1e-12 {
+				t.Errorf("%s: item %s = %v, want %v", a.Name(), item, rel[item], want)
+			}
+		}
+	}
+}
+
+// TestConsensusAggregator pins the [1]-style consensus blend.
+func TestConsensusAggregator(t *testing.T) {
+	c := Consensus{RelevanceWeight: 0.5, DisagreementWeight: 0.5}
+	// unanimous scores: disagreement 0 → 0.5*3 + 0.5*1*4 = 3.5
+	if got := c.Aggregate([]float64{3, 3, 3}); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("unanimous = %v, want 3.5", got)
+	}
+	// maximally divided (1 and 5): mean pairwise diff 4 → disagreement 1
+	// → 0.5*3 + 0 = 1.5
+	if got := c.Aggregate([]float64{1, 5}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("divided = %v, want 1.5", got)
+	}
+	// singleton: fully agreeing → 0.5*4 + 0.5*4 = 4
+	if got := c.Aggregate([]float64{4}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("singleton = %v, want 4", got)
+	}
+	if (Consensus{}).Name() != "consensus" {
+		t.Error("name wrong")
+	}
+}
+
+// TestConsensusPrefersAgreement: equal means, different spreads — the
+// agreeing group must score higher.
+func TestConsensusPrefersAgreement(t *testing.T) {
+	c := Consensus{} // defaults 0.8/0.2
+	agreeing := c.Aggregate([]float64{3, 3, 3, 3})
+	divided := c.Aggregate([]float64{1, 5, 1, 5})
+	if agreeing <= divided {
+		t.Errorf("agreeing %v must beat divided %v at equal mean", agreeing, divided)
+	}
+}
+
+func TestConsensusDefaultWeights(t *testing.T) {
+	got := (Consensus{}).Aggregate([]float64{2, 4})
+	// avg 3; pairwise diff 2 → disagreement 0.5 → 0.8*3 + 0.2*0.5*4 = 2.8
+	if math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("default weights = %v, want 2.8", got)
+	}
+}
+
+func TestParseConsensus(t *testing.T) {
+	a, err := ParseAggregator("consensus")
+	if err != nil || a.Name() != "consensus" {
+		t.Errorf("ParseAggregator(consensus) = %v, %v", a, err)
+	}
+}

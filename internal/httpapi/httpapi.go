@@ -1,0 +1,351 @@
+// Package httpapi exposes the recommender as the REST service sketched
+// in the paper's architecture (Fig. 1): patients record profiles and
+// rate documents through the iPHR app, and a caregiver asks the
+// recommendation engine for fair suggestions for their patient group.
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz                    liveness probe
+//	GET  /api/stats                  corpus statistics
+//	POST /api/patients               create/update a patient profile
+//	GET  /api/patients               list patient IDs
+//	GET  /api/patients/{id}          fetch one profile
+//	POST /api/ratings                record a rating
+//	GET  /api/recommendations        personal top-k    ?user=&k=
+//	GET  /api/peers                  peer set          ?user=
+//	GET  /api/group-recommendations  fair top-z        ?users=a,b&z=&method=greedy|brute|mapreduce
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"fairhealth"
+)
+
+// Server wires a fairhealth.System to an http.Handler.
+type Server struct {
+	sys *fairhealth.System
+	mux *http.ServeMux
+	log *log.Logger
+}
+
+// New builds a Server around sys. logger may be nil (logging is then
+// discarded into log.Default with a prefix).
+func New(sys *fairhealth.System, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{sys: sys, mux: http.NewServeMux(), log: logger}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("POST /api/patients", s.handlePutPatient)
+	s.mux.HandleFunc("GET /api/patients", s.handleListPatients)
+	s.mux.HandleFunc("GET /api/patients/{id}", s.handleGetPatient)
+	s.mux.HandleFunc("POST /api/ratings", s.handlePostRating)
+	s.mux.HandleFunc("POST /api/documents", s.handlePostDocument)
+	s.mux.HandleFunc("GET /api/search", s.handleSearch)
+	s.mux.HandleFunc("GET /api/correspondences", s.handleCorrespondences)
+	s.mux.HandleFunc("GET /api/recommendations", s.handleRecommend)
+	s.mux.HandleFunc("GET /api/peers", s.handlePeers)
+	s.mux.HandleFunc("GET /api/group-recommendations", s.handleGroupRecommend)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---------------------------------------------------------------------------
+// wire types
+
+// PatientBody is the POST /api/patients payload.
+type PatientBody struct {
+	ID          string   `json:"id"`
+	Age         int      `json:"age,omitempty"`
+	Gender      string   `json:"gender,omitempty"`
+	Problems    []string `json:"problems,omitempty"`
+	Medications []string `json:"medications,omitempty"`
+	Procedures  []string `json:"procedures,omitempty"`
+	Allergies   []string `json:"allergies,omitempty"`
+	Notes       string   `json:"notes,omitempty"`
+}
+
+// RatingBody is the POST /api/ratings payload.
+type RatingBody struct {
+	User  string  `json:"user"`
+	Item  string  `json:"item"`
+	Value float64 `json:"value"`
+}
+
+// DocumentBody is the POST /api/documents payload.
+type DocumentBody struct {
+	ID    string `json:"id"`
+	Title string `json:"title,omitempty"`
+	Body  string `json:"body,omitempty"`
+}
+
+// ErrorBody is every error response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// GroupResponse is the GET /api/group-recommendations response.
+type GroupResponse struct {
+	Items        []fairhealth.Recommendation            `json:"items"`
+	Fairness     float64                                `json:"fairness"`
+	Value        float64                                `json:"value"`
+	PerMember    map[string][]fairhealth.Recommendation `json:"per_member,omitempty"`
+	Method       string                                 `json:"method"`
+	Combinations int64                                  `json:"combinations,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// handlers
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Printf("httpapi: encode response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, ErrorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.sys.Stats())
+}
+
+func (s *Server) handlePutPatient(w http.ResponseWriter, r *http.Request) {
+	var body PatientBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if body.ID == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("patient id required"))
+		return
+	}
+	err := s.sys.AddPatient(fairhealth.Patient{
+		ID: body.ID, Age: body.Age, Gender: body.Gender,
+		Problems: body.Problems, Medications: body.Medications,
+		Procedures: body.Procedures, Allergies: body.Allergies, Notes: body.Notes,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]string{"id": body.ID})
+}
+
+func (s *Server) handleListPatients(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string][]string{"patients": s.sys.Patients()})
+}
+
+func (s *Server) handleGetPatient(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p, err := s.sys.Patient(id)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handlePostRating(w http.ResponseWriter, r *http.Request) {
+	var body RatingBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if body.User == "" || body.Item == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("user and item required"))
+		return
+	}
+	if err := s.sys.AddRating(body.User, body.Item, body.Value); err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, body)
+}
+
+func (s *Server) handlePostDocument(w http.ResponseWriter, r *http.Request) {
+	var body DocumentBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if body.ID == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("document id required"))
+		return
+	}
+	if err := s.sys.AddDocument(body.ID, body.Title, body.Body); err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]string{"id": body.ID})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("q parameter required"))
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var hits []fairhealth.SearchResult
+	if user := r.URL.Query().Get("user"); user != "" {
+		// personalized search: boost the patient's problem vocabulary
+		hits, err = s.sys.SearchPersonalized(user, q, k, 2)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, fairhealth.ErrUnknownPatient) {
+				status = http.StatusNotFound
+			}
+			s.writeError(w, status, err)
+			return
+		}
+	} else {
+		hits = s.sys.SearchDocuments(q, k)
+	}
+	if hits == nil {
+		hits = []fairhealth.SearchResult{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"query": q, "hits": hits})
+}
+
+func (s *Server) handleCorrespondences(w http.ResponseWriter, r *http.Request) {
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if a == "" || b == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("a and b parameters required"))
+		return
+	}
+	cs, err := s.sys.ProfileCorrespondences(a, b)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, fairhealth.ErrUnknownPatient) {
+			status = http.StatusNotFound
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"a": a, "b": b, "correspondences": cs})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("user parameter required"))
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	recs, err := s.sys.Recommend(user, k)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if recs == nil {
+		recs = []fairhealth.Recommendation{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"user": user, "items": recs})
+}
+
+func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("user parameter required"))
+		return
+	}
+	peers, err := s.sys.Peers(user)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if peers == nil {
+		peers = []fairhealth.Peer{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"user": user, "peers": peers})
+}
+
+func (s *Server) handleGroupRecommend(w http.ResponseWriter, r *http.Request) {
+	usersParam := r.URL.Query().Get("users")
+	if usersParam == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("users parameter required (comma-separated)"))
+		return
+	}
+	users := strings.Split(usersParam, ",")
+	z, err := intParam(r, "z", 10)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	method := r.URL.Query().Get("method")
+	if method == "" {
+		method = "greedy"
+	}
+
+	var res *fairhealth.GroupResult
+	switch method {
+	case "greedy":
+		res, err = s.sys.GroupRecommend(users, z)
+	case "brute":
+		m, perr := intParam(r, "m", 20)
+		if perr != nil {
+			s.writeError(w, http.StatusBadRequest, perr)
+			return
+		}
+		res, err = s.sys.GroupRecommendBruteForce(users, z, m, 0)
+	case "mapreduce":
+		res, err = s.sys.GroupRecommendMapReduce(r.Context(), users, z)
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown method %q (want greedy|brute|mapreduce)", method))
+		return
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, fairhealth.ErrEmptyGroup) {
+			status = http.StatusBadRequest
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, GroupResponse{
+		Items:        res.Items,
+		Fairness:     res.Fairness,
+		Value:        res.Value,
+		PerMember:    res.PerMember,
+		Method:       method,
+		Combinations: res.Combinations,
+	})
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("parameter %s must be a positive integer, got %q", name, raw)
+	}
+	return v, nil
+}

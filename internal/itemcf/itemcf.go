@@ -1,0 +1,276 @@
+// Package itemcf implements item-based collaborative filtering — the
+// classic alternative (Sarwar et al., WWW 2001) to the paper's
+// user-based model, included as an ablation baseline: instead of
+// finding peer USERS above δ (Def. 1), it precomputes the most similar
+// ITEMS per item and predicts
+//
+//	relevance(u,i) = Σ_{j ∈ I(u)∩N(i)} sim(i,j)·rating(u,j)
+//	               / Σ_{j ∈ I(u)∩N(i)} sim(i,j)
+//
+// with adjusted-cosine item similarity (co-raters' ratings centered on
+// each RATER's mean, which removes per-user rating bias; all three
+// sums range over the users who rated BOTH items, the strict Sarwar
+// form):
+//
+//	sim(i,j) = Σ_{u∈U(i)∩U(j)} (r(u,i)−μ_u)(r(u,j)−μ_u)
+//	         / √Σ_{u∈∩} (r(u,i)−μ_u)² · √Σ_{u∈∩} (r(u,j)−μ_u)²
+//
+// The neighbor model is built once (O(Σ_u |I(u)|²) via user-centric
+// accumulation) and served from memory, the usual deployment shape for
+// item-based CF.
+package itemcf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/topk"
+)
+
+// Common errors.
+var (
+	// ErrNotBuilt is returned when predicting before Build.
+	ErrNotBuilt = errors.New("itemcf: model not built")
+	// ErrNoStore is returned when the recommender has no rating store.
+	ErrNoStore = errors.New("itemcf: nil rating store")
+)
+
+// Recommender is an item-based CF model.
+type Recommender struct {
+	// Store holds the observed ratings.
+	Store *ratings.Store
+	// MinOverlap is the minimum number of co-raters for an item-item
+	// similarity to be defined (< 2 means 2).
+	MinOverlap int
+	// ModelK bounds the neighbors kept per item (≤ 0 means 50).
+	ModelK int
+
+	mu        sync.RWMutex
+	neighbors map[model.ItemID][]model.ScoredItem // sim-desc, ties item-asc
+	built     bool
+}
+
+// pairAcc accumulates the adjusted-cosine terms of one item pair over
+// its co-raters.
+type pairAcc struct {
+	dot     float64
+	sqA     float64 // Σ centered² of the first (smaller-ID) item
+	sqB     float64 // Σ centered² of the second item
+	overlap int
+}
+
+// Build computes the item-item neighbor lists. It may be called again
+// after the store changes.
+func (r *Recommender) Build() error {
+	if r.Store == nil {
+		return ErrNoStore
+	}
+	minOverlap := r.MinOverlap
+	if minOverlap < 2 {
+		minOverlap = 2
+	}
+	modelK := r.ModelK
+	if modelK <= 0 {
+		modelK = 50
+	}
+
+	// Pair accumulators keyed by ordered item pair (a < b since
+	// ItemsRatedBy is ascending).
+	type pairKey struct{ a, b model.ItemID }
+	pairs := make(map[pairKey]*pairAcc)
+
+	users := r.Store.Users()
+	for _, u := range users {
+		mean, ok := r.Store.MeanRating(u)
+		if !ok {
+			continue
+		}
+		items := r.Store.ItemsRatedBy(u) // ascending
+		centered := make([]float64, len(items))
+		for k, i := range items {
+			v, _ := r.Store.Rating(u, i)
+			centered[k] = float64(v) - mean
+		}
+		for a := 0; a < len(items); a++ {
+			for b := a + 1; b < len(items); b++ {
+				key := pairKey{items[a], items[b]}
+				acc, ok := pairs[key]
+				if !ok {
+					acc = &pairAcc{}
+					pairs[key] = acc
+				}
+				acc.dot += centered[a] * centered[b]
+				acc.sqA += centered[a] * centered[a]
+				acc.sqB += centered[b] * centered[b]
+				acc.overlap++
+			}
+		}
+	}
+
+	selectors := make(map[model.ItemID]*topk.Selector)
+	sel := func(i model.ItemID) *topk.Selector {
+		s, ok := selectors[i]
+		if !ok {
+			s = topk.NewSelector(modelK)
+			selectors[i] = s
+		}
+		return s
+	}
+	for key, acc := range pairs {
+		if acc.overlap < minOverlap {
+			continue
+		}
+		if acc.sqA == 0 || acc.sqB == 0 {
+			continue
+		}
+		sim := acc.dot / (math.Sqrt(acc.sqA) * math.Sqrt(acc.sqB))
+		if sim <= 0 {
+			continue // negative/zero item similarity carries no weight here
+		}
+		if sim > 1 {
+			sim = 1
+		}
+		sel(key.a).Push(model.ScoredItem{Item: key.b, Score: sim})
+		sel(key.b).Push(model.ScoredItem{Item: key.a, Score: sim})
+	}
+
+	neighbors := make(map[model.ItemID][]model.ScoredItem, len(selectors))
+	for i, s := range selectors {
+		neighbors[i] = s.Result()
+	}
+	r.mu.Lock()
+	r.neighbors, r.built = neighbors, true
+	r.mu.Unlock()
+	return nil
+}
+
+// Neighbors returns item i's neighbor list (similarity-descending).
+func (r *Recommender) Neighbors(i model.ItemID) ([]model.ScoredItem, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.built {
+		return nil, ErrNotBuilt
+	}
+	return append([]model.ScoredItem(nil), r.neighbors[i]...), nil
+}
+
+// ItemSimilarity returns the modeled similarity between two items
+// (ok=false when the pair is not in either neighbor list).
+func (r *Recommender) ItemSimilarity(a, b model.ItemID) (float64, bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.built {
+		return 0, false, ErrNotBuilt
+	}
+	for _, n := range r.neighbors[a] {
+		if n.Item == b {
+			return n.Score, true, nil
+		}
+	}
+	for _, n := range r.neighbors[b] {
+		if n.Item == a {
+			return n.Score, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// Relevance predicts the rating of item i by user u. ok=false when u
+// rated none of i's neighbors.
+func (r *Recommender) Relevance(u model.UserID, i model.ItemID) (float64, bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.built {
+		return 0, false, ErrNotBuilt
+	}
+	var num, den float64
+	for _, n := range r.neighbors[i] {
+		if v, ok := r.Store.Rating(u, n.Item); ok {
+			num += n.Score * float64(v)
+			den += n.Score
+		}
+	}
+	if den == 0 {
+		return 0, false, nil
+	}
+	return num / den, true, nil
+}
+
+// Recommend returns the user's top-k unrated items.
+func (r *Recommender) Recommend(u model.UserID, k int) ([]model.ScoredItem, error) {
+	r.mu.RLock()
+	if !r.built {
+		r.mu.RUnlock()
+		return nil, ErrNotBuilt
+	}
+	// score candidates reachable from the user's rated items
+	scores := make(map[model.ItemID]*struct{ num, den float64 })
+	r.Store.VisitUserRatings(u, func(j model.ItemID, v model.Rating) bool {
+		for _, n := range r.neighbors[j] {
+			acc, ok := scores[n.Item]
+			if !ok {
+				acc = &struct{ num, den float64 }{}
+				scores[n.Item] = acc
+			}
+			acc.num += n.Score * float64(v)
+			acc.den += n.Score
+			_ = n
+		}
+		return true
+	})
+	r.mu.RUnlock()
+
+	sel := topk.NewSelector(k)
+	for i, acc := range scores {
+		if r.Store.HasRated(u, i) || acc.den == 0 {
+			continue
+		}
+		sel.Push(model.ScoredItem{Item: i, Score: acc.num / acc.den})
+	}
+	return sel.Result(), nil
+}
+
+// ModelSize returns (items with neighbors, total neighbor edges) for
+// diagnostics.
+func (r *Recommender) ModelSize() (items, edges int, err error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.built {
+		return 0, 0, ErrNotBuilt
+	}
+	for _, ns := range r.neighbors {
+		edges += len(ns)
+	}
+	return len(r.neighbors), edges, nil
+}
+
+// DumpNeighbors renders the model for debugging, item-ascending.
+func (r *Recommender) DumpNeighbors(limit int) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.built {
+		return "", ErrNotBuilt
+	}
+	items := make([]model.ItemID, 0, len(r.neighbors))
+	for i := range r.neighbors {
+		items = append(items, i)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	if limit > 0 && limit < len(items) {
+		items = items[:limit]
+	}
+	out := ""
+	for _, i := range items {
+		out += fmt.Sprintf("%s:", i)
+		for _, n := range r.neighbors[i] {
+			out += fmt.Sprintf(" %s=%.3f", n.Item, n.Score)
+		}
+		out += "\n"
+	}
+	return out, nil
+}

@@ -1,0 +1,288 @@
+// Package mapreduce is an in-process, generics-based MapReduce engine —
+// the substrate for the paper's §IV implementation. It reproduces the
+// programming model the paper describes ("the Map phase receives a set
+// of (key, value) pairs and transforms it into a new output set of
+// pairs; the Reduce phase receives a set of (key, value) pairs that
+// share the same key ... and performs a summary operation") with real
+// parallelism, a hash-partitioned shuffle with a barrier between
+// phases, optional combiners, counters, deterministic output order,
+// context cancellation and worker panic recovery.
+//
+// A cluster scheduler is intentionally out of scope: the paper's three
+// jobs are pure (key, value) contracts, so an in-process engine with a
+// genuine shuffle exercises the same dataflow while letting tests
+// assert exact equivalence against the non-MapReduce implementation
+// (see DESIGN.md §2).
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNoJob is returned when a job is missing its Map or Reduce
+// function.
+var ErrNoJob = errors.New("mapreduce: job needs Map and Reduce functions")
+
+// MapFunc transforms one input record into zero or more (key, value)
+// pairs via emit. Returning an error aborts the job.
+type MapFunc[I any, K comparable, V any] func(in I, emit func(K, V)) error
+
+// ReduceFunc folds all values that share a key into zero or more
+// outputs via emit. Returning an error aborts the job.
+type ReduceFunc[K comparable, V any, O any] func(key K, values []V, emit func(O)) error
+
+// CombineFunc optionally pre-aggregates a mapper's local values for a
+// key before the shuffle, cutting shuffle volume (the classic
+// combiner).
+type CombineFunc[K comparable, V any] func(key K, values []V) []V
+
+// Stats counts job activity; all fields are totals across workers.
+type Stats struct {
+	MapInputs     int64 // records offered to Map
+	MapOutputs    int64 // pairs emitted by Map
+	CombineInputs int64 // values entering combiners
+	ShufflePairs  int64 // pairs crossing the shuffle barrier
+	ReduceKeys    int64 // distinct keys reduced
+	ReduceOutputs int64 // outputs emitted by Reduce
+}
+
+// Job configures one MapReduce execution. The zero value of the
+// optional fields is usable: defaults are NumCPU map workers, one
+// reduce partition per map worker, an FNV-over-%v partitioner and a
+// %v-based key order.
+type Job[I any, K comparable, V any, O any] struct {
+	// Name labels errors and traces.
+	Name string
+	// Map and Reduce are required.
+	Map    MapFunc[I, K, V]
+	Reduce ReduceFunc[K, V, O]
+	// Combine is optional.
+	Combine CombineFunc[K, V]
+	// Mappers and Reducers bound the worker pools; values < 1 default
+	// to runtime.NumCPU (mappers) and Mappers (reducers).
+	Mappers  int
+	Reducers int
+	// Hash partitions keys; it must be deterministic across runs.
+	// Defaults to FNV-1a over fmt.Sprintf("%v", key).
+	Hash func(K) uint64
+	// KeyLess orders keys within a reduce partition so output order is
+	// deterministic. Defaults to comparing fmt.Sprintf("%v", key).
+	KeyLess func(a, b K) bool
+}
+
+func (j *Job[I, K, V, O]) name() string {
+	if j.Name == "" {
+		return "mapreduce"
+	}
+	return j.Name
+}
+
+func (j *Job[I, K, V, O]) mappers() int {
+	if j.Mappers > 0 {
+		return j.Mappers
+	}
+	return runtime.NumCPU()
+}
+
+func (j *Job[I, K, V, O]) reducers() int {
+	if j.Reducers > 0 {
+		return j.Reducers
+	}
+	return j.mappers()
+}
+
+func (j *Job[I, K, V, O]) hash() func(K) uint64 {
+	if j.Hash != nil {
+		return j.Hash
+	}
+	return func(k K) uint64 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%v", k)
+		return h.Sum64()
+	}
+}
+
+func (j *Job[I, K, V, O]) keyLess() func(a, b K) bool {
+	if j.KeyLess != nil {
+		return j.KeyLess
+	}
+	return func(a, b K) bool {
+		return fmt.Sprintf("%v", a) < fmt.Sprintf("%v", b)
+	}
+}
+
+// Run executes the job over inputs and returns the reduce outputs in
+// deterministic order: reduce partitions in index order, keys in
+// KeyLess order within each partition, and emit order within a key.
+func (j *Job[I, K, V, O]) Run(ctx context.Context, inputs []I) ([]O, Stats, error) {
+	var stats Stats
+	if j.Map == nil || j.Reduce == nil {
+		return nil, stats, fmt.Errorf("%s: %w", j.name(), ErrNoJob)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nMap, nRed := j.mappers(), j.reducers()
+	hash := j.hash()
+
+	// ---- map phase -------------------------------------------------------
+	// Each map worker owns a private set of per-partition buffers, so
+	// no locking inside the hot emit path.
+	type partition map[K][]V
+	workerParts := make([][]partition, nMap)
+	for w := range workerParts {
+		workerParts[w] = make([]partition, nRed)
+		for p := range workerParts[w] {
+			workerParts[w][p] = make(partition)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var firstErr atomic.Value // error
+
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		if firstErr.CompareAndSwap(nil, err) {
+			cancel()
+		}
+	}
+
+	var wg sync.WaitGroup
+	chunk := (len(inputs) + nMap - 1) / nMap
+	for w := 0; w < nMap; w++ {
+		lo := w * chunk
+		if lo >= len(inputs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("%s: map worker %d panic: %v", j.name(), w, r))
+				}
+			}()
+			parts := workerParts[w]
+			emit := func(k K, v V) {
+				atomic.AddInt64(&stats.MapOutputs, 1)
+				p := parts[hash(k)%uint64(nRed)]
+				p[k] = append(p[k], v)
+			}
+			for rec := lo; rec < hi; rec++ {
+				if ctx.Err() != nil {
+					return
+				}
+				atomic.AddInt64(&stats.MapInputs, 1)
+				if err := j.Map(inputs[rec], emit); err != nil {
+					fail(fmt.Errorf("%s: map record %d: %w", j.name(), rec, err))
+					return
+				}
+			}
+			if j.Combine != nil {
+				for _, p := range parts {
+					for k, vs := range p {
+						atomic.AddInt64(&stats.CombineInputs, int64(len(vs)))
+						p[k] = j.Combine(k, vs)
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, stats, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("%s: %w", j.name(), err)
+	}
+
+	// ---- shuffle barrier ---------------------------------------------------
+	merged := make([]partition, nRed)
+	for p := 0; p < nRed; p++ {
+		merged[p] = make(partition)
+		for w := range workerParts {
+			if workerParts[w] == nil {
+				continue
+			}
+			for k, vs := range workerParts[w][p] {
+				merged[p][k] = append(merged[p][k], vs...)
+				atomic.AddInt64(&stats.ShufflePairs, int64(len(vs)))
+			}
+		}
+	}
+
+	// ---- reduce phase --------------------------------------------------------
+	keyLess := j.keyLess()
+	outs := make([][]O, nRed)
+	wg = sync.WaitGroup{}
+	for p := 0; p < nRed; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("%s: reduce partition %d panic: %v", j.name(), p, r))
+				}
+			}()
+			part := merged[p]
+			keys := make([]K, 0, len(part))
+			for k := range part {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool { return keyLess(keys[a], keys[b]) })
+			emit := func(o O) {
+				atomic.AddInt64(&stats.ReduceOutputs, 1)
+				outs[p] = append(outs[p], o)
+			}
+			for _, k := range keys {
+				if ctx.Err() != nil {
+					return
+				}
+				atomic.AddInt64(&stats.ReduceKeys, 1)
+				if err := j.Reduce(k, part[k], emit); err != nil {
+					fail(fmt.Errorf("%s: reduce key %v: %w", j.name(), k, err))
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, stats, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("%s: %w", j.name(), err)
+	}
+
+	var out []O
+	for p := 0; p < nRed; p++ {
+		out = append(out, outs[p]...)
+	}
+	return out, stats, nil
+}
+
+// StringKeyLess is a ready-made KeyLess for string keys (avoids the
+// fmt-based default).
+func StringKeyLess(a, b string) bool { return a < b }
+
+// StringHash is a ready-made deterministic Hash for string keys.
+func StringHash(s string) uint64 {
+	h := fnv.New64a()
+	// fnv's Write never fails.
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,379 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type kv struct {
+	Key   string
+	Count int
+}
+
+// wordCountJob is the canonical engine exerciser.
+func wordCountJob(mappers, reducers int, combine bool) *Job[string, string, int, kv] {
+	j := &Job[string, string, int, kv]{
+		Name: "wordcount",
+		Map: func(line string, emit func(string, int)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Reduce: func(key string, values []int, emit func(kv)) error {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			emit(kv{key, sum})
+			return nil
+		},
+		Mappers:  mappers,
+		Reducers: reducers,
+		Hash:     StringHash,
+		KeyLess:  StringKeyLess,
+	}
+	if combine {
+		j.Combine = func(key string, values []int) []int {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			return []int{sum}
+		}
+	}
+	return j
+}
+
+var corpus = []string{
+	"the quick brown fox",
+	"jumps over the lazy dog",
+	"the dog barks",
+	"quick quick fox",
+}
+
+func wantWordCounts() map[string]int {
+	return map[string]int{
+		"the": 3, "quick": 3, "brown": 1, "fox": 2, "jumps": 1,
+		"over": 1, "lazy": 1, "dog": 2, "barks": 1,
+	}
+}
+
+func asMap(out []kv) map[string]int {
+	m := make(map[string]int, len(out))
+	for _, o := range out {
+		m[o.Key] += o.Count
+	}
+	return m
+}
+
+func TestWordCount(t *testing.T) {
+	out, stats, err := wordCountJob(3, 2, false).Run(context.Background(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := asMap(out); !reflect.DeepEqual(got, wantWordCounts()) {
+		t.Errorf("counts = %v, want %v", got, wantWordCounts())
+	}
+	if stats.MapInputs != 4 {
+		t.Errorf("MapInputs = %d, want 4", stats.MapInputs)
+	}
+	if stats.MapOutputs != 15 {
+		t.Errorf("MapOutputs = %d, want 15", stats.MapOutputs)
+	}
+	if stats.ReduceKeys != 9 {
+		t.Errorf("ReduceKeys = %d, want 9", stats.ReduceKeys)
+	}
+	if stats.ReduceOutputs != int64(len(out)) {
+		t.Errorf("ReduceOutputs = %d, want %d", stats.ReduceOutputs, len(out))
+	}
+}
+
+func TestCombinerCutsShuffleVolume(t *testing.T) {
+	inputs := make([]string, 50)
+	for i := range inputs {
+		inputs[i] = "alpha alpha beta"
+	}
+	_, without, err := wordCountJob(4, 2, false).Run(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outC, with, err := wordCountJob(4, 2, true).Run(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := asMap(outC); got["alpha"] != 100 || got["beta"] != 50 {
+		t.Errorf("combined counts wrong: %v", got)
+	}
+	if with.ShufflePairs >= without.ShufflePairs {
+		t.Errorf("combiner did not reduce shuffle: %d vs %d", with.ShufflePairs, without.ShufflePairs)
+	}
+	if with.CombineInputs == 0 {
+		t.Error("combiner never ran")
+	}
+}
+
+func TestDeterministicOutputOrder(t *testing.T) {
+	ref, _, err := wordCountJob(1, 1, false).Run(context.Background(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range [][2]int{{1, 1}, {2, 3}, {8, 4}, {3, 7}} {
+		out, _, err := wordCountJob(cfg[0], cfg[1], false).Run(context.Background(), corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(asMap(out), asMap(ref)) {
+			t.Errorf("mappers=%d reducers=%d: different results", cfg[0], cfg[1])
+		}
+		// repeated runs with the same config must be byte-identical
+		again, _, err := wordCountJob(cfg[0], cfg[1], false).Run(context.Background(), corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, again) {
+			t.Errorf("mappers=%d reducers=%d: nondeterministic order", cfg[0], cfg[1])
+		}
+	}
+}
+
+func TestAllValuesOfAKeyMeetOnce(t *testing.T) {
+	// Reduce must see each key exactly once with all its values,
+	// regardless of how mappers partition the work.
+	inputs := make([]string, 200)
+	rng := rand.New(rand.NewSource(9))
+	want := map[string]int{}
+	for i := range inputs {
+		w := fmt.Sprintf("w%d", rng.Intn(20))
+		inputs[i] = w
+		want[w]++
+	}
+	j := wordCountJob(7, 5, false)
+	out, stats, err := j.Run(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, o := range out {
+		seen[o.Key]++
+		if seen[o.Key] > 1 {
+			t.Errorf("key %s reduced more than once", o.Key)
+		}
+	}
+	if !reflect.DeepEqual(asMap(out), want) {
+		t.Errorf("counts = %v, want %v", asMap(out), want)
+	}
+	if stats.ShufflePairs != 200 {
+		t.Errorf("ShufflePairs = %d, want 200", stats.ShufflePairs)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, stats, err := wordCountJob(4, 4, false).Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || stats.MapInputs != 0 || stats.ReduceKeys != 0 {
+		t.Errorf("empty input produced %v / %+v", out, stats)
+	}
+}
+
+func TestMissingFunctions(t *testing.T) {
+	j := &Job[string, string, int, kv]{}
+	if _, _, err := j.Run(context.Background(), corpus); !errors.Is(err, ErrNoJob) {
+		t.Errorf("missing funcs: %v", err)
+	}
+}
+
+func TestMapErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	j := wordCountJob(4, 2, false)
+	j.Map = func(line string, emit func(string, int)) error {
+		if strings.Contains(line, "lazy") {
+			return boom
+		}
+		emit(line, 1)
+		return nil
+	}
+	_, _, err := j.Run(context.Background(), corpus)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestReduceErrorAborts(t *testing.T) {
+	boom := errors.New("reduce-boom")
+	j := wordCountJob(2, 2, false)
+	j.Reduce = func(key string, values []int, emit func(kv)) error {
+		if key == "dog" {
+			return boom
+		}
+		emit(kv{key, len(values)})
+		return nil
+	}
+	_, _, err := j.Run(context.Background(), corpus)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want reduce-boom", err)
+	}
+}
+
+func TestMapPanicRecovered(t *testing.T) {
+	j := wordCountJob(3, 2, false)
+	j.Map = func(line string, emit func(string, int)) error {
+		if strings.Contains(line, "barks") {
+			panic("map exploded")
+		}
+		return nil
+	}
+	_, _, err := j.Run(context.Background(), corpus)
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Errorf("err = %v, want panic error", err)
+	}
+}
+
+func TestReducePanicRecovered(t *testing.T) {
+	j := wordCountJob(3, 2, false)
+	j.Reduce = func(key string, values []int, emit func(kv)) error {
+		panic("reduce exploded")
+	}
+	_, _, err := j.Run(context.Background(), corpus)
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Errorf("err = %v, want panic error", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before start
+	_, _, err := wordCountJob(2, 2, false).Run(ctx, corpus)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNilContextDefaults(t *testing.T) {
+	//lint:ignore SA1012 exercising the nil-context fallback on purpose
+	out, _, err := wordCountJob(2, 2, false).Run(nil, corpus) //nolint:staticcheck
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(asMap(out), wantWordCounts()) {
+		t.Error("nil ctx changed results")
+	}
+}
+
+func TestDefaultHashAndKeyLess(t *testing.T) {
+	// integer keys exercise the fmt-based defaults
+	j := &Job[int, int, int, [2]int]{
+		Map: func(in int, emit func(int, int)) error {
+			emit(in%5, in)
+			return nil
+		},
+		Reduce: func(key int, values []int, emit func([2]int)) error {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			emit([2]int{key, sum})
+			return nil
+		},
+		Mappers:  3,
+		Reducers: 1, // single partition → output strictly in KeyLess order
+	}
+	inputs := make([]int, 50)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	out, _, err := j.Run(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("out = %v", out)
+	}
+	for i := 1; i < len(out); i++ {
+		if fmt.Sprint(out[i-1][0]) >= fmt.Sprint(out[i][0]) {
+			t.Errorf("keys out of order: %v", out)
+		}
+	}
+	total := 0
+	for _, o := range out {
+		total += o[1]
+	}
+	if total != 49*50/2 {
+		t.Errorf("sum = %d, want %d", total, 49*50/2)
+	}
+}
+
+func TestMultiEmitReduce(t *testing.T) {
+	// one reduce key may emit several outputs, all preserved in order
+	j := &Job[string, string, int, string]{
+		Map: func(in string, emit func(string, int)) error {
+			emit("k", 1)
+			return nil
+		},
+		Reduce: func(key string, values []int, emit func(string)) error {
+			emit(key + "-first")
+			emit(key + "-second")
+			return nil
+		},
+		Mappers: 2, Reducers: 2,
+		Hash: StringHash, KeyLess: StringKeyLess,
+	}
+	out, _, err := j.Run(context.Background(), []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []string{"k-first", "k-second"}) {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestStringHashDeterministic(t *testing.T) {
+	if StringHash("abc") != StringHash("abc") {
+		t.Error("StringHash not stable")
+	}
+	if StringHash("abc") == StringHash("abd") {
+		t.Error("suspicious collision on near keys (fnv should differ)")
+	}
+	if !StringKeyLess("a", "b") || StringKeyLess("b", "a") {
+		t.Error("StringKeyLess wrong")
+	}
+}
+
+func TestMoreWorkersThanInputs(t *testing.T) {
+	out, _, err := wordCountJob(32, 16, false).Run(context.Background(), corpus[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := asMap(out); got["quick"] != 1 || got["the"] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+func TestLargeRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inputs := make([]string, 3000)
+	want := map[string]int{}
+	for i := range inputs {
+		var words []string
+		for w := 0; w < 1+rng.Intn(5); w++ {
+			word := fmt.Sprintf("w%02d", rng.Intn(40))
+			words = append(words, word)
+			want[word]++
+		}
+		inputs[i] = strings.Join(words, " ")
+	}
+	out, _, err := wordCountJob(8, 6, true).Run(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(asMap(out), want) {
+		t.Error("parallel combined run diverges from sequential reference")
+	}
+}

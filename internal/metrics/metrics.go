@@ -1,0 +1,342 @@
+// Package metrics provides standard recommender-quality measures and a
+// holdout evaluation harness. The paper's preliminary evaluation (§VI)
+// reports only running time; a production recommender also needs
+// accuracy instrumentation — prediction error (RMSE/MAE), ranking
+// quality (precision/recall/nDCG@k), and coverage — to tune δ,
+// MinOverlap and the similarity measure. This package supplies those,
+// stdlib-only, with the usual definitions:
+//
+//	RMSE  = sqrt(Σ(p−a)²/n)
+//	MAE   = Σ|p−a|/n
+//	P@k   = |top-k ∩ relevant| / k
+//	R@k   = |top-k ∩ relevant| / |relevant|
+//	nDCG@k = DCG@k / IDCG@k, DCG = Σ gain_i / log2(i+1)
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fairhealth/internal/cf"
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/simfn"
+)
+
+// ErrNoPredictions is returned when an error metric gets no samples.
+var ErrNoPredictions = errors.New("metrics: no predictions")
+
+// Prediction pairs a predicted score with the observed rating.
+type Prediction struct {
+	Predicted float64
+	Actual    float64
+}
+
+// RMSE returns the root mean squared error over preds.
+func RMSE(preds []Prediction) (float64, error) {
+	if len(preds) == 0 {
+		return 0, ErrNoPredictions
+	}
+	var sum float64
+	for _, p := range preds {
+		d := p.Predicted - p.Actual
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(preds))), nil
+}
+
+// MAE returns the mean absolute error over preds.
+func MAE(preds []Prediction) (float64, error) {
+	if len(preds) == 0 {
+		return 0, ErrNoPredictions
+	}
+	var sum float64
+	for _, p := range preds {
+		sum += math.Abs(p.Predicted - p.Actual)
+	}
+	return sum / float64(len(preds)), nil
+}
+
+// PrecisionAtK returns |top-k ∩ relevant| / min(k, len(ranked)); 0 when
+// the list is empty or k < 1.
+func PrecisionAtK(ranked []model.ItemID, relevant model.ItemSet, k int) float64 {
+	if k < 1 || len(ranked) == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	hits := 0
+	for _, item := range ranked[:k] {
+		if relevant.Has(item) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK returns |top-k ∩ relevant| / |relevant|; 0 when relevant is
+// empty.
+func RecallAtK(ranked []model.ItemID, relevant model.ItemSet, k int) float64 {
+	if len(relevant) == 0 || k < 1 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	hits := 0
+	for _, item := range ranked[:k] {
+		if relevant.Has(item) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// F1AtK is the harmonic mean of P@k and R@k (0 when either is 0).
+func F1AtK(ranked []model.ItemID, relevant model.ItemSet, k int) float64 {
+	p := PrecisionAtK(ranked, relevant, k)
+	r := RecallAtK(ranked, relevant, k)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// NDCGAtK computes normalized discounted cumulative gain with graded
+// gains (items absent from gains contribute 0). Returns 0 when the
+// ideal DCG is 0.
+func NDCGAtK(ranked []model.ItemID, gains map[model.ItemID]float64, k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	var dcg float64
+	for i := 0; i < k; i++ {
+		if g, ok := gains[ranked[i]]; ok && g > 0 {
+			dcg += g / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := make([]float64, 0, len(gains))
+	for _, g := range gains {
+		if g > 0 {
+			ideal = append(ideal, g)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	var idcg float64
+	for i := 0; i < len(ideal) && i < k; i++ {
+		idcg += ideal[i] / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// CatalogCoverage returns the fraction of the catalog that appears in
+// at least one recommendation list.
+func CatalogCoverage(lists [][]model.ItemID, catalogSize int) float64 {
+	if catalogSize <= 0 {
+		return 0
+	}
+	seen := model.ItemSet{}
+	for _, l := range lists {
+		for _, i := range l {
+			seen.Add(i)
+		}
+	}
+	return float64(len(seen)) / float64(catalogSize)
+}
+
+// ---------------------------------------------------------------------------
+// holdout evaluation harness
+
+// Predictor is the model-under-test contract. cf.Recommender is
+// adapted via CFFactory.
+type Predictor interface {
+	// Predict estimates the rating of item i by user u; ok=false when
+	// the model cannot produce an estimate.
+	Predict(u model.UserID, i model.ItemID) (score float64, ok bool)
+	// Recommend returns the user's top-k list over unrated items.
+	Recommend(u model.UserID, k int) []model.ScoredItem
+}
+
+// Factory builds a Predictor from a training store.
+type Factory func(train *ratings.Store) (Predictor, error)
+
+// cfPredictor adapts cf.Recommender to Predictor.
+type cfPredictor struct{ rec *cf.Recommender }
+
+func (p cfPredictor) Predict(u model.UserID, i model.ItemID) (float64, bool) {
+	score, ok, err := p.rec.Relevance(u, i)
+	if err != nil || !ok {
+		return 0, false
+	}
+	return score, true
+}
+
+func (p cfPredictor) Recommend(u model.UserID, k int) []model.ScoredItem {
+	recs, err := p.rec.Recommend(u, k)
+	if err != nil {
+		return nil
+	}
+	return recs
+}
+
+// CFFactory returns a Factory for the paper's CF model with
+// ratings-Pearson similarity, threshold δ and MinOverlap.
+func CFFactory(delta float64, minOverlap int) Factory {
+	return func(train *ratings.Store) (Predictor, error) {
+		return cfPredictor{rec: &cf.Recommender{
+			Store:           train,
+			Sim:             simfn.NewCached(simfn.Normalized{S: simfn.Pearson{Store: train, MinOverlap: minOverlap}}),
+			Delta:           delta,
+			RequirePositive: true,
+		}}, nil
+	}
+}
+
+// HoldoutConfig parameterizes EvaluateHoldout.
+type HoldoutConfig struct {
+	// Seed drives the train/test split.
+	Seed int64
+	// TestFraction of each user's ratings is withheld (default 0.2).
+	TestFraction float64
+	// K is the recommendation list size for ranking metrics
+	// (default 10).
+	K int
+	// RelevantThreshold marks a withheld rating as "relevant" for
+	// precision/recall (default 4).
+	RelevantThreshold float64
+}
+
+func (c HoldoutConfig) withDefaults() HoldoutConfig {
+	if c.TestFraction <= 0 || c.TestFraction >= 1 {
+		c.TestFraction = 0.2
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.RelevantThreshold == 0 {
+		c.RelevantThreshold = 4
+	}
+	return c
+}
+
+// Report is the harness output.
+type Report struct {
+	RMSE, MAE float64
+	// PredictionCoverage is the fraction of withheld pairs the model
+	// could score at all.
+	PredictionCoverage float64
+	// Ranking metrics averaged over users with ≥1 relevant withheld
+	// item.
+	PrecisionAtK, RecallAtK, F1AtK, NDCGAtK float64
+	// CatalogCoverage over all users' top-k lists.
+	CatalogCoverage float64
+	// Sizes.
+	TrainRatings, TestRatings, UsersEvaluated int
+}
+
+// Split partitions a store into train/test by withholding a fraction
+// of each user's ratings (per-user, so every user keeps history).
+// Users with fewer than 3 ratings are never split.
+func Split(store *ratings.Store, seed int64, testFraction float64) (train, test *ratings.Store, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	train, test = ratings.New(), ratings.New()
+	for _, u := range store.Users() {
+		items := store.ItemsRatedBy(u)
+		rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+		nTest := int(float64(len(items)) * testFraction)
+		if len(items) < 3 {
+			nTest = 0
+		}
+		for k, item := range items {
+			r, _ := store.Rating(u, item)
+			dst := train
+			if k < nTest {
+				dst = test
+			}
+			if err := dst.Add(u, item, r); err != nil {
+				return nil, nil, fmt.Errorf("metrics: split: %w", err)
+			}
+		}
+	}
+	return train, test, nil
+}
+
+// EvaluateHoldout withholds a per-user fraction of ratings, trains the
+// factory's model on the remainder and scores it on the withheld part.
+func EvaluateHoldout(store *ratings.Store, factory Factory, cfg HoldoutConfig) (Report, error) {
+	cfg = cfg.withDefaults()
+	train, test, err := Split(store, cfg.Seed, cfg.TestFraction)
+	if err != nil {
+		return Report{}, err
+	}
+	pred, err := factory(train)
+	if err != nil {
+		return Report{}, fmt.Errorf("metrics: factory: %w", err)
+	}
+
+	var preds []Prediction
+	attempted := 0
+	var pSum, rSum, fSum, nSum float64
+	usersEvaluated := 0
+	var allLists [][]model.ItemID
+
+	for _, u := range test.Users() {
+		// error metrics over withheld pairs
+		relevant := model.ItemSet{}
+		gains := map[model.ItemID]float64{}
+		for _, item := range test.ItemsRatedBy(u) {
+			actual, _ := test.Rating(u, item)
+			attempted++
+			if score, ok := pred.Predict(u, item); ok {
+				preds = append(preds, Prediction{Predicted: score, Actual: float64(actual)})
+			}
+			if float64(actual) >= cfg.RelevantThreshold {
+				relevant.Add(item)
+				gains[item] = float64(actual)
+			}
+		}
+		// ranking metrics over the user's top-k
+		recs := pred.Recommend(u, cfg.K)
+		rankedIDs := model.ItemsOf(recs)
+		allLists = append(allLists, rankedIDs)
+		if len(relevant) == 0 {
+			continue
+		}
+		usersEvaluated++
+		pSum += PrecisionAtK(rankedIDs, relevant, cfg.K)
+		rSum += RecallAtK(rankedIDs, relevant, cfg.K)
+		fSum += F1AtK(rankedIDs, relevant, cfg.K)
+		nSum += NDCGAtK(rankedIDs, gains, cfg.K)
+	}
+
+	rep := Report{
+		TrainRatings: train.Len(),
+		TestRatings:  test.Len(),
+	}
+	if attempted > 0 {
+		rep.PredictionCoverage = float64(len(preds)) / float64(attempted)
+	}
+	if len(preds) > 0 {
+		rep.RMSE, _ = RMSE(preds)
+		rep.MAE, _ = MAE(preds)
+	}
+	if usersEvaluated > 0 {
+		rep.UsersEvaluated = usersEvaluated
+		rep.PrecisionAtK = pSum / float64(usersEvaluated)
+		rep.RecallAtK = rSum / float64(usersEvaluated)
+		rep.F1AtK = fSum / float64(usersEvaluated)
+		rep.NDCGAtK = nSum / float64(usersEvaluated)
+	}
+	rep.CatalogCoverage = CatalogCoverage(allLists, store.NumItems())
+	return rep, nil
+}

@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fairhealth/internal/dataset"
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+)
+
+func ids(ss ...string) []model.ItemID {
+	out := make([]model.ItemID, len(ss))
+	for k, s := range ss {
+		out[k] = model.ItemID(s)
+	}
+	return out
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	preds := []Prediction{
+		{Predicted: 3, Actual: 5}, // err 2
+		{Predicted: 4, Actual: 4}, // err 0
+		{Predicted: 2, Actual: 1}, // err 1
+	}
+	rmse, err := RMSE(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt((4.0 + 0 + 1) / 3); math.Abs(rmse-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", rmse, want)
+	}
+	mae, err := MAE(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.0; math.Abs(mae-want) > 1e-12 {
+		t.Errorf("MAE = %v, want %v", mae, want)
+	}
+	if _, err := RMSE(nil); !errors.Is(err, ErrNoPredictions) {
+		t.Errorf("empty RMSE: %v", err)
+	}
+	if _, err := MAE(nil); !errors.Is(err, ErrNoPredictions) {
+		t.Errorf("empty MAE: %v", err)
+	}
+}
+
+func TestRMSEGeqMAE(t *testing.T) {
+	// RMSE ≥ MAE always (Jensen)
+	preds := []Prediction{{1, 5}, {2, 2.5}, {4, 4.1}, {3, 1}}
+	rmse, _ := RMSE(preds)
+	mae, _ := MAE(preds)
+	if rmse < mae {
+		t.Errorf("RMSE %v < MAE %v", rmse, mae)
+	}
+}
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	ranked := ids("a", "b", "c", "d")
+	relevant := model.NewItemSet("b", "d", "e")
+	if got := PrecisionAtK(ranked, relevant, 2); got != 0.5 {
+		t.Errorf("P@2 = %v, want 0.5", got)
+	}
+	if got := RecallAtK(ranked, relevant, 2); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("R@2 = %v, want 1/3", got)
+	}
+	if got := PrecisionAtK(ranked, relevant, 4); got != 0.5 {
+		t.Errorf("P@4 = %v, want 0.5", got)
+	}
+	if got := RecallAtK(ranked, relevant, 4); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("R@4 = %v, want 2/3", got)
+	}
+	// k beyond list clamps
+	if got := PrecisionAtK(ranked, relevant, 100); got != 0.5 {
+		t.Errorf("P@100 = %v, want 0.5", got)
+	}
+	// degenerate inputs
+	if PrecisionAtK(nil, relevant, 3) != 0 || RecallAtK(ranked, model.ItemSet{}, 3) != 0 {
+		t.Error("degenerate inputs should be 0")
+	}
+	if PrecisionAtK(ranked, relevant, 0) != 0 {
+		t.Error("k=0 should be 0")
+	}
+}
+
+func TestF1AtK(t *testing.T) {
+	ranked := ids("a", "b")
+	relevant := model.NewItemSet("a", "c")
+	p := PrecisionAtK(ranked, relevant, 2) // 0.5
+	r := RecallAtK(ranked, relevant, 2)    // 0.5
+	want := 2 * p * r / (p + r)
+	if got := F1AtK(ranked, relevant, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, want)
+	}
+	if got := F1AtK(ranked, model.NewItemSet("z"), 2); got != 0 {
+		t.Errorf("F1 with no hits = %v", got)
+	}
+}
+
+func TestNDCGAtK(t *testing.T) {
+	gains := map[model.ItemID]float64{"a": 3, "b": 2, "c": 1}
+	// perfect ranking → 1
+	if got := NDCGAtK(ids("a", "b", "c"), gains, 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect nDCG = %v, want 1", got)
+	}
+	// reversed ranking < 1
+	rev := NDCGAtK(ids("c", "b", "a"), gains, 3)
+	if rev >= 1 || rev <= 0 {
+		t.Errorf("reversed nDCG = %v, want in (0,1)", rev)
+	}
+	// hand-computed: ranked (b, a), k=2:
+	// DCG = 2/log2(2) + 3/log2(3); IDCG = 3/log2(2) + 2/log2(3)
+	got := NDCGAtK(ids("b", "a"), gains, 2)
+	want := (2/math.Log2(2) + 3/math.Log2(3)) / (3/math.Log2(2) + 2/math.Log2(3))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("nDCG = %v, want %v", got, want)
+	}
+	// no gains → 0
+	if got := NDCGAtK(ids("a"), map[model.ItemID]float64{}, 1); got != 0 {
+		t.Errorf("empty gains nDCG = %v", got)
+	}
+}
+
+func TestCatalogCoverage(t *testing.T) {
+	lists := [][]model.ItemID{ids("a", "b"), ids("b", "c")}
+	if got := CatalogCoverage(lists, 6); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("coverage = %v, want 0.5", got)
+	}
+	if CatalogCoverage(nil, 10) != 0 || CatalogCoverage(lists, 0) != 0 {
+		t.Error("degenerate coverage should be 0")
+	}
+}
+
+func TestSplitPreservesRatings(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 1, Users: 30, Items: 50, RatingsPerUser: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := Split(ds.Ratings, 7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != ds.Ratings.Len() {
+		t.Errorf("split loses ratings: %d + %d != %d", train.Len(), test.Len(), ds.Ratings.Len())
+	}
+	// no overlap
+	for _, tr := range test.Triples() {
+		if train.HasRated(tr.User, tr.Item) {
+			t.Errorf("pair (%s,%s) in both splits", tr.User, tr.Item)
+		}
+	}
+	// every user keeps training history
+	for _, u := range ds.Ratings.Users() {
+		if train.NumRatedBy(u) == 0 {
+			t.Errorf("user %s lost all training ratings", u)
+		}
+	}
+	// deterministic
+	tr2, te2, err := Split(ds.Ratings, 7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != train.Len() || te2.Len() != test.Len() {
+		t.Error("split not deterministic")
+	}
+}
+
+func TestSplitTinyUsers(t *testing.T) {
+	st := ratings.New()
+	if err := st.Add("u", "a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add("u", "b", 4); err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := Split(st, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.Len() != 0 || train.Len() != 2 {
+		t.Errorf("tiny users must not be split: train=%d test=%d", train.Len(), test.Len())
+	}
+}
+
+func TestEvaluateHoldoutOnSyntheticData(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{
+		Seed: 5, Users: 60, Items: 80, RatingsPerUser: 30, Clusters: 3, Noise: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EvaluateHoldout(ds.Ratings, CFFactory(0.55, 3), HoldoutConfig{Seed: 2, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrainRatings == 0 || rep.TestRatings == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// CF on clustered data must beat the worst-case error bound by a
+	// wide margin and produce sane metrics
+	if rep.RMSE <= 0 || rep.RMSE > 2.0 {
+		t.Errorf("RMSE = %v, want (0, 2]", rep.RMSE)
+	}
+	if rep.MAE > rep.RMSE {
+		t.Errorf("MAE %v > RMSE %v", rep.MAE, rep.RMSE)
+	}
+	if rep.PredictionCoverage <= 0.3 {
+		t.Errorf("prediction coverage = %v, too low", rep.PredictionCoverage)
+	}
+	if rep.UsersEvaluated == 0 {
+		t.Error("no users evaluated for ranking metrics")
+	}
+	for name, v := range map[string]float64{
+		"P@k": rep.PrecisionAtK, "R@k": rep.RecallAtK,
+		"F1@k": rep.F1AtK, "nDCG@k": rep.NDCGAtK, "coverage": rep.CatalogCoverage,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v outside [0,1]", name, v)
+		}
+	}
+}
+
+// TestCFBeatsRandomBaseline: the paper's CF model must outperform a
+// random predictor on the same split — the sanity check behind any
+// recommender evaluation.
+func TestCFBeatsRandomBaseline(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{
+		Seed: 6, Users: 60, Items: 80, RatingsPerUser: 30, Clusters: 3, Noise: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfRep, err := EvaluateHoldout(ds.Ratings, CFFactory(0.55, 3), HoldoutConfig{Seed: 3, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	randRep, err := EvaluateHoldout(ds.Ratings, randomFactory(99), HoldoutConfig{Seed: 3, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfRep.RMSE >= randRep.RMSE {
+		t.Errorf("CF RMSE %v not better than random %v", cfRep.RMSE, randRep.RMSE)
+	}
+	if cfRep.NDCGAtK <= randRep.NDCGAtK {
+		t.Errorf("CF nDCG %v not better than random %v", cfRep.NDCGAtK, randRep.NDCGAtK)
+	}
+}
+
+// randomFactory predicts a deterministic pseudo-random rating per pair.
+func randomFactory(seed int64) Factory {
+	return func(train *ratings.Store) (Predictor, error) {
+		return randomPredictor{seed: seed, store: train}, nil
+	}
+}
+
+type randomPredictor struct {
+	seed  int64
+	store *ratings.Store
+}
+
+func (p randomPredictor) hash(u model.UserID, i model.ItemID) float64 {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(string(u) + "|" + string(i)) {
+		h = (h ^ int64(b)) * 1099511628211
+	}
+	h ^= p.seed
+	if h < 0 {
+		h = -h
+	}
+	return 1 + float64(h%4000)/1000 // 1..5
+}
+
+func (p randomPredictor) Predict(u model.UserID, i model.ItemID) (float64, bool) {
+	return p.hash(u, i), true
+}
+
+func (p randomPredictor) Recommend(u model.UserID, k int) []model.ScoredItem {
+	var out []model.ScoredItem
+	for _, item := range p.store.Items() {
+		if p.store.HasRated(u, item) {
+			continue
+		}
+		out = append(out, model.ScoredItem{Item: item, Score: p.hash(u, item)})
+	}
+	model.SortScoredItems(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package model
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatingValid(t *testing.T) {
+	cases := []struct {
+		r    Rating
+		want bool
+	}{
+		{1, true},
+		{5, true},
+		{3.5, true},
+		{0.999, false},
+		{5.001, false},
+		{-2, false},
+		{0, false},
+	}
+	for _, c := range cases {
+		if got := c.r.Valid(); got != c.want {
+			t.Errorf("Rating(%v).Valid() = %v, want %v", float64(c.r), got, c.want)
+		}
+	}
+}
+
+func TestRatingValidate(t *testing.T) {
+	if err := Rating(3).Validate(); err != nil {
+		t.Fatalf("Validate(3) = %v, want nil", err)
+	}
+	err := Rating(6).Validate()
+	if !errors.Is(err, ErrRatingOutOfRange) {
+		t.Fatalf("Validate(6) = %v, want ErrRatingOutOfRange", err)
+	}
+}
+
+func TestGroupContains(t *testing.T) {
+	g := Group{"a", "b", "c"}
+	if !g.Contains("b") {
+		t.Error("Contains(b) = false, want true")
+	}
+	if g.Contains("d") {
+		t.Error("Contains(d) = true, want false")
+	}
+	if (Group{}).Contains("a") {
+		t.Error("empty group Contains(a) = true")
+	}
+}
+
+func TestGroupDedup(t *testing.T) {
+	g := Group{"a", "b", "a", "c", "b"}
+	got := g.Dedup()
+	want := Group{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Dedup() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dedup() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGroupValidate(t *testing.T) {
+	if err := (Group{"a", "b"}).Validate(); err != nil {
+		t.Errorf("valid group: %v", err)
+	}
+	if err := (Group{}).Validate(); err == nil {
+		t.Error("empty group passed validation")
+	}
+	if err := (Group{"a", "a"}).Validate(); err == nil {
+		t.Error("duplicate members passed validation")
+	}
+	if err := (Group{"a", ""}).Validate(); err == nil {
+		t.Error("empty member id passed validation")
+	}
+}
+
+func TestSortScoredItemsOrdersByScoreThenID(t *testing.T) {
+	items := []ScoredItem{
+		{Item: "d3", Score: 2},
+		{Item: "d1", Score: 5},
+		{Item: "d4", Score: 2},
+		{Item: "d2", Score: 5},
+	}
+	SortScoredItems(items)
+	want := []ItemID{"d1", "d2", "d3", "d4"}
+	for i, w := range want {
+		if items[i].Item != w {
+			t.Fatalf("position %d = %s, want %s (full: %v)", i, items[i].Item, w, items)
+		}
+	}
+}
+
+func TestSortScoredItemsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := make([]ScoredItem, 50)
+	for i := range base {
+		base[i] = ScoredItem{Item: ItemID(string(rune('a' + i%5))), Score: float64(rng.Intn(3))}
+	}
+	a := append([]ScoredItem(nil), base...)
+	b := append([]ScoredItem(nil), base...)
+	rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	SortScoredItems(a)
+	SortScoredItems(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sort not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestItemsOf(t *testing.T) {
+	got := ItemsOf([]ScoredItem{{Item: "x", Score: 1}, {Item: "y", Score: 0}})
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("ItemsOf = %v", got)
+	}
+	if got := ItemsOf(nil); len(got) != 0 {
+		t.Fatalf("ItemsOf(nil) = %v, want empty", got)
+	}
+}
+
+func TestItemSet(t *testing.T) {
+	s := NewItemSet("b", "a")
+	if !s.Has("a") || !s.Has("b") || s.Has("c") {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	s.Add("c")
+	if !s.Has("c") {
+		t.Fatal("Add(c) not visible")
+	}
+	sorted := s.Sorted()
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		t.Fatalf("Sorted() not sorted: %v", sorted)
+	}
+	if len(sorted) != 3 {
+		t.Fatalf("Sorted() len = %d, want 3", len(sorted))
+	}
+}
+
+// Property: Dedup is idempotent and never grows the group.
+func TestGroupDedupProperties(t *testing.T) {
+	f := func(raw []byte) bool {
+		g := make(Group, 0, len(raw))
+		for _, b := range raw {
+			g = append(g, UserID(string(rune('a'+int(b)%8))))
+		}
+		d := g.Dedup()
+		if len(d) > len(g) {
+			return false
+		}
+		dd := d.Dedup()
+		if len(dd) != len(d) {
+			return false
+		}
+		for i := range d {
+			if d[i] != dd[i] {
+				return false
+			}
+		}
+		// every original member survives
+		for _, m := range g {
+			if !d.Contains(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after SortScoredItems scores are non-increasing and equal
+// scores are ID-ascending.
+func TestSortScoredItemsProperty(t *testing.T) {
+	f := func(scores []float64) bool {
+		items := make([]ScoredItem, len(scores))
+		for i, s := range scores {
+			items[i] = ScoredItem{Item: ItemID(string(rune('a' + i%7))), Score: s}
+		}
+		SortScoredItems(items)
+		for i := 1; i < len(items); i++ {
+			if items[i-1].Score < items[i].Score {
+				return false
+			}
+			if items[i-1].Score == items[i].Score && items[i-1].Item > items[i].Item {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,473 @@
+// Package mrpipeline implements §IV of the paper: the group
+// recommender expressed as a chain of MapReduce jobs (Fig. 2) over
+// rating triples, followed by the centralized Algorithm 1.
+//
+//	Job 0 (means)    user → mean rating (needed to mean-center Eq. 2;
+//	                 the paper folds this into its "partial scores").
+//	Job 1 (partial)  item → {candidate item | partial pair-similarity
+//	                 components}: if no group member rated the item it
+//	                 becomes a candidate recommendation; otherwise every
+//	                 (member, non-member) co-rating contributes partial
+//	                 Pearson components.
+//	Job 2 (simU)     (member, other) → finished similarity, kept when
+//	                 ≥ δ (Def. 1).
+//	Job 3 (relevance) item → per-member Eq. 1 relevance plus the two
+//	                 Def. 2 aggregations (min and avg), as the paper's
+//	                 reducer "calculates the two relevance scores and
+//	                 gives them both as output".
+//	Top-k ([5])      optional MapReduce top-k of the group scores with
+//	                 local top-k combiners.
+//
+// The pipeline's results are bit-for-bit comparable with the direct
+// in-memory path (packages cf/group/core); the equivalence tests in
+// this package assert exactly that.
+package mrpipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"fairhealth/internal/core"
+	"fairhealth/internal/group"
+	"fairhealth/internal/mapreduce"
+	"fairhealth/internal/model"
+	"fairhealth/internal/topk"
+)
+
+// Common errors.
+var (
+	// ErrEmptyGroup is returned when the config names no group members.
+	ErrEmptyGroup = errors.New("mrpipeline: empty group")
+	// ErrBadConfig is returned for invalid parameter combinations.
+	ErrBadConfig = errors.New("mrpipeline: bad config")
+)
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Group is the caregiver's patient group G.
+	Group model.Group
+	// Delta is the peer threshold δ applied to the NORMALIZED
+	// similarity (Pearson mapped to [0,1]).
+	Delta float64
+	// MinOverlap is the minimum number of co-rated items for a
+	// similarity to be defined (< 1 means 1).
+	MinOverlap int
+	// K sizes the per-member lists A_u used for fairness (Def. 3).
+	K int
+	// Z is the number of final recommendations.
+	Z int
+	// Aggregator chooses the Def. 2 semantics for the final group
+	// score ("min" or "avg"); empty means "avg". Both are always
+	// computed, this only selects which one feeds Algorithm 1.
+	Aggregator string
+	// Mappers/Reducers configure every job's parallelism (0 = engine
+	// defaults).
+	Mappers, Reducers int
+}
+
+func (c *Config) validate() error {
+	if err := c.Group.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrEmptyGroup, err)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("%w: K must be ≥ 1, got %d", ErrBadConfig, c.K)
+	}
+	if c.Z < 1 {
+		return fmt.Errorf("%w: Z must be ≥ 1, got %d", ErrBadConfig, c.Z)
+	}
+	switch c.Aggregator {
+	case "", "min", "avg":
+	default:
+		return fmt.Errorf("%w: aggregator %q (want min|avg)", ErrBadConfig, c.Aggregator)
+	}
+	return nil
+}
+
+// ratingPair is the (user, rating) value of Fig. 2's map outputs.
+type ratingPair struct {
+	User   model.UserID
+	Rating model.Rating
+}
+
+// userMean is Job 0's output.
+type userMean struct {
+	User  model.UserID
+	Mean  float64
+	Count int
+}
+
+// CandidateItem is Job 1's first output: an item no group member has
+// rated, with all its ratings (the input of Job 3).
+type CandidateItem struct {
+	Item    model.ItemID
+	Ratings []ratingPair
+}
+
+// PartialSim is Job 1's second output: one co-rated item's
+// contribution to the Pearson similarity of a (member, non-member)
+// pair.
+type PartialSim struct {
+	Member model.UserID // u_G in the paper
+	Other  model.UserID // the potential peer
+	Prod   float64      // (r_m − μ_m)(r_o − μ_o)
+	SqM    float64      // (r_m − μ_m)²
+	SqO    float64      // (r_o − μ_o)²
+	Count  int          // co-rated items represented (1 per emission)
+}
+
+// job1Out is the tagged union of Job 1's two outputs ("we have two
+// different outputs").
+type job1Out struct {
+	Candidate *CandidateItem
+	Partial   *PartialSim
+}
+
+// SimEdge is Job 2's output: a finished, thresholded similarity.
+type SimEdge struct {
+	Member model.UserID
+	Other  model.UserID
+	Sim    float64 // normalized to [0,1]
+}
+
+// ItemRelevance is Job 3's output.
+type ItemRelevance struct {
+	Item    model.ItemID
+	PerUser map[model.UserID]float64 // Eq. 1 per member (only defined members present)
+	Min     float64                  // Def. 2, veto semantics
+	Avg     float64                  // Def. 2, majority semantics
+	// Defined is true when every group member has a defined Eq. 1
+	// estimate — the domain Def. 2 requires.
+	Defined bool
+}
+
+// Output collects every pipeline artifact.
+type Output struct {
+	// Means is Job 0's result.
+	Means map[model.UserID]float64
+	// Similarities maps member → peer → normalized similarity (Job 2).
+	Similarities map[model.UserID]map[model.UserID]float64
+	// Candidates is Job 1's candidate list, item-ascending.
+	Candidates []CandidateItem
+	// Relevances is Job 3's per-item result, item-ascending, including
+	// items where not every member was defined (Defined=false).
+	Relevances []ItemRelevance
+	// PerUser maps member → item → Eq. 1 relevance over defined
+	// candidates.
+	PerUser map[model.UserID]map[model.ItemID]float64
+	// GroupRel maps item → the configured aggregator's score, defined
+	// candidates only.
+	GroupRel map[model.ItemID]float64
+	// Lists holds each member's A_u (top-K of PerUser).
+	Lists core.UserLists
+	// TopK is the MapReduce top-k ([5]) of GroupRel, best-first.
+	TopK []model.ScoredItem
+	// Fair is the centralized Algorithm 1 result over the pipeline
+	// artifacts ("we perform Algorithm 1 in a centralized manner").
+	Fair core.Result
+	// Stats aggregates engine counters per job, keyed "means", "job1",
+	// "job2", "job3", "topk".
+	Stats map[string]mapreduce.Stats
+}
+
+// pairKeySep separates the two user IDs inside Job 2 keys; \x00 cannot
+// appear in IDs coming from CSV/JSON ingestion.
+const pairKeySep = "\x00"
+
+// Run executes the full pipeline over the rating triples.
+func Run(ctx context.Context, triples []model.Triple, cfg Config) (*Output, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := &Output{Stats: make(map[string]mapreduce.Stats)}
+	members := make(map[model.UserID]bool, len(cfg.Group))
+	for _, u := range cfg.Group {
+		members[u] = true
+	}
+
+	// ---- Job 0: user means --------------------------------------------------
+	meansJob := &mapreduce.Job[model.Triple, string, float64, userMean]{
+		Name: "means",
+		Map: func(t model.Triple, emit func(string, float64)) error {
+			emit(string(t.User), float64(t.Value))
+			return nil
+		},
+		Reduce: func(key string, values []float64, emit func(userMean)) error {
+			var sum float64
+			for _, v := range values {
+				sum += v
+			}
+			emit(userMean{User: model.UserID(key), Mean: sum / float64(len(values)), Count: len(values)})
+			return nil
+		},
+		Mappers: cfg.Mappers, Reducers: cfg.Reducers,
+		Hash: mapreduce.StringHash, KeyLess: mapreduce.StringKeyLess,
+	}
+	meansOut, st, err := meansJob.Run(ctx, triples)
+	if err != nil {
+		return nil, fmt.Errorf("mrpipeline: job 0: %w", err)
+	}
+	out.Stats["means"] = st
+	means := make(map[model.UserID]float64, len(meansOut))
+	for _, m := range meansOut {
+		means[m.User] = m.Mean
+	}
+	out.Means = means
+
+	// ---- Job 1: candidates + partial similarities ---------------------------
+	job1 := &mapreduce.Job[model.Triple, string, ratingPair, job1Out]{
+		Name: "job1",
+		Map: func(t model.Triple, emit func(string, ratingPair)) error {
+			emit(string(t.Item), ratingPair{User: t.User, Rating: t.Value})
+			return nil
+		},
+		Reduce: func(key string, values []ratingPair, emit func(job1Out)) error {
+			item := model.ItemID(key)
+			var memberRatings, otherRatings []ratingPair
+			for _, rp := range values {
+				if members[rp.User] {
+					memberRatings = append(memberRatings, rp)
+				} else {
+					otherRatings = append(otherRatings, rp)
+				}
+			}
+			if len(memberRatings) == 0 {
+				// nobody in the group rated it → candidate recommendation
+				sorted := append([]ratingPair(nil), values...)
+				sort.Slice(sorted, func(a, b int) bool { return sorted[a].User < sorted[b].User })
+				emit(job1Out{Candidate: &CandidateItem{Item: item, Ratings: sorted}})
+				return nil
+			}
+			// partial Pearson components for every (member, non-member)
+			// pair that co-rated this item
+			for _, mr := range memberRatings {
+				mm, ok := means[mr.User]
+				if !ok {
+					return fmt.Errorf("no mean for member %s", mr.User)
+				}
+				dm := float64(mr.Rating) - mm
+				for _, or := range otherRatings {
+					om, ok := means[or.User]
+					if !ok {
+						return fmt.Errorf("no mean for user %s", or.User)
+					}
+					do := float64(or.Rating) - om
+					emit(job1Out{Partial: &PartialSim{
+						Member: mr.User,
+						Other:  or.User,
+						Prod:   dm * do,
+						SqM:    dm * dm,
+						SqO:    do * do,
+						Count:  1,
+					}})
+				}
+			}
+			return nil
+		},
+		Mappers: cfg.Mappers, Reducers: cfg.Reducers,
+		Hash: mapreduce.StringHash, KeyLess: mapreduce.StringKeyLess,
+	}
+	job1Res, st1, err := job1.Run(ctx, triples)
+	if err != nil {
+		return nil, fmt.Errorf("mrpipeline: job 1: %w", err)
+	}
+	out.Stats["job1"] = st1
+	var partials []PartialSim
+	for _, o := range job1Res {
+		switch {
+		case o.Candidate != nil:
+			out.Candidates = append(out.Candidates, *o.Candidate)
+		case o.Partial != nil:
+			partials = append(partials, *o.Partial)
+		}
+	}
+	sort.Slice(out.Candidates, func(a, b int) bool { return out.Candidates[a].Item < out.Candidates[b].Item })
+
+	// ---- Job 2: finish simU and threshold -----------------------------------
+	minOverlap := cfg.MinOverlap
+	if minOverlap < 1 {
+		minOverlap = 1
+	}
+	job2 := &mapreduce.Job[PartialSim, string, PartialSim, SimEdge]{
+		Name: "job2",
+		Map: func(p PartialSim, emit func(string, PartialSim)) error {
+			emit(string(p.Member)+pairKeySep+string(p.Other), p)
+			return nil
+		},
+		Combine: func(key string, parts []PartialSim) []PartialSim {
+			return []PartialSim{sumPartials(parts)}
+		},
+		Reduce: func(key string, parts []PartialSim, emit func(SimEdge)) error {
+			total := sumPartials(parts)
+			if total.Count < minOverlap || total.SqM == 0 || total.SqO == 0 {
+				return nil // undefined similarity
+			}
+			r := total.Prod / (math.Sqrt(total.SqM) * math.Sqrt(total.SqO))
+			if r > 1 {
+				r = 1
+			} else if r < -1 {
+				r = -1
+			}
+			norm := (r + 1) / 2
+			if norm < cfg.Delta {
+				return nil // below δ → not a peer (Def. 1)
+			}
+			ids := strings.SplitN(key, pairKeySep, 2)
+			emit(SimEdge{Member: model.UserID(ids[0]), Other: model.UserID(ids[1]), Sim: norm})
+			return nil
+		},
+		Mappers: cfg.Mappers, Reducers: cfg.Reducers,
+		Hash: mapreduce.StringHash, KeyLess: mapreduce.StringKeyLess,
+	}
+	edges, st2, err := job2.Run(ctx, partials)
+	if err != nil {
+		return nil, fmt.Errorf("mrpipeline: job 2: %w", err)
+	}
+	out.Stats["job2"] = st2
+	out.Similarities = make(map[model.UserID]map[model.UserID]float64, len(cfg.Group))
+	for _, u := range cfg.Group {
+		out.Similarities[u] = make(map[model.UserID]float64)
+	}
+	for _, e := range edges {
+		out.Similarities[e.Member][e.Other] = e.Sim
+	}
+
+	// ---- Job 3: per-user and group relevance ---------------------------------
+	sims := out.Similarities
+	job3 := &mapreduce.Job[CandidateItem, string, ratingPair, ItemRelevance]{
+		Name: "job3",
+		Map: func(c CandidateItem, emit func(string, ratingPair)) error {
+			for _, rp := range c.Ratings {
+				emit(string(c.Item), rp)
+			}
+			return nil
+		},
+		Reduce: func(key string, raters []ratingPair, emit func(ItemRelevance)) error {
+			ir := ItemRelevance{
+				Item:    model.ItemID(key),
+				PerUser: make(map[model.UserID]float64, len(cfg.Group)),
+				Defined: true,
+			}
+			scores := make([]float64, 0, len(cfg.Group))
+			for _, u := range cfg.Group {
+				var num, den float64
+				for _, rp := range raters {
+					if s, ok := sims[u][rp.User]; ok {
+						num += s * float64(rp.Rating)
+						den += s
+					}
+				}
+				if den == 0 {
+					ir.Defined = false
+					continue
+				}
+				rel := num / den
+				ir.PerUser[u] = rel
+				scores = append(scores, rel)
+			}
+			if ir.Defined {
+				ir.Min = group.Minimum{}.Aggregate(scores)
+				ir.Avg = group.Average{}.Aggregate(scores)
+			}
+			emit(ir)
+			return nil
+		},
+		Mappers: cfg.Mappers, Reducers: cfg.Reducers,
+		Hash: mapreduce.StringHash, KeyLess: mapreduce.StringKeyLess,
+	}
+	rels, st3, err := job3.Run(ctx, out.Candidates)
+	if err != nil {
+		return nil, fmt.Errorf("mrpipeline: job 3: %w", err)
+	}
+	out.Stats["job3"] = st3
+	sort.Slice(rels, func(a, b int) bool { return rels[a].Item < rels[b].Item })
+	out.Relevances = rels
+
+	out.PerUser = make(map[model.UserID]map[model.ItemID]float64, len(cfg.Group))
+	for _, u := range cfg.Group {
+		out.PerUser[u] = make(map[model.ItemID]float64)
+	}
+	out.GroupRel = make(map[model.ItemID]float64)
+	useMin := cfg.Aggregator == "min"
+	for _, ir := range rels {
+		if !ir.Defined {
+			continue
+		}
+		for u, s := range ir.PerUser {
+			out.PerUser[u][ir.Item] = s
+		}
+		if useMin {
+			out.GroupRel[ir.Item] = ir.Min
+		} else {
+			out.GroupRel[ir.Item] = ir.Avg
+		}
+	}
+
+	// ---- MapReduce top-k of the group scores ([5]) ---------------------------
+	topK, stT, err := TopKJob(ctx, core.SortedItems(out.GroupRel), cfg.Z, cfg.Mappers)
+	if err != nil {
+		return nil, fmt.Errorf("mrpipeline: topk: %w", err)
+	}
+	out.Stats["topk"] = stT
+	out.TopK = topK
+
+	// ---- centralized Algorithm 1 ---------------------------------------------
+	out.Lists = core.ListsFromRelevances(out.PerUser, cfg.K)
+	fair, err := core.Greedy(core.Input{
+		Group:    cfg.Group,
+		Lists:    out.Lists,
+		GroupRel: out.GroupRel,
+		Rel: func(u model.UserID, i model.ItemID) (float64, bool) {
+			s, ok := out.PerUser[u][i]
+			return s, ok
+		},
+	}, cfg.Z)
+	if err != nil {
+		return nil, fmt.Errorf("mrpipeline: algorithm 1: %w", err)
+	}
+	out.Fair = fair
+	return out, nil
+}
+
+func sumPartials(parts []PartialSim) PartialSim {
+	total := parts[0]
+	for _, p := range parts[1:] {
+		total.Prod += p.Prod
+		total.SqM += p.SqM
+		total.SqO += p.SqO
+		total.Count += p.Count
+	}
+	return total
+}
+
+// TopKJob implements the MapReduce top-k selection of [5] (Efthymiou,
+// Stefanidis, Ntoutsi: "Top-k computations in MapReduce"): mappers
+// fold their split into a local top-k via the combiner, and a single
+// reduce key merges the local winners into the global top-k.
+func TopKJob(ctx context.Context, items []model.ScoredItem, k, mappers int) ([]model.ScoredItem, mapreduce.Stats, error) {
+	job := &mapreduce.Job[model.ScoredItem, string, model.ScoredItem, model.ScoredItem]{
+		Name: "topk",
+		Map: func(it model.ScoredItem, emit func(string, model.ScoredItem)) error {
+			emit("topk", it)
+			return nil
+		},
+		Combine: func(key string, vs []model.ScoredItem) []model.ScoredItem {
+			return topk.Top(vs, k) // local top-k at the mapper
+		},
+		Reduce: func(key string, vs []model.ScoredItem, emit func(model.ScoredItem)) error {
+			for _, it := range topk.Top(vs, k) {
+				emit(it)
+			}
+			return nil
+		},
+		Mappers: mappers, Reducers: 1,
+		Hash: mapreduce.StringHash, KeyLess: mapreduce.StringKeyLess,
+	}
+	return job.Run(ctx, items)
+}

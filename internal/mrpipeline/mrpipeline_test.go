@@ -1,0 +1,415 @@
+package mrpipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fairhealth/internal/cf"
+	"fairhealth/internal/core"
+	"fairhealth/internal/group"
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/simfn"
+	"fairhealth/internal/topk"
+)
+
+func tr(u, i string, v float64) model.Triple {
+	return model.Triple{User: model.UserID(u), Item: model.ItemID(i), Value: model.Rating(v)}
+}
+
+// fixtureTriples builds a hand-analyzable world:
+//   - group members g1, g2 rate q1, q2 (their "profile history")
+//   - peer p1 agrees with the members on q1, q2; peer p2 disagrees
+//   - candidates dA, dB are rated only by the peers
+func fixtureTriples() []model.Triple {
+	return []model.Triple{
+		tr("g1", "q1", 5), tr("g1", "q2", 1),
+		tr("g2", "q1", 5), tr("g2", "q2", 1),
+		tr("p1", "q1", 5), tr("p1", "q2", 1), tr("p1", "dA", 5), tr("p1", "dB", 2),
+		tr("p2", "q1", 1), tr("p2", "q2", 5), tr("p2", "dA", 1), tr("p2", "dB", 4),
+	}
+}
+
+func fixtureConfig() Config {
+	return Config{
+		Group:      model.Group{"g1", "g2"},
+		Delta:      0.5,
+		MinOverlap: 1,
+		K:          2,
+		Z:          2,
+		Aggregator: "avg",
+	}
+}
+
+func TestPipelineFixture(t *testing.T) {
+	out, err := Run(context.Background(), fixtureTriples(), fixtureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1: candidates are exactly the items no member rated
+	if len(out.Candidates) != 2 || out.Candidates[0].Item != "dA" || out.Candidates[1].Item != "dB" {
+		t.Fatalf("candidates = %+v, want dA dB", out.Candidates)
+	}
+	// Job 2: with δ=0.5 only the agreeing peer survives
+	for _, m := range []model.UserID{"g1", "g2"} {
+		sims := out.Similarities[m]
+		if _, ok := sims["p1"]; !ok {
+			t.Errorf("p1 missing from %s's peers: %v", m, sims)
+		}
+		if _, ok := sims["p2"]; ok {
+			t.Errorf("anti-correlated p2 must not be a peer of %s", m)
+		}
+		if _, ok := sims["g1"]; ok {
+			t.Errorf("group members must not appear as peers of %s", m)
+		}
+	}
+	// Job 3: with p1 the only peer, Eq. 1 returns p1's ratings exactly
+	if got := out.PerUser["g1"]["dA"]; got != 5 {
+		t.Errorf("relevance(g1,dA) = %v, want 5", got)
+	}
+	if got := out.PerUser["g2"]["dB"]; got != 2 {
+		t.Errorf("relevance(g2,dB) = %v, want 2", got)
+	}
+	if got := out.GroupRel["dA"]; got != 5 {
+		t.Errorf("groupRel(dA) = %v, want 5", got)
+	}
+	// top-k: dA then dB
+	if len(out.TopK) != 2 || out.TopK[0].Item != "dA" || out.TopK[1].Item != "dB" {
+		t.Errorf("TopK = %v", out.TopK)
+	}
+	// Algorithm 1 with z ≥ |G| → fairness 1 (Prop. 1)
+	if out.Fair.Fairness != 1 {
+		t.Errorf("fairness = %v, want 1", out.Fair.Fairness)
+	}
+	if err := out.Fair.Verify(); err != nil {
+		t.Error(err)
+	}
+	// means job sanity: μ(p1) = 13/4
+	if got := out.Means["p1"]; math.Abs(got-3.25) > 1e-12 {
+		t.Errorf("mean(p1) = %v, want 3.25", got)
+	}
+}
+
+func TestPipelineMinAggregator(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.Aggregator = "min"
+	out, err := Run(context.Background(), fixtureTriples(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// both members have the same single peer, so min == avg here; the
+	// ItemRelevance records must expose both
+	for _, ir := range out.Relevances {
+		if !ir.Defined {
+			continue
+		}
+		if ir.Min > ir.Avg+1e-12 {
+			t.Errorf("item %s: min %v > avg %v", ir.Item, ir.Min, ir.Avg)
+		}
+	}
+	if out.GroupRel["dA"] != 5 {
+		t.Errorf("min groupRel(dA) = %v, want 5", out.GroupRel["dA"])
+	}
+}
+
+func TestPipelineUndefinedMembersExcluded(t *testing.T) {
+	// g3 has no rating history → no peers → no defined candidates for
+	// the group including g3.
+	triples := append(fixtureTriples(), tr("g3", "qq", 3))
+	cfg := fixtureConfig()
+	cfg.Group = model.Group{"g1", "g3"}
+	out, err := Run(context.Background(), triples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.GroupRel) != 0 {
+		t.Errorf("GroupRel = %v, want empty (g3 undefined everywhere)", out.GroupRel)
+	}
+	for _, ir := range out.Relevances {
+		if ir.Defined {
+			t.Errorf("item %s marked defined despite g3", ir.Item)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := fixtureConfig()
+	run := func(mut func(*Config)) error {
+		cfg := base
+		mut(&cfg)
+		_, err := Run(context.Background(), fixtureTriples(), cfg)
+		return err
+	}
+	if err := run(func(c *Config) { c.Group = nil }); !errors.Is(err, ErrEmptyGroup) {
+		t.Errorf("empty group: %v", err)
+	}
+	if err := run(func(c *Config) { c.K = 0 }); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("K=0: %v", err)
+	}
+	if err := run(func(c *Config) { c.Z = 0 }); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("Z=0: %v", err)
+	}
+	if err := run(func(c *Config) { c.Aggregator = "geometric" }); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad aggregator: %v", err)
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.Mappers, cfg.Reducers = 4, 3
+	a, err := Run(context.Background(), fixtureTriples(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), fixtureTriples(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.GroupRel, b.GroupRel) || !reflect.DeepEqual(a.Fair, b.Fair) || !reflect.DeepEqual(a.TopK, b.TopK) {
+		t.Error("pipeline nondeterministic across identical runs")
+	}
+}
+
+func TestTopKJobMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := make([]model.ScoredItem, 500)
+	for i := range items {
+		items[i] = model.ScoredItem{
+			Item:  model.ItemID(fmt.Sprintf("d%03d", i)),
+			Score: rng.Float64() * 10,
+		}
+	}
+	want := topk.Top(items, 7)
+	for _, mappers := range []int{1, 2, 8} {
+		got, _, err := TopKJob(context.Background(), items, 7, mappers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("mappers=%d: TopKJob = %v, want %v", mappers, got, want)
+		}
+	}
+}
+
+// randomTriples builds a dense-enough random world for equivalence
+// testing.
+func randomTriples(seed int64, users, items int, density float64) []model.Triple {
+	rng := rand.New(rand.NewSource(seed))
+	var out []model.Triple
+	for u := 0; u < users; u++ {
+		for i := 0; i < items; i++ {
+			if rng.Float64() < density {
+				out = append(out, tr(fmt.Sprintf("u%02d", u), fmt.Sprintf("d%02d", i), float64(1+rng.Intn(5))))
+			}
+		}
+	}
+	return out
+}
+
+// TestEquivalenceWithDirectPath is the central §IV test: the MapReduce
+// pipeline must agree exactly with the in-memory cf/group/core path on
+// similarities, per-user relevances, group relevances and the final
+// fairness-aware selection.
+func TestEquivalenceWithDirectPath(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		triples := randomTriples(seed, 14, 25, 0.45)
+		cfg := Config{
+			Group:      model.Group{"u00", "u01", "u02"},
+			Delta:      0.55,
+			MinOverlap: 2,
+			K:          4,
+			Z:          5,
+			Aggregator: "avg",
+			Mappers:    4,
+			Reducers:   3,
+		}
+		out, err := Run(context.Background(), triples, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// ---- direct path --------------------------------------------------
+		store, err := ratings.FromTriples(triples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := simfn.Normalized{S: simfn.Pearson{Store: store, MinOverlap: cfg.MinOverlap}}
+		rec := &cf.Recommender{Store: store, Sim: sim, Delta: cfg.Delta}
+		grec := &group.Recommender{Single: rec, Aggr: group.Average{}}
+
+		members := make(map[model.UserID]bool)
+		for _, u := range cfg.Group {
+			members[u] = true
+		}
+
+		// similarities: direct peers (restricted to non-members — the
+		// pipeline never pairs two members, and member-peers cannot
+		// affect candidate relevance because candidates exclude items
+		// any member rated)
+		for _, u := range cfg.Group {
+			direct, err := rec.PeerSet(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for peer := range direct {
+				if members[peer] {
+					delete(direct, peer)
+				}
+			}
+			got := out.Similarities[u]
+			if len(got) != len(direct) {
+				t.Fatalf("seed %d: %s peer sets differ: MR=%v direct=%v", seed, u, got, direct)
+			}
+			for peer, s := range direct {
+				if math.Abs(got[peer]-s) > 1e-9 {
+					t.Errorf("seed %d: sim(%s,%s) MR=%v direct=%v", seed, u, peer, got[peer], s)
+				}
+			}
+		}
+
+		// group relevances
+		directRel, err := grec.GroupRelevances(cfg.Group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(directRel) != len(out.GroupRel) {
+			t.Fatalf("seed %d: candidate sets differ: MR=%d direct=%d\nMR=%v\ndirect=%v",
+				seed, len(out.GroupRel), len(directRel), out.GroupRel, directRel)
+		}
+		for item, want := range directRel {
+			got, ok := out.GroupRel[item]
+			if !ok || math.Abs(got-want) > 1e-9 {
+				t.Errorf("seed %d: groupRel(%s) MR=%v direct=%v", seed, item, got, want)
+			}
+		}
+
+		// per-user relevances over the common candidate domain
+		for _, u := range cfg.Group {
+			all, err := rec.AllRelevances(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for item, got := range out.PerUser[u] {
+				if want, ok := all[item]; !ok || math.Abs(got-want) > 1e-9 {
+					t.Errorf("seed %d: rel(%s,%s) MR=%v direct=%v (ok=%v)", seed, u, item, got, want, ok)
+				}
+			}
+		}
+
+		// final fairness-aware selection: identical inputs → identical
+		// greedy outcome
+		perUser := make(map[model.UserID]map[model.ItemID]float64)
+		for _, u := range cfg.Group {
+			perUser[u] = make(map[model.ItemID]float64)
+			all, _ := rec.AllRelevances(u)
+			for item := range directRel {
+				if s, ok := all[item]; ok {
+					perUser[u][item] = s
+				}
+			}
+		}
+		directFair, err := core.Greedy(core.Input{
+			Group:    cfg.Group,
+			Lists:    core.ListsFromRelevances(perUser, cfg.K),
+			GroupRel: directRel,
+			Rel: func(u model.UserID, i model.ItemID) (float64, bool) {
+				s, ok := perUser[u][i]
+				return s, ok
+			},
+		}, cfg.Z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(directFair.Items, out.Fair.Items) {
+			t.Errorf("seed %d: fair selections differ: MR=%v direct=%v", seed, out.Fair.Items, directFair.Items)
+		}
+		if math.Abs(directFair.Value-out.Fair.Value) > 1e-9 {
+			t.Errorf("seed %d: fair values differ: MR=%v direct=%v", seed, out.Fair.Value, directFair.Value)
+		}
+	}
+}
+
+// TestEquivalenceMinAggregator repeats the group-relevance equivalence
+// under veto semantics.
+func TestEquivalenceMinAggregator(t *testing.T) {
+	triples := randomTriples(42, 12, 20, 0.5)
+	cfg := Config{
+		Group: model.Group{"u00", "u01"}, Delta: 0.5, MinOverlap: 2,
+		K: 3, Z: 4, Aggregator: "min",
+	}
+	out, err := Run(context.Background(), triples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := ratings.FromTriples(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &cf.Recommender{
+		Store: store,
+		Sim:   simfn.Normalized{S: simfn.Pearson{Store: store, MinOverlap: 2}},
+		Delta: cfg.Delta,
+	}
+	grec := &group.Recommender{Single: rec, Aggr: group.Minimum{}}
+	directRel, err := grec.GroupRelevances(cfg.Group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(directRel) != len(out.GroupRel) {
+		t.Fatalf("candidate domains differ: %d vs %d", len(out.GroupRel), len(directRel))
+	}
+	for item, want := range directRel {
+		if math.Abs(out.GroupRel[item]-want) > 1e-9 {
+			t.Errorf("min groupRel(%s): MR=%v direct=%v", item, out.GroupRel[item], want)
+		}
+	}
+}
+
+// TestPipelineScalesWithWorkers sanity-checks that worker counts do not
+// change results (only parallelism).
+func TestPipelineScalesWithWorkers(t *testing.T) {
+	triples := randomTriples(7, 16, 30, 0.4)
+	var ref *Output
+	for _, workers := range []int{1, 2, 8} {
+		cfg := Config{
+			Group: model.Group{"u00", "u03"}, Delta: 0.5, MinOverlap: 2,
+			K: 3, Z: 4, Aggregator: "avg", Mappers: workers, Reducers: workers,
+		}
+		out, err := Run(context.Background(), triples, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		// Floating-point sums reduce in worker-dependent order, so
+		// scores agree only up to round-off — same as any real
+		// MapReduce deployment.
+		if len(ref.GroupRel) != len(out.GroupRel) {
+			t.Fatalf("workers=%d: candidate domains differ", workers)
+		}
+		for item, want := range ref.GroupRel {
+			if got, ok := out.GroupRel[item]; !ok || math.Abs(got-want) > 1e-9 {
+				t.Errorf("workers=%d: groupRel(%s) = %v, want %v", workers, item, got, want)
+			}
+		}
+		if !reflect.DeepEqual(ref.Fair.Items, out.Fair.Items) {
+			t.Errorf("workers=%d: fair selection differs", workers)
+		}
+	}
+}
+
+func TestPipelineCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, fixtureTriples(), fixtureConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,39 @@
+package ontology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures arbitrary input never panics the parser, and that
+// accepted ontologies are valid and serialize/parse to a fixed point.
+func FuzzRead(f *testing.F) {
+	f.Add("r|Root|\nc|Child|r\n")
+	f.Add("# comment\n\nr|Root|\n")
+	f.Add("a|A|b\nb|B|\n") // forward reference
+	f.Add("a|A|a\n")       // self loop
+	f.Add("x|X|y\ny|Y|x\n")
+	f.Add("||")
+	f.Add("r|Root|\nc|Child|r,r\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		o, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("accepted ontology fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := o.WriteTo(&buf); err != nil {
+			t.Fatalf("serialize accepted ontology: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != o.Len() {
+			t.Fatalf("round trip len %d != %d", back.Len(), o.Len())
+		}
+	})
+}

@@ -1,0 +1,512 @@
+// Package ontology implements the semantic-similarity substrate of
+// §V.C: health problems live in an is-a hierarchy (the paper uses
+// SNOMED-CT; package snomed ships a license-free equivalent), the
+// similarity of two problems is derived from the shortest path between
+// their nodes ("longer path means a smaller similarity"), and the
+// overall similarity of two users is the harmonic mean of all pairwise
+// problem similarities (Eq. 4).
+//
+// The hierarchy is a rooted DAG: every concept except the root has one
+// or more parents. Distances are shortest paths in the undirected
+// is-a graph, computed by bidirectional BFS; for the common
+// single-parent (tree) case this equals the classic
+// depth(a)+depth(b)-2·depth(LCA) distance, which the tests
+// cross-check.
+package ontology
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ConceptID identifies a concept (a SNOMED-CT code in the paper).
+type ConceptID string
+
+// Common errors.
+var (
+	// ErrUnknownConcept is returned when a concept is not in the
+	// hierarchy.
+	ErrUnknownConcept = errors.New("ontology: unknown concept")
+	// ErrDuplicateConcept is returned when adding an existing concept.
+	ErrDuplicateConcept = errors.New("ontology: duplicate concept")
+	// ErrCycle is returned when an edge would create a cycle.
+	ErrCycle = errors.New("ontology: is-a cycle")
+	// ErrNoPath is returned when two concepts are not connected (can
+	// only happen in a forest with multiple roots).
+	ErrNoPath = errors.New("ontology: no path between concepts")
+)
+
+// Concept is one node of the hierarchy.
+type Concept struct {
+	ID   ConceptID
+	Name string
+}
+
+// Ontology is a thread-safe rooted is-a hierarchy.
+type Ontology struct {
+	mu       sync.RWMutex
+	concepts map[ConceptID]Concept
+	parents  map[ConceptID][]ConceptID
+	children map[ConceptID][]ConceptID
+}
+
+// New returns an empty ontology.
+func New() *Ontology {
+	return &Ontology{
+		concepts: make(map[ConceptID]Concept),
+		parents:  make(map[ConceptID][]ConceptID),
+		children: make(map[ConceptID][]ConceptID),
+	}
+}
+
+// AddRoot registers a root concept (no parent).
+func (o *Ontology) AddRoot(id ConceptID, name string) error {
+	return o.add(id, name, nil)
+}
+
+// Add registers a concept with one or more parents, all of which must
+// already exist.
+func (o *Ontology) Add(id ConceptID, name string, parents ...ConceptID) error {
+	if len(parents) == 0 {
+		return fmt.Errorf("ontology: concept %s needs ≥1 parent (use AddRoot for roots)", id)
+	}
+	return o.add(id, name, parents)
+}
+
+func (o *Ontology) add(id ConceptID, name string, parents []ConceptID) error {
+	if id == "" {
+		return errors.New("ontology: empty concept id")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.concepts[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateConcept, id)
+	}
+	for _, p := range parents {
+		if _, ok := o.concepts[p]; !ok {
+			return fmt.Errorf("%w: parent %s of %s", ErrUnknownConcept, p, id)
+		}
+	}
+	o.concepts[id] = Concept{ID: id, Name: name}
+	for _, p := range parents {
+		o.parents[id] = append(o.parents[id], p)
+		o.children[p] = append(o.children[p], id)
+	}
+	return nil
+}
+
+// AddParent links an existing concept to an additional parent,
+// rejecting self-loops, duplicates and cycles.
+func (o *Ontology) AddParent(id, parent ConceptID) error {
+	if id == parent {
+		return fmt.Errorf("%w: self loop at %s", ErrCycle, id)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.concepts[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConcept, id)
+	}
+	if _, ok := o.concepts[parent]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConcept, parent)
+	}
+	for _, p := range o.parents[id] {
+		if p == parent {
+			return nil // already linked
+		}
+	}
+	// parent must not be a descendant of id
+	if o.reachesLocked(parent, id) {
+		return fmt.Errorf("%w: %s is an ancestor of %s", ErrCycle, id, parent)
+	}
+	o.parents[id] = append(o.parents[id], parent)
+	o.children[parent] = append(o.children[parent], id)
+	return nil
+}
+
+// reachesLocked reports whether `from` can reach `to` following parent
+// links (i.e. `to` is an ancestor of `from`). Caller holds the lock.
+func (o *Ontology) reachesLocked(from, to ConceptID) bool {
+	seen := map[ConceptID]bool{from: true}
+	queue := []ConceptID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			return true
+		}
+		for _, p := range o.parents[cur] {
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return false
+}
+
+// Has reports whether id is a known concept.
+func (o *Ontology) Has(id ConceptID) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	_, ok := o.concepts[id]
+	return ok
+}
+
+// Concept returns the concept record for id.
+func (o *Ontology) Concept(id ConceptID) (Concept, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	c, ok := o.concepts[id]
+	return c, ok
+}
+
+// Len returns the number of concepts.
+func (o *Ontology) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.concepts)
+}
+
+// Parents returns the parents of id, ascending.
+func (o *Ontology) Parents(id ConceptID) []ConceptID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := append([]ConceptID(nil), o.parents[id]...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Children returns the children of id, ascending.
+func (o *Ontology) Children(id ConceptID) []ConceptID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := append([]ConceptID(nil), o.children[id]...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Roots returns all concepts without parents, ascending.
+func (o *Ontology) Roots() []ConceptID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out []ConceptID
+	for id := range o.concepts {
+		if len(o.parents[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Ancestors returns every ancestor of id (excluding id), ascending.
+func (o *Ontology) Ancestors(id ConceptID) ([]ConceptID, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if _, ok := o.concepts[id]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownConcept, id)
+	}
+	seen := make(map[ConceptID]bool)
+	queue := append([]ConceptID(nil), o.parents[id]...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		queue = append(queue, o.parents[cur]...)
+	}
+	out := make([]ConceptID, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// Depth returns the length of the shortest parent chain from id to a
+// root (root depth = 0).
+func (o *Ontology) Depth(id ConceptID) (int, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if _, ok := o.concepts[id]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownConcept, id)
+	}
+	depth := 0
+	frontier := []ConceptID{id}
+	seen := map[ConceptID]bool{id: true}
+	for len(frontier) > 0 {
+		var next []ConceptID
+		for _, cur := range frontier {
+			if len(o.parents[cur]) == 0 {
+				return depth, nil
+			}
+			for _, p := range o.parents[cur] {
+				if !seen[p] {
+					seen[p] = true
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+		depth++
+	}
+	// unreachable in a well-formed hierarchy
+	return depth, nil
+}
+
+// PathLength returns the number of edges on the shortest undirected
+// is-a path between a and b — the distance the paper uses in §V.C.1
+// ("we will identify the shortest path that connects those two nodes in
+// the tree"). Identical concepts have distance 0.
+func (o *Ontology) PathLength(a, b ConceptID) (int, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if _, ok := o.concepts[a]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownConcept, a)
+	}
+	if _, ok := o.concepts[b]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownConcept, b)
+	}
+	if a == b {
+		return 0, nil
+	}
+	// Bidirectional BFS over the undirected graph.
+	distA := map[ConceptID]int{a: 0}
+	distB := map[ConceptID]int{b: 0}
+	frontA := []ConceptID{a}
+	frontB := []ConceptID{b}
+	best := -1
+	for len(frontA) > 0 || len(frontB) > 0 {
+		// Expand the smaller frontier first.
+		if len(frontA) != 0 && (len(frontB) == 0 || len(frontA) <= len(frontB)) {
+			frontA, best = o.expand(frontA, distA, distB, best)
+		} else {
+			frontB, best = o.expand(frontB, distB, distA, best)
+		}
+		if best >= 0 {
+			// One more sweep could not shorten a found meeting point by
+			// more than the frontier depth; since BFS layers grow by 1,
+			// the first meeting is within 1 of optimal — finish the
+			// frontier at the same depth then stop.
+			frontA, best = o.expand(frontA, distA, distB, best)
+			frontB, best = o.expand(frontB, distB, distA, best)
+			return best, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s and %s", ErrNoPath, a, b)
+}
+
+// expand advances one BFS layer of `front` using `dist`, checking the
+// opposite distance map for meetings; it returns the next frontier and
+// the best meeting distance found so far.
+func (o *Ontology) expand(front []ConceptID, dist, other map[ConceptID]int, best int) ([]ConceptID, int) {
+	var next []ConceptID
+	for _, cur := range front {
+		d := dist[cur]
+		for _, nb := range o.neighborsLocked(cur) {
+			if _, seen := dist[nb]; seen {
+				continue
+			}
+			dist[nb] = d + 1
+			if od, ok := other[nb]; ok {
+				total := d + 1 + od
+				if best < 0 || total < best {
+					best = total
+				}
+			}
+			next = append(next, nb)
+		}
+	}
+	return next, best
+}
+
+func (o *Ontology) neighborsLocked(id ConceptID) []ConceptID {
+	ps, cs := o.parents[id], o.children[id]
+	out := make([]ConceptID, 0, len(ps)+len(cs))
+	out = append(out, ps...)
+	out = append(out, cs...)
+	return out
+}
+
+// Similarity converts a path length into a similarity in (0, 1]:
+// sim(a,b) = 1 / (1 + dist(a,b)), so identical concepts score 1 and
+// longer paths score lower, matching the paper's "longer path means a
+// smaller similarity".
+func (o *Ontology) Similarity(a, b ConceptID) (float64, error) {
+	d, err := o.PathLength(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / (1 + float64(d)), nil
+}
+
+// HarmonicMean implements Eq. 4: n / Σ(1/xᵢ). It returns 0 for an
+// empty input and 0 when any xᵢ is 0 (the harmonic mean's natural
+// limit as a term approaches zero).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// SetSimilarity computes the overall similarity of two problem lists
+// per §V.C.2: pairwise similarities of all problem pairs (the cross
+// product of the two lists), aggregated with the harmonic mean. ok is
+// false when either list is empty. Unknown concepts yield an error.
+func (o *Ontology) SetSimilarity(a, b []ConceptID) (sim float64, ok bool, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, false, nil
+	}
+	sims := make([]float64, 0, len(a)*len(b))
+	for _, pa := range a {
+		for _, pb := range b {
+			s, err := o.Similarity(pa, pb)
+			if err != nil {
+				return 0, false, err
+			}
+			sims = append(sims, s)
+		}
+	}
+	return HarmonicMean(sims), true, nil
+}
+
+// Validate checks structural invariants: every non-root reaches a
+// root, and there are no parent-link cycles.
+func (o *Ontology) Validate() error {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[ConceptID]int, len(o.concepts))
+	var visit func(ConceptID) error
+	visit = func(id ConceptID) error {
+		switch color[id] {
+		case gray:
+			return fmt.Errorf("%w: through %s", ErrCycle, id)
+		case black:
+			return nil
+		}
+		color[id] = gray
+		for _, p := range o.parents[id] {
+			if _, ok := o.concepts[p]; !ok {
+				return fmt.Errorf("%w: dangling parent %s of %s", ErrUnknownConcept, p, id)
+			}
+			if err := visit(p); err != nil {
+				return err
+			}
+		}
+		color[id] = black
+		return nil
+	}
+	for id := range o.concepts {
+		if err := visit(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the ontology as lines of
+// "id|name|parent1,parent2,..." in ascending ID order (roots have an
+// empty parent list).
+func (o *Ontology) WriteTo(w io.Writer) (int64, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	ids := make([]ConceptID, 0, len(o.concepts))
+	for id := range o.concepts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	var total int64
+	for _, id := range ids {
+		ps := append([]ConceptID(nil), o.parents[id]...)
+		sort.Slice(ps, func(a, b int) bool { return ps[a] < ps[b] })
+		strs := make([]string, len(ps))
+		for k, p := range ps {
+			strs[k] = string(p)
+		}
+		n, err := fmt.Fprintf(w, "%s|%s|%s\n", id, o.concepts[id].Name, strings.Join(strs, ","))
+		total += int64(n)
+		if err != nil {
+			return total, fmt.Errorf("ontology: write: %w", err)
+		}
+	}
+	return total, nil
+}
+
+// Read parses the WriteTo format. Lines may arrive in any order;
+// forward references are resolved with a two-pass load.
+func Read(r io.Reader) (*Ontology, error) {
+	type row struct {
+		id      ConceptID
+		name    string
+		parents []ConceptID
+	}
+	var rows []row
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, "|", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("ontology: line %d: want id|name|parents, got %q", line, text)
+		}
+		var ps []ConceptID
+		if parts[2] != "" {
+			for _, p := range strings.Split(parts[2], ",") {
+				ps = append(ps, ConceptID(strings.TrimSpace(p)))
+			}
+		}
+		rows = append(rows, row{ConceptID(parts[0]), parts[1], ps})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ontology: read: %w", err)
+	}
+	o := New()
+	// Pass 1: concepts. Pass 2: edges.
+	for _, r := range rows {
+		if r.id == "" {
+			return nil, errors.New("ontology: empty id in input")
+		}
+		o.mu.Lock()
+		if _, dup := o.concepts[r.id]; dup {
+			o.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateConcept, r.id)
+		}
+		o.concepts[r.id] = Concept{ID: r.id, Name: r.name}
+		o.mu.Unlock()
+	}
+	for _, r := range rows {
+		for _, p := range r.parents {
+			if err := o.AddParent(r.id, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}

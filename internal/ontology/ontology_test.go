@@ -1,0 +1,513 @@
+package ontology
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildChain returns root -> c1 -> c2 -> ... -> cn.
+func buildChain(t *testing.T, n int) *Ontology {
+	t.Helper()
+	o := New()
+	if err := o.AddRoot("root", "Root"); err != nil {
+		t.Fatal(err)
+	}
+	prev := ConceptID("root")
+	for k := 1; k <= n; k++ {
+		id := ConceptID(fmt.Sprintf("c%d", k))
+		if err := o.Add(id, string(id), prev); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	return o
+}
+
+// buildMedTree reproduces the shape behind the paper's Table I
+// discussion:
+//
+//	finding
+//	├── resp (disorder of respiratory system)
+//	│   └── bronchitis
+//	│       ├── acute (acute bronchitis)
+//	│       └── tracheo (tracheobronchitis)
+//	├── pain
+//	│   └── chest (chest pain)
+//	└── musculo
+//	    └── fracture (broken arm)
+func buildMedTree(t *testing.T) *Ontology {
+	t.Helper()
+	o := New()
+	steps := []struct {
+		id, name string
+		parents  []ConceptID
+	}{
+		{"finding", "Clinical finding", nil},
+		{"resp", "Disorder of respiratory system", []ConceptID{"finding"}},
+		{"bronchitis", "Bronchitis", []ConceptID{"resp"}},
+		{"acute", "Acute bronchitis", []ConceptID{"bronchitis"}},
+		{"tracheo", "Tracheobronchitis", []ConceptID{"bronchitis"}},
+		{"pain", "Pain", []ConceptID{"finding"}},
+		{"chest", "Chest pain", []ConceptID{"pain"}},
+		{"musculo", "Musculoskeletal disorder", []ConceptID{"finding"}},
+		{"fracture", "Broken arm", []ConceptID{"musculo"}},
+	}
+	for _, s := range steps {
+		var err error
+		if s.parents == nil {
+			err = o.AddRoot(ConceptID(s.id), s.name)
+		} else {
+			err = o.Add(ConceptID(s.id), s.name, s.parents...)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestAddAndLookup(t *testing.T) {
+	o := buildMedTree(t)
+	if o.Len() != 9 {
+		t.Errorf("Len = %d, want 9", o.Len())
+	}
+	c, ok := o.Concept("acute")
+	if !ok || c.Name != "Acute bronchitis" {
+		t.Errorf("Concept(acute) = %+v,%v", c, ok)
+	}
+	if !o.Has("chest") || o.Has("nope") {
+		t.Error("Has wrong")
+	}
+	if got := o.Parents("acute"); !reflect.DeepEqual(got, []ConceptID{"bronchitis"}) {
+		t.Errorf("Parents(acute) = %v", got)
+	}
+	kids := o.Children("bronchitis")
+	if !reflect.DeepEqual(kids, []ConceptID{"acute", "tracheo"}) {
+		t.Errorf("Children(bronchitis) = %v", kids)
+	}
+	if got := o.Roots(); !reflect.DeepEqual(got, []ConceptID{"finding"}) {
+		t.Errorf("Roots = %v", got)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	o := New()
+	if err := o.AddRoot("", "x"); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := o.AddRoot("r", "Root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddRoot("r", "again"); !errors.Is(err, ErrDuplicateConcept) {
+		t.Errorf("dup: %v", err)
+	}
+	if err := o.Add("c", "child"); err == nil {
+		t.Error("Add with no parents accepted")
+	}
+	if err := o.Add("c", "child", "missing"); !errors.Is(err, ErrUnknownConcept) {
+		t.Errorf("unknown parent: %v", err)
+	}
+}
+
+func TestAddParentCycleDetection(t *testing.T) {
+	o := buildChain(t, 3)
+	if err := o.AddParent("c1", "c3"); !errors.Is(err, ErrCycle) {
+		t.Errorf("ancestor->descendant edge: %v, want ErrCycle", err)
+	}
+	if err := o.AddParent("c1", "c1"); !errors.Is(err, ErrCycle) {
+		t.Errorf("self loop: %v, want ErrCycle", err)
+	}
+	if err := o.AddParent("c1", "root"); err != nil {
+		t.Errorf("re-adding existing edge should be nil, got %v", err)
+	}
+	if err := o.AddParent("missing", "root"); !errors.Is(err, ErrUnknownConcept) {
+		t.Errorf("unknown child: %v", err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	o := buildMedTree(t)
+	for id, want := range map[ConceptID]int{
+		"finding": 0, "resp": 1, "bronchitis": 2, "acute": 3, "chest": 2,
+	} {
+		got, err := o.Depth(id)
+		if err != nil || got != want {
+			t.Errorf("Depth(%s) = %d,%v want %d", id, got, err, want)
+		}
+	}
+	if _, err := o.Depth("nope"); !errors.Is(err, ErrUnknownConcept) {
+		t.Errorf("Depth(unknown): %v", err)
+	}
+}
+
+func TestDepthTakesShortestChain(t *testing.T) {
+	// diamond: root -> a -> b; root -> b directly too
+	o := New()
+	if err := o.AddRoot("root", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Add("a", "", "root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Add("b", "", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddParent("b", "root"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := o.Depth("b")
+	if err != nil || d != 1 {
+		t.Errorf("Depth(b) = %d,%v want 1 (shortest chain)", d, err)
+	}
+}
+
+// TestPaperPathLengths pins the two distances the paper derives from
+// SNOMED-CT in §V.C.1: acute bronchitis ↔ chest pain = 5 and
+// tracheobronchitis ↔ acute bronchitis = 2.
+func TestPaperPathLengths(t *testing.T) {
+	o := buildMedTree(t)
+	d, err := o.PathLength("acute", "chest")
+	if err != nil || d != 5 {
+		t.Errorf("dist(acute bronchitis, chest pain) = %d,%v want 5", d, err)
+	}
+	d, err = o.PathLength("tracheo", "acute")
+	if err != nil || d != 2 {
+		t.Errorf("dist(tracheobronchitis, acute bronchitis) = %d,%v want 2", d, err)
+	}
+}
+
+func TestPathLengthBasics(t *testing.T) {
+	o := buildMedTree(t)
+	if d, err := o.PathLength("acute", "acute"); err != nil || d != 0 {
+		t.Errorf("self distance = %d,%v want 0", d, err)
+	}
+	if d, err := o.PathLength("acute", "bronchitis"); err != nil || d != 1 {
+		t.Errorf("parent distance = %d,%v want 1", d, err)
+	}
+	// symmetry
+	d1, _ := o.PathLength("acute", "fracture")
+	d2, _ := o.PathLength("fracture", "acute")
+	if d1 != d2 {
+		t.Errorf("asymmetric path: %d vs %d", d1, d2)
+	}
+	if _, err := o.PathLength("acute", "ghost"); !errors.Is(err, ErrUnknownConcept) {
+		t.Errorf("unknown concept: %v", err)
+	}
+}
+
+func TestPathLengthDisconnected(t *testing.T) {
+	o := New()
+	if err := o.AddRoot("r1", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddRoot("r2", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.PathLength("r1", "r2"); !errors.Is(err, ErrNoPath) {
+		t.Errorf("disconnected roots: %v, want ErrNoPath", err)
+	}
+}
+
+func TestPathLengthUsesShortcutEdges(t *testing.T) {
+	// long chain root->c1->...->c6 plus a direct edge c6->root
+	o := buildChain(t, 6)
+	if err := o.AddParent("c6", "root"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := o.PathLength("c6", "root")
+	if err != nil || d != 1 {
+		t.Errorf("shortcut distance = %d,%v want 1", d, err)
+	}
+	// c5 should now reach root in 2 via c6
+	d, err = o.PathLength("c5", "root")
+	if err != nil || d != 2 {
+		t.Errorf("via-shortcut distance = %d,%v want 2", d, err)
+	}
+}
+
+// TestPathLengthMatchesLCAOnTrees cross-checks bidirectional BFS
+// against the classic depth(a)+depth(b)-2·depth(lca) formula on random
+// single-parent trees.
+func TestPathLengthMatchesLCAOnTrees(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		o := New()
+		if err := o.AddRoot("n0", ""); err != nil {
+			t.Fatal(err)
+		}
+		parent := map[int]int{}
+		n := 60
+		for k := 1; k < n; k++ {
+			p := rng.Intn(k)
+			parent[k] = p
+			if err := o.Add(ConceptID(fmt.Sprintf("n%d", k)), "", ConceptID(fmt.Sprintf("n%d", p))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		depth := func(x int) int {
+			d := 0
+			for x != 0 {
+				x = parent[x]
+				d++
+			}
+			return d
+		}
+		lcaDist := func(a, b int) int {
+			da, db := depth(a), depth(b)
+			x, y, dx, dy := a, b, da, db
+			for dx > dy {
+				x = parent[x]
+				dx--
+			}
+			for dy > dx {
+				y = parent[y]
+				dy--
+			}
+			for x != y {
+				x, y = parent[x], parent[y]
+				dx--
+			}
+			return da + db - 2*dx
+		}
+		for trial := 0; trial < 40; trial++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			want := lcaDist(a, b)
+			got, err := o.PathLength(ConceptID(fmt.Sprintf("n%d", a)), ConceptID(fmt.Sprintf("n%d", b)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed %d: dist(n%d,n%d) = %d, want %d", seed, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	o := buildMedTree(t)
+	got, err := o.Ancestors("acute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ConceptID{"bronchitis", "finding", "resp"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ancestors(acute) = %v, want %v", got, want)
+	}
+	if _, err := o.Ancestors("ghost"); !errors.Is(err, ErrUnknownConcept) {
+		t.Errorf("unknown: %v", err)
+	}
+	rootAnc, _ := o.Ancestors("finding")
+	if len(rootAnc) != 0 {
+		t.Errorf("root ancestors = %v, want none", rootAnc)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	o := buildMedTree(t)
+	s, err := o.Similarity("acute", "acute")
+	if err != nil || s != 1 {
+		t.Errorf("self similarity = %v,%v want 1", s, err)
+	}
+	s2, _ := o.Similarity("tracheo", "acute") // dist 2 → 1/3
+	if math.Abs(s2-1.0/3) > 1e-12 {
+		t.Errorf("sim dist2 = %v, want 1/3", s2)
+	}
+	s5, _ := o.Similarity("acute", "chest") // dist 5 → 1/6
+	if math.Abs(s5-1.0/6) > 1e-12 {
+		t.Errorf("sim dist5 = %v, want 1/6", s5)
+	}
+	if s2 <= s5 {
+		t.Error("closer concepts must be more similar")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{2}, 2},
+		{[]float64{1, 1}, 1},
+		{[]float64{1, 0.5}, 2.0 / 3},
+		{[]float64{4, 4, 4}, 4},
+		{[]float64{1, 0}, 0}, // zero term collapses the mean
+	}
+	for _, c := range cases {
+		if got := HarmonicMean(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("HarmonicMean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicMeanLeqArithmetic(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var arith float64
+		for i, r := range raw {
+			xs[i] = 0.1 + float64(r)/32 // strictly positive
+			arith += xs[i]
+		}
+		arith /= float64(len(xs))
+		h := HarmonicMean(xs)
+		return h <= arith+1e-9 && h > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetSimilarityPaperOrdering verifies the §V.C claim: patient 1
+// (acute bronchitis) is more similar to patient 3 (tracheobronchitis +
+// broken arm) than... actually the paper compares single problems;
+// here we check the aggregate: sim({acute}, {tracheo}) >
+// sim({acute}, {chest}).
+func TestSetSimilarityPaperOrdering(t *testing.T) {
+	o := buildMedTree(t)
+	s13, ok, err := o.SetSimilarity([]ConceptID{"acute"}, []ConceptID{"tracheo"})
+	if err != nil || !ok {
+		t.Fatal(err, ok)
+	}
+	s12, ok, err := o.SetSimilarity([]ConceptID{"acute"}, []ConceptID{"chest"})
+	if err != nil || !ok {
+		t.Fatal(err, ok)
+	}
+	if s13 <= s12 {
+		t.Errorf("sim(P1,P3)=%v must exceed sim(P1,P2)=%v", s13, s12)
+	}
+}
+
+func TestSetSimilarityMultiProblem(t *testing.T) {
+	o := buildMedTree(t)
+	// {acute} vs {tracheo, fracture}: pairs (acute,tracheo)=1/3,
+	// (acute,fracture): dist = 3+... acute->bronchitis->resp->finding->musculo->fracture = 5 → 1/6.
+	// harmonic mean of {1/3, 1/6} = 2 / (3 + 6) = 2/9.
+	got, ok, err := o.SetSimilarity([]ConceptID{"acute"}, []ConceptID{"tracheo", "fracture"})
+	if err != nil || !ok {
+		t.Fatal(err, ok)
+	}
+	if want := 2.0 / 9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("SetSimilarity = %v, want %v", got, want)
+	}
+}
+
+func TestSetSimilarityEdgeCases(t *testing.T) {
+	o := buildMedTree(t)
+	if _, ok, err := o.SetSimilarity(nil, []ConceptID{"acute"}); ok || err != nil {
+		t.Errorf("empty list: ok=%v err=%v, want false,nil", ok, err)
+	}
+	if _, _, err := o.SetSimilarity([]ConceptID{"ghost"}, []ConceptID{"acute"}); !errors.Is(err, ErrUnknownConcept) {
+		t.Errorf("unknown concept: %v", err)
+	}
+	// identical singleton lists → similarity 1
+	s, ok, err := o.SetSimilarity([]ConceptID{"acute"}, []ConceptID{"acute"})
+	if err != nil || !ok || s != 1 {
+		t.Errorf("identical lists = %v,%v,%v want 1,true,nil", s, ok, err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	o := buildMedTree(t)
+	if err := o.Validate(); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+	// smuggle in a cycle bypassing AddParent's check
+	o.mu.Lock()
+	o.parents["finding"] = append(o.parents["finding"], "acute")
+	o.mu.Unlock()
+	if err := o.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	o := buildMedTree(t)
+	if err := o.AddParent("chest", "resp"); err != nil { // make it a DAG
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := o.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != o.Len() {
+		t.Fatalf("round trip len = %d, want %d", back.Len(), o.Len())
+	}
+	for _, id := range []ConceptID{"acute", "chest", "finding"} {
+		if !reflect.DeepEqual(back.Parents(id), o.Parents(id)) {
+			t.Errorf("parents of %s differ: %v vs %v", id, back.Parents(id), o.Parents(id))
+		}
+	}
+	d, err := back.PathLength("acute", "chest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := o.PathLength("acute", "chest")
+	if d != want {
+		t.Errorf("distance after round trip = %d, want %d", d, want)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("bad line no pipes\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := Read(strings.NewReader("a|A|\na|A|\n")); !errors.Is(err, ErrDuplicateConcept) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := Read(strings.NewReader("a|A|ghost\n")); !errors.Is(err, ErrUnknownConcept) {
+		t.Errorf("dangling parent: %v", err)
+	}
+	// comments and blanks are fine
+	o, err := Read(strings.NewReader("# comment\n\nr|Root|\nc|Child|r\n"))
+	if err != nil || o.Len() != 2 {
+		t.Errorf("comment handling: %v len=%d", err, o.Len())
+	}
+}
+
+// Property: similarity is symmetric, in (0,1], and 1 iff identical on a
+// random tree.
+func TestSimilarityProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	o := New()
+	if err := o.AddRoot("n0", ""); err != nil {
+		t.Fatal(err)
+	}
+	n := 40
+	for k := 1; k < n; k++ {
+		if err := o.Add(ConceptID(fmt.Sprintf("n%d", k)), "", ConceptID(fmt.Sprintf("n%d", rng.Intn(k)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		a := ConceptID(fmt.Sprintf("n%d", rng.Intn(n)))
+		b := ConceptID(fmt.Sprintf("n%d", rng.Intn(n)))
+		s1, err1 := o.Similarity(a, b)
+		s2, err2 := o.Similarity(b, a)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(s1-s2) > 1e-12 {
+			t.Fatalf("asymmetric: %v vs %v", s1, s2)
+		}
+		if s1 <= 0 || s1 > 1 {
+			t.Fatalf("out of range: %v", s1)
+		}
+		if (s1 == 1) != (a == b) {
+			t.Fatalf("sim=1 iff identical violated: %s %s %v", a, b, s1)
+		}
+	}
+}

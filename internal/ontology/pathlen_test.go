@@ -1,0 +1,76 @@
+package ontology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// naiveDist runs a plain BFS over the undirected is-a graph — the
+// obviously-correct reference for PathLength.
+func naiveDist(o *Ontology, a, b ConceptID) int {
+	if a == b {
+		return 0
+	}
+	dist := map[ConceptID]int{a: 0}
+	queue := []ConceptID{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		o.mu.RLock()
+		nbs := o.neighborsLocked(cur)
+		o.mu.RUnlock()
+		for _, nb := range nbs {
+			if _, seen := dist[nb]; seen {
+				continue
+			}
+			dist[nb] = dist[cur] + 1
+			if nb == b {
+				return dist[nb]
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return -1
+}
+
+// TestPathLengthMatchesNaiveBFSOnDAGs cross-checks the bidirectional
+// search against plain BFS on random multi-parent hierarchies.
+func TestPathLengthMatchesNaiveBFSOnDAGs(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		o := New()
+		if err := o.AddRoot("n0", ""); err != nil {
+			t.Fatal(err)
+		}
+		n := 80
+		for k := 1; k < n; k++ {
+			id := ConceptID(fmt.Sprintf("n%d", k))
+			if err := o.Add(id, "", ConceptID(fmt.Sprintf("n%d", rng.Intn(k)))); err != nil {
+				t.Fatal(err)
+			}
+			// sprinkle extra parents to make it a DAG
+			for rng.Float64() < 0.3 {
+				p := ConceptID(fmt.Sprintf("n%d", rng.Intn(k)))
+				if err := o.AddParent(id, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 80; trial++ {
+			a := ConceptID(fmt.Sprintf("n%d", rng.Intn(n)))
+			b := ConceptID(fmt.Sprintf("n%d", rng.Intn(n)))
+			want := naiveDist(o, a, b)
+			got, err := o.PathLength(a, b)
+			if err != nil {
+				t.Fatalf("seed %d: PathLength(%s,%s): %v", seed, a, b, err)
+			}
+			if got != want {
+				t.Fatalf("seed %d: dist(%s,%s) = %d, want %d", seed, a, b, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package phr models the Personal Health Record substrate of §II: the
+// iPHR system where "users can record and manage their problems,
+// medication, allergies, procedures, laboratory results etc.", with
+// health problems stored as ontology concept codes "to enable
+// interoperability and further usage".
+//
+// Profiles feed two of the three similarity measures of §V: the whole
+// profile is flattened to a text document for TF-IDF similarity
+// (§V.B), and the coded problem list drives the ontology-based
+// semantic similarity (§V.C).
+package phr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ontology"
+	"fairhealth/internal/snomed"
+)
+
+// Common errors.
+var (
+	// ErrUnknownPatient is returned when a profile is requested for an
+	// unregistered patient.
+	ErrUnknownPatient = errors.New("phr: unknown patient")
+	// ErrDuplicatePatient is returned when registering an existing ID.
+	ErrDuplicatePatient = errors.New("phr: duplicate patient")
+	// ErrInvalidProfile is returned when a profile fails validation.
+	ErrInvalidProfile = errors.New("phr: invalid profile")
+)
+
+// Gender follows the coarse demographic field of Table I.
+type Gender string
+
+// Gender values.
+const (
+	GenderUnknown Gender = ""
+	GenderFemale  Gender = "female"
+	GenderMale    Gender = "male"
+	GenderOther   Gender = "other"
+)
+
+// LabResult is one laboratory measurement in a profile.
+type LabResult struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// Profile is a patient's personal health record — the fields of
+// Table I (problem, medication, gender, procedure, age) plus the
+// allergy and lab-result fields §II mentions.
+type Profile struct {
+	ID          model.UserID         `json:"id"`
+	Age         int                  `json:"age,omitempty"`
+	Gender      Gender               `json:"gender,omitempty"`
+	Problems    []ontology.ConceptID `json:"problems,omitempty"`
+	Medications []string             `json:"medications,omitempty"`
+	Procedures  []string             `json:"procedures,omitempty"`
+	Allergies   []string             `json:"allergies,omitempty"`
+	Labs        []LabResult          `json:"labs,omitempty"`
+	Notes       string               `json:"notes,omitempty"`
+}
+
+// Validate checks basic integrity. When ont is non-nil every problem
+// code must resolve in it.
+func (p *Profile) Validate(ont *ontology.Ontology) error {
+	if p.ID == "" {
+		return fmt.Errorf("%w: empty patient id", ErrInvalidProfile)
+	}
+	if p.Age < 0 || p.Age > 150 {
+		return fmt.Errorf("%w: age %d out of range", ErrInvalidProfile, p.Age)
+	}
+	switch p.Gender {
+	case GenderUnknown, GenderFemale, GenderMale, GenderOther:
+	default:
+		return fmt.Errorf("%w: gender %q", ErrInvalidProfile, p.Gender)
+	}
+	if ont != nil {
+		for _, c := range p.Problems {
+			if !ont.Has(c) {
+				return fmt.Errorf("%w: unknown problem code %s", ErrInvalidProfile, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	out := *p
+	out.Problems = append([]ontology.ConceptID(nil), p.Problems...)
+	out.Medications = append([]string(nil), p.Medications...)
+	out.Procedures = append([]string(nil), p.Procedures...)
+	out.Allergies = append([]string(nil), p.Allergies...)
+	out.Labs = append([]LabResult(nil), p.Labs...)
+	return &out
+}
+
+// Document flattens the profile into a single text document, the
+// representation §V.B uses for TF-IDF: "we consider all the
+// information contained in a profile as a single document". When ont
+// is non-nil, problem codes are expanded to their human-readable
+// concept names so that textually similar conditions overlap.
+func (p *Profile) Document(ont *ontology.Ontology) string {
+	var b strings.Builder
+	if p.Gender != GenderUnknown {
+		b.WriteString(string(p.Gender))
+		b.WriteByte(' ')
+	}
+	if p.Age > 0 {
+		ageBand := "adult"
+		switch {
+		case p.Age < 18:
+			ageBand = "pediatric"
+		case p.Age >= 65:
+			ageBand = "senior"
+		}
+		b.WriteString(ageBand)
+		b.WriteByte(' ')
+	}
+	for _, c := range p.Problems {
+		if ont != nil {
+			if concept, ok := ont.Concept(c); ok && concept.Name != "" {
+				b.WriteString(concept.Name)
+				b.WriteByte(' ')
+				continue
+			}
+		}
+		b.WriteString(string(c))
+		b.WriteByte(' ')
+	}
+	for _, m := range p.Medications {
+		b.WriteString(m)
+		b.WriteByte(' ')
+	}
+	for _, proc := range p.Procedures {
+		b.WriteString(proc)
+		b.WriteByte(' ')
+	}
+	for _, a := range p.Allergies {
+		b.WriteString(a)
+		b.WriteString(" allergy ")
+	}
+	for _, l := range p.Labs {
+		b.WriteString(l.Name)
+		b.WriteByte(' ')
+	}
+	b.WriteString(p.Notes)
+	return strings.TrimSpace(b.String())
+}
+
+// Store is a thread-safe in-memory PHR registry — the iPHR stand-in.
+type Store struct {
+	mu       sync.RWMutex
+	profiles map[model.UserID]*Profile
+	ont      *ontology.Ontology // optional validation ontology
+}
+
+// NewStore returns an empty store. A non-nil ontology enables problem-
+// code validation on Put.
+func NewStore(ont *ontology.Ontology) *Store {
+	return &Store{profiles: make(map[model.UserID]*Profile), ont: ont}
+}
+
+// Put registers a new profile; it fails with ErrDuplicatePatient if
+// the ID exists. The store keeps its own copy.
+func (s *Store) Put(p *Profile) error {
+	if err := p.Validate(s.ont); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.profiles[p.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicatePatient, p.ID)
+	}
+	s.profiles[p.ID] = p.Clone()
+	return nil
+}
+
+// Update replaces an existing profile.
+func (s *Store) Update(p *Profile) error {
+	if err := p.Validate(s.ont); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.profiles[p.ID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPatient, p.ID)
+	}
+	s.profiles[p.ID] = p.Clone()
+	return nil
+}
+
+// Get returns a copy of the profile for id.
+func (s *Store) Get(id model.UserID) (*Profile, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPatient, id)
+	}
+	return p.Clone(), nil
+}
+
+// Has reports whether id is registered.
+func (s *Store) Has(id model.UserID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.profiles[id]
+	return ok
+}
+
+// Delete removes a profile; it is an error if the ID is unknown.
+func (s *Store) Delete(id model.UserID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.profiles[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPatient, id)
+	}
+	delete(s.profiles, id)
+	return nil
+}
+
+// Len returns the number of registered patients.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.profiles)
+}
+
+// IDs returns all patient IDs ascending.
+func (s *Store) IDs() []model.UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.UserID, 0, len(s.profiles))
+	for id := range s.profiles {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Problems returns the coded problem list of id (nil when unknown) —
+// the input of the semantic similarity measure.
+func (s *Store) Problems(id model.UserID) []ontology.ConceptID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[id]
+	if !ok {
+		return nil
+	}
+	return append([]ontology.ConceptID(nil), p.Problems...)
+}
+
+// WriteJSON serializes all profiles as a JSON array in ID order.
+func (s *Store) WriteJSON(w io.Writer) error {
+	s.mu.RLock()
+	ids := make([]model.UserID, 0, len(s.profiles))
+	for id := range s.profiles {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	out := make([]*Profile, len(ids))
+	for k, id := range ids {
+		out[k] = s.profiles[id]
+	}
+	s.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("phr: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON loads profiles from a JSON array into a new store bound to
+// ont (nil disables code validation).
+func ReadJSON(r io.Reader, ont *ontology.Ontology) (*Store, error) {
+	var profiles []*Profile
+	if err := json.NewDecoder(r).Decode(&profiles); err != nil {
+		return nil, fmt.Errorf("phr: decode: %w", err)
+	}
+	s := NewStore(ont)
+	for _, p := range profiles {
+		if err := s.Put(p); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// TableIPatients returns the three example patients of the paper's
+// Table I, with problems coded against the curated mini-SNOMED
+// hierarchy (package snomed).
+func TableIPatients() []*Profile {
+	return []*Profile{
+		{
+			ID:          "patient1",
+			Age:         40,
+			Gender:      GenderFemale,
+			Problems:    []ontology.ConceptID{snomed.AcuteBronchitis},
+			Medications: []string{"Ramipril 10 MG Oral Capsule"},
+		},
+		{
+			ID:          "patient2",
+			Age:         53,
+			Gender:      GenderMale,
+			Problems:    []ontology.ConceptID{snomed.ChestPain},
+			Medications: []string{"Niacin 500 MG Extended Release Tablet"},
+		},
+		{
+			ID:          "patient3",
+			Age:         34,
+			Gender:      GenderMale,
+			Problems:    []ontology.ConceptID{snomed.Tracheobronchitis, snomed.FractureOfArm},
+			Medications: []string{"Ramipril 10 MG Oral Capsule"},
+		},
+	}
+}

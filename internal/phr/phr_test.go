@@ -1,0 +1,274 @@
+package phr
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ontology"
+	"fairhealth/internal/snomed"
+)
+
+func validProfile() *Profile {
+	return &Profile{
+		ID:       "p1",
+		Age:      40,
+		Gender:   GenderFemale,
+		Problems: []ontology.ConceptID{snomed.AcuteBronchitis},
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	ont := snomed.Load()
+	if err := validProfile().Validate(ont); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"empty id", func(p *Profile) { p.ID = "" }},
+		{"negative age", func(p *Profile) { p.Age = -1 }},
+		{"huge age", func(p *Profile) { p.Age = 200 }},
+		{"bad gender", func(p *Profile) { p.Gender = "robot" }},
+		{"unknown problem", func(p *Profile) { p.Problems = []ontology.ConceptID{"999"} }},
+	}
+	for _, c := range cases {
+		p := validProfile()
+		c.mut(p)
+		if err := p.Validate(ont); !errors.Is(err, ErrInvalidProfile) {
+			t.Errorf("%s: err = %v, want ErrInvalidProfile", c.name, err)
+		}
+	}
+	// nil ontology skips code validation
+	p := validProfile()
+	p.Problems = []ontology.ConceptID{"999"}
+	if err := p.Validate(nil); err != nil {
+		t.Errorf("nil ontology should skip code checks: %v", err)
+	}
+}
+
+func TestProfileClone(t *testing.T) {
+	p := validProfile()
+	p.Medications = []string{"aspirin"}
+	c := p.Clone()
+	c.Medications[0] = "ibuprofen"
+	c.Problems[0] = snomed.ChestPain
+	if p.Medications[0] != "aspirin" || p.Problems[0] != snomed.AcuteBronchitis {
+		t.Error("Clone is shallow")
+	}
+}
+
+func TestDocumentRendersConceptNames(t *testing.T) {
+	ont := snomed.Load()
+	p := TableIPatients()[0]
+	doc := p.Document(ont)
+	for _, want := range []string{"female", "adult", "Acute bronchitis", "Ramipril"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("Document() = %q, missing %q", doc, want)
+		}
+	}
+	// without ontology the raw code appears
+	raw := p.Document(nil)
+	if !strings.Contains(raw, string(snomed.AcuteBronchitis)) {
+		t.Errorf("Document(nil) = %q, missing raw code", raw)
+	}
+}
+
+func TestDocumentAgeBands(t *testing.T) {
+	mk := func(age int) string {
+		p := &Profile{ID: "x", Age: age}
+		return p.Document(nil)
+	}
+	if got := mk(10); !strings.Contains(got, "pediatric") {
+		t.Errorf("age 10 → %q", got)
+	}
+	if got := mk(40); !strings.Contains(got, "adult") {
+		t.Errorf("age 40 → %q", got)
+	}
+	if got := mk(70); !strings.Contains(got, "senior") {
+		t.Errorf("age 70 → %q", got)
+	}
+	if got := mk(0); got != "" {
+		t.Errorf("age 0 should render nothing, got %q", got)
+	}
+}
+
+func TestDocumentIncludesAllergiesAndLabs(t *testing.T) {
+	p := &Profile{
+		ID:        "x",
+		Allergies: []string{"peanut"},
+		Labs:      []LabResult{{Name: "hemoglobin", Value: 10.2, Unit: "g/dL"}},
+		Notes:     "follow-up required",
+	}
+	doc := p.Document(nil)
+	for _, want := range []string{"peanut allergy", "hemoglobin", "follow-up"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("Document = %q, missing %q", doc, want)
+		}
+	}
+}
+
+func TestStorePutGetUpdateDelete(t *testing.T) {
+	s := NewStore(snomed.Load())
+	p := validProfile()
+	if err := s.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(p); !errors.Is(err, ErrDuplicatePatient) {
+		t.Errorf("duplicate put: %v", err)
+	}
+	got, err := s.Get("p1")
+	if err != nil || got.Age != 40 {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	// Get returns a copy
+	got.Age = 99
+	again, _ := s.Get("p1")
+	if again.Age != 40 {
+		t.Error("Get returned shared state")
+	}
+	// Put keeps its own copy
+	p.Age = 77
+	again, _ = s.Get("p1")
+	if again.Age != 40 {
+		t.Error("Put kept caller's pointer")
+	}
+
+	upd := validProfile()
+	upd.Age = 41
+	if err := s.Update(upd); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("p1")
+	if got.Age != 41 {
+		t.Errorf("after update age = %d, want 41", got.Age)
+	}
+	if err := s.Update(&Profile{ID: "ghost"}); !errors.Is(err, ErrUnknownPatient) {
+		t.Errorf("update unknown: %v", err)
+	}
+
+	if err := s.Delete("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("p1") || s.Len() != 0 {
+		t.Error("delete did not remove profile")
+	}
+	if err := s.Delete("p1"); !errors.Is(err, ErrUnknownPatient) {
+		t.Errorf("double delete: %v", err)
+	}
+	if _, err := s.Get("p1"); !errors.Is(err, ErrUnknownPatient) {
+		t.Errorf("get deleted: %v", err)
+	}
+}
+
+func TestStoreValidatesOnPut(t *testing.T) {
+	s := NewStore(snomed.Load())
+	bad := validProfile()
+	bad.Problems = []ontology.ConceptID{"does-not-exist"}
+	if err := s.Put(bad); !errors.Is(err, ErrInvalidProfile) {
+		t.Errorf("invalid profile accepted: %v", err)
+	}
+}
+
+func TestStoreIDsAndProblems(t *testing.T) {
+	s := NewStore(nil)
+	for _, id := range []model.UserID{"b", "a", "c"} {
+		if err := s.Put(&Profile{ID: id, Problems: []ontology.ConceptID{ontology.ConceptID("prob-" + id)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := s.IDs()
+	if len(ids) != 3 || ids[0] != "a" || ids[2] != "c" {
+		t.Errorf("IDs = %v", ids)
+	}
+	probs := s.Problems("a")
+	if len(probs) != 1 || probs[0] != "prob-a" {
+		t.Errorf("Problems(a) = %v", probs)
+	}
+	if s.Problems("ghost") != nil {
+		t.Error("Problems(unknown) should be nil")
+	}
+	// returned slice is a copy
+	probs[0] = "mutated"
+	if s.Problems("a")[0] != "prob-a" {
+		t.Error("Problems returned shared slice")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ont := snomed.Load()
+	s := NewStore(ont)
+	for _, p := range TableIPatients() {
+		if err := s.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("round trip len = %d, want 3", back.Len())
+	}
+	p3, err := back.Get("patient3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p3.Problems) != 2 || p3.Problems[0] != snomed.Tracheobronchitis {
+		t.Errorf("patient3 problems = %v", p3.Problems)
+	}
+	if p3.Gender != GenderMale || p3.Age != 34 {
+		t.Errorf("patient3 demographics = %v/%d", p3.Gender, p3.Age)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json"), nil); err == nil {
+		t.Error("malformed json accepted")
+	}
+	// duplicate IDs inside the array
+	dup := `[{"id":"a"},{"id":"a"}]`
+	if _, err := ReadJSON(strings.NewReader(dup), nil); !errors.Is(err, ErrDuplicatePatient) {
+		t.Errorf("duplicate ids: %v", err)
+	}
+	// invalid profile inside the array
+	bad := `[{"id":"a","age":999}]`
+	if _, err := ReadJSON(strings.NewReader(bad), nil); !errors.Is(err, ErrInvalidProfile) {
+		t.Errorf("invalid profile: %v", err)
+	}
+}
+
+// TestTableIPatientsMatchPaper pins the fixture to the paper's Table I
+// field values.
+func TestTableIPatientsMatchPaper(t *testing.T) {
+	ps := TableIPatients()
+	if len(ps) != 3 {
+		t.Fatalf("want 3 patients, got %d", len(ps))
+	}
+	p1, p2, p3 := ps[0], ps[1], ps[2]
+	if p1.Age != 40 || p1.Gender != GenderFemale || len(p1.Problems) != 1 || p1.Problems[0] != snomed.AcuteBronchitis {
+		t.Errorf("patient1 = %+v", p1)
+	}
+	if p2.Age != 53 || p2.Gender != GenderMale || p2.Problems[0] != snomed.ChestPain {
+		t.Errorf("patient2 = %+v", p2)
+	}
+	if p3.Age != 34 || len(p3.Problems) != 2 {
+		t.Errorf("patient3 = %+v", p3)
+	}
+	if p1.Medications[0] != p3.Medications[0] {
+		t.Error("patients 1 and 3 share a medication in Table I")
+	}
+	ont := snomed.Load()
+	for _, p := range ps {
+		if err := p.Validate(ont); err != nil {
+			t.Errorf("Table I patient %s invalid: %v", p.ID, err)
+		}
+	}
+}

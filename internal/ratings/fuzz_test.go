@@ -1,0 +1,36 @@
+package ratings
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary byte soup never panics the CSV loader
+// and that anything it accepts round-trips.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("u1,d1,4\nu2,d2,5\n")
+	f.Add("u1,d1,notanumber\n")
+	f.Add("u1,d1\n")
+	f.Add("")
+	f.Add("u1,d1,4.5\nu1,d1,2\n")
+	f.Add("\"quoted,user\",d1,3\n")
+	f.Add("u1,d1,99\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		store, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := store.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV on accepted input: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != store.Len() {
+			t.Fatalf("round trip len %d != %d", back.Len(), store.Len())
+		}
+	})
+}

@@ -1,0 +1,439 @@
+// Package ratings implements the sparse user–item rating matrix that
+// backs the collaborative-filtering layer (§III.A of the paper). The
+// store keeps two mirrored indexes — ratings by user (I(u)) and raters
+// by item (U(i)) — because Eq. 1 needs fast access along both axes:
+// peer discovery iterates users, relevance prediction iterates the
+// raters of a candidate item.
+//
+// The store is safe for concurrent use. All mutating operations
+// validate rating bounds; reads return defensive copies or invoke
+// visitor callbacks under the read lock.
+package ratings
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"fairhealth/internal/model"
+)
+
+// Common store errors.
+var (
+	// ErrEmptyID is returned when a user or item ID is the empty string.
+	ErrEmptyID = errors.New("ratings: empty user or item id")
+	// ErrDuplicate is returned by AddNew when the (user,item) pair is
+	// already rated.
+	ErrDuplicate = errors.New("ratings: rating already exists")
+	// ErrNotFound is returned by Remove when the rating does not exist.
+	ErrNotFound = errors.New("ratings: rating not found")
+)
+
+// Store is a thread-safe sparse rating matrix.
+//
+// The zero value is not ready for use; call New.
+type Store struct {
+	mu     sync.RWMutex
+	byUser map[model.UserID]map[model.ItemID]model.Rating
+	byItem map[model.ItemID]map[model.UserID]model.Rating
+	count  int
+
+	// meanDirty tracks users whose cached mean is stale.
+	means     map[model.UserID]float64
+	meanDirty map[model.UserID]bool
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		byUser:    make(map[model.UserID]map[model.ItemID]model.Rating),
+		byItem:    make(map[model.ItemID]map[model.UserID]model.Rating),
+		means:     make(map[model.UserID]float64),
+		meanDirty: make(map[model.UserID]bool),
+	}
+}
+
+// FromTriples builds a store from a batch of triples; later duplicates
+// overwrite earlier ones (upsert semantics).
+func FromTriples(ts []model.Triple) (*Store, error) {
+	s := New()
+	for _, t := range ts {
+		if err := s.Add(t.User, t.Item, t.Value); err != nil {
+			return nil, fmt.Errorf("triple (%s,%s,%v): %w", t.User, t.Item, float64(t.Value), err)
+		}
+	}
+	return s, nil
+}
+
+// Add inserts or overwrites the rating of item i by user u.
+func (s *Store) Add(u model.UserID, i model.ItemID, r model.Rating) error {
+	if u == "" || i == "" {
+		return ErrEmptyID
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ui, ok := s.byUser[u]
+	if !ok {
+		ui = make(map[model.ItemID]model.Rating)
+		s.byUser[u] = ui
+	}
+	if _, existed := ui[i]; !existed {
+		s.count++
+	}
+	ui[i] = r
+	iu, ok := s.byItem[i]
+	if !ok {
+		iu = make(map[model.UserID]model.Rating)
+		s.byItem[i] = iu
+	}
+	iu[u] = r
+	s.meanDirty[u] = true
+	return nil
+}
+
+// AddNew inserts a rating and fails with ErrDuplicate when the pair is
+// already rated. Useful for ingest paths that must detect replays.
+func (s *Store) AddNew(u model.UserID, i model.ItemID, r model.Rating) error {
+	if u == "" || i == "" {
+		return ErrEmptyID
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byUser[u][i]; ok {
+		return fmt.Errorf("%w: user %s item %s", ErrDuplicate, u, i)
+	}
+	ui, ok := s.byUser[u]
+	if !ok {
+		ui = make(map[model.ItemID]model.Rating)
+		s.byUser[u] = ui
+	}
+	ui[i] = r
+	iu, ok := s.byItem[i]
+	if !ok {
+		iu = make(map[model.UserID]model.Rating)
+		s.byItem[i] = iu
+	}
+	iu[u] = r
+	s.count++
+	s.meanDirty[u] = true
+	return nil
+}
+
+// Remove deletes the rating of item i by user u.
+func (s *Store) Remove(u model.UserID, i model.ItemID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ui, ok := s.byUser[u]
+	if !ok {
+		return fmt.Errorf("%w: user %s item %s", ErrNotFound, u, i)
+	}
+	if _, ok := ui[i]; !ok {
+		return fmt.Errorf("%w: user %s item %s", ErrNotFound, u, i)
+	}
+	delete(ui, i)
+	if len(ui) == 0 {
+		delete(s.byUser, u)
+	}
+	delete(s.byItem[i], u)
+	if len(s.byItem[i]) == 0 {
+		delete(s.byItem, i)
+	}
+	s.count--
+	s.meanDirty[u] = true
+	return nil
+}
+
+// Rating returns the rating user u gave item i, if any.
+func (s *Store) Rating(u model.UserID, i model.ItemID) (model.Rating, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.byUser[u][i]
+	return r, ok
+}
+
+// HasRated reports whether u has rated i.
+func (s *Store) HasRated(u model.UserID, i model.ItemID) bool {
+	_, ok := s.Rating(u, i)
+	return ok
+}
+
+// Len returns the number of stored ratings.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// NumUsers returns the number of distinct users with ≥1 rating.
+func (s *Store) NumUsers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byUser)
+}
+
+// NumItems returns the number of distinct items with ≥1 rating.
+func (s *Store) NumItems() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byItem)
+}
+
+// Users returns all user IDs in ascending order.
+func (s *Store) Users() []model.UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.UserID, 0, len(s.byUser))
+	for u := range s.byUser {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Items returns all item IDs in ascending order.
+func (s *Store) Items() []model.ItemID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.ItemID, 0, len(s.byItem))
+	for i := range s.byItem {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// ItemsRatedBy returns I(u): the items u has rated, ascending.
+func (s *Store) ItemsRatedBy(u model.UserID) []model.ItemID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ui := s.byUser[u]
+	out := make([]model.ItemID, 0, len(ui))
+	for i := range ui {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// UsersWhoRated returns U(i): the users who rated i, ascending.
+func (s *Store) UsersWhoRated(i model.ItemID) []model.UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	iu := s.byItem[i]
+	out := make([]model.UserID, 0, len(iu))
+	for u := range iu {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// UserRatings returns a copy of u's rating vector.
+func (s *Store) UserRatings(u model.UserID) map[model.ItemID]model.Rating {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ui := s.byUser[u]
+	out := make(map[model.ItemID]model.Rating, len(ui))
+	for i, r := range ui {
+		out[i] = r
+	}
+	return out
+}
+
+// ItemRatings returns a copy of i's rating column.
+func (s *Store) ItemRatings(i model.ItemID) map[model.UserID]model.Rating {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	iu := s.byItem[i]
+	out := make(map[model.UserID]model.Rating, len(iu))
+	for u, r := range iu {
+		out[u] = r
+	}
+	return out
+}
+
+// NumRatedBy returns |I(u)| without copying.
+func (s *Store) NumRatedBy(u model.UserID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byUser[u])
+}
+
+// MeanRating returns μ_u, the mean of u's ratings (Eq. 2 uses it for
+// mean-centering). ok is false when u has no ratings. Means are cached
+// and invalidated on writes.
+func (s *Store) MeanRating(u model.UserID) (float64, bool) {
+	s.mu.RLock()
+	if !s.meanDirty[u] {
+		if m, ok := s.means[u]; ok {
+			s.mu.RUnlock()
+			return m, true
+		}
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ui, ok := s.byUser[u]
+	if !ok || len(ui) == 0 {
+		delete(s.means, u)
+		delete(s.meanDirty, u)
+		return 0, false
+	}
+	var sum float64
+	for _, r := range ui {
+		sum += float64(r)
+	}
+	m := sum / float64(len(ui))
+	s.means[u] = m
+	s.meanDirty[u] = false
+	return m, true
+}
+
+// CoRated returns the items rated by both a and b (the intersection
+// I(a) ∩ I(b) over which Pearson correlation is computed), ascending.
+func (s *Store) CoRated(a, b model.UserID) []model.ItemID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ra, rb := s.byUser[a], s.byUser[b]
+	if len(rb) < len(ra) {
+		ra, rb = rb, ra
+	}
+	out := make([]model.ItemID, 0, len(ra))
+	for i := range ra {
+		if _, ok := rb[i]; ok {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+	return out
+}
+
+// Triples snapshots the whole matrix as (user,item,rating) triples in
+// deterministic (user, item) order — the input format of the MapReduce
+// pipeline (§IV).
+func (s *Store) Triples() []model.Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.Triple, 0, s.count)
+	users := make([]model.UserID, 0, len(s.byUser))
+	for u := range s.byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+	for _, u := range users {
+		ui := s.byUser[u]
+		items := make([]model.ItemID, 0, len(ui))
+		for i := range ui {
+			items = append(items, i)
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		for _, i := range items {
+			out = append(out, model.Triple{User: u, Item: i, Value: ui[i]})
+		}
+	}
+	return out
+}
+
+// VisitUserRatings calls fn for every (item, rating) of u under the
+// read lock, in unspecified order. fn must not call back into the
+// store. Returning false stops the visit.
+func (s *Store) VisitUserRatings(u model.UserID, fn func(model.ItemID, model.Rating) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, r := range s.byUser[u] {
+		if !fn(i, r) {
+			return
+		}
+	}
+}
+
+// VisitItemRatings calls fn for every (user, rating) of i under the
+// read lock, in unspecified order. Returning false stops the visit.
+func (s *Store) VisitItemRatings(i model.ItemID, fn func(model.UserID, model.Rating) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for u, r := range s.byItem[i] {
+		if !fn(u, r) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	out := New()
+	for _, t := range s.Triples() {
+		// Triples come from a valid store; Add cannot fail.
+		if err := out.Add(t.User, t.Item, t.Value); err != nil {
+			panic("ratings: clone of valid store failed: " + err.Error())
+		}
+	}
+	return out
+}
+
+// Sparsity returns 1 - |ratings| / (|users|·|items|), the usual
+// sparsity measure of the matrix; 0 when the store is empty.
+func (s *Store) Sparsity() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	den := len(s.byUser) * len(s.byItem)
+	if den == 0 {
+		return 0
+	}
+	return 1 - float64(s.count)/float64(den)
+}
+
+// WriteCSV emits the matrix as "user,item,rating" rows in the
+// deterministic Triples order.
+func (s *Store) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, t := range s.Triples() {
+		rec := []string{string(t.User), string(t.Item), strconv.FormatFloat(float64(t.Value), 'g', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("ratings: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("ratings: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses "user,item,rating" rows into a new store. Blank lines
+// are skipped; malformed rows abort with a line-numbered error.
+func ReadCSV(r io.Reader) (*Store, error) {
+	s := New()
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = 3
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return s, nil
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("ratings: csv line %d: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ratings: csv line %d: bad rating %q: %w", line, rec[2], err)
+		}
+		if err := s.Add(model.UserID(rec[0]), model.ItemID(rec[1]), model.Rating(v)); err != nil {
+			return nil, fmt.Errorf("ratings: csv line %d: %w", line, err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package reasoning implements the paper's §VIII future-work items
+// that build on the ontology: "a reasoning engine to identify
+// correspondences in patient profiles" and semantically enhanced
+// retrieval. The engine walks the is-a hierarchy to
+//
+//   - expand a patient's coded problems with their ancestor concepts
+//     (generalization) for robust matching,
+//   - explain WHY two patients correspond: for every cross-pair of
+//     problems it reports the lowest common ancestor and the path
+//     length through it, and
+//   - boost document search with the patient's problem vocabulary
+//     (personalized search over package search).
+package reasoning
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ontology"
+	"fairhealth/internal/phr"
+	"fairhealth/internal/search"
+)
+
+// ErrNoProfile is returned when a patient has no stored profile.
+var ErrNoProfile = errors.New("reasoning: no profile for patient")
+
+// Engine reasons over profiles and the ontology.
+type Engine struct {
+	Ont      *ontology.Ontology
+	Profiles *phr.Store
+}
+
+// New builds an engine.
+func New(ont *ontology.Ontology, profiles *phr.Store) *Engine {
+	return &Engine{Ont: ont, Profiles: profiles}
+}
+
+// ExpandProblems returns the patient's problems together with every
+// ancestor up to maxUp levels (maxUp < 0 means all ancestors),
+// ascending and deduplicated. This is the generalization step that
+// lets "acute bronchitis" match content tagged "disorder of
+// respiratory system".
+func (e *Engine) ExpandProblems(u model.UserID, maxUp int) ([]ontology.ConceptID, error) {
+	problems := e.Profiles.Problems(u)
+	if problems == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoProfile, u)
+	}
+	seen := map[ontology.ConceptID]bool{}
+	var out []ontology.ConceptID
+	add := func(c ontology.ConceptID) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, p := range problems {
+		add(p)
+		frontier := []ontology.ConceptID{p}
+		for level := 0; maxUp < 0 || level < maxUp; level++ {
+			var next []ontology.ConceptID
+			for _, c := range frontier {
+				for _, parent := range e.Ont.Parents(c) {
+					if !seen[parent] {
+						next = append(next, parent)
+					}
+					add(parent)
+				}
+			}
+			if len(next) == 0 {
+				break
+			}
+			frontier = next
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// Correspondence explains one problem-pair match between two patients.
+type Correspondence struct {
+	ProblemA, ProblemB ontology.ConceptID
+	// CommonAncestor is the deepest concept subsuming both problems.
+	CommonAncestor ontology.ConceptID
+	// Distance is the is-a path length between the two problems.
+	Distance int
+	// Explanation is a human-readable sentence for the caregiver UI.
+	Explanation string
+}
+
+// Correspondences identifies and explains every problem-pair link
+// between two patients, ordered by ascending distance (strongest
+// correspondence first), ties broken by concept IDs.
+func (e *Engine) Correspondences(a, b model.UserID) ([]Correspondence, error) {
+	pa := e.Profiles.Problems(a)
+	if pa == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoProfile, a)
+	}
+	pb := e.Profiles.Problems(b)
+	if pb == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoProfile, b)
+	}
+	var out []Correspondence
+	for _, ca := range pa {
+		for _, cb := range pb {
+			dist, err := e.Ont.PathLength(ca, cb)
+			if err != nil {
+				return nil, err
+			}
+			lca, err := e.lowestCommonAncestor(ca, cb)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Correspondence{
+				ProblemA:       ca,
+				ProblemB:       cb,
+				CommonAncestor: lca,
+				Distance:       dist,
+				Explanation:    e.explain(ca, cb, lca, dist),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		if out[i].ProblemA != out[j].ProblemA {
+			return out[i].ProblemA < out[j].ProblemA
+		}
+		return out[i].ProblemB < out[j].ProblemB
+	})
+	return out, nil
+}
+
+// lowestCommonAncestor returns the deepest concept that is an ancestor
+// (or the concept itself) of both a and b; ties resolve to the
+// lexicographically smallest ID for determinism.
+func (e *Engine) lowestCommonAncestor(a, b ontology.ConceptID) (ontology.ConceptID, error) {
+	ancestorsOf := func(c ontology.ConceptID) (map[ontology.ConceptID]bool, error) {
+		anc, err := e.Ont.Ancestors(c)
+		if err != nil {
+			return nil, err
+		}
+		set := map[ontology.ConceptID]bool{c: true}
+		for _, x := range anc {
+			set[x] = true
+		}
+		return set, nil
+	}
+	sa, err := ancestorsOf(a)
+	if err != nil {
+		return "", err
+	}
+	sb, err := ancestorsOf(b)
+	if err != nil {
+		return "", err
+	}
+	var best ontology.ConceptID
+	bestDepth := -1
+	for c := range sa {
+		if !sb[c] {
+			continue
+		}
+		d, err := e.Ont.Depth(c)
+		if err != nil {
+			return "", err
+		}
+		if d > bestDepth || (d == bestDepth && c < best) {
+			best, bestDepth = c, d
+		}
+	}
+	if bestDepth < 0 {
+		return "", fmt.Errorf("%w: %s and %s share no ancestor", ontology.ErrNoPath, a, b)
+	}
+	return best, nil
+}
+
+func (e *Engine) name(c ontology.ConceptID) string {
+	if concept, ok := e.Ont.Concept(c); ok && concept.Name != "" {
+		return concept.Name
+	}
+	return string(c)
+}
+
+func (e *Engine) explain(a, b, lca ontology.ConceptID, dist int) string {
+	na, nb := e.name(a), e.name(b)
+	switch {
+	case a == b:
+		return fmt.Sprintf("both patients have %q", na)
+	case lca == a:
+		return fmt.Sprintf("%q is a kind of %q", nb, na)
+	case lca == b:
+		return fmt.Sprintf("%q is a kind of %q", na, nb)
+	default:
+		return fmt.Sprintf("%q and %q are both kinds of %q (distance %d)", na, nb, e.name(lca), dist)
+	}
+}
+
+// MatchStrength summarizes how strongly two profiles correspond: the
+// best (smallest-distance) correspondence mapped into (0, 1] as
+// 1/(1+dist); 0 when either profile is empty.
+func (e *Engine) MatchStrength(a, b model.UserID) (float64, error) {
+	cs, err := e.Correspondences(a, b)
+	if err != nil {
+		if errors.Is(err, ErrNoProfile) {
+			return 0, err
+		}
+		return 0, err
+	}
+	if len(cs) == 0 {
+		return 0, nil
+	}
+	return 1 / (1 + float64(cs[0].Distance)), nil
+}
+
+// PersonalizedSearch re-scores index hits for a patient: the free-text
+// query is augmented with the names of the patient's (expanded)
+// problems, so documents about the patient's own conditions rank
+// higher — the "semantically enhanced" retrieval of §VIII. boost
+// scales the problem vocabulary's weight relative to the query
+// (0 disables, 1 ≈ equal footing via term duplication).
+func (e *Engine) PersonalizedSearch(ix *search.Index, u model.UserID, query string, k int, boost float64) ([]search.Result, error) {
+	if boost <= 0 {
+		return ix.Search(query, k), nil
+	}
+	expanded, err := e.ExpandProblems(u, 1)
+	if err != nil {
+		return nil, err
+	}
+	var extra strings.Builder
+	repeats := int(boost + 0.5)
+	if repeats < 1 {
+		repeats = 1
+	}
+	for _, c := range expanded {
+		for r := 0; r < repeats; r++ {
+			extra.WriteString(e.name(c))
+			extra.WriteByte(' ')
+		}
+	}
+	return ix.Search(query+" "+extra.String(), k), nil
+}

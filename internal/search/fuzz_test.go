@@ -1,0 +1,34 @@
+package search
+
+import (
+	"testing"
+)
+
+// FuzzSearch indexes fuzzed documents and queries them — no input may
+// panic the tokenizer, the postings insertion or the scorer, and
+// results must respect k and stay score-sorted.
+func FuzzSearch(f *testing.F) {
+	f.Add("chemo therapy", "nausea relief with ginger", "ginger nausea")
+	f.Add("", "", "")
+	f.Add("títulο ünïcode", "βody with ünïcode", "ünïcode")
+	f.Add("a b c", "a a a b", "a")
+	f.Add("same same", "same", "same same same")
+	f.Fuzz(func(t *testing.T, title, body, query string) {
+		ix := NewIndex(nil)
+		if err := ix.Add("d1", title, body); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		if err := ix.Add("d2", body, title); err != nil {
+			t.Fatalf("Add swapped: %v", err)
+		}
+		res := ix.Search(query, 2)
+		if len(res) > 2 {
+			t.Fatalf("k overflow: %d results", len(res))
+		}
+		for i := 1; i < len(res); i++ {
+			if res[i-1].Score < res[i].Score {
+				t.Fatalf("unsorted results: %v", res)
+			}
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Package search implements the document search engine of the paper's
+// architecture (Fig. 1): "users can use a search engine to find useful
+// documents selected by the experts and then, can rate the individual
+// results". It is a classic inverted index with TF-IDF ranking —
+// term-at-a-time accumulation over posting lists, SMART-style lnc.ltc
+// weighting with √|d| length normalization, deterministic tie-breaks.
+//
+// The index is the retrieval counterpart of package textindex (which
+// serves pairwise profile similarity); both share the tokenizer.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/textindex"
+)
+
+// Common errors.
+var (
+	// ErrDuplicateDoc is returned when a document ID is indexed twice.
+	ErrDuplicateDoc = errors.New("search: duplicate document")
+	// ErrEmptyID is returned for an empty document ID.
+	ErrEmptyID = errors.New("search: empty document id")
+)
+
+// Result is one ranked hit.
+type Result struct {
+	Doc   model.ItemID
+	Title string
+	Score float64
+}
+
+type posting struct {
+	doc model.ItemID
+	tf  int
+}
+
+type docInfo struct {
+	title string
+	len   int // token count, for length normalization
+}
+
+// Index is a thread-safe inverted index.
+type Index struct {
+	mu       sync.RWMutex
+	tok      textindex.Tokenizer
+	postings map[string][]posting // term → postings, doc-ascending
+	docs     map[model.ItemID]docInfo
+}
+
+// NewIndex returns an empty index; a nil tokenizer selects the
+// textindex default.
+func NewIndex(tok textindex.Tokenizer) *Index {
+	if tok == nil {
+		tok = textindex.NewDefaultTokenizer(2, textindex.DefaultStopwords)
+	}
+	return &Index{
+		tok:      tok,
+		postings: make(map[string][]posting),
+		docs:     make(map[model.ItemID]docInfo),
+	}
+}
+
+// Add indexes a document (title is stored for display and indexed
+// together with the body).
+func (ix *Index) Add(id model.ItemID, title, body string) error {
+	if id == "" {
+		return ErrEmptyID
+	}
+	toks := ix.tok(title + " " + body)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docs[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateDoc, id)
+	}
+	tf := make(map[string]int)
+	for _, t := range toks {
+		tf[t]++
+	}
+	for t, n := range tf {
+		ps := ix.postings[t]
+		// keep postings doc-ascending; appends are usually in order,
+		// fall back to insertion sort otherwise
+		idx := len(ps)
+		for idx > 0 && ps[idx-1].doc > id {
+			idx--
+		}
+		ps = append(ps, posting{})
+		copy(ps[idx+1:], ps[idx:])
+		ps[idx] = posting{doc: id, tf: n}
+		ix.postings[t] = ps
+	}
+	ix.docs[id] = docInfo{title: title, len: len(toks)}
+	return nil
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Has reports whether a document is indexed.
+func (ix *Index) Has(id model.ItemID) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.docs[id]
+	return ok
+}
+
+// Title returns a document's stored title.
+func (ix *Index) Title(id model.ItemID) (string, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d, ok := ix.docs[id]
+	return d.title, ok
+}
+
+// DocFreq returns the number of documents containing term (after
+// tokenization rules).
+func (ix *Index) DocFreq(term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings[term])
+}
+
+// Search ranks documents against the query and returns the top k.
+// Scoring is term-at-a-time TF-IDF:
+//
+//	score(q,d) = Σ_t∈q (1+ln tf(t,d)) · idf(t) · qtf(t) / √|d|
+//
+// with the smoothed idf(t) = ln(1 + N/df(t)), so a term occurring in
+// every document still retrieves (unlike the similarity-oriented
+// Def. 4 idf in package textindex, which zeroes it). Terms absent from
+// the index contribute nothing; an empty or all-stopword query returns
+// no results.
+func (ix *Index) Search(query string, k int) []Result {
+	if k < 1 {
+		return nil
+	}
+	qtoks := ix.tok(query)
+	if len(qtoks) == 0 {
+		return nil
+	}
+	qtf := make(map[string]int)
+	for _, t := range qtoks {
+		qtf[t]++
+	}
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := float64(len(ix.docs))
+	if n == 0 {
+		return nil
+	}
+	scores := make(map[model.ItemID]float64)
+	for t, qn := range qtf {
+		ps := ix.postings[t]
+		if len(ps) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(ps)))
+		w := idf * float64(qn)
+		for _, p := range ps {
+			scores[p.doc] += (1 + math.Log(float64(p.tf))) * w
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	out := make([]Result, 0, len(scores))
+	for doc, s := range scores {
+		info := ix.docs[doc]
+		norm := math.Sqrt(float64(info.len))
+		if norm == 0 {
+			norm = 1
+		}
+		out = append(out, Result{Doc: doc, Title: info.title, Score: s / norm})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Doc < out[b].Doc
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Vocabulary returns all indexed terms, ascending (diagnostics).
+func (ix *Index) Vocabulary() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

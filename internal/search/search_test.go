@@ -1,0 +1,253 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"fairhealth/internal/dataset"
+	"fairhealth/internal/model"
+)
+
+func buildIndex(t *testing.T, docs map[string][2]string) *Index {
+	t.Helper()
+	ix := NewIndex(nil)
+	for id, tb := range docs {
+		if err := ix.Add(model.ItemID(id), tb[0], tb[1]); err != nil {
+			t.Fatalf("Add(%s): %v", id, err)
+		}
+	}
+	return ix
+}
+
+func medicalCorpus(t *testing.T) *Index {
+	return buildIndex(t, map[string][2]string{
+		"d1": {"Managing chemotherapy nausea", "chemotherapy nausea relief ginger hydration rest"},
+		"d2": {"Nutrition during chemotherapy", "nutrition protein meals chemotherapy appetite"},
+		"d3": {"Knee exercises after surgery", "knee exercises physiotherapy recovery strength"},
+		"d4": {"Heart healthy diet", "heart diet cholesterol vegetables fiber"},
+		"d5": {"Sleep hygiene basics", "sleep routine insomnia relaxation habits"},
+	})
+}
+
+func TestSearchRanksRelevantFirst(t *testing.T) {
+	ix := medicalCorpus(t)
+	res := ix.Search("chemotherapy nausea", 3)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].Doc != "d1" {
+		t.Errorf("top hit = %s, want d1 (matches both query terms)", res[0].Doc)
+	}
+	// d2 matches chemotherapy only → ranked second
+	if len(res) < 2 || res[1].Doc != "d2" {
+		t.Errorf("second hit = %v, want d2", res)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Score < res[i].Score {
+			t.Errorf("results not sorted: %v", res)
+		}
+	}
+}
+
+func TestSearchTitleStored(t *testing.T) {
+	ix := medicalCorpus(t)
+	res := ix.Search("insomnia", 1)
+	if len(res) != 1 || res[0].Title != "Sleep hygiene basics" {
+		t.Errorf("res = %v", res)
+	}
+	title, ok := ix.Title("d4")
+	if !ok || title != "Heart healthy diet" {
+		t.Errorf("Title = %q,%v", title, ok)
+	}
+	if _, ok := ix.Title("ghost"); ok {
+		t.Error("unknown title resolved")
+	}
+}
+
+func TestSearchKClamp(t *testing.T) {
+	ix := medicalCorpus(t)
+	if res := ix.Search("diet", 100); len(res) == 0 || len(res) > 5 {
+		t.Errorf("res = %v", res)
+	}
+	if res := ix.Search("diet", 0); res != nil {
+		t.Errorf("k=0 res = %v", res)
+	}
+	if res := ix.Search("diet", 1); len(res) != 1 {
+		t.Errorf("k=1 res = %v", res)
+	}
+}
+
+func TestSearchNoMatches(t *testing.T) {
+	ix := medicalCorpus(t)
+	if res := ix.Search("zebra quantum", 5); res != nil {
+		t.Errorf("unknown terms res = %v", res)
+	}
+	if res := ix.Search("", 5); res != nil {
+		t.Errorf("empty query res = %v", res)
+	}
+	if res := ix.Search("the and of", 5); res != nil {
+		t.Errorf("stopword query res = %v", res)
+	}
+	empty := NewIndex(nil)
+	if res := empty.Search("anything", 5); res != nil {
+		t.Errorf("empty index res = %v", res)
+	}
+}
+
+func TestIDFDampsCommonTerms(t *testing.T) {
+	// "common" appears everywhere, "rare" once; a query with both must
+	// rank the rare-term doc first even though doc lengths match.
+	ix := buildIndex(t, map[string][2]string{
+		"d1": {"", "common rare filler filler"},
+		"d2": {"", "common stuff filler filler"},
+		"d3": {"", "common stuff filler filler"},
+	})
+	res := ix.Search("common rare", 3)
+	if len(res) == 0 || res[0].Doc != "d1" {
+		t.Errorf("res = %v, want d1 first", res)
+	}
+	// smoothed idf: a term in every doc still retrieves, weakly
+	if res := ix.Search("common", 3); len(res) != 3 {
+		t.Errorf("all-docs term should still retrieve: %v", res)
+	}
+	// but it outweighs nothing: rare-term score dominates
+	rareScore := ix.Search("rare", 1)[0].Score
+	commonScore := ix.Search("common", 1)[0].Score
+	if rareScore <= commonScore {
+		t.Errorf("rare score %v should exceed common score %v", rareScore, commonScore)
+	}
+}
+
+func TestTermFrequencySaturation(t *testing.T) {
+	// log-tf: 10 repeats must not score 10× a single occurrence
+	ix := buildIndex(t, map[string][2]string{
+		"once": {"", "ginger aaa bbb ccc ddd eee fff ggg hhh iii"},
+		"many": {"", "ginger ginger ginger ginger ginger ginger ginger ginger ginger ginger"},
+		"none": {"", "unrelated words entirely"},
+	})
+	res := ix.Search("ginger", 2)
+	if len(res) != 2 {
+		t.Fatalf("res = %v", res)
+	}
+	ratio := res[0].Score / res[1].Score
+	if ratio > 5 {
+		t.Errorf("tf saturation failed: score ratio %v", ratio)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	ix := buildIndex(t, map[string][2]string{
+		"b": {"", "ginger tea"},
+		"a": {"", "ginger tea"},
+		"c": {"", "filler noise"},
+	})
+	res := ix.Search("ginger", 2)
+	if len(res) != 2 || res[0].Doc != "a" || res[1].Doc != "b" {
+		t.Errorf("tie break = %v, want a then b", res)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	ix := NewIndex(nil)
+	if err := ix.Add("", "t", "b"); !errors.Is(err, ErrEmptyID) {
+		t.Errorf("empty id: %v", err)
+	}
+	if err := ix.Add("d1", "t", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add("d1", "t", "b"); !errors.Is(err, ErrDuplicateDoc) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if !ix.Has("d1") || ix.Has("d2") {
+		t.Error("Has wrong")
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+func TestDocFreqAndVocabulary(t *testing.T) {
+	ix := medicalCorpus(t)
+	if df := ix.DocFreq("chemotherapy"); df != 2 {
+		t.Errorf("df(chemotherapy) = %d, want 2", df)
+	}
+	if df := ix.DocFreq("nonexistent"); df != 0 {
+		t.Errorf("df(nonexistent) = %d", df)
+	}
+	vocab := ix.Vocabulary()
+	if len(vocab) < 10 {
+		t.Errorf("vocabulary too small: %d", len(vocab))
+	}
+	for i := 1; i < len(vocab); i++ {
+		if vocab[i-1] >= vocab[i] {
+			t.Fatalf("vocabulary not sorted at %d", i)
+		}
+	}
+}
+
+func TestOutOfOrderInsertKeepsPostingsSorted(t *testing.T) {
+	ix := NewIndex(nil)
+	for _, id := range []string{"zz", "aa", "mm"} {
+		if err := ix.Add(model.ItemID(id), "", "ginger tea"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := ix.Search("ginger", 3)
+	if len(res) != 3 || res[0].Doc != "aa" || res[1].Doc != "mm" || res[2].Doc != "zz" {
+		t.Errorf("res = %v, want aa mm zz (equal scores, ID order)", res)
+	}
+}
+
+func TestConcurrentIndexAndSearch(t *testing.T) {
+	ix := NewIndex(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				id := model.ItemID(fmt.Sprintf("doc-%d-%d", w, k))
+				if err := ix.Add(id, "title", "ginger nausea relief"); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+				ix.Search("ginger", 5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.Len() != 200 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+// TestSearchOnGeneratedCorpus wires the dataset generator's documents
+// through the index: topic queries must surface documents of that
+// topic.
+func TestSearchOnGeneratedCorpus(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 3, Items: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(nil)
+	for _, d := range ds.Documents {
+		if err := ix.Add(d.ID, d.Title, d.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := ix.Search("chemotherapy tumor screening", 5)
+	if len(res) == 0 {
+		t.Fatal("no oncology results")
+	}
+	byID := make(map[model.ItemID]dataset.Document, len(ds.Documents))
+	for _, d := range ds.Documents {
+		byID[d.ID] = d
+	}
+	for _, r := range res {
+		if lbl := dataset.TopicLabel(byID[r.Doc].Topic); lbl != "oncology" {
+			t.Errorf("hit %s has topic %s, want oncology", r.Doc, lbl)
+		}
+	}
+}

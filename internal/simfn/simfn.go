@@ -1,0 +1,268 @@
+// Package simfn implements the user-similarity measures of §V behind a
+// single interface. The paper proposes three ways to compare users —
+// Pearson correlation over shared document ratings (Eq. 2), cosine
+// similarity over TF-IDF vectors of their textual profiles (Eq. 3),
+// and semantic similarity of their coded health problems over an
+// ontology (Eq. 4) — plus the implied ability to combine them. Every
+// measure reports (similarity, ok): ok=false means the measure is
+// undefined for the pair (no co-rated items, empty profile, ...), a
+// distinct state from similarity 0.
+package simfn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ontology"
+	"fairhealth/internal/phr"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/textindex"
+)
+
+// UserSimilarity evaluates the proximity of two users (simU in the
+// paper, Def. 1). Implementations must be symmetric:
+// Similarity(a,b) == Similarity(b,a).
+type UserSimilarity interface {
+	Similarity(a, b model.UserID) (sim float64, ok bool)
+}
+
+// Func adapts a plain function to UserSimilarity.
+type Func func(a, b model.UserID) (float64, bool)
+
+// Similarity implements UserSimilarity.
+func (f Func) Similarity(a, b model.UserID) (float64, bool) { return f(a, b) }
+
+// ---------------------------------------------------------------------------
+// Ratings-based similarity (Eq. 2)
+
+// Pearson computes RS(u,u′), the Pearson correlation over co-rated
+// items, with the user means μ taken over each user's full rating set
+// I(u) exactly as Eq. 2 defines them. The result lies in [-1, 1].
+//
+// The correlation is undefined (ok=false) when the users share fewer
+// than MinOverlap items or when either user's centered vector has zero
+// norm over the shared items.
+type Pearson struct {
+	Store *ratings.Store
+	// MinOverlap is the minimum number of co-rated items required;
+	// values < 1 are treated as 1.
+	MinOverlap int
+}
+
+// Similarity implements UserSimilarity.
+func (p Pearson) Similarity(a, b model.UserID) (float64, bool) {
+	minOverlap := p.MinOverlap
+	if minOverlap < 1 {
+		minOverlap = 1
+	}
+	shared := p.Store.CoRated(a, b)
+	if len(shared) < minOverlap {
+		return 0, false
+	}
+	ma, okA := p.Store.MeanRating(a)
+	mb, okB := p.Store.MeanRating(b)
+	if !okA || !okB {
+		return 0, false
+	}
+	var num, da, db float64
+	for _, i := range shared {
+		ra, _ := p.Store.Rating(a, i)
+		rb, _ := p.Store.Rating(b, i)
+		xa := float64(ra) - ma
+		xb := float64(rb) - mb
+		num += xa * xb
+		da += xa * xa
+		db += xb * xb
+	}
+	if da == 0 || db == 0 {
+		return 0, false
+	}
+	r := num / (math.Sqrt(da) * math.Sqrt(db))
+	// guard against floating point drift outside [-1, 1]
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r, true
+}
+
+// ---------------------------------------------------------------------------
+// Profile-based similarity (Def. 4 + Eq. 3)
+
+// ProfileCosine compares users by the cosine of the TF-IDF vectors of
+// their rendered profile documents (§V.B). Build it with
+// BuildProfileCosine, which snapshots the current profiles into a
+// corpus.
+type ProfileCosine struct {
+	corpus *textindex.Corpus
+}
+
+// BuildProfileCosine renders every profile in store to a document
+// (expanding problem codes through ont when non-nil) and indexes them.
+// tok selects the tokenizer; nil uses the textindex default.
+func BuildProfileCosine(store *phr.Store, ont *ontology.Ontology, tok textindex.Tokenizer) (*ProfileCosine, error) {
+	corpus := textindex.NewCorpus(tok)
+	for _, id := range store.IDs() {
+		p, err := store.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("simfn: profile %s: %w", id, err)
+		}
+		if err := corpus.Add(textindex.DocID(id), p.Document(ont)); err != nil {
+			return nil, fmt.Errorf("simfn: index %s: %w", id, err)
+		}
+	}
+	return &ProfileCosine{corpus: corpus}, nil
+}
+
+// Similarity implements UserSimilarity. ok is false when either user
+// has no indexed profile or a zero-weight vector.
+func (pc *ProfileCosine) Similarity(a, b model.UserID) (float64, bool) {
+	return pc.corpus.Similarity(textindex.DocID(a), textindex.DocID(b))
+}
+
+// Corpus exposes the underlying index (read-mostly; used by examples
+// to inspect top terms).
+func (pc *ProfileCosine) Corpus() *textindex.Corpus { return pc.corpus }
+
+// ---------------------------------------------------------------------------
+// Semantic similarity (Eq. 4)
+
+// Semantic compares users through the ontology distance of their coded
+// health problems (§V.C): per-pair path similarities aggregated with
+// the harmonic mean.
+type Semantic struct {
+	Ont *ontology.Ontology
+	// Problems returns the coded problem list of a user; phr.Store's
+	// Problems method satisfies this.
+	Problems func(model.UserID) []ontology.ConceptID
+}
+
+// Similarity implements UserSimilarity. ok is false when either user
+// has no recorded problems; unknown concept codes also yield ok=false
+// (they indicate a profile/ontology mismatch, not dissimilarity).
+func (s Semantic) Similarity(a, b model.UserID) (float64, bool) {
+	pa, pb := s.Problems(a), s.Problems(b)
+	sim, ok, err := s.Ont.SetSimilarity(pa, pb)
+	if err != nil || !ok {
+		return 0, false
+	}
+	return sim, true
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+
+// Normalized maps a [-1,1] similarity into [0,1] via (s+1)/2 so that
+// correlation-style measures can share a δ threshold with the
+// naturally [0,1] measures.
+type Normalized struct{ S UserSimilarity }
+
+// Similarity implements UserSimilarity.
+func (n Normalized) Similarity(a, b model.UserID) (float64, bool) {
+	s, ok := n.S.Similarity(a, b)
+	if !ok {
+		return 0, false
+	}
+	return (s + 1) / 2, true
+}
+
+// Component weights one measure inside a Weighted combination.
+type Component struct {
+	S      UserSimilarity
+	Weight float64
+}
+
+// Weighted blends several measures into one score: the weighted
+// average of the defined components, with weights renormalized over
+// the components that are defined for the pair. This mirrors the
+// paper's intent of exploiting "health-related information in addition
+// to the traditional ratings".
+type Weighted struct {
+	Components []Component
+}
+
+// Similarity implements UserSimilarity. ok is false when no component
+// is defined for the pair or total weight is 0.
+func (w Weighted) Similarity(a, b model.UserID) (float64, bool) {
+	var sum, weight float64
+	for _, c := range w.Components {
+		if c.Weight <= 0 {
+			continue
+		}
+		s, ok := c.S.Similarity(a, b)
+		if !ok {
+			continue
+		}
+		sum += c.Weight * s
+		weight += c.Weight
+	}
+	if weight == 0 {
+		return 0, false
+	}
+	return sum / weight, true
+}
+
+// ---------------------------------------------------------------------------
+// Caching
+
+type pairKey struct{ a, b model.UserID }
+
+func canonical(a, b model.UserID) pairKey {
+	if b < a {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+type cacheEntry struct {
+	sim float64
+	ok  bool
+}
+
+// Cached memoizes a symmetric similarity measure. Peer discovery
+// (Def. 1) evaluates simU for every candidate pair; caching turns the
+// repeated lookups of group recommendation into O(1).
+type Cached struct {
+	mu      sync.RWMutex
+	inner   UserSimilarity
+	entries map[pairKey]cacheEntry
+}
+
+// NewCached wraps inner with a memo table.
+func NewCached(inner UserSimilarity) *Cached {
+	return &Cached{inner: inner, entries: make(map[pairKey]cacheEntry)}
+}
+
+// Similarity implements UserSimilarity.
+func (c *Cached) Similarity(a, b model.UserID) (float64, bool) {
+	k := canonical(a, b)
+	c.mu.RLock()
+	e, hit := c.entries[k]
+	c.mu.RUnlock()
+	if hit {
+		return e.sim, e.ok
+	}
+	sim, ok := c.inner.Similarity(a, b)
+	c.mu.Lock()
+	c.entries[k] = cacheEntry{sim, ok}
+	c.mu.Unlock()
+	return sim, ok
+}
+
+// Len returns the number of cached pairs.
+func (c *Cached) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Invalidate clears the memo table (call after mutating the underlying
+// ratings or profiles).
+func (c *Cached) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[pairKey]cacheEntry)
+}

@@ -1,0 +1,360 @@
+package simfn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ontology"
+	"fairhealth/internal/phr"
+	"fairhealth/internal/ratings"
+	"fairhealth/internal/snomed"
+)
+
+func storeWith(t *testing.T, triples ...model.Triple) *ratings.Store {
+	t.Helper()
+	s, err := ratings.FromTriples(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func tr(u, i string, v float64) model.Triple {
+	return model.Triple{User: model.UserID(u), Item: model.ItemID(i), Value: model.Rating(v)}
+}
+
+func TestPearsonPerfectPositive(t *testing.T) {
+	s := storeWith(t,
+		tr("a", "d1", 1), tr("a", "d2", 2), tr("a", "d3", 3),
+		tr("b", "d1", 1), tr("b", "d2", 3), tr("b", "d3", 5),
+	)
+	p := Pearson{Store: s}
+	sim, ok := p.Similarity("a", "b")
+	if !ok || math.Abs(sim-1) > 1e-12 {
+		t.Errorf("perfectly correlated users: sim = %v,%v want 1,true", sim, ok)
+	}
+}
+
+func TestPearsonPerfectNegative(t *testing.T) {
+	s := storeWith(t,
+		tr("a", "d1", 1), tr("a", "d2", 2), tr("a", "d3", 3),
+		tr("b", "d1", 5), tr("b", "d2", 3), tr("b", "d3", 1),
+	)
+	p := Pearson{Store: s}
+	sim, ok := p.Similarity("a", "b")
+	if !ok || math.Abs(sim+1) > 1e-12 {
+		t.Errorf("anti-correlated users: sim = %v,%v want -1,true", sim, ok)
+	}
+}
+
+// TestPearsonHandComputed pins Eq. 2 with a worked example where the
+// means are taken over each user's FULL rating set (not only the
+// co-rated items) — the exact definition in the paper.
+func TestPearsonHandComputed(t *testing.T) {
+	// a rates d1..d4: 4,2,3,5 → μa = 3.5; shared items are d1,d2.
+	// b rates d1,d2,d5: 5,1,3 → μb = 3.
+	// centered a over shared: (4-3.5)=0.5, (2-3.5)=-1.5
+	// centered b over shared: (5-3)=2,   (1-3)=-2
+	// num = 0.5*2 + (-1.5)(-2) = 1 + 3 = 4
+	// den = sqrt(0.25+2.25) * sqrt(4+4) = sqrt(2.5)*sqrt(8)
+	s := storeWith(t,
+		tr("a", "d1", 4), tr("a", "d2", 2), tr("a", "d3", 3), tr("a", "d4", 5),
+		tr("b", "d1", 5), tr("b", "d2", 1), tr("b", "d5", 3),
+	)
+	p := Pearson{Store: s}
+	sim, ok := p.Similarity("a", "b")
+	want := 4 / (math.Sqrt(2.5) * math.Sqrt(8))
+	if !ok || math.Abs(sim-want) > 1e-12 {
+		t.Errorf("sim = %v,%v want %v,true", sim, ok, want)
+	}
+}
+
+func TestPearsonSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var triples []model.Triple
+	for u := 0; u < 6; u++ {
+		for i := 0; i < 12; i++ {
+			if rng.Float64() < 0.6 {
+				triples = append(triples, tr(fmt.Sprintf("u%d", u), fmt.Sprintf("d%d", i), float64(1+rng.Intn(5))))
+			}
+		}
+	}
+	s := storeWith(t, triples...)
+	p := Pearson{Store: s}
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			a, b := model.UserID(fmt.Sprintf("u%d", u)), model.UserID(fmt.Sprintf("u%d", v))
+			s1, ok1 := p.Similarity(a, b)
+			s2, ok2 := p.Similarity(b, a)
+			if ok1 != ok2 || math.Abs(s1-s2) > 1e-12 {
+				t.Errorf("asymmetric Pearson(%s,%s): %v,%v vs %v,%v", a, b, s1, ok1, s2, ok2)
+			}
+			if ok1 && (s1 < -1-1e-12 || s1 > 1+1e-12) {
+				t.Errorf("Pearson out of range: %v", s1)
+			}
+		}
+	}
+}
+
+func TestPearsonUndefinedCases(t *testing.T) {
+	// no overlap
+	s := storeWith(t, tr("a", "d1", 3), tr("b", "d2", 4))
+	if _, ok := (Pearson{Store: s}).Similarity("a", "b"); ok {
+		t.Error("no overlap should be undefined")
+	}
+	// zero variance on the shared items
+	s2 := storeWith(t,
+		tr("a", "d1", 3), tr("a", "d2", 3),
+		tr("b", "d1", 1), tr("b", "d2", 5),
+	)
+	if _, ok := (Pearson{Store: s2}).Similarity("a", "b"); ok {
+		t.Error("flat rater should be undefined (zero variance)")
+	}
+	// unknown users
+	if _, ok := (Pearson{Store: s}).Similarity("ghost", "b"); ok {
+		t.Error("unknown user should be undefined")
+	}
+}
+
+func TestPearsonMinOverlap(t *testing.T) {
+	s := storeWith(t,
+		tr("a", "d1", 1), tr("a", "d2", 5),
+		tr("b", "d1", 2), tr("b", "d2", 4),
+	)
+	if _, ok := (Pearson{Store: s, MinOverlap: 3}).Similarity("a", "b"); ok {
+		t.Error("overlap below MinOverlap should be undefined")
+	}
+	if _, ok := (Pearson{Store: s, MinOverlap: 2}).Similarity("a", "b"); !ok {
+		t.Error("overlap at MinOverlap should be defined")
+	}
+}
+
+func buildTableIStores(t *testing.T) (*phr.Store, *ontology.Ontology) {
+	t.Helper()
+	ont := snomed.Load()
+	st := phr.NewStore(ont)
+	for _, p := range phr.TableIPatients() {
+		if err := st.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, ont
+}
+
+func TestProfileCosineTableI(t *testing.T) {
+	st, ont := buildTableIStores(t)
+	pc, err := BuildProfileCosine(st, ont, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patients 1 and 3 share the medication and the bronchitis
+	// vocabulary; patient 2 shares neither.
+	s13, ok13 := pc.Similarity("patient1", "patient3")
+	s12, ok12 := pc.Similarity("patient1", "patient2")
+	if !ok13 || !ok12 {
+		t.Fatalf("similarities undefined: %v %v", ok13, ok12)
+	}
+	if s13 <= s12 {
+		t.Errorf("profile sim(P1,P3)=%v must exceed sim(P1,P2)=%v", s13, s12)
+	}
+	if _, ok := pc.Similarity("patient1", "ghost"); ok {
+		t.Error("unknown profile should be undefined")
+	}
+}
+
+func TestSemanticTableI(t *testing.T) {
+	st, ont := buildTableIStores(t)
+	sem := Semantic{Ont: ont, Problems: st.Problems}
+	s13, ok13 := sem.Similarity("patient1", "patient3")
+	s12, ok12 := sem.Similarity("patient1", "patient2")
+	if !ok13 || !ok12 {
+		t.Fatalf("semantic similarities undefined: %v %v", ok13, ok12)
+	}
+	if s13 <= s12 {
+		t.Errorf("semantic sim(P1,P3)=%v must exceed sim(P1,P2)=%v (paper §V.C)", s13, s12)
+	}
+	// patients without problems are undefined
+	if err := st.Put(&phr.Profile{ID: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sem.Similarity("patient1", "empty"); ok {
+		t.Error("patient without problems should be undefined")
+	}
+}
+
+func TestSemanticExactValue(t *testing.T) {
+	st, ont := buildTableIStores(t)
+	sem := Semantic{Ont: ont, Problems: st.Problems}
+	// dist(acute, chest) = 5 → pair similarity 1/6; single pair →
+	// harmonic mean = 1/6.
+	s12, ok := sem.Similarity("patient1", "patient2")
+	if !ok || math.Abs(s12-1.0/6) > 1e-12 {
+		t.Errorf("sim(P1,P2) = %v, want 1/6", s12)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	base := Func(func(a, b model.UserID) (float64, bool) {
+		switch {
+		case a == "x" || b == "x":
+			return 0, false
+		case a == b:
+			return 1, true
+		default:
+			return -1, true
+		}
+	})
+	n := Normalized{S: base}
+	if s, ok := n.Similarity("a", "a"); !ok || s != 1 {
+		t.Errorf("Normalized(1) = %v,%v", s, ok)
+	}
+	if s, ok := n.Similarity("a", "b"); !ok || s != 0 {
+		t.Errorf("Normalized(-1) = %v,%v", s, ok)
+	}
+	if _, ok := n.Similarity("x", "b"); ok {
+		t.Error("Normalized must propagate undefined")
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	constant := func(v float64, ok bool) UserSimilarity {
+		return Func(func(a, b model.UserID) (float64, bool) { return v, ok })
+	}
+	w := Weighted{Components: []Component{
+		{S: constant(1.0, true), Weight: 3},
+		{S: constant(0.0, true), Weight: 1},
+	}}
+	s, ok := w.Similarity("a", "b")
+	if !ok || math.Abs(s-0.75) > 1e-12 {
+		t.Errorf("Weighted = %v,%v want 0.75,true", s, ok)
+	}
+	// undefined components are skipped with weight renormalization
+	w2 := Weighted{Components: []Component{
+		{S: constant(0.4, true), Weight: 1},
+		{S: constant(0.9, false), Weight: 9},
+	}}
+	s, ok = w2.Similarity("a", "b")
+	if !ok || math.Abs(s-0.4) > 1e-12 {
+		t.Errorf("Weighted with undefined component = %v,%v want 0.4,true", s, ok)
+	}
+	// all undefined → undefined
+	w3 := Weighted{Components: []Component{{S: constant(1, false), Weight: 1}}}
+	if _, ok := w3.Similarity("a", "b"); ok {
+		t.Error("all-undefined must be undefined")
+	}
+	// zero/negative weights are ignored
+	w4 := Weighted{Components: []Component{
+		{S: constant(1, true), Weight: 0},
+		{S: constant(1, true), Weight: -2},
+	}}
+	if _, ok := w4.Similarity("a", "b"); ok {
+		t.Error("zero total weight must be undefined")
+	}
+}
+
+func TestCached(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	base := Func(func(a, b model.UserID) (float64, bool) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return 0.5, true
+	})
+	c := NewCached(base)
+	for k := 0; k < 5; k++ {
+		if s, ok := c.Similarity("a", "b"); !ok || s != 0.5 {
+			t.Fatalf("cached sim = %v,%v", s, ok)
+		}
+		// symmetric lookups share one entry
+		if s, ok := c.Similarity("b", "a"); !ok || s != 0.5 {
+			t.Fatalf("cached sym sim = %v,%v", s, ok)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("inner called %d times, want 1", calls)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache len = %d, want 1", c.Len())
+	}
+	c.Invalidate()
+	c.Similarity("a", "b")
+	if calls != 2 {
+		t.Errorf("after invalidate inner called %d times, want 2", calls)
+	}
+}
+
+func TestCachedCachesUndefined(t *testing.T) {
+	var calls int
+	base := Func(func(a, b model.UserID) (float64, bool) {
+		calls++
+		return 0, false
+	})
+	c := NewCached(base)
+	c.Similarity("a", "b")
+	c.Similarity("a", "b")
+	if calls != 1 {
+		t.Errorf("undefined result not cached: %d calls", calls)
+	}
+}
+
+func TestCachedConcurrent(t *testing.T) {
+	base := Pearson{Store: storeWith(t,
+		tr("a", "d1", 1), tr("a", "d2", 5),
+		tr("b", "d1", 2), tr("b", "d2", 4),
+	)}
+	c := NewCached(base)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				c.Similarity("a", "b")
+				c.Similarity("b", "a")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 1 {
+		t.Errorf("cache len = %d, want 1", c.Len())
+	}
+}
+
+// TestHybridEndToEnd exercises the full Weighted{Pearson, Profile,
+// Semantic} stack on the Table I patients plus ratings.
+func TestHybridEndToEnd(t *testing.T) {
+	st, ont := buildTableIStores(t)
+	rs := storeWith(t,
+		tr("patient1", "d1", 5), tr("patient1", "d2", 1), tr("patient1", "d3", 4),
+		tr("patient3", "d1", 4), tr("patient3", "d2", 2), tr("patient3", "d3", 5),
+		tr("patient2", "d1", 1), tr("patient2", "d2", 5), tr("patient2", "d3", 2),
+	)
+	pc, err := BuildProfileCosine(st, ont, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid := Weighted{Components: []Component{
+		{S: Normalized{S: Pearson{Store: rs}}, Weight: 1},
+		{S: pc, Weight: 1},
+		{S: Semantic{Ont: ont, Problems: st.Problems}, Weight: 1},
+	}}
+	s13, ok := hybrid.Similarity("patient1", "patient3")
+	if !ok {
+		t.Fatal("hybrid undefined for P1,P3")
+	}
+	s12, ok := hybrid.Similarity("patient1", "patient2")
+	if !ok {
+		t.Fatal("hybrid undefined for P1,P2")
+	}
+	if s13 <= s12 {
+		t.Errorf("hybrid sim(P1,P3)=%v must exceed sim(P1,P2)=%v", s13, s12)
+	}
+	if s13 < 0 || s13 > 1 || s12 < 0 || s12 > 1 {
+		t.Errorf("hybrid out of [0,1]: %v %v", s13, s12)
+	}
+}

@@ -1,0 +1,332 @@
+// Package snomed ships a license-free stand-in for the SNOMED-CT
+// ontology the paper uses in §V.C. SNOMED-CT itself is proprietary, so
+// this package provides (a) a curated mini-hierarchy of ~150 clinical
+// findings whose is-a structure reproduces the worked distances in the
+// paper's Table I discussion — shortest path 5 between "Acute
+// bronchitis" and "Chest pain", 2 between "Tracheobronchitis" and
+// "Acute bronchitis" — and (b) a seeded random hierarchy generator for
+// scale experiments.
+//
+// Concept codes follow the SNOMED numeric style. A few well-known codes
+// are real (e.g. 404684003 "Clinical finding", 10509002 "Acute
+// bronchitis", 29857009 "Chest pain"); the rest are synthetic stand-ins
+// from a reserved 7xxxxxx range. The recommender only consumes path
+// lengths, so the substitution preserves the algorithm's behaviour
+// exactly (see DESIGN.md §2).
+package snomed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fairhealth/internal/ontology"
+)
+
+// Well-known concept codes used across examples and tests. These are
+// the concepts named in the paper's Table I.
+const (
+	RootClinicalFinding ontology.ConceptID = "404684003" // Clinical finding
+	AcuteBronchitis     ontology.ConceptID = "10509002"  // Acute bronchitis
+	Tracheobronchitis   ontology.ConceptID = "7001023"   // Tracheobronchitis
+	ChestPain           ontology.ConceptID = "29857009"  // Chest pain
+	FractureOfArm       ontology.ConceptID = "7004001"   // Fracture of arm ("Broken arm")
+)
+
+// Selected additional codes used by the dataset generator and
+// examples.
+const (
+	Bronchitis         ontology.ConceptID = "32398004"
+	Asthma             ontology.ConceptID = "195967001"
+	DiabetesType2      ontology.ConceptID = "44054006"
+	Obesity            ontology.ConceptID = "414916001"
+	Malnutrition       ontology.ConceptID = "7012005"
+	IronDeficiency     ontology.ConceptID = "7012006"
+	VitaminDDeficiency ontology.ConceptID = "34713006"
+	CeliacDisease      ontology.ConceptID = "396331005"
+	LactoseIntolerance ontology.ConceptID = "267425008"
+	BreastCancer       ontology.ConceptID = "254837009"
+	LungCancer         ontology.ConceptID = "254637007"
+	ColonCancer        ontology.ConceptID = "363406005"
+	Leukemia           ontology.ConceptID = "93143009"
+	Hypertension       ontology.ConceptID = "38341003"
+	HeartFailure       ontology.ConceptID = "84114007"
+	Anxiety            ontology.ConceptID = "48694002"
+	Depression         ontology.ConceptID = "35489007"
+	Migraine           ontology.ConceptID = "37796009"
+	Gastritis          ontology.ConceptID = "4556007"
+	IBS                ontology.ConceptID = "10743008"
+)
+
+// entry describes one curated concept; parents refer to other entries'
+// codes.
+type entry struct {
+	code    ontology.ConceptID
+	name    string
+	parents []ontology.ConceptID
+}
+
+// curated is the built-in hierarchy. Order matters: parents precede
+// children.
+var curated = []entry{
+	{RootClinicalFinding, "Clinical finding", nil},
+
+	// ---- top-level branches ------------------------------------------------
+	{"7100001", "Disease", p(RootClinicalFinding)},
+	{"7100002", "Pain", p(RootClinicalFinding)},
+	{"7100003", "Clinical history and observation findings", p(RootClinicalFinding)},
+
+	// ---- respiratory -------------------------------------------------------
+	// NOTE: "Disorder of respiratory system" hangs directly under
+	// Clinical finding (not under Disease) so that the paper's
+	// distance-5 example holds:
+	// acute bronchitis →(1) bronchitis →(2) respiratory →(3) clinical
+	// finding →(4) pain →(5) chest pain.
+	{"7110000", "Disorder of respiratory system", p(RootClinicalFinding)},
+	{Bronchitis, "Bronchitis", p("7110000")},
+	{AcuteBronchitis, "Acute bronchitis", p(Bronchitis)},
+	{Tracheobronchitis, "Tracheobronchitis", p(Bronchitis)},
+	{"7110010", "Chronic bronchitis", p(Bronchitis)},
+	{Asthma, "Asthma", p("7110000")},
+	{"7110020", "Allergic asthma", p(Asthma)},
+	{"7110021", "Exercise-induced asthma", p(Asthma)},
+	{"7110030", "Pneumonia", p("7110000")},
+	{"7110031", "Bacterial pneumonia", p("7110030")},
+	{"7110032", "Viral pneumonia", p("7110030")},
+	{"7110040", "Chronic obstructive pulmonary disease", p("7110000")},
+	{"7110050", "Pulmonary embolism", p("7110000")},
+	{"7110060", "Rhinitis", p("7110000")},
+	{"7110061", "Allergic rhinitis", p("7110060")},
+	{"7110070", "Sinusitis", p("7110000")},
+	{"7110080", "Laryngitis", p("7110000")},
+
+	// ---- pain findings -----------------------------------------------------
+	{ChestPain, "Chest pain", p("7100002")},
+	{"7120001", "Abdominal pain", p("7100002")},
+	{"7120002", "Back pain", p("7100002")},
+	{"7120003", "Low back pain", p("7120002")},
+	{"7120004", "Headache", p("7100002")},
+	{Migraine, "Migraine", p("7120004")},
+	{"7120005", "Tension-type headache", p("7120004")},
+	{"7120006", "Joint pain", p("7100002")},
+	{"7120007", "Knee pain", p("7120006")},
+	{"7120008", "Shoulder pain", p("7120006")},
+	{"7120009", "Neuropathic pain", p("7100002")},
+
+	// ---- cardiovascular ----------------------------------------------------
+	{"7130000", "Disorder of cardiovascular system", p("7100001")},
+	{Hypertension, "Hypertensive disorder", p("7130000")},
+	{"7130010", "Essential hypertension", p(Hypertension)},
+	{"7130011", "Secondary hypertension", p(Hypertension)},
+	{HeartFailure, "Heart failure", p("7130000")},
+	{"7130020", "Congestive heart failure", p(HeartFailure)},
+	{"7130030", "Ischemic heart disease", p("7130000")},
+	{"7130031", "Angina pectoris", p("7130030")},
+	{"7130032", "Myocardial infarction", p("7130030")},
+	{"7130040", "Cardiac arrhythmia", p("7130000")},
+	{"7130041", "Atrial fibrillation", p("7130040")},
+	{"7130050", "Peripheral vascular disease", p("7130000")},
+	{"7130060", "Stroke", p("7130000")},
+
+	// ---- nutrition / metabolic / endocrine ---------------------------------
+	{"7140000", "Nutritional and metabolic disorder", p("7100001")},
+	{"7140001", "Nutritional deficiency", p("7140000")},
+	{Malnutrition, "Malnutrition", p("7140001")},
+	{IronDeficiency, "Iron deficiency", p("7140001")},
+	{VitaminDDeficiency, "Vitamin D deficiency", p("7140001")},
+	{"7140002", "Vitamin B12 deficiency", p("7140001")},
+	{"7140003", "Folate deficiency", p("7140001")},
+	{Obesity, "Obesity", p("7140000")},
+	{"7140010", "Morbid obesity", p(Obesity)},
+	{"7140020", "Metabolic syndrome", p("7140000")},
+	{"7140030", "Disorder of glucose metabolism", p("7140000")},
+	{"7140031", "Diabetes mellitus", p("7140030")},
+	{"7140032", "Diabetes mellitus type 1", p("7140031")},
+	{DiabetesType2, "Diabetes mellitus type 2", p("7140031")},
+	{"7140033", "Prediabetes", p("7140030")},
+	{"7140034", "Hypoglycemia", p("7140030")},
+	{"7140040", "Dyslipidemia", p("7140000")},
+	{"7140041", "Hypercholesterolemia", p("7140040")},
+	{"7140050", "Gout", p("7140000")},
+	{"7140060", "Disorder of thyroid gland", p("7140000")},
+	{"7140061", "Hypothyroidism", p("7140060")},
+	{"7140062", "Hyperthyroidism", p("7140060")},
+
+	// ---- digestive ---------------------------------------------------------
+	{"7150000", "Disorder of digestive system", p("7100001")},
+	{Gastritis, "Gastritis", p("7150000")},
+	{"7150010", "Peptic ulcer", p("7150000")},
+	{"7150020", "Gastroesophageal reflux disease", p("7150000")},
+	{IBS, "Irritable bowel syndrome", p("7150000")},
+	{"7150030", "Inflammatory bowel disease", p("7150000")},
+	{"7150031", "Crohn's disease", p("7150030")},
+	{"7150032", "Ulcerative colitis", p("7150030")},
+	{CeliacDisease, "Celiac disease", p("7150000")},
+	{LactoseIntolerance, "Lactose intolerance", p("7150000")},
+	{"7150040", "Constipation", p("7150000")},
+	{"7150050", "Chronic diarrhea", p("7150000")},
+	{"7150060", "Disorder of liver", p("7150000")},
+	{"7150061", "Non-alcoholic fatty liver disease", p("7150060")},
+	{"7150062", "Hepatitis", p("7150060")},
+
+	// ---- musculoskeletal ---------------------------------------------------
+	{"7160000", "Disorder of musculoskeletal system", p("7100001")},
+	{"7160001", "Fracture of bone", p("7160000")},
+	{FractureOfArm, "Fracture of arm", p("7160001")},
+	{"7160002", "Fracture of leg", p("7160001")},
+	{"7160003", "Fracture of hip", p("7160001")},
+	{"7160010", "Arthritis", p("7160000")},
+	{"7160011", "Osteoarthritis", p("7160010")},
+	{"7160012", "Rheumatoid arthritis", p("7160010")},
+	{"7160020", "Osteoporosis", p("7160000")},
+	{"7160030", "Muscle strain", p("7160000")},
+	{"7160040", "Scoliosis", p("7160000")},
+
+	// ---- neoplasms (oncology) ----------------------------------------------
+	{"7170000", "Neoplastic disease", p("7100001")},
+	{"7170001", "Malignant neoplastic disease", p("7170000")},
+	{"7170002", "Benign neoplasm", p("7170000")},
+	{BreastCancer, "Malignant neoplasm of breast", p("7170001")},
+	{LungCancer, "Malignant neoplasm of lung", p("7170001")},
+	{ColonCancer, "Malignant neoplasm of colon", p("7170001")},
+	{"7170010", "Malignant neoplasm of prostate", p("7170001")},
+	{"7170011", "Malignant neoplasm of stomach", p("7170001")},
+	{"7170012", "Malignant neoplasm of pancreas", p("7170001")},
+	{"7170013", "Malignant neoplasm of skin", p("7170001")},
+	{"7170014", "Melanoma", p("7170013")},
+	{Leukemia, "Leukemia", p("7170001")},
+	{"7170020", "Lymphoma", p("7170001")},
+	{"7170021", "Hodgkin lymphoma", p("7170020")},
+	{"7170022", "Non-Hodgkin lymphoma", p("7170020")},
+
+	// ---- mental / behavioural ----------------------------------------------
+	{"7180000", "Mental disorder", p("7100001")},
+	{Depression, "Depressive disorder", p("7180000")},
+	{"7180001", "Major depressive disorder", p(Depression)},
+	{Anxiety, "Anxiety disorder", p("7180000")},
+	{"7180002", "Generalized anxiety disorder", p(Anxiety)},
+	{"7180003", "Panic disorder", p(Anxiety)},
+	{"7180010", "Sleep disorder", p("7180000")},
+	{"7180011", "Insomnia", p("7180010")},
+	{"7180020", "Eating disorder", p("7180000")},
+	{"7180021", "Anorexia nervosa", p("7180020")},
+	{"7180022", "Bulimia nervosa", p("7180020")},
+
+	// ---- infectious --------------------------------------------------------
+	{"7190000", "Infectious disease", p("7100001")},
+	{"7190001", "Viral disease", p("7190000")},
+	{"7190002", "Influenza", p("7190001")},
+	{"7190003", "COVID-19", p("7190001")},
+	{"7190004", "Bacterial infectious disease", p("7190000")},
+	{"7190005", "Urinary tract infection", p("7190004")},
+	{"7190006", "Fungal infectious disease", p("7190000")},
+
+	// ---- neurological ------------------------------------------------------
+	{"7200000", "Disorder of nervous system", p("7100001")},
+	{"7200001", "Epilepsy", p("7200000")},
+	{"7200002", "Parkinson's disease", p("7200000")},
+	{"7200003", "Multiple sclerosis", p("7200000")},
+	{"7200004", "Peripheral neuropathy", p("7200000")},
+	{"7200005", "Diabetic neuropathy", p("7200004")},
+
+	// ---- renal -------------------------------------------------------------
+	{"7210000", "Disorder of kidney", p("7100001")},
+	{"7210001", "Chronic kidney disease", p("7210000")},
+	{"7210002", "Kidney stone", p("7210000")},
+	{"7210003", "Acute kidney injury", p("7210000")},
+
+	// ---- allergies / immune ------------------------------------------------
+	{"7220000", "Disorder of immune function", p("7100001")},
+	{"7220001", "Allergic condition", p("7220000")},
+	{"7220002", "Food allergy", p("7220001")},
+	{"7220003", "Peanut allergy", p("7220002")},
+	{"7220004", "Shellfish allergy", p("7220002")},
+	{"7220005", "Drug allergy", p("7220001")},
+
+	// ---- observations ------------------------------------------------------
+	{"7230001", "Fatigue", p("7100003")},
+	{"7230002", "Nausea", p("7100003")},
+	{"7230003", "Fever", p("7100003")},
+	{"7230004", "Weight loss", p("7100003")},
+	{"7230005", "Weight gain", p("7100003")},
+	{"7230006", "Loss of appetite", p("7100003")},
+	{"7230007", "Dizziness", p("7100003")},
+	{"7230008", "Cough", p("7100003")},
+	{"7230009", "Shortness of breath", p("7100003")},
+}
+
+func p(ids ...ontology.ConceptID) []ontology.ConceptID { return ids }
+
+// Load builds the curated mini-SNOMED hierarchy. It panics only on a
+// programming error in the curated table (validated by tests).
+func Load() *ontology.Ontology {
+	o := ontology.New()
+	for _, e := range curated {
+		var err error
+		if e.parents == nil {
+			err = o.AddRoot(e.code, e.name)
+		} else {
+			err = o.Add(e.code, e.name, e.parents...)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("snomed: bad curated entry %s (%s): %v", e.code, e.name, err))
+		}
+	}
+	return o
+}
+
+// NumCurated returns the number of concepts in the curated hierarchy.
+func NumCurated() int { return len(curated) }
+
+// FindByName returns the code of the curated concept with the given
+// name (exact match), or "" when absent.
+func FindByName(name string) ontology.ConceptID {
+	for _, e := range curated {
+		if e.name == name {
+			return e.code
+		}
+	}
+	return ""
+}
+
+// Leaves returns all curated concepts that have no children — the pool
+// the dataset generator samples patient problems from.
+func Leaves(o *ontology.Ontology) []ontology.ConceptID {
+	var out []ontology.ConceptID
+	for _, e := range curated {
+		if len(o.Children(e.code)) == 0 {
+			out = append(out, e.code)
+		}
+	}
+	return out
+}
+
+// Generate builds a random is-a hierarchy with n concepts for scale
+// experiments. Concept k's parent is drawn uniformly from the first
+// max(1, k/spread) concepts, which yields the deep-and-bushy shape of
+// real clinical ontologies; spread=1 gives wide shallow trees, larger
+// spreads give deeper ones. Deterministic per seed.
+func Generate(seed int64, n, spread int) *ontology.Ontology {
+	if n < 1 {
+		n = 1
+	}
+	if spread < 1 {
+		spread = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	o := ontology.New()
+	if err := o.AddRoot("g0", "Synthetic root"); err != nil {
+		panic("snomed: generate root: " + err.Error())
+	}
+	for k := 1; k < n; k++ {
+		limit := k/spread + 1
+		if limit > k {
+			limit = k
+		}
+		parent := ontology.ConceptID(fmt.Sprintf("g%d", rng.Intn(limit)))
+		id := ontology.ConceptID(fmt.Sprintf("g%d", k))
+		if err := o.Add(id, fmt.Sprintf("Synthetic concept %d", k), parent); err != nil {
+			panic("snomed: generate: " + err.Error())
+		}
+	}
+	return o
+}

@@ -1,0 +1,198 @@
+package snomed
+
+import (
+	"fmt"
+	"testing"
+
+	"fairhealth/internal/ontology"
+)
+
+func TestLoadIsValid(t *testing.T) {
+	o := Load()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("curated hierarchy invalid: %v", err)
+	}
+	if o.Len() != NumCurated() {
+		t.Errorf("Len = %d, want %d", o.Len(), NumCurated())
+	}
+	if o.Len() < 120 {
+		t.Errorf("curated hierarchy suspiciously small: %d concepts", o.Len())
+	}
+	roots := o.Roots()
+	if len(roots) != 1 || roots[0] != RootClinicalFinding {
+		t.Errorf("Roots = %v, want [%s]", roots, RootClinicalFinding)
+	}
+}
+
+// TestTableIDistances pins the paper's §V.C.1 worked example: the
+// SNOMED-CT shortest path between "Acute bronchitis" and "Chest pain"
+// is 5, and between "Tracheobronchitis" and "Acute bronchitis" is 2.
+func TestTableIDistances(t *testing.T) {
+	o := Load()
+	d, err := o.PathLength(AcuteBronchitis, ChestPain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Errorf("dist(acute bronchitis, chest pain) = %d, want 5 (paper §V.C.1)", d)
+	}
+	d, err = o.PathLength(Tracheobronchitis, AcuteBronchitis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("dist(tracheobronchitis, acute bronchitis) = %d, want 2 (paper §V.C.1)", d)
+	}
+}
+
+// TestTableIOrdering verifies the conclusion the paper draws from those
+// distances: "the similarity based on the health problems between
+// patients 1 and 3 is greater than the one between patients 1 and 2".
+func TestTableIOrdering(t *testing.T) {
+	o := Load()
+	p1 := []ontology.ConceptID{AcuteBronchitis}
+	p2 := []ontology.ConceptID{ChestPain}
+	p3 := []ontology.ConceptID{Tracheobronchitis, FractureOfArm}
+
+	s12, ok, err := o.SetSimilarity(p1, p2)
+	if err != nil || !ok {
+		t.Fatal(err, ok)
+	}
+	s13, ok, err := o.SetSimilarity(p1, p3)
+	if err != nil || !ok {
+		t.Fatal(err, ok)
+	}
+	if s13 <= s12 {
+		t.Errorf("sim(P1,P3)=%v must exceed sim(P1,P2)=%v (Table I)", s13, s12)
+	}
+}
+
+func TestWellKnownCodesPresent(t *testing.T) {
+	o := Load()
+	for _, id := range []ontology.ConceptID{
+		RootClinicalFinding, AcuteBronchitis, Tracheobronchitis, ChestPain,
+		FractureOfArm, DiabetesType2, Obesity, BreastCancer, Depression,
+		CeliacDisease, IronDeficiency,
+	} {
+		if !o.Has(id) {
+			t.Errorf("well-known code %s missing", id)
+		}
+	}
+}
+
+func TestFindByName(t *testing.T) {
+	if got := FindByName("Acute bronchitis"); got != AcuteBronchitis {
+		t.Errorf("FindByName(Acute bronchitis) = %s, want %s", got, AcuteBronchitis)
+	}
+	if got := FindByName("No Such Disease"); got != "" {
+		t.Errorf("FindByName(unknown) = %s, want empty", got)
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	o := Load()
+	leaves := Leaves(o)
+	if len(leaves) < 60 {
+		t.Errorf("only %d leaves; generator needs a rich pool", len(leaves))
+	}
+	for _, l := range leaves {
+		if kids := o.Children(l); len(kids) != 0 {
+			t.Errorf("leaf %s has children %v", l, kids)
+		}
+	}
+	// the Table I problems must be sampleable
+	want := map[ontology.ConceptID]bool{AcuteBronchitis: false, Tracheobronchitis: false, ChestPain: false, FractureOfArm: false}
+	for _, l := range leaves {
+		if _, ok := want[l]; ok {
+			want[l] = true
+		}
+	}
+	for id, found := range want {
+		if !found {
+			t.Errorf("Table I concept %s not a leaf", id)
+		}
+	}
+}
+
+func TestAllConceptsReachRoot(t *testing.T) {
+	o := Load()
+	for _, e := range curated {
+		if _, err := o.Depth(e.code); err != nil {
+			t.Errorf("Depth(%s): %v", e.code, err)
+		}
+		if e.code == RootClinicalFinding {
+			continue
+		}
+		d, err := o.PathLength(e.code, RootClinicalFinding)
+		if err != nil {
+			t.Errorf("PathLength(%s, root): %v", e.code, err)
+			continue
+		}
+		if d < 1 {
+			t.Errorf("concept %s at distance %d from root", e.code, d)
+		}
+	}
+}
+
+func TestUniqueNamesAndCodes(t *testing.T) {
+	codes := make(map[ontology.ConceptID]bool)
+	names := make(map[string]bool)
+	for _, e := range curated {
+		if codes[e.code] {
+			t.Errorf("duplicate code %s", e.code)
+		}
+		codes[e.code] = true
+		if names[e.name] {
+			t.Errorf("duplicate name %q", e.name)
+		}
+		names[e.name] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, 500, 3)
+	b := Generate(7, 500, 3)
+	if a.Len() != 500 || b.Len() != 500 {
+		t.Fatalf("Len = %d/%d, want 500", a.Len(), b.Len())
+	}
+	for k := 0; k < 500; k += 37 {
+		id := ontology.ConceptID(fmt.Sprintf("g%d", k))
+		pa, pb := a.Parents(id), b.Parents(id)
+		if len(pa) != len(pb) || (len(pa) == 1 && pa[0] != pb[0]) {
+			t.Fatalf("generation not deterministic at %s: %v vs %v", id, pa, pb)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	o := Generate(1, 300, 4)
+	if err := o.Validate(); err != nil {
+		t.Fatalf("generated hierarchy invalid: %v", err)
+	}
+	if got := len(o.Roots()); got != 1 {
+		t.Errorf("roots = %d, want 1", got)
+	}
+	// depth must grow with spread: spread 4 deeper than spread 1
+	deep := Generate(1, 300, 8)
+	maxDepth := func(o *ontology.Ontology, n int) int {
+		max := 0
+		for k := 0; k < n; k++ {
+			d, err := o.Depth(ontology.ConceptID(fmt.Sprintf("g%d", k)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	if maxDepth(deep, 300) <= maxDepth(o, 300)/2 {
+		t.Errorf("spread should deepen the tree: spread8=%d spread4=%d", maxDepth(deep, 300), maxDepth(o, 300))
+	}
+	// degenerate params clamp instead of panicking
+	tiny := Generate(3, 0, 0)
+	if tiny.Len() != 1 {
+		t.Errorf("Generate(0 concepts) len = %d, want 1", tiny.Len())
+	}
+}

@@ -1,0 +1,353 @@
+// Package textindex implements the profile-similarity substrate of §V.B:
+// user profiles are flattened to documents, converted to TF-IDF vectors
+// (Def. 4) and compared with cosine similarity (Eq. 3).
+//
+// The package is a small but complete text-retrieval kernel: a
+// configurable tokenizer, a corpus with document-frequency statistics,
+// sparse term vectors, and the standard tf·idf weighting
+//
+//	tfidf(t,d,D) = tf(t,d) · log(N / df(t))
+//
+// where tf is the raw term count in d, N the corpus size and df(t) the
+// number of documents containing t. Terms appearing in every document
+// get idf = 0 and therefore vanish from all vectors, exactly the
+// common-word filtering behaviour the paper describes.
+package textindex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Common errors.
+var (
+	// ErrDuplicateDoc is returned when a document ID is added twice.
+	ErrDuplicateDoc = errors.New("textindex: duplicate document id")
+	// ErrUnknownDoc is returned when a vector is requested for a
+	// document that was never added.
+	ErrUnknownDoc = errors.New("textindex: unknown document id")
+)
+
+// DocID identifies a document in a corpus. In the profile-similarity
+// use case one document corresponds to one user profile.
+type DocID string
+
+// Tokenizer splits raw text into normalized terms.
+type Tokenizer func(text string) []string
+
+// DefaultStopwords is the stop list applied by NewDefaultTokenizer.
+// It contains high-frequency English function words plus a few schema
+// words that appear in every rendered PHR profile (see package phr) and
+// would otherwise dominate profile vectors.
+var DefaultStopwords = map[string]struct{}{
+	"a": {}, "an": {}, "and": {}, "are": {}, "as": {}, "at": {}, "be": {},
+	"by": {}, "for": {}, "from": {}, "has": {}, "have": {}, "he": {},
+	"her": {}, "his": {}, "in": {}, "is": {}, "it": {}, "its": {},
+	"of": {}, "on": {}, "or": {}, "she": {}, "that": {}, "the": {},
+	"their": {}, "they": {}, "this": {}, "to": {}, "was": {}, "were": {},
+	"with": {},
+}
+
+// NewDefaultTokenizer returns the tokenizer used across the system:
+// lower-cases, splits on any non-letter/non-digit rune, drops terms
+// shorter than minLen runes and terms present in stopwords. A nil
+// stopwords map disables stop filtering.
+func NewDefaultTokenizer(minLen int, stopwords map[string]struct{}) Tokenizer {
+	if minLen < 1 {
+		minLen = 1
+	}
+	return func(text string) []string {
+		fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+			return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+		})
+		out := fields[:0]
+		for _, f := range fields {
+			if len([]rune(f)) < minLen {
+				continue
+			}
+			if stopwords != nil {
+				if _, stop := stopwords[f]; stop {
+					continue
+				}
+			}
+			out = append(out, f)
+		}
+		return out
+	}
+}
+
+// Vector is a sparse term-weight vector.
+type Vector map[string]float64
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) float64 {
+	if len(w) < len(v) {
+		v, w = w, v
+	}
+	var sum float64
+	for t, x := range v {
+		if y, ok := w[t]; ok {
+			sum += x * y
+		}
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Cosine returns the cosine similarity between v and w (Eq. 3 of the
+// paper). ok is false when either vector has zero norm, in which case
+// similarity is undefined.
+func (v Vector) Cosine(w Vector) (sim float64, ok bool) {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0, false
+	}
+	return v.Dot(w) / (nv * nw), true
+}
+
+// Terms returns the vector's terms in ascending order.
+func (v Vector) Terms() []string {
+	out := make([]string, 0, len(v))
+	for t := range v {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Top returns the n highest-weighted terms (weight desc, term asc).
+func (v Vector) Top(n int) []string {
+	type tw struct {
+		t string
+		w float64
+	}
+	all := make([]tw, 0, len(v))
+	for t, w := range v {
+		all = append(all, tw{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].t < all[j].t
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}
+
+// Corpus accumulates documents and exposes TF-IDF vectors over them.
+// It is safe for concurrent use.
+type Corpus struct {
+	mu       sync.RWMutex
+	tokenize Tokenizer
+	termFreq map[DocID]map[string]int // tf per document
+	docFreq  map[string]int           // df per term
+	docLens  map[DocID]int            // token count per document
+}
+
+// NewCorpus returns an empty corpus using tok (nil means the default
+// tokenizer with minLen 2 and DefaultStopwords).
+func NewCorpus(tok Tokenizer) *Corpus {
+	if tok == nil {
+		tok = NewDefaultTokenizer(2, DefaultStopwords)
+	}
+	return &Corpus{
+		tokenize: tok,
+		termFreq: make(map[DocID]map[string]int),
+		docFreq:  make(map[string]int),
+		docLens:  make(map[DocID]int),
+	}
+}
+
+// Add tokenizes text and registers it under id. Adding the same id
+// twice returns ErrDuplicateDoc; use Replace to update a document.
+func (c *Corpus) Add(id DocID, text string) error {
+	if id == "" {
+		return errors.New("textindex: empty document id")
+	}
+	toks := c.tokenize(text)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.termFreq[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateDoc, id)
+	}
+	tf := make(map[string]int)
+	for _, t := range toks {
+		tf[t]++
+	}
+	c.termFreq[id] = tf
+	c.docLens[id] = len(toks)
+	for t := range tf {
+		c.docFreq[t]++
+	}
+	return nil
+}
+
+// Replace updates (or inserts) the document id with new text.
+func (c *Corpus) Replace(id DocID, text string) error {
+	if id == "" {
+		return errors.New("textindex: empty document id")
+	}
+	toks := c.tokenize(text)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.termFreq[id]; ok {
+		for t := range old {
+			c.docFreq[t]--
+			if c.docFreq[t] == 0 {
+				delete(c.docFreq, t)
+			}
+		}
+	}
+	tf := make(map[string]int)
+	for _, t := range toks {
+		tf[t]++
+	}
+	c.termFreq[id] = tf
+	c.docLens[id] = len(toks)
+	for t := range tf {
+		c.docFreq[t]++
+	}
+	return nil
+}
+
+// Remove deletes document id; it is a no-op for unknown ids.
+func (c *Corpus) Remove(id DocID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tf, ok := c.termFreq[id]
+	if !ok {
+		return
+	}
+	for t := range tf {
+		c.docFreq[t]--
+		if c.docFreq[t] == 0 {
+			delete(c.docFreq, t)
+		}
+	}
+	delete(c.termFreq, id)
+	delete(c.docLens, id)
+}
+
+// Len returns the number of documents N.
+func (c *Corpus) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.termFreq)
+}
+
+// Has reports whether id is in the corpus.
+func (c *Corpus) Has(id DocID) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.termFreq[id]
+	return ok
+}
+
+// Docs returns all document IDs ascending.
+func (c *Corpus) Docs() []DocID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]DocID, 0, len(c.termFreq))
+	for id := range c.termFreq {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// TermFreq returns tf(term, doc), 0 when absent.
+func (c *Corpus) TermFreq(id DocID, term string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.termFreq[id][term]
+}
+
+// DocFreq returns df(term): the number of documents containing term.
+func (c *Corpus) DocFreq(term string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.docFreq[term]
+}
+
+// IDF implements Def. 4: idf(t,D) = log(N / df(t)), natural log. It
+// returns 0 for terms that appear in no document (df = 0), so unknown
+// terms never contribute weight.
+func (c *Corpus) IDF(term string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idfLocked(term)
+}
+
+func (c *Corpus) idfLocked(term string) float64 {
+	df := c.docFreq[term]
+	if df == 0 {
+		return 0
+	}
+	return math.Log(float64(len(c.termFreq)) / float64(df))
+}
+
+// TFIDFVector returns the TF-IDF vector of document id. Terms with
+// zero idf (present in every document) are omitted, mirroring the
+// paper's observation that such terms approach weight 0.
+func (c *Corpus) TFIDFVector(id DocID) (Vector, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tf, ok := c.termFreq[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDoc, id)
+	}
+	v := make(Vector, len(tf))
+	for t, n := range tf {
+		if w := float64(n) * c.idfLocked(t); w != 0 {
+			v[t] = w
+		}
+	}
+	return v, nil
+}
+
+// Similarity returns the cosine similarity of two documents' TF-IDF
+// vectors. ok is false when either document is unknown or has a
+// zero-norm vector.
+func (c *Corpus) Similarity(a, b DocID) (sim float64, ok bool) {
+	va, err := c.TFIDFVector(a)
+	if err != nil {
+		return 0, false
+	}
+	vb, err := c.TFIDFVector(b)
+	if err != nil {
+		return 0, false
+	}
+	return va.Cosine(vb)
+}
+
+// Vocabulary returns every term with df ≥ 1, ascending.
+func (c *Corpus) Vocabulary() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.docFreq))
+	for t := range c.docFreq {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

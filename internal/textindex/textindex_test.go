@@ -1,0 +1,339 @@
+package textindex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTokenizer(t *testing.T) {
+	tok := NewDefaultTokenizer(2, DefaultStopwords)
+	got := tok("The patient HAS acute-bronchitis, and a fever of 39.5!")
+	want := []string{"patient", "acute", "bronchitis", "fever", "39"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerMinLen(t *testing.T) {
+	tok := NewDefaultTokenizer(4, nil)
+	got := tok("flu ache pain hip")
+	want := []string{"ache", "pain"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("minLen filter = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerNoStopwords(t *testing.T) {
+	tok := NewDefaultTokenizer(1, nil)
+	got := tok("the and a")
+	if len(got) != 3 {
+		t.Errorf("nil stopwords should keep all: %v", got)
+	}
+}
+
+func TestTokenizerUnicode(t *testing.T) {
+	tok := NewDefaultTokenizer(2, nil)
+	got := tok("Ιατρική καρδιά naïve")
+	want := []string{"ιατρική", "καρδιά", "naïve"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("unicode tokenize = %v, want %v", got, want)
+	}
+}
+
+func newTestCorpus(t *testing.T, docs map[DocID]string) *Corpus {
+	t.Helper()
+	c := NewCorpus(NewDefaultTokenizer(1, nil))
+	ids := make([]DocID, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	// deterministic add order not required, but keep it stable anyway
+	for _, id := range ids {
+		if err := c.Add(id, docs[id]); err != nil {
+			t.Fatalf("Add(%s): %v", id, err)
+		}
+	}
+	return c
+}
+
+func TestIDFDefinition(t *testing.T) {
+	// 4 docs; "cancer" in 2 of them; idf = ln(4/2) = ln 2.
+	c := newTestCorpus(t, map[DocID]string{
+		"d1": "cancer therapy",
+		"d2": "cancer diet",
+		"d3": "diet fiber",
+		"d4": "exercise",
+	})
+	if got, want := c.IDF("cancer"), math.Log(2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("IDF(cancer) = %v, want %v", got, want)
+	}
+	if got := c.IDF("unknownterm"); got != 0 {
+		t.Errorf("IDF(unknown) = %v, want 0", got)
+	}
+	// term in all docs → idf 0 and excluded from vectors
+	c2 := newTestCorpus(t, map[DocID]string{
+		"a": "flu common",
+		"b": "flu rare",
+	})
+	if got := c2.IDF("flu"); got != 0 {
+		t.Errorf("IDF(term in all docs) = %v, want 0", got)
+	}
+	v, err := c2.TFIDFVector("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present := v["flu"]; present {
+		t.Errorf("zero-idf term must be dropped from vector: %v", v)
+	}
+	if _, present := v["common"]; !present {
+		t.Errorf("distinctive term missing from vector: %v", v)
+	}
+}
+
+func TestTFIDFVectorWeights(t *testing.T) {
+	c := newTestCorpus(t, map[DocID]string{
+		"d1": "pain pain pain knee",
+		"d2": "knee surgery",
+		"d3": "diet",
+	})
+	v, err := c.TFIDFVector("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tf(pain,d1)=3, df(pain)=1, N=3 → 3*ln(3)
+	if got, want := v["pain"], 3*math.Log(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("w(pain) = %v, want %v", got, want)
+	}
+	// tf(knee,d1)=1, df(knee)=2 → ln(3/2)
+	if got, want := v["knee"], math.Log(1.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("w(knee) = %v, want %v", got, want)
+	}
+}
+
+func TestTFIDFVectorUnknownDoc(t *testing.T) {
+	c := NewCorpus(nil)
+	if _, err := c.TFIDFVector("nope"); !errors.Is(err, ErrUnknownDoc) {
+		t.Errorf("err = %v, want ErrUnknownDoc", err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{"a": 1, "b": 2}
+	w := Vector{"b": 3, "c": 4}
+	if got := v.Dot(w); got != 6 {
+		t.Errorf("Dot = %v, want 6", got)
+	}
+	if got := v.Norm(); math.Abs(got-math.Sqrt(5)) > 1e-12 {
+		t.Errorf("Norm = %v, want sqrt(5)", got)
+	}
+	sim, ok := v.Cosine(w)
+	want := 6 / (math.Sqrt(5) * 5)
+	if !ok || math.Abs(sim-want) > 1e-12 {
+		t.Errorf("Cosine = %v,%v want %v,true", sim, ok, want)
+	}
+	if _, ok := v.Cosine(Vector{}); ok {
+		t.Error("cosine with zero vector should be ok=false")
+	}
+}
+
+func TestVectorCosineIdentity(t *testing.T) {
+	v := Vector{"x": 2, "y": 3}
+	sim, ok := v.Cosine(v)
+	if !ok || math.Abs(sim-1) > 1e-12 {
+		t.Errorf("self cosine = %v,%v want 1,true", sim, ok)
+	}
+}
+
+func TestVectorTop(t *testing.T) {
+	v := Vector{"a": 1, "b": 5, "c": 5, "d": 2}
+	got := v.Top(3)
+	want := []string{"b", "c", "d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Top(3) = %v, want %v", got, want)
+	}
+	if got := v.Top(10); len(got) != 4 {
+		t.Errorf("Top(10) len = %d, want 4", len(got))
+	}
+}
+
+func TestSimilarityOrdersProfilesSensibly(t *testing.T) {
+	// d1 and d2 share the oncology vocabulary; d3 is orthopedic.
+	c := newTestCorpus(t, map[DocID]string{
+		"d1": "breast cancer chemotherapy nausea fatigue",
+		"d2": "lung cancer chemotherapy fatigue cough",
+		"d3": "knee fracture cast physiotherapy",
+	})
+	s12, ok12 := c.Similarity("d1", "d2")
+	s13, ok13 := c.Similarity("d1", "d3")
+	if !ok12 || !ok13 {
+		t.Fatalf("similarities undefined: %v %v", ok12, ok13)
+	}
+	if s12 <= s13 {
+		t.Errorf("sim(d1,d2)=%v should exceed sim(d1,d3)=%v", s12, s13)
+	}
+	if s13 != 0 {
+		t.Errorf("disjoint docs should have sim 0, got %v", s13)
+	}
+}
+
+func TestSimilarityUnknownDoc(t *testing.T) {
+	c := newTestCorpus(t, map[DocID]string{"d1": "alpha beta"})
+	if _, ok := c.Similarity("d1", "missing"); ok {
+		t.Error("similarity with unknown doc should be ok=false")
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	c := NewCorpus(nil)
+	if err := c.Add("d1", "hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("d1", "again"); !errors.Is(err, ErrDuplicateDoc) {
+		t.Errorf("duplicate add: %v, want ErrDuplicateDoc", err)
+	}
+	if err := c.Add("", "x"); err == nil {
+		t.Error("empty id accepted")
+	}
+}
+
+func TestReplaceUpdatesDocFreq(t *testing.T) {
+	c := newTestCorpus(t, map[DocID]string{
+		"d1": "cancer",
+		"d2": "cancer diet",
+	})
+	if got := c.DocFreq("cancer"); got != 2 {
+		t.Fatalf("df(cancer) = %d, want 2", got)
+	}
+	if err := c.Replace("d1", "exercise"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DocFreq("cancer"); got != 1 {
+		t.Errorf("df(cancer) after replace = %d, want 1", got)
+	}
+	if got := c.DocFreq("exercise"); got != 1 {
+		t.Errorf("df(exercise) = %d, want 1", got)
+	}
+	// Replace may also insert fresh docs.
+	if err := c.Replace("d9", "yoga"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("d9") {
+		t.Error("Replace should insert unknown doc")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := newTestCorpus(t, map[DocID]string{
+		"d1": "cancer",
+		"d2": "cancer diet",
+	})
+	c.Remove("d1")
+	if c.Has("d1") {
+		t.Error("doc still present after Remove")
+	}
+	if got := c.DocFreq("cancer"); got != 1 {
+		t.Errorf("df(cancer) after remove = %d, want 1", got)
+	}
+	c.Remove("d1") // no-op
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestVocabularyAndDocs(t *testing.T) {
+	c := newTestCorpus(t, map[DocID]string{
+		"b": "beta alpha",
+		"a": "alpha",
+	})
+	if got := c.Vocabulary(); !reflect.DeepEqual(got, []string{"alpha", "beta"}) {
+		t.Errorf("Vocabulary = %v", got)
+	}
+	if got := c.Docs(); !reflect.DeepEqual(got, []DocID{"a", "b"}) {
+		t.Errorf("Docs = %v", got)
+	}
+}
+
+func TestCorpusConcurrency(t *testing.T) {
+	c := NewCorpus(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				id := DocID(fmt.Sprintf("doc-%d-%d", w, k))
+				if err := c.Add(id, "cancer therapy diet exercise"); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+				c.IDF("cancer")
+				c.TFIDFVector(id)
+				c.Similarity(id, id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != 400 {
+		t.Errorf("Len = %d, want 400", c.Len())
+	}
+}
+
+// Property: cosine similarity is symmetric and within [-1, 1] (with
+// non-negative weights, within [0, 1]).
+func TestCosineProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Vector {
+			v := Vector{}
+			n := 1 + rng.Intn(8)
+			for k := 0; k < n; k++ {
+				v[fmt.Sprintf("t%d", rng.Intn(12))] = rng.Float64() * 10
+			}
+			return v
+		}
+		v, w := mk(), mk()
+		s1, ok1 := v.Cosine(w)
+		s2, ok2 := w.Cosine(v)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		if math.Abs(s1-s2) > 1e-12 {
+			return false
+		}
+		return s1 >= -1e-12 && s1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IDF is non-negative and decreases as document frequency
+// increases.
+func TestIDFMonotonicity(t *testing.T) {
+	c := NewCorpus(NewDefaultTokenizer(1, nil))
+	for k := 0; k < 10; k++ {
+		text := "rare"
+		if k < 7 {
+			text = "common filler"
+		}
+		if err := c.Add(DocID(fmt.Sprintf("d%d", k)), text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rare, common := c.IDF("rare"), c.IDF("common")
+	if rare <= common {
+		t.Errorf("idf(rare)=%v should exceed idf(common)=%v", rare, common)
+	}
+	if common < 0 || rare < 0 {
+		t.Errorf("idf must be non-negative: %v %v", rare, common)
+	}
+}

@@ -1,0 +1,213 @@
+package topk
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fairhealth/internal/model"
+)
+
+func items(pairs ...interface{}) []model.ScoredItem {
+	out := make([]model.ScoredItem, 0, len(pairs)/2)
+	for k := 0; k < len(pairs); k += 2 {
+		out = append(out, model.ScoredItem{Item: model.ItemID(pairs[k].(string)), Score: pairs[k+1].(float64)})
+	}
+	return out
+}
+
+func TestLess(t *testing.T) {
+	a := model.ScoredItem{Item: "a", Score: 2}
+	b := model.ScoredItem{Item: "b", Score: 1}
+	if !Less(a, b) || Less(b, a) {
+		t.Error("higher score must rank better")
+	}
+	c := model.ScoredItem{Item: "c", Score: 2}
+	if !Less(a, c) || Less(c, a) {
+		t.Error("ties must break on ascending item id")
+	}
+	if Less(a, a) {
+		t.Error("Less must be irreflexive")
+	}
+}
+
+func TestTopBasic(t *testing.T) {
+	in := items("d1", 1.0, "d2", 5.0, "d3", 3.0, "d4", 4.0)
+	got := Top(in, 2)
+	want := items("d2", 5.0, "d4", 4.0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Top = %v, want %v", got, want)
+	}
+}
+
+func TestTopKLargerThanInput(t *testing.T) {
+	in := items("d1", 1.0, "d2", 2.0)
+	got := Top(in, 10)
+	if len(got) != 2 || got[0].Item != "d2" {
+		t.Errorf("Top = %v", got)
+	}
+}
+
+func TestTopZeroAndNegativeK(t *testing.T) {
+	in := items("d1", 1.0)
+	if got := Top(in, 0); len(got) != 0 {
+		t.Errorf("Top k=0 = %v", got)
+	}
+	if got := Top(in, -3); len(got) != 0 {
+		t.Errorf("Top k=-3 = %v", got)
+	}
+}
+
+func TestTopTieBreaks(t *testing.T) {
+	in := items("z", 1.0, "a", 1.0, "m", 1.0)
+	got := Top(in, 2)
+	want := items("a", 1.0, "m", 1.0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tie break = %v, want %v", got, want)
+	}
+}
+
+func TestSelectorIncremental(t *testing.T) {
+	s := NewSelector(3)
+	for _, it := range items("d1", 1.0, "d2", 9.0, "d3", 5.0, "d4", 7.0, "d5", 3.0) {
+		s.Push(it)
+	}
+	if s.Len() != 3 || s.K() != 3 {
+		t.Fatalf("Len/K = %d/%d", s.Len(), s.K())
+	}
+	got := s.Result()
+	want := items("d2", 9.0, "d4", 7.0, "d3", 5.0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Result = %v, want %v", got, want)
+	}
+	// Result must not drain the selector
+	if !reflect.DeepEqual(s.Result(), want) {
+		t.Error("Result drained the selector")
+	}
+}
+
+func TestSelectorThreshold(t *testing.T) {
+	s := NewSelector(2)
+	if _, full := s.Threshold(); full {
+		t.Error("empty selector reports full")
+	}
+	s.PushAll(items("d1", 4.0, "d2", 8.0))
+	th, full := s.Threshold()
+	if !full || th != 4 {
+		t.Errorf("Threshold = %v,%v want 4,true", th, full)
+	}
+	s.Push(model.ScoredItem{Item: "d3", Score: 6})
+	th, _ = s.Threshold()
+	if th != 6 {
+		t.Errorf("after eviction threshold = %v, want 6", th)
+	}
+}
+
+func TestSelectorTieEviction(t *testing.T) {
+	// with equal scores, the item with the later ID is evicted
+	s := NewSelector(1)
+	s.Push(model.ScoredItem{Item: "z", Score: 1})
+	s.Push(model.ScoredItem{Item: "a", Score: 1})
+	got := s.Result()
+	if len(got) != 1 || got[0].Item != "a" {
+		t.Errorf("tie eviction kept %v, want a", got)
+	}
+	// pushing a worse-tied item must not evict
+	s.Push(model.ScoredItem{Item: "m", Score: 1})
+	if got := s.Result(); got[0].Item != "a" {
+		t.Errorf("worse tie replaced winner: %v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewSelector(3)
+	a.PushAll(items("d1", 1.0, "d2", 2.0, "d3", 3.0))
+	b := NewSelector(3)
+	b.PushAll(items("d4", 4.0, "d5", 5.0, "d6", 0.5))
+	a.Merge(b)
+	got := a.Result()
+	want := items("d5", 5.0, "d4", 4.0, "d3", 3.0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Merge = %v, want %v", got, want)
+	}
+}
+
+func TestTopOfMap(t *testing.T) {
+	got := TopOfMap(map[model.ItemID]float64{"a": 1, "b": 3, "c": 2}, 2)
+	want := items("b", 3.0, "c", 2.0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopOfMap = %v, want %v", got, want)
+	}
+}
+
+// Property: Top(items, k) equals sorting the whole list and taking the
+// first k, for random inputs with duplicate scores and IDs.
+func TestTopMatchesSortReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		in := make([]model.ScoredItem, n)
+		for i := range in {
+			in[i] = model.ScoredItem{
+				Item:  model.ItemID(fmt.Sprintf("d%d", rng.Intn(50))),
+				Score: float64(rng.Intn(10)),
+			}
+		}
+		k := rng.Intn(20)
+		got := Top(in, k)
+		ref := append([]model.ScoredItem(nil), in...)
+		model.SortScoredItems(ref)
+		if k > len(ref) {
+			k = len(ref)
+		}
+		ref = ref[:k]
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging per-chunk selectors equals one global selection —
+// the invariant the MapReduce top-k job of [5] relies on.
+func TestMergeEquivalentToGlobal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		in := make([]model.ScoredItem, n)
+		for i := range in {
+			in[i] = model.ScoredItem{
+				Item:  model.ItemID(fmt.Sprintf("d%d", i)),
+				Score: rng.Float64() * 10,
+			}
+		}
+		k := 1 + rng.Intn(15)
+		global := Top(in, k)
+
+		merged := NewSelector(k)
+		chunk := 1 + rng.Intn(30)
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			local := NewSelector(k)
+			local.PushAll(in[start:end])
+			merged.Merge(local)
+		}
+		return reflect.DeepEqual(global, merged.Result())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,325 @@
+// Package wal provides durable persistence for the recommender's
+// mutable state: an append-only, JSON-lines write-ahead log of rating
+// and profile events with sequence numbers, crash-tolerant replay
+// (a torn final record is detected and ignored), and compaction to a
+// snapshot. The paper's platform stores ratings and PHR profiles in a
+// database (§II); this log is the storage engine equivalent for the
+// stdlib-only reproduction.
+//
+// Record format (one JSON object per line):
+//
+//	{"seq":1,"op":"rate","user":"u1","item":"d1","value":4.5}
+//	{"seq":2,"op":"unrate","user":"u1","item":"d1"}
+//	{"seq":3,"op":"patient","patient":{...phr.Profile JSON...}}
+//
+// Appends are serialized and flushed to the underlying file before
+// returning; Sync forces fsync.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/phr"
+	"fairhealth/internal/ratings"
+)
+
+// Ops.
+const (
+	OpRate    = "rate"
+	OpUnrate  = "unrate"
+	OpPatient = "patient"
+)
+
+// Common errors.
+var (
+	// ErrClosed is returned when appending to a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrBadRecord is returned by Replay for structurally invalid
+	// records in the middle of the log (a torn FINAL record is not an
+	// error — it is truncated crash residue).
+	ErrBadRecord = errors.New("wal: bad record")
+)
+
+// Record is one logged event.
+type Record struct {
+	Seq     uint64       `json:"seq"`
+	Op      string       `json:"op"`
+	User    model.UserID `json:"user,omitempty"`
+	Item    model.ItemID `json:"item,omitempty"`
+	Value   model.Rating `json:"value,omitempty"`
+	Patient *phr.Profile `json:"patient,omitempty"`
+}
+
+// Log is an append-only event log bound to a file.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	seq    uint64
+	closed bool
+}
+
+// Open opens (or creates) the log at path and positions appends after
+// the last valid record. The returned log's sequence continues from
+// the highest replayed seq.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	// scan to find the last valid offset and sequence
+	var lastSeq uint64
+	validEnd := int64(0)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn or corrupt tail: stop here, truncate below
+		}
+		lastSeq = rec.Seq
+		validEnd += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		f.Close()
+		return nil, fmt.Errorf("wal: scan: %w", err)
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), seq: lastSeq}, nil
+}
+
+// Append writes a record (seq is assigned by the log) and flushes it
+// to the OS.
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.seq++
+	rec.Seq = l.seq
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		l.seq--
+		return 0, fmt.Errorf("wal: marshal: %w", err)
+	}
+	if _, err := l.w.Write(raw); err != nil {
+		return 0, fmt.Errorf("wal: write: %w", err)
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		return 0, fmt.Errorf("wal: write: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return 0, fmt.Errorf("wal: flush: %w", err)
+	}
+	return rec.Seq, nil
+}
+
+// AppendRating logs a rating upsert.
+func (l *Log) AppendRating(u model.UserID, i model.ItemID, v model.Rating) (uint64, error) {
+	return l.Append(Record{Op: OpRate, User: u, Item: i, Value: v})
+}
+
+// AppendUnrate logs a rating removal.
+func (l *Log) AppendUnrate(u model.UserID, i model.ItemID) (uint64, error) {
+	return l.Append(Record{Op: OpUnrate, User: u, Item: i})
+}
+
+// AppendPatient logs a profile upsert.
+func (l *Log) AppendPatient(p *phr.Profile) (uint64, error) {
+	return l.Append(Record{Op: OpPatient, Patient: p})
+}
+
+// Seq returns the last assigned sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Sync fsyncs the file.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: flush on close: %w", err)
+	}
+	return l.f.Close()
+}
+
+// Replay streams records from r in order, calling apply for each. A
+// torn final line is ignored (crash residue); malformed records before
+// the end return ErrBadRecord. It returns the number of applied
+// records.
+func Replay(r io.Reader, apply func(Record) error) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	applied := 0
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			// a bad record followed by more records = real corruption
+			return applied, pendingErr
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			pendingErr = fmt.Errorf("%w: line %d: %v", ErrBadRecord, applied+1, err)
+			continue
+		}
+		if err := apply(rec); err != nil {
+			return applied, fmt.Errorf("wal: apply seq %d: %w", rec.Seq, err)
+		}
+		applied++
+	}
+	if err := sc.Err(); err != nil {
+		return applied, fmt.Errorf("wal: replay scan: %w", err)
+	}
+	// pendingErr at EOF = torn tail, silently dropped
+	return applied, nil
+}
+
+// ReplayFile replays the log at path.
+func ReplayFile(path string, apply func(Record) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: open for replay: %w", err)
+	}
+	defer f.Close()
+	return Replay(f, apply)
+}
+
+// LoadState rebuilds a rating store and a PHR store from the log at
+// path. Missing files yield empty state (first boot).
+func LoadState(path string, phrStore *phr.Store) (*ratings.Store, int, error) {
+	store := ratings.New()
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		return store, 0, nil
+	}
+	n, err := ReplayFile(path, func(rec Record) error {
+		switch rec.Op {
+		case OpRate:
+			return store.Add(rec.User, rec.Item, rec.Value)
+		case OpUnrate:
+			if err := store.Remove(rec.User, rec.Item); err != nil && !errors.Is(err, ratings.ErrNotFound) {
+				return err
+			}
+			return nil
+		case OpPatient:
+			if rec.Patient == nil {
+				return fmt.Errorf("%w: patient op without payload", ErrBadRecord)
+			}
+			if phrStore == nil {
+				return nil
+			}
+			if phrStore.Has(rec.Patient.ID) {
+				return phrStore.Update(rec.Patient)
+			}
+			return phrStore.Put(rec.Patient)
+		default:
+			return fmt.Errorf("%w: unknown op %q", ErrBadRecord, rec.Op)
+		}
+	})
+	if err != nil {
+		return nil, n, err
+	}
+	return store, n, nil
+}
+
+// Compact writes a fresh log at path containing only the current state
+// (one rate record per rating, one patient record per profile),
+// replacing the old file atomically via rename. It returns the new
+// record count.
+func Compact(path string, store *ratings.Store, phrStore *phr.Store) (int, error) {
+	tmp := path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("wal: compact create: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	seq := uint64(0)
+	count := 0
+	write := func(rec Record) error {
+		seq++
+		rec.Seq = seq
+		count++
+		return enc.Encode(rec)
+	}
+	if phrStore != nil {
+		for _, id := range phrStore.IDs() {
+			p, err := phrStore.Get(id)
+			if err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return 0, err
+			}
+			if err := write(Record{Op: OpPatient, Patient: p}); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return 0, fmt.Errorf("wal: compact write: %w", err)
+			}
+		}
+	}
+	for _, t := range store.Triples() {
+		if err := write(Record{Op: OpRate, User: t.User, Item: t.Item, Value: t.Value}); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return 0, fmt.Errorf("wal: compact write: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wal: compact flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wal: compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wal: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wal: compact rename: %w", err)
+	}
+	return count, nil
+}
