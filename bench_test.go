@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	"fairhealth"
@@ -135,6 +136,31 @@ func BenchmarkTableI(b *testing.B) {
 			p.Similarity(users[i%len(users)], users[(i+7)%len(users)])
 		}
 	})
+	// Full pairwise matrix build: the serial path vs the sharded
+	// worker-pool precompute (same measure, same workload — the
+	// acceptance comparison for the concurrency layer).
+	ds, err := dataset.Generate(dataset.Config{Seed: 3, Users: 200, Items: 300, RatingsPerUser: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := simfn.Normalized{S: simfn.Pearson{Store: ds.Ratings, MinOverlap: 2}}
+	users := ds.Ratings.Users()
+	b.Run("matrix-build-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := simfn.NewCached(base)
+			if _, err := c.WarmAll(context.Background(), users, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("matrix-build-parallel/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := simfn.NewCached(base)
+			if _, err := c.WarmAll(context.Background(), users, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -230,6 +256,58 @@ func BenchmarkFig2Pipeline(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := sys.GroupRecommend(users, 6); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Batch group serving — sequential single-shot loop vs the bounded
+// worker-pool fan-out of GroupRecommendBatch over the same groups.
+
+func BenchmarkGroupBatch(b *testing.B) {
+	sys, err := fairhealth.New(fairhealth.Config{Delta: 0.55, MinOverlap: 4, K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := dataset.Generate(dataset.Config{Seed: 17, Users: 100, Items: 200, RatingsPerUser: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tr := range ds.Ratings.Triples() {
+		if err := sys.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	users := sys.SortedUsers()
+	groups := make([][]string, 16)
+	for g := range groups {
+		groups[g] = []string{users[(3*g)%len(users)], users[(3*g+1)%len(users)], users[(3*g+2)%len(users)]}
+	}
+	// Warm the similarity cache once so both arms measure serving, not
+	// the first-touch matrix build.
+	if _, err := sys.PrecomputeSimilarity(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range groups {
+				if _, err := sys.GroupRecommend(g, 6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("batch/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sys.GroupRecommendBatch(context.Background(), groups, 6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range res {
+				if e.Err != nil {
+					b.Fatal(e.Err)
+				}
 			}
 		}
 	})

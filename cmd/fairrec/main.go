@@ -4,6 +4,7 @@
 //	gen        generate a synthetic health dataset (ratings CSV + profiles JSON)
 //	recommend  personal top-k recommendations for one user
 //	group      fairness-aware group recommendations (greedy, brute force, or plain top-z)
+//	batch      fair recommendations for many groups over a bounded worker pool
 //	mr         run the §IV MapReduce pipeline end to end
 //	table2     regenerate the paper's Table II (brute force vs heuristic)
 //	ablation   aggregator ablation (min vs avg vs max)
@@ -43,6 +44,8 @@ func main() {
 		err = cmdRecommend(os.Args[2:])
 	case "group":
 		err = cmdGroup(os.Args[2:])
+	case "batch":
+		err = cmdBatch(os.Args[2:])
 	case "mr":
 		err = cmdMR(os.Args[2:])
 	case "table2":
@@ -77,6 +80,7 @@ Usage:
   fairrec gen       -seed 1 -users 100 -items 200 -out data/           generate dataset
   fairrec recommend -ratings data/ratings.csv -user patient0001 -k 10  personal top-k
   fairrec group     -ratings data/ratings.csv -users a,b,c -z 10       fair group top-z
+  fairrec batch     -ratings data/ratings.csv -groups "a,b;c,d" -z 10  many groups in parallel
   fairrec mr        -ratings data/ratings.csv -users a,b,c -z 10       MapReduce pipeline
   fairrec table2    [-quick]                                           reproduce Table II
   fairrec ablation                                                     aggregator ablation
@@ -257,6 +261,79 @@ func cmdGroup(args []string) error {
 		}
 	default:
 		return fmt.Errorf("unknown method %q", *method)
+	}
+	return nil
+}
+
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	ratingsPath := fs.String("ratings", "data/ratings.csv", "ratings CSV")
+	profiles := fs.String("profiles", "", "profiles JSON (optional)")
+	groupsArg := fs.String("groups", "", `semicolon-separated groups of comma-separated members, e.g. "a,b;c,d,e"`)
+	groupsFile := fs.String("groups-file", "", "file with one comma-separated group per line (overrides -groups)")
+	z := fs.Int("z", 10, "recommendations per group")
+	k := fs.Int("k", 10, "per-member personal list size (fairness)")
+	delta := fs.Float64("delta", 0.5, "peer threshold δ")
+	aggr := fs.String("aggr", "avg", "aggregation: avg (majority) or min (veto)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var lines []string
+	if *groupsFile != "" {
+		raw, err := os.ReadFile(*groupsFile)
+		if err != nil {
+			return err
+		}
+		lines = strings.Split(string(raw), "\n")
+	} else if *groupsArg != "" {
+		lines = strings.Split(*groupsArg, ";")
+	} else {
+		return fmt.Errorf("-groups or -groups-file is required")
+	}
+	var groups [][]string
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var members []string
+		for _, m := range strings.Split(line, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		if len(members) > 0 {
+			groups = append(groups, members)
+		}
+	}
+	if len(groups) == 0 {
+		return fmt.Errorf("no groups given")
+	}
+	sys, err := loadSystem(*ratingsPath, *profiles, fairhealth.Config{
+		Delta: *delta, K: *k, Aggregation: *aggr, Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	results, err := sys.GroupRecommendBatch(context.Background(), groups, *z)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, br := range results {
+		if br.Err != nil {
+			failed++
+			fmt.Printf("group [%s]: error: %v\n", strings.Join(br.Group, ","), br.Err)
+			continue
+		}
+		fmt.Printf("group [%s]: fairness %.2f, value %.3f\n", strings.Join(br.Group, ","), br.Result.Fairness, br.Result.Value)
+		for i, r := range br.Result.Items {
+			fmt.Printf("  %2d. %-12s %.3f\n", i+1, r.Item, r.Score)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d groups failed", failed, len(results))
 	}
 	return nil
 }

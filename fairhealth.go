@@ -25,6 +25,24 @@
 //	...
 //	res, _ := sys.GroupRecommend([]string{"alice", "bob"}, 10)
 //	fmt.Println(res.Items, res.Fairness)
+//
+// Batch serving: many caregiver groups can be answered in one call.
+// The similarity rows of every member are precomputed by a sharded
+// worker pool, then the groups fan out across bounded workers — each
+// entry carries its own result or error, and a cancelled context stops
+// mid-batch:
+//
+//	groups := [][]string{{"alice", "bob"}, {"bob", "carol", "dan"}}
+//	batch, _ := sys.GroupRecommendBatch(ctx, groups, 10)
+//	for _, e := range batch {
+//		if e.Err == nil {
+//			fmt.Println(e.Group, e.Result.Items, e.Result.Fairness)
+//		}
+//	}
+//
+// For read-heavy deployments, PrecomputeSimilarity materializes the
+// full pairwise similarity matrix in parallel ahead of traffic;
+// Config.Workers bounds both pools (default GOMAXPROCS).
 package fairhealth
 
 import (
@@ -34,6 +52,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -44,6 +63,7 @@ import (
 	"fairhealth/internal/mrpipeline"
 	"fairhealth/internal/ontology"
 	"fairhealth/internal/phr"
+	"fairhealth/internal/pool"
 	"fairhealth/internal/ratings"
 	"fairhealth/internal/reasoning"
 	"fairhealth/internal/search"
@@ -105,6 +125,10 @@ type Config struct {
 	// "consensus" (Amer-Yahia et al. [1], relevance + agreement). The
 	// MapReduce path supports only the paper's "avg" and "min".
 	Aggregation string
+	// Workers bounds the worker pools of the parallel similarity
+	// precompute (PrecomputeSimilarity) and the batch group API
+	// (GroupRecommendBatch). 0 means runtime.GOMAXPROCS at call time.
+	Workers int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -136,6 +160,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if _, err := group.ParseAggregator(c.Aggregation); err != nil {
 		return c, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("%w: workers %d must be ≥ 0", ErrBadConfig, c.Workers)
 	}
 	return c, nil
 }
@@ -215,6 +242,11 @@ type System struct {
 	pcDirty  bool
 	pc       *simfn.ProfileCosine
 	pcBuilt  bool
+
+	// peerCache memoizes P_u across requests; System.invalidate fences
+	// it off on every write (cf.PeerCache is generation-checked, so an
+	// in-flight computation cannot resurrect a stale set).
+	peerCache *cf.PeerCache
 }
 
 // New builds a System with the curated mini-SNOMED ontology.
@@ -230,13 +262,14 @@ func NewWithOntology(cfg Config, ont *ontology.Ontology) (*System, error) {
 		return nil, err
 	}
 	return &System{
-		cfg:      c,
-		ratings:  ratings.New(),
-		profiles: phr.NewStore(ont),
-		ont:      ont,
-		index:    search.NewIndex(nil),
-		simDirty: true,
-		pcDirty:  true,
+		cfg:       c,
+		ratings:   ratings.New(),
+		profiles:  phr.NewStore(ont),
+		ont:       ont,
+		index:     search.NewIndex(nil),
+		simDirty:  true,
+		pcDirty:   true,
+		peerCache: cf.NewPeerCache(),
 	}, nil
 }
 
@@ -553,11 +586,12 @@ func fromProfile(prof *phr.Profile) Patient {
 
 func (s *System) invalidate(profilesChanged bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.simDirty = true
 	if profilesChanged {
 		s.pcDirty = true
 	}
+	s.mu.Unlock()
+	s.peerCache.Invalidate()
 }
 
 func (s *System) profileCosine() (*simfn.ProfileCosine, error) {
@@ -575,7 +609,7 @@ func (s *System) profileCosine() (*simfn.ProfileCosine, error) {
 
 // similarity assembles the configured measure, memoized until the next
 // write invalidates it.
-func (s *System) similarity() (simfn.UserSimilarity, error) {
+func (s *System) similarity() (*simfn.Cached, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.simCache != nil && !s.simDirty {
@@ -620,6 +654,12 @@ func (s *System) buildSimilarityLocked() (simfn.UserSimilarity, error) {
 }
 
 func (s *System) recommender() (*cf.Recommender, error) {
+	// Capture the peer-cache generation BEFORE acquiring the similarity
+	// snapshot: a write that invalidates between the two steps then
+	// fences off any peer set computed from the older snapshot
+	// (invalidate marks the similarity dirty before bumping the
+	// generation, so a post-bump snapshot is always fresh).
+	gen := s.peerCache.Generation()
 	sim, err := s.similarity()
 	if err != nil {
 		return nil, err
@@ -629,7 +669,31 @@ func (s *System) recommender() (*cf.Recommender, error) {
 		Sim:             sim,
 		Delta:           s.cfg.Delta,
 		RequirePositive: true,
+		Cache:           s.peerCache,
+		CacheGen:        gen,
 	}, nil
+}
+
+// workers resolves the effective pool size for parallel paths.
+func (s *System) workers() int {
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PrecomputeSimilarity materializes the full pairwise similarity matrix
+// for every rated user with a sharded worker pool — the parallel
+// replacement for letting the first queries populate the cache pair by
+// pair. It returns the number of pairs computed. Safe to call
+// concurrently with queries; a cancelled context keeps the (valid)
+// partial cache and returns ctx.Err().
+func (s *System) PrecomputeSimilarity(ctx context.Context) (pairs int, err error) {
+	c, err := s.similarity()
+	if err != nil {
+		return 0, err
+	}
+	return c.WarmAll(ctx, s.ratings.Users(), s.workers())
 }
 
 func (s *System) aggregator() group.Aggregator {
@@ -758,15 +822,86 @@ func (s *System) toGroupResult(in core.Input, res core.Result) *GroupResult {
 // GroupRecommend runs the paper's Algorithm 1: the fairness-aware
 // top-z recommendations for the group.
 func (s *System) GroupRecommend(users []string, z int) (*GroupResult, error) {
+	return s.groupRecommendCtx(context.Background(), users, z)
+}
+
+func (s *System) groupRecommendCtx(ctx context.Context, users []string, z int) (*GroupResult, error) {
 	in, _, err := s.groupProblem(users)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Greedy(in, z)
+	res, err := core.GreedyContext(ctx, in, z)
 	if err != nil {
 		return nil, err
 	}
 	return s.toGroupResult(in, res), nil
+}
+
+// BatchGroupResult is one group's outcome within GroupRecommendBatch.
+// Exactly one of Result and Err is set.
+type BatchGroupResult struct {
+	// Group echoes the requested members, in request order.
+	Group []string
+	// Result is the group's fair top-z (nil when Err is set).
+	Result *GroupResult
+	// Err is the group's failure: ErrEmptyGroup for an invalid group,
+	// or the context error for entries abandoned after cancellation.
+	Err error
+}
+
+// GroupRecommendBatch answers many group requests in one call — the
+// multi-caregiver serving path. It first warms the similarity rows of
+// every batch member with a sharded worker pool (so the per-group work
+// starts from a hot cache), then fans the groups out across at most
+// Config.Workers goroutines. Each entry fails or succeeds
+// independently; one bad group does not poison the batch. When ctx is
+// cancelled mid-batch, in-flight groups stop at the next cancellation
+// point, unstarted entries get Err = ctx.Err(), and the context error
+// is also returned.
+func (s *System) GroupRecommendBatch(ctx context.Context, groups [][]string, z int) ([]BatchGroupResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchGroupResult, len(groups))
+	for k, g := range groups {
+		out[k].Group = append([]string(nil), g...)
+	}
+	if len(groups) == 0 {
+		return out, nil
+	}
+	sim, err := s.similarity()
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm the rows of the batch's member union against all raters.
+	seen := make(map[model.UserID]struct{})
+	var rows []model.UserID
+	for _, g := range groups {
+		for _, u := range g {
+			id := model.UserID(u)
+			if _, dup := seen[id]; dup || id == "" {
+				continue
+			}
+			seen[id] = struct{}{}
+			rows = append(rows, id)
+		}
+	}
+	if _, err := sim.WarmRows(ctx, rows, s.ratings.Users(), s.workers()); err != nil {
+		for k := range out {
+			out[k].Err = err
+		}
+		return out, err
+	}
+
+	pool.Each(len(groups), s.workers(), func(k int) {
+		if err := ctx.Err(); err != nil {
+			out[k].Err = err
+			return
+		}
+		out[k].Result, out[k].Err = s.groupRecommendCtx(ctx, groups[k], z)
+	})
+	return out, ctx.Err()
 }
 
 // GroupRecommendBruteForce runs the exponential baseline of §III.D over

@@ -1,0 +1,3 @@
+module fairhealth
+
+go 1.22

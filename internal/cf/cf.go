@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"fairhealth/internal/model"
 	"fairhealth/internal/ratings"
@@ -58,6 +59,79 @@ type Recommender struct {
 	// the speed-up of Ntoutsi et al. [17] the paper's related work
 	// discusses. nil (or a nil return) scans every user in the store.
 	Candidates func(model.UserID) []model.UserID
+	// Cache optionally memoizes peer sets across requests. Peer
+	// discovery scans every candidate user, so group recommendation —
+	// which needs P_u for every member against the same frozen ratings
+	// snapshot — repays a shared cache immediately. The owner must call
+	// Cache.Invalidate after any write to Store or change to Sim.
+	Cache *PeerCache
+	// CacheGen is the Cache generation captured BEFORE Sim was
+	// snapshotted; Puts are fenced to it. Capturing the generation
+	// first guarantees that a peer set computed from a similarity
+	// snapshot predating an invalidation can never be stored under the
+	// post-invalidation generation. Zero is correct for a fresh cache.
+	CacheGen uint64
+}
+
+// PeerCache memoizes Peers results per user. It is safe for concurrent
+// use and generation-checked: entries computed against a snapshot that
+// was invalidated mid-computation are dropped instead of stored, so a
+// concurrent write can never resurrect a stale peer set.
+type PeerCache struct {
+	mu      sync.RWMutex
+	gen     uint64
+	entries map[model.UserID][]Peer
+}
+
+// NewPeerCache returns an empty cache.
+func NewPeerCache() *PeerCache {
+	return &PeerCache{entries: make(map[model.UserID][]Peer)}
+}
+
+// Get returns a copy of the cached peer set for u, if present.
+func (c *PeerCache) Get(u model.UserID) ([]Peer, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ps, ok := c.entries[u]
+	if !ok {
+		return nil, false
+	}
+	return append([]Peer(nil), ps...), true
+}
+
+// Generation returns the current invalidation generation; capture it
+// before computing a peer set and pass it to Put.
+func (c *PeerCache) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
+// Put stores a copy of u's peer set, unless the cache was invalidated
+// since gen was captured (the set would reflect pre-write state).
+func (c *PeerCache) Put(u model.UserID, peers []Peer, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	c.entries[u] = append([]Peer(nil), peers...)
+}
+
+// Invalidate clears the cache and bumps the generation, fencing off any
+// in-flight Put that started before the call.
+func (c *PeerCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.entries = make(map[model.UserID][]Peer)
+}
+
+// Len returns the number of cached peer sets.
+func (c *PeerCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
 }
 
 func (r *Recommender) check() error {
@@ -73,6 +147,11 @@ func (r *Recommender) check() error {
 func (r *Recommender) Peers(u model.UserID) ([]Peer, error) {
 	if err := r.check(); err != nil {
 		return nil, err
+	}
+	if r.Cache != nil {
+		if ps, ok := r.Cache.Get(u); ok {
+			return ps, nil
+		}
 	}
 	candidates := r.Store.Users() // ascending, for deterministic ties
 	if r.Candidates != nil {
@@ -102,6 +181,9 @@ func (r *Recommender) Peers(u model.UserID) ([]Peer, error) {
 			peers[j], peers[j-1] = peers[j-1], peers[j]
 		}
 	}
+	if r.Cache != nil {
+		r.Cache.Put(u, peers, r.CacheGen)
+	}
 	return peers, nil
 }
 
@@ -128,23 +210,26 @@ func (r *Recommender) Relevance(u model.UserID, i model.ItemID) (score float64, 
 	if r.Store.HasRated(u, i) {
 		return 0, false, fmt.Errorf("%w: user %s item %s", ErrAlreadyRated, u, i)
 	}
-	peers, err := r.PeerSet(u)
+	peers, err := r.Peers(u)
 	if err != nil {
 		return 0, false, err
 	}
 	return relevanceWithPeers(r.Store, peers, i)
 }
 
-// relevanceWithPeers evaluates Eq. 1 given a prebuilt peer map.
-func relevanceWithPeers(store *ratings.Store, peers map[model.UserID]float64, i model.ItemID) (float64, bool, error) {
+// relevanceWithPeers evaluates Eq. 1 given a prebuilt peer list. Peers
+// are visited in their (deterministic) list order, so the floating-
+// point accumulation is reproducible across runs — a requirement for
+// the batch path, whose results must be bit-identical to single-shot
+// serving.
+func relevanceWithPeers(store *ratings.Store, peers []Peer, i model.ItemID) (float64, bool, error) {
 	var num, den float64
-	store.VisitItemRatings(i, func(u model.UserID, rating model.Rating) bool {
-		if s, ok := peers[u]; ok {
-			num += s * float64(rating)
-			den += s
+	for _, p := range peers {
+		if rating, ok := store.Rating(p.User, i); ok {
+			num += p.Sim * float64(rating)
+			den += p.Sim
 		}
-		return true
-	})
+	}
 	if den == 0 {
 		return 0, false, nil
 	}
@@ -152,12 +237,14 @@ func relevanceWithPeers(store *ratings.Store, peers map[model.UserID]float64, i 
 }
 
 // AllRelevances predicts Eq. 1 for every item the user has NOT rated
-// and at least one peer has. The result maps item → score.
+// and at least one peer has. The result maps item → score. Peers are
+// accumulated in their deterministic Peers order, so scores are
+// bit-reproducible across runs and serving paths.
 func (r *Recommender) AllRelevances(u model.UserID) (map[model.ItemID]float64, error) {
 	if err := r.check(); err != nil {
 		return nil, err
 	}
-	peers, err := r.PeerSet(u)
+	peers, err := r.Peers(u)
 	if err != nil {
 		return nil, err
 	}
@@ -165,8 +252,9 @@ func (r *Recommender) AllRelevances(u model.UserID) (map[model.ItemID]float64, e
 	// O(Σ|I(peer)|) instead of O(|I|·|peers|).
 	type acc struct{ num, den float64 }
 	accs := make(map[model.ItemID]*acc)
-	for peer, sim := range peers {
-		r.Store.VisitUserRatings(peer, func(i model.ItemID, rating model.Rating) bool {
+	for _, p := range peers {
+		sim := p.Sim
+		r.Store.VisitUserRatings(p.User, func(i model.ItemID, rating model.Rating) bool {
 			a, ok := accs[i]
 			if !ok {
 				a = &acc{}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"fairhealth/internal/model"
@@ -327,5 +328,75 @@ func TestRelevanceWithinRatingBounds(t *testing.T) {
 				t.Errorf("seed %d: relevance(%s) = %v outside [1,5]", seed, item, score)
 			}
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// PeerCache
+
+func TestPeerCacheMemoizes(t *testing.T) {
+	store := storeWith(t,
+		tr("u", "d0", 3),
+		tr("a", "d1", 3), tr("b", "d1", 3), tr("c", "d1", 3),
+	)
+	calls := 0
+	sim := simfn.Func(func(a, b model.UserID) (float64, bool) {
+		calls++
+		return 0.8, true
+	})
+	r := &Recommender{Store: store, Sim: sim, Delta: 0.5, Cache: NewPeerCache()}
+	first, err := r.Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	callsAfterFirst := calls
+	second, err := r.Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != callsAfterFirst {
+		t.Errorf("cached Peers re-evaluated similarity: %d calls, want %d", calls, callsAfterFirst)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached peers %+v differ from computed %+v", second, first)
+	}
+	if r.Cache.Len() != 1 {
+		t.Errorf("cache Len = %d, want 1", r.Cache.Len())
+	}
+	// Mutating a returned slice must not corrupt the cache.
+	second[0].Sim = -1
+	third, err := r.Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third[0].Sim != first[0].Sim {
+		t.Error("caller mutation leaked into the cache")
+	}
+}
+
+func TestPeerCacheInvalidate(t *testing.T) {
+	c := NewPeerCache()
+	c.Put("u", []Peer{{User: "a", Sim: 0.9}}, c.Generation())
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Errorf("Len after Invalidate = %d, want 0", c.Len())
+	}
+	if _, ok := c.Get("u"); ok {
+		t.Error("Get succeeded after Invalidate")
+	}
+}
+
+// TestPeerCacheDropsStalePut covers the write-during-compute race: a
+// peer set computed against a pre-invalidation snapshot must not land.
+func TestPeerCacheDropsStalePut(t *testing.T) {
+	c := NewPeerCache()
+	gen := c.Generation()
+	c.Invalidate() // a write arrives while the peer set is being computed
+	c.Put("u", []Peer{{User: "a", Sim: 0.9}}, gen)
+	if _, ok := c.Get("u"); ok {
+		t.Error("stale Put survived Invalidate")
 	}
 }

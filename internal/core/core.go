@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -143,6 +144,17 @@ func Evaluate(in Input, d []model.ItemID) Result {
 // loops never execute — degenerates to taking the member's own list in
 // order, which trivially satisfies Def. 3 for that member.
 func Greedy(in Input, z int) (Result, error) {
+	return GreedyContext(context.Background(), in, z)
+}
+
+// GreedyContext is Greedy with cooperative cancellation: the sweep
+// checks ctx between member-pair selections and returns ctx.Err() when
+// it fires — the hook the batch group API uses to abandon mid-flight
+// work. A nil ctx behaves like context.Background().
+func GreedyContext(ctx context.Context, in Input, z int) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.validate(z); err != nil {
 		return Result{}, err
 	}
@@ -170,6 +182,9 @@ func Greedy(in Input, z int) (Result, error) {
 	for len(d) < z {
 		added := false
 		for x := 0; x < n && len(d) < z; x++ {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
 			for y := 0; y < n && len(d) < z; y++ {
 				if x == y {
 					continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -595,5 +596,30 @@ func TestGreedyInvariants(t *testing.T) {
 		if err := res.Verify(); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+func TestGreedyContextCancelled(t *testing.T) {
+	in := Input{
+		Group:    model.Group{"a", "b"},
+		Lists:    UserLists{"a": {si("x", 5), si("w", 4)}, "b": {si("y", 5), si("v", 3)}},
+		GroupRel: map[model.ItemID]float64{"x": 3, "y": 2, "w": 4, "v": 1},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GreedyContext(ctx, in, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// nil context degrades to Background, matching Greedy.
+	fromNil, err := GreedyContext(nil, in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Greedy(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromNil, plain) {
+		t.Errorf("GreedyContext(nil) = %+v, Greedy = %+v", fromNil, plain)
 	}
 }

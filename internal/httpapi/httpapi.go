@@ -14,6 +14,7 @@
 //	GET  /api/recommendations        personal top-k    ?user=&k=
 //	GET  /api/peers                  peer set          ?user=
 //	GET  /api/group-recommendations  fair top-z        ?users=a,b&z=&method=greedy|brute|mapreduce
+//	POST /v1/groups/recommend:batch  fair top-z for many groups in one call
 package httpapi
 
 import (
@@ -54,6 +55,7 @@ func New(sys *fairhealth.System, logger *log.Logger) *Server {
 	s.mux.HandleFunc("GET /api/recommendations", s.handleRecommend)
 	s.mux.HandleFunc("GET /api/peers", s.handlePeers)
 	s.mux.HandleFunc("GET /api/group-recommendations", s.handleGroupRecommend)
+	s.mux.HandleFunc("POST /v1/groups/recommend:batch", s.handleGroupRecommendBatch)
 	return s
 }
 
@@ -103,6 +105,36 @@ type GroupResponse struct {
 	Method       string                                 `json:"method"`
 	Combinations int64                                  `json:"combinations,omitempty"`
 }
+
+// BatchGroupsBody is the POST /v1/groups/recommend:batch payload.
+type BatchGroupsBody struct {
+	// Groups lists the member IDs of each group to serve.
+	Groups [][]string `json:"groups"`
+	// Z is the recommendations per group (default 10).
+	Z int `json:"z,omitempty"`
+}
+
+// BatchGroupEntry is one group's outcome inside a batch response. A
+// successful entry always carries items/fairness/value (matching the
+// single-shot GroupResponse contract, zeros included); a failed entry
+// carries error instead.
+type BatchGroupEntry struct {
+	Group    []string                    `json:"group"`
+	Items    []fairhealth.Recommendation `json:"items"`
+	Fairness float64                     `json:"fairness"`
+	Value    float64                     `json:"value"`
+	Error    string                      `json:"error,omitempty"`
+}
+
+// BatchGroupsResponse is the POST /v1/groups/recommend:batch response.
+// Results are in request order; Failed counts entries with an Error.
+type BatchGroupsResponse struct {
+	Results []BatchGroupEntry `json:"results"`
+	Failed  int               `json:"failed"`
+}
+
+// MaxBatchGroups caps a single batch request.
+const MaxBatchGroups = 256
 
 // ---------------------------------------------------------------------------
 // handlers
@@ -336,6 +368,55 @@ func (s *Server) handleGroupRecommend(w http.ResponseWriter, r *http.Request) {
 		Method:       method,
 		Combinations: res.Combinations,
 	})
+}
+
+func (s *Server) handleGroupRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	var body BatchGroupsBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if len(body.Groups) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("groups required"))
+		return
+	}
+	if len(body.Groups) > MaxBatchGroups {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("too many groups: %d > %d", len(body.Groups), MaxBatchGroups))
+		return
+	}
+	z := body.Z
+	if z == 0 {
+		z = 10
+	}
+	if z < 1 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("z must be a positive integer, got %d", z))
+		return
+	}
+	// r.Context() cancels when the client disconnects, aborting
+	// in-flight groups.
+	results, err := s.sys.GroupRecommendBatch(r.Context(), body.Groups, z)
+	if err != nil && results == nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := BatchGroupsResponse{Results: make([]BatchGroupEntry, len(results))}
+	for k, br := range results {
+		e := BatchGroupEntry{Group: br.Group, Items: []fairhealth.Recommendation{}}
+		switch {
+		case br.Err != nil:
+			e.Error = br.Err.Error()
+			resp.Failed++
+		case br.Result != nil:
+			if br.Result.Items != nil {
+				e.Items = br.Result.Items
+			}
+			e.Fairness = br.Result.Fairness
+			e.Value = br.Result.Value
+		}
+		resp.Results[k] = e
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {

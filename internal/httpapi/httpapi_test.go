@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -426,5 +427,72 @@ func TestPersonalizedSearchEndpoint(t *testing.T) {
 	}
 	if rec := do(t, srv, "GET", "/api/search?q=recovery&user=ghost", nil); rec.Code != http.StatusNotFound {
 		t.Errorf("unknown user status = %d", rec.Code)
+	}
+}
+
+func TestGroupRecommendBatchEndpoint(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	rec := do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{
+		Groups: [][]string{{"g1", "g2"}, {"g2", "p1"}},
+		Z:      3,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	resp := decode[BatchGroupsResponse](t, rec)
+	if len(resp.Results) != 2 || resp.Failed != 0 {
+		t.Fatalf("results = %d, failed = %d, want 2/0", len(resp.Results), resp.Failed)
+	}
+	// Entry 0 must match the single-shot endpoint exactly.
+	single := decode[GroupResponse](t, do(t, srv, "GET", "/api/group-recommendations?users=g1,g2&z=3", nil))
+	if !reflect.DeepEqual(resp.Results[0].Items, single.Items) {
+		t.Errorf("batch items %v differ from single-shot %v", resp.Results[0].Items, single.Items)
+	}
+	if resp.Results[0].Fairness != single.Fairness {
+		t.Errorf("batch fairness %v, single %v", resp.Results[0].Fairness, single.Fairness)
+	}
+	if got := resp.Results[1].Group; !reflect.DeepEqual(got, []string{"g2", "p1"}) {
+		t.Errorf("echoed group = %v", got)
+	}
+}
+
+func TestGroupRecommendBatchEndpointPartialFailure(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	rec := do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{
+		Groups: [][]string{{"g1", "g2"}, {}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	resp := decode[BatchGroupsResponse](t, rec)
+	if resp.Failed != 1 {
+		t.Errorf("failed = %d, want 1", resp.Failed)
+	}
+	if resp.Results[0].Error != "" || resp.Results[1].Error == "" {
+		t.Errorf("error placement wrong: %+v", resp.Results)
+	}
+}
+
+func TestGroupRecommendBatchEndpointValidation(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	for name, body := range map[string]any{
+		"no-groups": BatchGroupsBody{},
+		"bad-z":     BatchGroupsBody{Groups: [][]string{{"g1"}}, Z: -2},
+		"not-json":  "garbage",
+	} {
+		rec := do(t, srv, "POST", "/v1/groups/recommend:batch", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, rec.Code)
+		}
+	}
+	big := BatchGroupsBody{Groups: make([][]string, MaxBatchGroups+1)}
+	for i := range big.Groups {
+		big.Groups[i] = []string{"g1", "g2"}
+	}
+	if rec := do(t, srv, "POST", "/v1/groups/recommend:batch", big); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status = %d, want 400", rec.Code)
 	}
 }

@@ -1,0 +1,54 @@
+// Package pool provides the bounded work-stealing worker pool shared
+// by the parallel scoring paths (similarity precompute, batch group
+// serving). Items are handed out through an atomic counter rather than
+// fixed stripes, so uneven per-item cost — triangular similarity rows,
+// groups of different sizes — balances automatically.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Each runs fn(i) for every i in [0, n) across at most workers
+// goroutines and blocks until all calls return. workers ≤ 0 uses
+// GOMAXPROCS. fn is invoked exactly once per index; cancellation is
+// the callback's concern (check a context inside fn and return early),
+// which lets callers decide whether abandoned items need marking.
+func Each(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

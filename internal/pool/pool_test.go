@@ -1,0 +1,36 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 100
+		var counts [n]atomic.Int32
+		Each(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestEachEmpty(t *testing.T) {
+	called := false
+	Each(0, 4, func(int) { called = true })
+	Each(-5, 4, func(int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+}
+
+func TestEachMoreWorkersThanItems(t *testing.T) {
+	var total atomic.Int32
+	Each(3, 64, func(int) { total.Add(1) })
+	if total.Load() != 3 {
+		t.Errorf("visited %d items, want 3", total.Load())
+	}
+}

@@ -291,9 +291,18 @@ func (s *Store) MeanRating(u model.UserID) (float64, bool) {
 		delete(s.meanDirty, u)
 		return 0, false
 	}
+	// Sum in ascending item order, not map order: with fractional
+	// ratings the accumulation order changes the result by ULPs, and a
+	// per-process mean would leak run-to-run nondeterminism into every
+	// similarity and relevance score downstream.
+	items := make([]model.ItemID, 0, len(ui))
+	for i := range ui {
+		items = append(items, i)
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
 	var sum float64
-	for _, r := range ui {
-		sum += float64(r)
+	for _, i := range items {
+		sum += float64(ui[i])
 	}
 	m := sum / float64(len(ui))
 	s.means[u] = m

@@ -1,0 +1,148 @@
+// Parallel pairwise precompute. Peer discovery (Def. 1) evaluates simU
+// over user pairs, and a group request triggers one full row of the
+// similarity matrix per member — the scoring hot path of the system.
+// The helpers here materialize those rows ahead of time: users are
+// sharded across a bounded worker pool, each worker computes its rows
+// into a private map, and the shards are merged into the shared Cached
+// memo table. Computation is embarrassingly parallel (every measure is
+// a pure function of immutable snapshots), so the parallel build yields
+// entries bit-identical to the serial one.
+
+package simfn
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/pool"
+)
+
+// Pair is one materialized entry of a Cached similarity matrix, in
+// canonical orientation (A ≤ B).
+type Pair struct {
+	A, B model.UserID
+	Sim  float64
+	Ok   bool
+}
+
+// Entries snapshots the cached matrix as canonical pairs sorted by
+// (A, B) — the deterministic comparison format used by the
+// parallel-vs-serial equivalence tests.
+func (c *Cached) Entries() []Pair {
+	c.mu.RLock()
+	out := make([]Pair, 0, len(c.entries))
+	for k, e := range c.entries {
+		out = append(out, Pair{A: k.a, B: k.b, Sim: e.sim, Ok: e.ok})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// WarmAll computes the similarity of every unordered pair of users in
+// parallel and merges the results into the cache. workers ≤ 0 uses
+// GOMAXPROCS. It returns the number of entries added; on context
+// cancellation it stops early, keeps the (valid) partial cache, and
+// returns ctx.Err().
+func (c *Cached) WarmAll(ctx context.Context, users []model.UserID, workers int) (int, error) {
+	return c.warm(ctx, users, nil, workers)
+}
+
+// WarmRows computes the full similarity rows of the given users against
+// the candidate set (every pair {row, candidate}) in parallel and
+// merges them into the cache — the targeted warm-up for a batch of
+// group requests, where only the members' rows are needed. Semantics
+// match WarmAll.
+func (c *Cached) WarmRows(ctx context.Context, rows, candidates []model.UserID, workers int) (int, error) {
+	return c.warm(ctx, rows, candidates, workers)
+}
+
+// Precompute builds a Cached over base with the full pairwise matrix of
+// users already materialized in parallel.
+func Precompute(ctx context.Context, base UserSimilarity, users []model.UserID, workers int) (*Cached, error) {
+	c := NewCached(base)
+	_, err := c.WarmAll(ctx, users, workers)
+	return c, err
+}
+
+// warm shards rows across a worker pool. cols == nil means triangular
+// mode: rows[i] pairs with rows[j], j > i (the full matrix with no
+// duplicate work). Otherwise each row pairs with every candidate; pairs
+// whose both endpoints are rows are assigned to the earlier row so no
+// two workers compute the same entry.
+func (c *Cached) warm(ctx context.Context, rows, cols []model.UserID, workers int) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(rows) == 0 {
+		return 0, ctx.Err()
+	}
+
+	// Snapshot the already-cached keys so a re-warm after partial use
+	// only pays for the missing entries.
+	c.mu.RLock()
+	existing := make(map[pairKey]struct{}, len(c.entries))
+	for k := range c.entries {
+		existing[k] = struct{}{}
+	}
+	c.mu.RUnlock()
+
+	var rowPos map[model.UserID]int
+	if cols != nil {
+		rowPos = make(map[model.UserID]int, len(rows))
+		for i, u := range rows {
+			rowPos[u] = i
+		}
+	}
+
+	// Row-at-a-time work stealing (rows have uneven pair counts,
+	// triangular mode especially): each row is computed into a private
+	// map and merged under the cache lock once complete, so concurrent
+	// readers only ever observe finished entries.
+	var added atomic.Int64
+	pool.Each(len(rows), workers, func(r int) {
+		if ctx.Err() != nil {
+			return
+		}
+		a := rows[r]
+		others := cols
+		if others == nil {
+			others = rows[r+1:]
+		}
+		local := make(map[pairKey]cacheEntry, len(others))
+		for _, b := range others {
+			if a == b {
+				continue
+			}
+			if p, isRow := rowPos[b]; isRow && p < r {
+				continue // the earlier row owns this pair
+			}
+			k := canonical(a, b)
+			if _, done := existing[k]; done {
+				continue
+			}
+			if _, done := local[k]; done {
+				continue
+			}
+			sim, ok := c.inner.Similarity(a, b)
+			local[k] = cacheEntry{sim, ok}
+		}
+		if len(local) == 0 {
+			return
+		}
+		c.mu.Lock()
+		for k, e := range local {
+			c.entries[k] = e
+		}
+		c.mu.Unlock()
+		added.Add(int64(len(local)))
+	})
+	return int(added.Load()), ctx.Err()
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs the full benchmark suite and writes BENCH_<date>.json — one
+# snapshot per run for the perf trajectory across PRs.
+#
+# Usage:
+#   scripts/bench.sh                 # full run (default benchtime)
+#   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration each
+#   BENCH=GroupBatch scripts/bench.sh  # filter by benchmark regex
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-.}"
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench="$BENCH" -benchmem -benchtime="$BENCHTIME" ./... | tee "$raw"
+
+# Convert `go test -bench` text output into a JSON document. With
+# -benchmem each result line is:
+#   BenchmarkName-P   N   T ns/op   B B/op   A allocs/op
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go version | awk '{print $3}')" \
+    -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^Benchmark/ && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    iters = $2
+    ns = $3
+    bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line "}"
+    lines[n++] = line
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++)
+        printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+}' "$raw" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
