@@ -12,6 +12,8 @@
 //	BenchmarkSearch/*           Fig. 1 — document search engine
 //	BenchmarkWAL/*              storage substrate — append/replay
 //	BenchmarkClustering/*       [17] — full-scan vs clustered peer discovery
+//	BenchmarkRatingsWriteThroughput/*  sharded vs single-lock store under concurrent writers
+//	BenchmarkScopedInvalidation/*      serving after a write: scoped eviction vs full cache rebuild
 //
 // Run: go test -bench=. -benchmem
 package fairhealth_test
@@ -24,6 +26,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sync"
 	"testing"
 
 	"fairhealth"
@@ -37,6 +40,7 @@ import (
 	"fairhealth/internal/model"
 	"fairhealth/internal/mrpipeline"
 	"fairhealth/internal/phr"
+	"fairhealth/internal/ratings"
 	"fairhealth/internal/search"
 	"fairhealth/internal/simfn"
 	"fairhealth/internal/snomed"
@@ -311,6 +315,112 @@ func BenchmarkGroupBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Sharded ratings store — concurrent write throughput. shards=1 is the
+// old single-RWMutex store; shards=DefaultShards is the FNV-sharded
+// one. Each iteration drives writesPerOp ratings split across the
+// writers, all to distinct users, so the arms differ only in lock
+// contention.
+
+func BenchmarkRatingsWriteThroughput(b *testing.B) {
+	const writesPerOp = 512
+	items := make([]model.ItemID, 64)
+	for i := range items {
+		items[i] = model.ItemID(fmt.Sprintf("doc%03d", i))
+	}
+	for _, shards := range []int{1, ratings.DefaultShards} {
+		for _, writers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("shards=%d/writers=%d", shards, writers), func(b *testing.B) {
+				users := make([]model.UserID, writers*4)
+				for i := range users {
+					users[i] = model.UserID(fmt.Sprintf("user%04d", i))
+				}
+				st := ratings.NewSharded(shards)
+				per := writesPerOp / writers
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for w := 0; w < writers; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							for j := 0; j < per; j++ {
+								u := users[w*4+j%4] // each writer owns 4 users; no cross-writer overlap
+								if err := st.Add(u, items[j%len(items)], model.Rating(1+j%5)); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}(w)
+					}
+					wg.Wait()
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scoped invalidation — the mixed read/write serving loop of the
+// paper's Fig. 1 setting (caregivers recording ratings while groups
+// are served). Each iteration is one rating write followed by a batch
+// of overlapping group requests spanning 30 members. The warm arm
+// rides the scoped eviction (only the touched user's similarity row
+// and the peer sets they could have moved rebuild); the cold arm
+// models the old global invalidation by flushing every cache after the
+// write, so every member's row and peer set rebuilds each time.
+
+func BenchmarkScopedInvalidation(b *testing.B) {
+	build := func(b *testing.B) (*fairhealth.System, [][]string) {
+		sys, err := fairhealth.New(fairhealth.Config{Delta: 0.55, MinOverlap: 4, K: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds, err := dataset.Generate(dataset.Config{Seed: 29, Users: 120, Items: 200, RatingsPerUser: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tr := range ds.Ratings.Triples() {
+			if err := sys.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sys.PrecomputeSimilarity(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		users := sys.SortedUsers()
+		groups := make([][]string, 10)
+		for g := range groups {
+			groups[g] = []string{users[3*g], users[3*g+1], users[3*g+2]}
+		}
+		return sys, groups
+	}
+	serveAfterWrite := func(b *testing.B, sys *fairhealth.System, groups [][]string, cold bool) {
+		writer := groups[0][0]
+		for i := 0; i < b.N; i++ {
+			if err := sys.AddRating(writer, fmt.Sprintf("doc%04d", i%50), float64(1+i%5)); err != nil {
+				b.Fatal(err)
+			}
+			if cold {
+				sys.InvalidateCaches()
+			}
+			res, err := sys.GroupRecommendBatch(context.Background(), groups, 6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range res {
+				if e.Err != nil {
+					b.Fatal(e.Err)
+				}
+			}
+		}
+	}
+	sysWarm, groups := build(b)
+	b.Run("warm-scoped-eviction", func(b *testing.B) { serveAfterWrite(b, sysWarm, groups, false) })
+	sysCold, groups := build(b)
+	b.Run("cold-full-invalidation", func(b *testing.B) { serveAfterWrite(b, sysCold, groups, true) })
 }
 
 // ---------------------------------------------------------------------------

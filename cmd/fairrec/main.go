@@ -81,6 +81,7 @@ Usage:
   fairrec recommend -ratings data/ratings.csv -user patient0001 -k 10  personal top-k
   fairrec group     -ratings data/ratings.csv -users a,b,c -z 10       fair group top-z
   fairrec batch     -ratings data/ratings.csv -groups "a,b;c,d" -z 10  many groups in parallel
+                    [-stream]                                          print entries as they complete
   fairrec mr        -ratings data/ratings.csv -users a,b,c -z 10       MapReduce pipeline
   fairrec table2    [-quick]                                           reproduce Table II
   fairrec ablation                                                     aggregator ablation
@@ -276,6 +277,7 @@ func cmdBatch(args []string) error {
 	delta := fs.Float64("delta", 0.5, "peer threshold δ")
 	aggr := fs.String("aggr", "avg", "aggregation: avg (majority) or min (veto)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	stream := fs.Bool("stream", false, "print each group as it completes (completion order) instead of buffering the batch")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -316,24 +318,38 @@ func cmdBatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	results, err := sys.GroupRecommendBatch(context.Background(), groups, *z)
-	if err != nil {
-		return err
-	}
 	failed := 0
-	for _, br := range results {
+	printEntry := func(br fairhealth.BatchGroupResult) {
 		if br.Err != nil {
 			failed++
-			fmt.Printf("group [%s]: error: %v\n", strings.Join(br.Group, ","), br.Err)
-			continue
+			fmt.Printf("group %d [%s]: error: %v\n", br.Index, strings.Join(br.Group, ","), br.Err)
+			return
 		}
-		fmt.Printf("group [%s]: fairness %.2f, value %.3f\n", strings.Join(br.Group, ","), br.Result.Fairness, br.Result.Value)
+		fmt.Printf("group %d [%s]: fairness %.2f, value %.3f\n", br.Index, strings.Join(br.Group, ","), br.Result.Fairness, br.Result.Value)
 		for i, r := range br.Result.Items {
 			fmt.Printf("  %2d. %-12s %.3f\n", i+1, r.Item, r.Score)
 		}
 	}
+	if *stream {
+		// Entries print as they complete, in completion order.
+		err := sys.GroupRecommendStream(context.Background(), groups, *z, func(br fairhealth.BatchGroupResult) error {
+			printEntry(br)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		results, err := sys.GroupRecommendBatch(context.Background(), groups, *z)
+		if err != nil {
+			return err
+		}
+		for _, br := range results {
+			printEntry(br)
+		}
+	}
 	if failed > 0 {
-		return fmt.Errorf("%d of %d groups failed", failed, len(results))
+		return fmt.Errorf("%d of %d groups failed", failed, len(groups))
 	}
 	return nil
 }

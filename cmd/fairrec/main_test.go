@@ -68,6 +68,20 @@ func TestCmdGroupMethods(t *testing.T) {
 	}
 }
 
+func TestCmdBatch(t *testing.T) {
+	ratingsPath, _ := genTestData(t)
+	groups := "patient0000,patient0001;patient0002,patient0003"
+	if err := cmdBatch([]string{"-ratings", ratingsPath, "-groups", groups, "-z", "4"}); err != nil {
+		t.Errorf("cmdBatch: %v", err)
+	}
+	if err := cmdBatch([]string{"-ratings", ratingsPath, "-groups", groups, "-z", "4", "-stream"}); err != nil {
+		t.Errorf("cmdBatch -stream: %v", err)
+	}
+	if err := cmdBatch([]string{"-ratings", ratingsPath}); err == nil {
+		t.Error("missing -groups accepted")
+	}
+}
+
 func TestCmdMR(t *testing.T) {
 	ratingsPath, _ := genTestData(t)
 	if err := cmdMR([]string{"-ratings", ratingsPath, "-users", "patient0000,patient0001", "-z", "4"}); err != nil {

@@ -40,6 +40,25 @@
 //		}
 //	}
 //
+// GroupRecommendStream is the incremental variant: entries are yielded
+// to a callback as each group completes (completion order, Index links
+// an entry back to its request slot) instead of buffering the whole
+// batch — the backing of the HTTP API's NDJSON streaming mode:
+//
+//	_ = sys.GroupRecommendStream(ctx, groups, 10, func(e fairhealth.BatchGroupResult) error {
+//		fmt.Println(e.Index, e.Group, e.Err)
+//		return nil // a non-nil error stops the stream
+//	})
+//
+// Invalidation is scoped, so caches stay warm under mixed read/write
+// traffic: a rating write to user u evicts only u's similarity row and
+// the peer sets u could have moved (the ratings store reports the
+// touched user, and every cache layer evicts by user instead of
+// flushing). Profile writes rebuild profile-derived state, so they
+// still flush everything, as does the explicit InvalidateCaches. Reads
+// racing a write may see either side of it; once writes quiesce,
+// served scores are bit-identical to a freshly built system's.
+//
 // For read-heavy deployments, PrecomputeSimilarity materializes the
 // full pairwise similarity matrix in parallel ahead of traffic;
 // Config.Workers bounds both pools (default GOMAXPROCS).
@@ -243,9 +262,11 @@ type System struct {
 	pc       *simfn.ProfileCosine
 	pcBuilt  bool
 
-	// peerCache memoizes P_u across requests; System.invalidate fences
-	// it off on every write (cf.PeerCache is generation-checked, so an
-	// in-flight computation cannot resurrect a stale set).
+	// peerCache memoizes P_u across requests. Rating writes evict it
+	// per touched user (invalidateUsers); profile writes flush it
+	// (invalidateAll). cf.PeerCache is generation- and sequence-
+	// checked, so an in-flight computation cannot resurrect a stale
+	// set.
 	peerCache *cf.PeerCache
 }
 
@@ -261,7 +282,7 @@ func NewWithOntology(cfg Config, ont *ontology.Ontology) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	sys := &System{
 		cfg:       c,
 		ratings:   ratings.New(),
 		profiles:  phr.NewStore(ont),
@@ -270,7 +291,12 @@ func NewWithOntology(cfg Config, ont *ontology.Ontology) (*System, error) {
 		simDirty:  true,
 		pcDirty:   true,
 		peerCache: cf.NewPeerCache(),
-	}, nil
+	}
+	// Every rating write — direct, CSV bulk load, or WAL replay —
+	// reports its touched user here, and the scoped invalidation routes
+	// it down the cache layers.
+	sys.ratings.OnWrite(func(u model.UserID) { sys.invalidateUsers(u) })
+	return sys, nil
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -301,7 +327,7 @@ func NewPersistent(cfg Config, dir string) (*System, error) {
 	}
 	sys.walLog = log
 	sys.walPath = path
-	sys.invalidate(true)
+	sys.invalidateAll()
 	return sys, nil
 }
 
@@ -375,11 +401,9 @@ func (s *System) AddRating(user, item string, value float64) error {
 			return err
 		}
 	}
-	if err := s.ratings.Add(u, i, v); err != nil {
-		return err
-	}
-	s.invalidate(false)
-	return nil
+	// The store's write observer routes the touched user down the cache
+	// layers — no global invalidation.
+	return s.ratings.Add(u, i, v)
 }
 
 // RemoveRating deletes a rating.
@@ -393,11 +417,7 @@ func (s *System) RemoveRating(user, item string) error {
 			return err
 		}
 	}
-	if err := s.ratings.Remove(u, i); err != nil {
-		return err
-	}
-	s.invalidate(false)
-	return nil
+	return s.ratings.Remove(u, i)
 }
 
 // LoadRatingsCSV bulk-loads "user,item,rating" rows (logged on
@@ -435,7 +455,9 @@ func (s *System) AddPatient(p Patient) error {
 	} else if err := s.profiles.Put(prof); err != nil {
 		return err
 	}
-	s.invalidate(true)
+	// Profile text and problem codes feed the profile-cosine and
+	// semantic measures for every pair, so the blast radius is global.
+	s.invalidateAll()
 	return nil
 }
 
@@ -584,15 +606,42 @@ func fromProfile(prof *phr.Profile) Patient {
 // ---------------------------------------------------------------------------
 // similarity wiring
 
-func (s *System) invalidate(profilesChanged bool) {
+// invalidateUsers routes a rating write down the cache layers with
+// user scope: the touched users' similarity rows are evicted first,
+// then their peer sets. The order matters — a peer-cache fence
+// captured after EvictUsers can only observe post-eviction similarity
+// rows, so a peer set stored under that fence is built from post-write
+// data (simfn.Cached's own eviction sequencing fences off lookups that
+// were already in flight). Everything not reachable from the touched
+// users stays warm: Pearson(v,w) is a function of v's and w's ratings
+// only, so no other entry can have changed.
+func (s *System) invalidateUsers(users ...model.UserID) {
+	s.mu.Lock()
+	if s.simCache != nil {
+		s.simCache.EvictRows(users)
+	}
+	s.mu.Unlock()
+	s.peerCache.EvictUsers(users)
+}
+
+// invalidateAll flushes every cache layer — the route for profile
+// writes (profile text and problem codes feed pairwise measures whose
+// blast radius is the whole matrix) and for the explicit
+// InvalidateCaches.
+func (s *System) invalidateAll() {
 	s.mu.Lock()
 	s.simDirty = true
-	if profilesChanged {
-		s.pcDirty = true
-	}
+	s.pcDirty = true
 	s.mu.Unlock()
 	s.peerCache.Invalidate()
 }
+
+// InvalidateCaches drops all memoized state (similarity matrix,
+// profile corpus, peer sets), forcing the next query to rebuild from
+// the stores. Normal writes invalidate with user scope automatically;
+// this is the big hammer for tests, benchmarks of cold-path cost, or
+// out-of-band store surgery.
+func (s *System) InvalidateCaches() { s.invalidateAll() }
 
 func (s *System) profileCosine() (*simfn.ProfileCosine, error) {
 	// caller holds s.mu
@@ -654,12 +703,17 @@ func (s *System) buildSimilarityLocked() (simfn.UserSimilarity, error) {
 }
 
 func (s *System) recommender() (*cf.Recommender, error) {
-	// Capture the peer-cache generation BEFORE acquiring the similarity
-	// snapshot: a write that invalidates between the two steps then
-	// fences off any peer set computed from the older snapshot
-	// (invalidate marks the similarity dirty before bumping the
-	// generation, so a post-bump snapshot is always fresh).
-	gen := s.peerCache.Generation()
+	// Capture the peer-cache fence BEFORE acquiring the similarity
+	// snapshot. A full flush between the two steps bumps the
+	// generation and drops any peer set computed from the older
+	// snapshot (invalidateAll marks the similarity dirty before
+	// bumping the generation, so a post-bump snapshot is always
+	// fresh). A scoped eviction bumps the sequence instead: peer sets
+	// stored under the older sequence are patched on their next read
+	// for exactly the users evicted since (invalidateUsers evicts
+	// similarity rows before peer sets, so the patch always reads
+	// post-write similarities).
+	gen, seq := s.peerCache.Fence()
 	sim, err := s.similarity()
 	if err != nil {
 		return nil, err
@@ -671,6 +725,7 @@ func (s *System) recommender() (*cf.Recommender, error) {
 		RequirePositive: true,
 		Cache:           s.peerCache,
 		CacheGen:        gen,
+		CacheSeq:        seq,
 	}, nil
 }
 
@@ -837,9 +892,12 @@ func (s *System) groupRecommendCtx(ctx context.Context, users []string, z int) (
 	return s.toGroupResult(in, res), nil
 }
 
-// BatchGroupResult is one group's outcome within GroupRecommendBatch.
-// Exactly one of Result and Err is set.
+// BatchGroupResult is one group's outcome within GroupRecommendBatch
+// and GroupRecommendStream. Exactly one of Result and Err is set.
 type BatchGroupResult struct {
+	// Index is the group's position in the request, linking a streamed
+	// entry (which arrives in completion order) back to its slot.
+	Index int
 	// Group echoes the requested members, in request order.
 	Group []string
 	// Result is the group's fair top-z (nil when Err is set).
@@ -857,21 +915,70 @@ type BatchGroupResult struct {
 // independently; one bad group does not poison the batch. When ctx is
 // cancelled mid-batch, in-flight groups stop at the next cancellation
 // point, unstarted entries get Err = ctx.Err(), and the context error
-// is also returned.
+// is also returned. Results are in request order; for entries as they
+// complete, use GroupRecommendStream.
 func (s *System) GroupRecommendBatch(ctx context.Context, groups [][]string, z int) ([]BatchGroupResult, error) {
+	out := make([]BatchGroupResult, len(groups))
+	for k, g := range groups {
+		out[k].Index = k
+		out[k].Group = append([]string(nil), g...)
+	}
+	emitted := 0
+	err := s.GroupRecommendStream(ctx, groups, z, func(e BatchGroupResult) error {
+		out[e.Index] = e
+		emitted++
+		return nil
+	})
+	if err != nil && emitted == 0 && len(groups) > 0 {
+		// The failure preceded any per-group work (e.g. the similarity
+		// build itself); there are no entries to report.
+		return nil, err
+	}
+	return out, err
+}
+
+// GroupRecommendStream serves the same workload as GroupRecommendBatch
+// but yields each entry to fn as its group completes, in completion
+// order, instead of buffering the full batch — long batches start
+// producing output immediately and the caller never holds more than
+// one entry. fn is called serially (never concurrently) from the
+// worker pool; a non-nil error from fn stops the stream, abandons the
+// remaining groups, and is returned. When ctx is cancelled mid-stream,
+// remaining entries are yielded with Err = ctx.Err() and the context
+// error is returned.
+func (s *System) GroupRecommendStream(ctx context.Context, groups [][]string, z int, fn func(BatchGroupResult) error) error {
+	if fn == nil {
+		return errors.New("fairhealth: GroupRecommendStream requires a callback")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := make([]BatchGroupResult, len(groups))
-	for k, g := range groups {
-		out[k].Group = append([]string(nil), g...)
-	}
 	if len(groups) == 0 {
-		return out, nil
+		return ctx.Err()
 	}
+
+	var emitMu sync.Mutex
+	var fnErr error
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	emit := func(e BatchGroupResult) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if fnErr != nil {
+			return
+		}
+		if err := fn(e); err != nil {
+			fnErr = err
+			cancel() // abandon the remaining groups
+		}
+	}
+	entry := func(k int) BatchGroupResult {
+		return BatchGroupResult{Index: k, Group: append([]string(nil), groups[k]...)}
+	}
+
 	sim, err := s.similarity()
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// Warm the rows of the batch's member union against all raters.
@@ -888,20 +995,34 @@ func (s *System) GroupRecommendBatch(ctx context.Context, groups [][]string, z i
 		}
 	}
 	if _, err := sim.WarmRows(ctx, rows, s.ratings.Users(), s.workers()); err != nil {
-		for k := range out {
-			out[k].Err = err
+		for k := range groups {
+			e := entry(k)
+			e.Err = err
+			emit(e)
 		}
-		return out, err
+		if fnErr != nil {
+			return fnErr
+		}
+		return err
 	}
 
 	pool.Each(len(groups), s.workers(), func(k int) {
-		if err := ctx.Err(); err != nil {
-			out[k].Err = err
+		e := entry(k)
+		if cctx.Err() != nil {
+			if ctx.Err() == nil {
+				return // fn aborted the stream; emit nothing further
+			}
+			e.Err = ctx.Err()
+			emit(e)
 			return
 		}
-		out[k].Result, out[k].Err = s.groupRecommendCtx(ctx, groups[k], z)
+		e.Result, e.Err = s.groupRecommendCtx(cctx, groups[k], z)
+		emit(e)
 	})
-	return out, ctx.Err()
+	if fnErr != nil {
+		return fnErr
+	}
+	return ctx.Err()
 }
 
 // GroupRecommendBruteForce runs the exponential baseline of §III.D over

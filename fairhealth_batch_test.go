@@ -187,7 +187,8 @@ func TestPrecomputeSimilarityWarmsAllPairs(t *testing.T) {
 	if pairs != 0 {
 		t.Fatalf("re-precompute recomputed %d pairs, want 0", pairs)
 	}
-	// A write invalidates; the next precompute rebuilds from scratch.
+	// A rating write invalidates with user scope: only the touched
+	// user's row recomputes, the rest of the matrix stays warm.
 	if err := sys.AddRating("fresh", "doc0001", 5); err != nil {
 		t.Fatal(err)
 	}
@@ -195,9 +196,29 @@ func TestPrecomputeSimilarityWarmsAllPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if pairs != n { // fresh × the n existing users
+		t.Fatalf("post-write precompute %d pairs, want %d (only the touched row)", pairs, n)
+	}
 	n++
+	// A profile write has global blast radius; the next precompute
+	// rebuilds the full matrix. InvalidateCaches behaves the same.
+	if err := sys.AddPatient(Patient{ID: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err = sys.PrecomputeSimilarity(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if want := n * (n - 1) / 2; pairs != want {
-		t.Fatalf("post-write precompute %d pairs, want %d", pairs, want)
+		t.Fatalf("post-profile-write precompute %d pairs, want %d", pairs, want)
+	}
+	sys.InvalidateCaches()
+	pairs, err = sys.PrecomputeSimilarity(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := n * (n - 1) / 2; pairs != want {
+		t.Fatalf("post-InvalidateCaches precompute %d pairs, want %d", pairs, want)
 	}
 }
 

@@ -63,59 +63,219 @@ type Recommender struct {
 	// discovery scans every candidate user, so group recommendation —
 	// which needs P_u for every member against the same frozen ratings
 	// snapshot — repays a shared cache immediately. The owner must call
-	// Cache.Invalidate after any write to Store or change to Sim.
+	// Cache.EvictUsers after a write touching specific users' data, or
+	// Cache.Invalidate after a change whose blast radius is unknown.
 	Cache *PeerCache
 	// CacheGen is the Cache generation captured BEFORE Sim was
 	// snapshotted; Puts are fenced to it. Capturing the generation
 	// first guarantees that a peer set computed from a similarity
-	// snapshot predating an invalidation can never be stored under the
-	// post-invalidation generation. Zero is correct for a fresh cache.
+	// snapshot predating a full invalidation can never be stored under
+	// the post-invalidation generation. Zero is correct for a fresh
+	// cache.
 	CacheGen uint64
+	// CacheSeq is the Cache eviction sequence captured alongside
+	// CacheGen (see PeerCache.Fence). A stored peer set is patched on
+	// later reads for every user evicted after this point, so scoped
+	// evictions racing an in-flight computation stay correct without
+	// flushing the whole cache. Zero is correct for a fresh cache.
+	CacheSeq uint64
 }
 
 // PeerCache memoizes Peers results per user. It is safe for concurrent
-// use and generation-checked: entries computed against a snapshot that
-// was invalidated mid-computation are dropped instead of stored, so a
-// concurrent write can never resurrect a stale peer set.
+// use and staleness is impossible by construction, through two fences:
+//
+//   - Generation (full flush): Invalidate bumps the generation and an
+//     in-flight Put carrying the older generation is dropped, so a peer
+//     set computed against a pre-flush snapshot can never land.
+//   - Eviction sequence (scoped): EvictUsers(users) deletes each user's
+//     own entry plus every cached set containing one of them, and
+//     records the users as touched at the current sequence. A cached
+//     set stored before a touch does not know about it; Lookup reports
+//     those touched users as stale, and the Recommender re-evaluates
+//     exactly them (a write to u can also pull u INTO another user's
+//     peer set, so deleting containing sets alone would not be enough).
+//     Entries stored by in-flight Puts after an eviction carry the
+//     pre-eviction sequence and are patched the same way on next read.
 type PeerCache struct {
 	mu      sync.RWMutex
 	gen     uint64
-	entries map[model.UserID][]Peer
+	seq     uint64
+	entries map[model.UserID]peerEntry
+	touched map[model.UserID]uint64
+	// owners indexes entries by member: owners[p] is the set of users
+	// whose cached peer set contains p, so EvictUsers touches only the
+	// affected sets instead of scanning every entry on each write.
+	owners map[model.UserID]map[model.UserID]struct{}
+	// floor is the oldest sequence Puts are still accepted for: touch
+	// records at or below it have been pruned, so a set fenced earlier
+	// could no longer be patched correctly.
+	floor uint64
+}
+
+type peerEntry struct {
+	peers []Peer
+	seq   uint64 // eviction sequence the set is valid for
 }
 
 // NewPeerCache returns an empty cache.
 func NewPeerCache() *PeerCache {
-	return &PeerCache{entries: make(map[model.UserID][]Peer)}
+	return &PeerCache{
+		entries: make(map[model.UserID]peerEntry),
+		touched: make(map[model.UserID]uint64),
+		owners:  make(map[model.UserID]map[model.UserID]struct{}),
+	}
 }
 
-// Get returns a copy of the cached peer set for u, if present.
-func (c *PeerCache) Get(u model.UserID) ([]Peer, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ps, ok := c.entries[u]
+// removeLocked deletes owner's entry and unindexes its members.
+// Caller holds c.mu.
+func (c *PeerCache) removeLocked(owner model.UserID) {
+	e, ok := c.entries[owner]
 	if !ok {
+		return
+	}
+	for _, p := range e.peers {
+		if m := c.owners[p.User]; m != nil {
+			delete(m, owner)
+			if len(m) == 0 {
+				delete(c.owners, p.User)
+			}
+		}
+	}
+	delete(c.entries, owner)
+}
+
+// storeLocked replaces owner's entry and indexes its members. Caller
+// holds c.mu.
+func (c *PeerCache) storeLocked(owner model.UserID, e peerEntry) {
+	c.removeLocked(owner)
+	c.entries[owner] = e
+	for _, p := range e.peers {
+		m := c.owners[p.User]
+		if m == nil {
+			m = make(map[model.UserID]struct{})
+			c.owners[p.User] = m
+		}
+		m[owner] = struct{}{}
+	}
+}
+
+// Get returns a copy of the cached peer set for u if it is present and
+// fully fresh (no touched users to re-evaluate). Callers that can patch
+// partially-stale sets should use Lookup instead.
+func (c *PeerCache) Get(u model.UserID) ([]Peer, bool) {
+	peers, stale, ok := c.Lookup(u)
+	if !ok || len(stale) > 0 {
 		return nil, false
 	}
-	return append([]Peer(nil), ps...), true
+	return peers, true
+}
+
+// maxStalePatch bounds how many stale users a Lookup will hand back
+// for patching. A set that fell further behind than this is cheaper to
+// rebuild with a full scan than to patch user by user, so Lookup
+// treats it as a miss (the following Put refreshes the entry).
+const maxStalePatch = 64
+
+// Lookup returns a copy of the cached peer set for u together with the
+// users evicted since the set was stored (ascending). The set is exact
+// except possibly for those stale users: each must be re-evaluated
+// against the current similarity and dropped/inserted accordingly (see
+// Recommender.Peers), after which the patched set can be Put back.
+// Sets more than maxStalePatch evictions behind report a miss.
+func (c *PeerCache) Lookup(u model.UserID) (peers []Peer, stale []model.UserID, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[u]
+	if !ok {
+		return nil, nil, false
+	}
+	if e.seq < c.seq { // at least one eviction since the set was stored
+		for t, at := range c.touched {
+			if at > e.seq {
+				if len(stale) == maxStalePatch {
+					return nil, nil, false // too far behind; rebuild instead
+				}
+				stale = append(stale, t)
+			}
+		}
+		sort.Slice(stale, func(a, b int) bool { return stale[a] < stale[b] })
+	}
+	return append([]Peer(nil), e.peers...), stale, true
 }
 
 // Generation returns the current invalidation generation; capture it
-// before computing a peer set and pass it to Put.
+// (via Fence) before computing a peer set and pass it to Put.
 func (c *PeerCache) Generation() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.gen
 }
 
-// Put stores a copy of u's peer set, unless the cache was invalidated
-// since gen was captured (the set would reflect pre-write state).
-func (c *PeerCache) Put(u model.UserID, peers []Peer, gen uint64) {
+// Fence captures the generation and eviction sequence in one shot —
+// the pair a Recommender needs before snapshotting its similarity.
+func (c *PeerCache) Fence() (gen, seq uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen, c.seq
+}
+
+// Put stores a copy of u's peer set, valid as of the captured (gen,
+// seq) fence. The set is dropped when the cache was fully invalidated
+// since gen was captured; scoped evictions since seq are reconciled
+// lazily by Lookup's stale reporting.
+func (c *PeerCache) Put(u model.UserID, peers []Peer, gen, seq uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.gen != gen {
+	if c.gen != gen || seq < c.floor {
 		return
 	}
-	c.entries[u] = append([]Peer(nil), peers...)
+	c.storeLocked(u, peerEntry{peers: append([]Peer(nil), peers...), seq: seq})
+}
+
+// EvictUsers routes a write touching users down the cache: each user's
+// own peer set goes, as does every cached set containing one of them
+// (found through the member index, so cost is O(affected sets), not a
+// scan of the table), and the users are recorded as touched so sets
+// stored by in-flight computations get patched on their next read. All
+// other sets stay warm.
+func (c *PeerCache) EvictUsers(users []model.UserID) {
+	if len(users) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	for _, u := range users {
+		c.touched[u] = c.seq
+		c.removeLocked(u)
+		if m := c.owners[u]; m != nil {
+			affected := make([]model.UserID, 0, len(m))
+			for owner := range m {
+				affected = append(affected, owner)
+			}
+			for _, owner := range affected {
+				c.removeLocked(owner)
+			}
+		}
+	}
+	// Periodically drop touch records no live entry can still be behind
+	// on, so touched doesn't grow with every user ever written. The
+	// floor rises with the prune: a Put fenced before it can no longer
+	// be patched correctly (its touch records are gone) and is refused.
+	if c.seq%64 == 0 {
+		minSeq := c.seq
+		for _, e := range c.entries {
+			if e.seq < minSeq {
+				minSeq = e.seq
+			}
+		}
+		c.floor = minSeq
+		for t, at := range c.touched {
+			if at <= minSeq {
+				delete(c.touched, t)
+			}
+		}
+	}
 }
 
 // Invalidate clears the cache and bumps the generation, fencing off any
@@ -124,7 +284,10 @@ func (c *PeerCache) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
-	c.entries = make(map[model.UserID][]Peer)
+	c.seq++
+	c.entries = make(map[model.UserID]peerEntry)
+	c.touched = make(map[model.UserID]uint64)
+	c.owners = make(map[model.UserID]map[model.UserID]struct{})
 }
 
 // Len returns the number of cached peer sets.
@@ -141,6 +304,67 @@ func (r *Recommender) check() error {
 	return nil
 }
 
+// qualifies applies the Def. 1 membership predicate to one similarity
+// evaluation.
+func (r *Recommender) qualifies(s float64, ok bool) bool {
+	if !ok || s < r.Delta {
+		return false
+	}
+	if r.RequirePositive && s <= 0 {
+		return false
+	}
+	return true
+}
+
+// sortPeers orders peers best-first with ties on ascending user ID —
+// the canonical order the full scan produces (candidates are visited in
+// ascending ID order and the insertion sort below is stable), so a
+// patched cached set sorts back into exactly the fresh-scan order.
+func sortPeers(peers []Peer) {
+	sort.Slice(peers, func(i, j int) bool {
+		if peers[i].Sim != peers[j].Sim {
+			return peers[i].Sim > peers[j].Sim
+		}
+		return peers[i].User < peers[j].User
+	})
+}
+
+// patchPeers reconciles a cached peer set with the users evicted since
+// it was stored: stale users are dropped and re-evaluated against the
+// current similarity — a write can move a user across the δ threshold
+// in either direction, so both directions must be rechecked. The result
+// is element-wise identical to a from-scratch scan because every
+// retained entry is untouched by construction and every stale user gets
+// the same evaluation the scan would give it.
+//
+// ok=false means the set cannot be patched and the caller must fall
+// back to a full scan: when u itself is stale, EVERY pair (u, other)
+// may have changed — a set for u stored by a computation that raced
+// the write to u (the eviction deleted entries[u], but a late Put can
+// reinstate it) is wrong in entries the stale list does not name.
+func (r *Recommender) patchPeers(u model.UserID, cached []Peer, stale []model.UserID) ([]Peer, bool) {
+	drop := make(map[model.UserID]struct{}, len(stale))
+	for _, t := range stale {
+		if t == u {
+			return nil, false
+		}
+		drop[t] = struct{}{}
+	}
+	patched := make([]Peer, 0, len(cached)+len(stale))
+	for _, p := range cached {
+		if _, hit := drop[p.User]; !hit {
+			patched = append(patched, p)
+		}
+	}
+	for _, t := range stale {
+		if s, ok := r.Sim.Similarity(u, t); r.qualifies(s, ok) {
+			patched = append(patched, Peer{User: t, Sim: s})
+		}
+	}
+	sortPeers(patched)
+	return patched, true
+}
+
 // Peers returns P_u: every other user whose similarity to u is ≥ δ
 // (Def. 1), best-first with ties on ascending user ID. Users for whom
 // simU is undefined are excluded.
@@ -149,8 +373,20 @@ func (r *Recommender) Peers(u model.UserID) ([]Peer, error) {
 		return nil, err
 	}
 	if r.Cache != nil {
-		if ps, ok := r.Cache.Get(u); ok {
-			return ps, nil
+		if ps, stale, ok := r.Cache.Lookup(u); ok {
+			if len(stale) == 0 {
+				return ps, nil
+			}
+			// Patching inserts qualifying stale users without consulting
+			// r.Candidates; with a candidate restriction the full scan is
+			// the only path that applies it, so rebuild instead.
+			if r.Candidates == nil {
+				if patched, ok := r.patchPeers(u, ps, stale); ok {
+					r.Cache.Put(u, patched, r.CacheGen, r.CacheSeq)
+					return patched, nil
+				}
+			}
+			// unpatchable — fall through to the full scan below
 		}
 	}
 	candidates := r.Store.Users() // ascending, for deterministic ties
@@ -166,10 +402,7 @@ func (r *Recommender) Peers(u model.UserID) ([]Peer, error) {
 			continue
 		}
 		s, ok := r.Sim.Similarity(u, other)
-		if !ok || s < r.Delta {
-			continue
-		}
-		if r.RequirePositive && s <= 0 {
+		if !r.qualifies(s, ok) {
 			continue
 		}
 		peers = append(peers, Peer{User: other, Sim: s})
@@ -182,7 +415,7 @@ func (r *Recommender) Peers(u model.UserID) ([]Peer, error) {
 		}
 	}
 	if r.Cache != nil {
-		r.Cache.Put(u, peers, r.CacheGen)
+		r.Cache.Put(u, peers, r.CacheGen, r.CacheSeq)
 	}
 	return peers, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"fairhealth/internal/model"
@@ -376,7 +377,8 @@ func TestPeerCacheMemoizes(t *testing.T) {
 
 func TestPeerCacheInvalidate(t *testing.T) {
 	c := NewPeerCache()
-	c.Put("u", []Peer{{User: "a", Sim: 0.9}}, c.Generation())
+	gen, seq := c.Fence()
+	c.Put("u", []Peer{{User: "a", Sim: 0.9}}, gen, seq)
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", c.Len())
 	}
@@ -393,10 +395,172 @@ func TestPeerCacheInvalidate(t *testing.T) {
 // peer set computed against a pre-invalidation snapshot must not land.
 func TestPeerCacheDropsStalePut(t *testing.T) {
 	c := NewPeerCache()
-	gen := c.Generation()
+	gen, seq := c.Fence()
 	c.Invalidate() // a write arrives while the peer set is being computed
-	c.Put("u", []Peer{{User: "a", Sim: 0.9}}, gen)
+	c.Put("u", []Peer{{User: "a", Sim: 0.9}}, gen, seq)
 	if _, ok := c.Get("u"); ok {
 		t.Error("stale Put survived Invalidate")
+	}
+}
+
+// TestPeerCacheEvictUsers: scoped eviction drops the touched user's own
+// set plus every set containing them, and leaves the rest warm.
+func TestPeerCacheEvictUsers(t *testing.T) {
+	c := NewPeerCache()
+	gen, seq := c.Fence()
+	c.Put("u", []Peer{{User: "a", Sim: 0.9}}, gen, seq)
+	c.Put("v", []Peer{{User: "b", Sim: 0.8}}, gen, seq)
+	c.Put("a", []Peer{{User: "u", Sim: 0.9}}, gen, seq)
+	c.EvictUsers([]model.UserID{"a"})
+	if _, ok := c.Get("a"); ok {
+		t.Error("evicted user's own set survived")
+	}
+	if _, ok := c.Get("u"); ok {
+		t.Error("set containing the evicted user survived")
+	}
+	// v's set stays warm but is no longer blindly servable: the write to
+	// "a" could have pulled "a" into it, so Lookup flags "a" for recheck
+	// (and Get, which only serves fully-fresh sets, misses).
+	ps, stale, ok := c.Lookup("v")
+	if !ok || len(ps) != 1 || ps[0].User != "b" {
+		t.Errorf("untouched set lost: %v, %v", ps, ok)
+	}
+	if len(stale) != 1 || stale[0] != "a" {
+		t.Errorf("stale = %v, want [a] (evicted user must be rechecked)", stale)
+	}
+	if _, ok := c.Get("v"); ok {
+		t.Error("Get served a set with pending rechecks")
+	}
+}
+
+// TestPeerCacheLatePutGetsPatched: a Put landing after a scoped
+// eviction (same generation — no full flush) stores a set that may
+// predate the write; Lookup must report the touched user as stale.
+func TestPeerCacheLatePutGetsPatched(t *testing.T) {
+	c := NewPeerCache()
+	gen, seq := c.Fence()
+	c.EvictUsers([]model.UserID{"w"}) // write lands mid-computation
+	c.Put("u", []Peer{{User: "a", Sim: 0.9}}, gen, seq)
+	peers, stale, ok := c.Lookup("u")
+	if !ok {
+		t.Fatal("late Put did not land")
+	}
+	if len(peers) != 1 || peers[0].User != "a" {
+		t.Errorf("peers = %v", peers)
+	}
+	if len(stale) != 1 || stale[0] != "w" {
+		t.Fatalf("stale = %v, want [w]", stale)
+	}
+	// A set stored after the eviction is clean.
+	gen2, seq2 := c.Fence()
+	c.Put("v", []Peer{{User: "b", Sim: 0.7}}, gen2, seq2)
+	if _, stale, _ := c.Lookup("v"); len(stale) != 0 {
+		t.Errorf("fresh set reported stale users %v", stale)
+	}
+}
+
+// TestPeersPatchedAfterScopedEviction is the δ-crossing case: a write
+// that pulls a user INTO a cached peer set (not just out of it) must be
+// reflected after EvictUsers, bit-identically to a cache-free scan.
+func TestPeersPatchedAfterScopedEviction(t *testing.T) {
+	store := storeWith(t,
+		tr("u", "d0", 3),
+		tr("a", "d1", 3), tr("b", "d2", 3), tr("w", "d3", 3),
+	)
+	sims := map[model.UserID]float64{"a": 0.9, "b": 0.7, "w": 0.2}
+	var mu sync.Mutex
+	sim := simfn.Func(func(x, y model.UserID) (float64, bool) {
+		other := x
+		if other == "u" {
+			other = y
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return sims[other], true
+	})
+	cache := NewPeerCache()
+	newRec := func() *Recommender {
+		gen, seq := cache.Fence()
+		return &Recommender{Store: store, Sim: sim, Delta: 0.5, Cache: cache, CacheGen: gen, CacheSeq: seq}
+	}
+	first, err := newRec().Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 2 { // a and b; w is below δ
+		t.Fatalf("initial peers = %+v, want a,b", first)
+	}
+
+	// "Write" to w: its similarity crosses δ upward; and to a: drops out.
+	mu.Lock()
+	sims["w"], sims["a"] = 0.8, 0.1
+	mu.Unlock()
+	cache.EvictUsers([]model.UserID{"w", "a"})
+
+	r := newRec()
+	got, err := r.Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := (&Recommender{Store: store, Sim: sim, Delta: 0.5}).Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fresh) {
+		t.Errorf("patched peers %+v differ from cache-free scan %+v", got, fresh)
+	}
+	if len(got) != 2 || got[0].User != "w" || got[1].User != "b" {
+		t.Errorf("peers after patch = %+v, want w(0.8), b(0.7)", got)
+	}
+	// The patched set is stored and clean.
+	if _, stale, ok := cache.Lookup("u"); !ok || len(stale) != 0 {
+		t.Errorf("patched set not stored clean: ok=%v stale=%v", ok, stale)
+	}
+}
+
+// TestPeersSelfStaleForcesFullScan: a peer set for u reinstated by a
+// Put that raced a write to u itself (eviction deleted it, late Put
+// brought it back with pre-write data) is wrong in entries the stale
+// list does not name — every pair (u, other) may have changed. It must
+// be rebuilt by a full scan, not patched.
+func TestPeersSelfStaleForcesFullScan(t *testing.T) {
+	store := storeWith(t,
+		tr("u", "d0", 3),
+		tr("a", "d1", 3), tr("b", "d2", 3),
+	)
+	sims := map[model.UserID]float64{"a": 0.9, "b": 0.2}
+	var mu sync.Mutex
+	sim := simfn.Func(func(x, y model.UserID) (float64, bool) {
+		other := x
+		if other == "u" {
+			other = y
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return sims[other], true
+	})
+	cache := NewPeerCache()
+	gen, seq := cache.Fence()
+	// A write to u lands while a peer set for u is being computed...
+	cache.EvictUsers([]model.UserID{"u"})
+	mu.Lock()
+	sims["a"], sims["b"] = 0.1, 0.8 // u's whole row changed
+	mu.Unlock()
+	// ...and the computation's Put lands late, carrying pre-write data.
+	cache.Put("u", []Peer{{User: "a", Sim: 0.9}}, gen, seq)
+
+	gen2, seq2 := cache.Fence()
+	r := &Recommender{Store: store, Sim: sim, Delta: 0.5, Cache: cache, CacheGen: gen2, CacheSeq: seq2}
+	got, err := r.Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Peer{{User: "b", Sim: 0.8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("peers = %+v, want %+v (full rescan of u's row)", got, want)
+	}
+	// The rebuilt set is stored clean.
+	if ps, stale, ok := cache.Lookup("u"); !ok || len(stale) != 0 || !reflect.DeepEqual(ps, want) {
+		t.Errorf("rebuilt set not stored clean: ok=%v stale=%v ps=%+v", ok, stale, ps)
 	}
 }

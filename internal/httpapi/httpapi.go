@@ -15,9 +15,17 @@
 //	GET  /api/peers                  peer set          ?user=
 //	GET  /api/group-recommendations  fair top-z        ?users=a,b&z=&method=greedy|brute|mapreduce
 //	POST /v1/groups/recommend:batch  fair top-z for many groups in one call
+//
+// The batch endpoint is bounded (MaxBatchBody request bytes → 413,
+// MaxBatchGroups groups → 400) and supports ?stream=true, which
+// switches the response to NDJSON (application/x-ndjson): one
+// BatchGroupEntry JSON object per line, flushed as each group
+// completes, in completion order — the entry's index field links it
+// back to its request slot.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -117,8 +125,10 @@ type BatchGroupsBody struct {
 // BatchGroupEntry is one group's outcome inside a batch response. A
 // successful entry always carries items/fairness/value (matching the
 // single-shot GroupResponse contract, zeros included); a failed entry
-// carries error instead.
+// carries error instead. In the NDJSON streaming mode entries arrive
+// in completion order and index links them back to the request.
 type BatchGroupEntry struct {
+	Index    int                         `json:"index"`
 	Group    []string                    `json:"group"`
 	Items    []fairhealth.Recommendation `json:"items"`
 	Fairness float64                     `json:"fairness"`
@@ -133,8 +143,14 @@ type BatchGroupsResponse struct {
 	Failed  int               `json:"failed"`
 }
 
-// MaxBatchGroups caps a single batch request.
+// MaxBatchGroups caps the groups in a single batch request (400 when
+// exceeded).
 const MaxBatchGroups = 256
+
+// MaxBatchBody caps the batch request body in bytes (413 when
+// exceeded); decoding an unbounded body straight into memory would let
+// one request exhaust the process.
+const MaxBatchBody = 1 << 20
 
 // ---------------------------------------------------------------------------
 // handlers
@@ -370,9 +386,34 @@ func (s *Server) handleGroupRecommend(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// batchEntry converts one library batch result into its wire form.
+func batchEntry(br fairhealth.BatchGroupResult) BatchGroupEntry {
+	e := BatchGroupEntry{Index: br.Index, Group: br.Group, Items: []fairhealth.Recommendation{}}
+	switch {
+	case br.Err != nil:
+		e.Error = br.Err.Error()
+	case br.Result != nil:
+		if br.Result.Items != nil {
+			e.Items = br.Result.Items
+		}
+		e.Fairness = br.Result.Fairness
+		e.Value = br.Result.Value
+	}
+	return e
+}
+
 func (s *Server) handleGroupRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	// Bound the body BEFORE decoding: an unbounded payload would be
+	// decoded straight into memory.
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBatchBody)
 	var body BatchGroupsBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", MaxBatchBody))
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
 		return
 	}
@@ -393,6 +434,10 @@ func (s *Server) handleGroupRecommendBatch(w http.ResponseWriter, r *http.Reques
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("z must be a positive integer, got %d", z))
 		return
 	}
+	if stream, _ := strconv.ParseBool(r.URL.Query().Get("stream")); stream {
+		s.streamGroupRecommendBatch(w, r, body.Groups, z)
+		return
+	}
 	// r.Context() cancels when the client disconnects, aborting
 	// in-flight groups.
 	results, err := s.sys.GroupRecommendBatch(r.Context(), body.Groups, z)
@@ -402,21 +447,51 @@ func (s *Server) handleGroupRecommendBatch(w http.ResponseWriter, r *http.Reques
 	}
 	resp := BatchGroupsResponse{Results: make([]BatchGroupEntry, len(results))}
 	for k, br := range results {
-		e := BatchGroupEntry{Group: br.Group, Items: []fairhealth.Recommendation{}}
-		switch {
-		case br.Err != nil:
-			e.Error = br.Err.Error()
+		resp.Results[k] = batchEntry(br)
+		if br.Err != nil {
 			resp.Failed++
-		case br.Result != nil:
-			if br.Result.Items != nil {
-				e.Items = br.Result.Items
-			}
-			e.Fairness = br.Result.Fairness
-			e.Value = br.Result.Value
 		}
-		resp.Results[k] = e
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// streamGroupRecommendBatch answers the batch as NDJSON: one
+// BatchGroupEntry per line, written and flushed as each group
+// completes. The 200 and content type go out with the FIRST entry, so
+// a failure preceding any result (e.g. the similarity build) still
+// gets a proper error status; after that, failures can only be
+// reported in-band (per-entry error fields) or by truncating the
+// stream.
+func (s *Server) streamGroupRecommendBatch(w http.ResponseWriter, r *http.Request, groups [][]string, z int) {
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	started := false
+	err := s.sys.GroupRecommendStream(r.Context(), groups, z, func(e fairhealth.BatchGroupResult) error {
+		if !started {
+			started = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		if err := enc.Encode(batchEntry(e)); err != nil {
+			return err // client gone; abandon the remaining groups
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		if !started {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		// A disconnecting client surfaces either as the request context
+		// error or as the socket write error from enc.Encode — neither
+		// is server trouble worth logging.
+		if !errors.Is(err, context.Canceled) && r.Context().Err() == nil {
+			s.log.Printf("httpapi: batch stream aborted: %v", err)
+		}
+	}
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {

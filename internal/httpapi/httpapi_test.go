@@ -496,3 +496,60 @@ func TestGroupRecommendBatchEndpointValidation(t *testing.T) {
 		t.Errorf("oversized batch: status = %d, want 400", rec.Code)
 	}
 }
+
+func TestGroupRecommendBatchEndpointBodyTooLarge(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	// A few groups, but a body past MaxBatchBody: the size bound must
+	// trip (413) before the decoder materializes the payload.
+	members := make([]string, 0, 1<<17)
+	for i := 0; i < 1<<17; i++ {
+		members = append(members, fmt.Sprintf("m%06d", i)) // ≈ 1.3 MiB encoded
+	}
+	rec := do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{Groups: [][]string{members}})
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", rec.Code)
+	}
+}
+
+func TestGroupRecommendBatchEndpointStream(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	body := BatchGroupsBody{Groups: [][]string{{"g1", "g2"}, {}, {"g2", "p1"}}, Z: 3}
+	rec := do(t, srv, "POST", "/v1/groups/recommend:batch?stream=true", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	if !rec.Flushed {
+		t.Error("stream never flushed")
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != len(body.Groups) {
+		t.Fatalf("stream has %d lines, want %d", len(lines), len(body.Groups))
+	}
+	byIndex := make(map[int]BatchGroupEntry, len(lines))
+	for _, line := range lines {
+		var e BatchGroupEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		byIndex[e.Index] = e
+	}
+	if len(byIndex) != len(body.Groups) {
+		t.Fatalf("indices not a permutation of the request: %v", byIndex)
+	}
+	if byIndex[1].Error == "" {
+		t.Error("empty group's entry lacks an error")
+	}
+	// Streamed entries carry the same payload as the buffered batch.
+	buffered := decode[BatchGroupsResponse](t, do(t, srv, "POST", "/v1/groups/recommend:batch", body))
+	for k, want := range buffered.Results {
+		got := byIndex[k]
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("entry %d: streamed %+v, buffered %+v", k, got, want)
+		}
+	}
+}

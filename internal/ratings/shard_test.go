@@ -1,0 +1,166 @@
+package ratings
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fairhealth/internal/model"
+)
+
+func TestNewShardedRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := NewSharded(tc.in).ShardCount(); got != tc.want {
+			t.Errorf("NewSharded(%d).ShardCount() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := New().ShardCount(); got != DefaultShards {
+		t.Errorf("New().ShardCount() = %d, want %d", got, DefaultShards)
+	}
+}
+
+// TestShardedMatchesSingleLock drives the same workload into a sharded
+// and a single-shard store and requires identical observable state —
+// the sharding must be invisible to every read API.
+func TestShardedMatchesSingleLock(t *testing.T) {
+	sharded, single := NewSharded(16), NewSharded(1)
+	for _, s := range []*Store{sharded, single} {
+		for u := 0; u < 20; u++ {
+			for i := 0; i < 10; i++ {
+				mustAdd(t, s, model.UserID(fmt.Sprintf("u%02d", u)), model.ItemID(fmt.Sprintf("d%02d", (u+i)%15)), model.Rating(1+(u*i)%5))
+			}
+		}
+		if err := s.Remove("u03", "d05"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(sharded.Triples(), single.Triples()) {
+		t.Error("sharded and single-lock stores disagree on Triples")
+	}
+	if !reflect.DeepEqual(sharded.Users(), single.Users()) {
+		t.Error("Users() differ")
+	}
+	if !reflect.DeepEqual(sharded.Items(), single.Items()) {
+		t.Error("Items() differ")
+	}
+	if sharded.Len() != single.Len() || sharded.NumUsers() != single.NumUsers() || sharded.NumItems() != single.NumItems() {
+		t.Error("counts differ")
+	}
+	for _, u := range sharded.Users() {
+		ms, oks := sharded.MeanRating(u)
+		m1, ok1 := single.MeanRating(u)
+		if ms != m1 || oks != ok1 {
+			t.Errorf("MeanRating(%s) = %v,%v vs %v,%v", u, ms, oks, m1, ok1)
+		}
+	}
+	if got, want := sharded.CoRated("u01", "u02"), single.CoRated("u01", "u02"); !reflect.DeepEqual(got, want) {
+		t.Errorf("CoRated = %v, want %v", got, want)
+	}
+}
+
+// TestShardedConcurrentWriters hammers writes from many goroutines
+// (run under -race in CI) and checks the final state is exact.
+func TestShardedConcurrentWriters(t *testing.T) {
+	s := New()
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			u := model.UserID(fmt.Sprintf("w%02d", w))
+			for i := 0; i < perWriter; i++ {
+				if err := s.Add(u, model.ItemID(fmt.Sprintf("d%03d", i)), model.Rating(1+(w+i)%5)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.MeanRating(u); !ok {
+					t.Errorf("mean undefined for %s mid-write", u)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", s.Len(), writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		u := model.UserID(fmt.Sprintf("w%02d", w))
+		if got := s.NumRatedBy(u); got != perWriter {
+			t.Errorf("NumRatedBy(%s) = %d, want %d", u, got, perWriter)
+		}
+		var sum float64
+		for i := 0; i < perWriter; i++ {
+			sum += float64(1 + (w+i)%5)
+		}
+		if m, ok := s.MeanRating(u); !ok || m != sum/perWriter {
+			t.Errorf("MeanRating(%s) = %v,%v want %v", u, m, ok, sum/perWriter)
+		}
+	}
+}
+
+// TestMeanRatingRecomputesOncePerInvalidation pins the double-checked
+// lock in MeanRating: racing callers after one write must trigger
+// exactly one recomputation, not one each.
+func TestMeanRatingRecomputesOncePerInvalidation(t *testing.T) {
+	s := New()
+	mustAdd(t, s, "u1", "d1", 4)
+	mustAdd(t, s, "u1", "d2", 2)
+	if _, ok := s.MeanRating("u1"); !ok {
+		t.Fatal("mean undefined")
+	}
+	if got := s.meanComputes.Load(); got != 1 {
+		t.Fatalf("computes after first read = %d, want 1", got)
+	}
+	if _, ok := s.MeanRating("u1"); !ok {
+		t.Fatal("mean undefined on cached read")
+	}
+	if got := s.meanComputes.Load(); got != 1 {
+		t.Fatalf("cached read recomputed: computes = %d, want 1", got)
+	}
+	mustAdd(t, s, "u1", "d3", 5) // dirties the mean once
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if m, ok := s.MeanRating("u1"); !ok || m != (4+2+5)/3.0 {
+				t.Errorf("MeanRating = %v,%v want %v", m, ok, (4+2+5)/3.0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.meanComputes.Load(); got != 2 {
+		t.Errorf("computes after racing reads = %d, want 2 (one per invalidation)", got)
+	}
+}
+
+// TestOnWriteReportsTouchedUsers checks the write observer fires once
+// per successful mutation with the touched user.
+func TestOnWriteReportsTouchedUsers(t *testing.T) {
+	s := New()
+	var touched []model.UserID
+	s.OnWrite(func(u model.UserID) { touched = append(touched, u) })
+	mustAdd(t, s, "u1", "d1", 4)
+	mustAdd(t, s, "u2", "d1", 3)
+	if err := s.AddNew("u1", "d2", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddNew("u1", "d2", 5); err == nil {
+		t.Error("duplicate AddNew succeeded")
+	}
+	if err := s.Remove("u2", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("u2", "d1"); err == nil {
+		t.Error("double Remove succeeded")
+	}
+	want := []model.UserID{"u1", "u2", "u1", "u2"}
+	if !reflect.DeepEqual(touched, want) {
+		t.Errorf("touched = %v, want %v (failed writes must not report)", touched, want)
+	}
+}

@@ -5,9 +5,15 @@
 // peer discovery iterates users, relevance prediction iterates the
 // raters of a candidate item.
 //
-// The store is safe for concurrent use. All mutating operations
-// validate rating bounds; reads return defensive copies or invoke
-// visitor callbacks under the read lock.
+// The store is safe for concurrent use and internally sharded: users
+// are spread over a power-of-two number of shards by an FNV-1a hash of
+// the user ID, each shard with its own lock and per-user mean cache, so
+// concurrent writers to different users do not serialize on one global
+// mutex (items are sharded the same way on the item ID). All mutating
+// operations validate rating bounds; reads return defensive copies or
+// invoke visitor callbacks under the owning shard's read lock. Writes
+// report the touched user through the OnWrite observer, which the
+// recommender facade uses to route scoped cache invalidation.
 package ratings
 
 import (
@@ -16,9 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"fairhealth/internal/model"
 )
@@ -34,27 +42,115 @@ var (
 	ErrNotFound = errors.New("ratings: rating not found")
 )
 
-// Store is a thread-safe sparse rating matrix.
-//
-// The zero value is not ready for use; call New.
-type Store struct {
+// DefaultShards is the shard count used by New. Sixteen shards keep
+// lock contention negligible up to a few dozen concurrent writers while
+// costing nothing on reads.
+const DefaultShards = 16
+
+// userShard holds the by-user index for the users hashing to it, plus
+// their cached means. Every access goes through mu.
+type userShard struct {
 	mu     sync.RWMutex
 	byUser map[model.UserID]map[model.ItemID]model.Rating
-	byItem map[model.ItemID]map[model.UserID]model.Rating
-	count  int
 
-	// meanDirty tracks users whose cached mean is stale.
+	// means caches μ_u; meanDirty marks users whose mean is stale.
 	means     map[model.UserID]float64
 	meanDirty map[model.UserID]bool
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{
-		byUser:    make(map[model.UserID]map[model.ItemID]model.Rating),
-		byItem:    make(map[model.ItemID]map[model.UserID]model.Rating),
-		means:     make(map[model.UserID]float64),
-		meanDirty: make(map[model.UserID]bool),
+// itemShard holds the by-item index for the items hashing to it.
+type itemShard struct {
+	mu     sync.RWMutex
+	byItem map[model.ItemID]map[model.UserID]model.Rating
+}
+
+// Store is a thread-safe, sharded sparse rating matrix.
+//
+// Lock discipline: a write takes its user shard's lock first and the
+// item shard's lock second (never the reverse), and multi-shard readers
+// acquire user shards in ascending index order, so the lock graph is
+// acyclic.
+//
+// The zero value is not ready for use; call New or NewSharded.
+type Store struct {
+	users []userShard
+	items []itemShard
+	mask  uint32
+	count atomic.Int64
+
+	// onWrite, when set, is called with the touched user after every
+	// successful mutation (outside shard locks). See OnWrite.
+	onWrite func(model.UserID)
+
+	// meanComputes counts mean recomputations (test instrumentation for
+	// the MeanRating double-checked lock).
+	meanComputes atomic.Int64
+}
+
+// New returns an empty store with DefaultShards shards.
+func New() *Store { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty store with the given shard count, rounded
+// up to the next power of two (minimum 1). NewSharded(1) degrades to a
+// single-lock store — the baseline of the write-throughput benchmarks.
+func NewSharded(shards int) *Store {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Store{
+		users: make([]userShard, n),
+		items: make([]itemShard, n),
+		mask:  uint32(n - 1),
+	}
+	for i := range s.users {
+		s.users[i].byUser = make(map[model.UserID]map[model.ItemID]model.Rating)
+		s.users[i].means = make(map[model.UserID]float64)
+		s.users[i].meanDirty = make(map[model.UserID]bool)
+	}
+	for i := range s.items {
+		s.items[i].byItem = make(map[model.ItemID]map[model.UserID]model.Rating)
+	}
+	return s
+}
+
+// ShardCount returns the number of user shards.
+func (s *Store) ShardCount() int { return len(s.users) }
+
+// OnWrite registers fn to be called with the user each successful
+// mutation touched — Add, AddNew and Remove all touch exactly the
+// written user's derived state (mean, similarity row, peer sets). The
+// callback runs after the write is visible and outside all shard locks,
+// so it may read back into the store. Register before sharing the store
+// across goroutines; only one observer is kept.
+func (s *Store) OnWrite(fn func(model.UserID)) { s.onWrite = fn }
+
+// fnv32a is the 32-bit FNV-1a hash used to place users and items on
+// shards.
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (s *Store) userShard(u model.UserID) *userShard {
+	return &s.users[fnv32a(string(u))&s.mask]
+}
+
+func (s *Store) itemShard(i model.ItemID) *itemShard {
+	return &s.items[fnv32a(string(i))&s.mask]
+}
+
+func (s *Store) reportWrite(u model.UserID) {
+	if s.onWrite != nil {
+		s.onWrite(u)
 	}
 }
 
@@ -78,24 +174,32 @@ func (s *Store) Add(u model.UserID, i model.ItemID, r model.Rating) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ui, ok := s.byUser[u]
+	us, is := s.userShard(u), s.itemShard(i)
+	us.mu.Lock()
+	ui, ok := us.byUser[u]
 	if !ok {
 		ui = make(map[model.ItemID]model.Rating)
-		s.byUser[u] = ui
+		us.byUser[u] = ui
 	}
-	if _, existed := ui[i]; !existed {
-		s.count++
-	}
+	_, existed := ui[i]
 	ui[i] = r
-	iu, ok := s.byItem[i]
+	us.meanDirty[u] = true
+	// The item shard is updated under the still-held user lock so that
+	// concurrent writes to the same (user,item) pair cannot leave the
+	// two indexes disagreeing about the final value.
+	is.mu.Lock()
+	iu, ok := is.byItem[i]
 	if !ok {
 		iu = make(map[model.UserID]model.Rating)
-		s.byItem[i] = iu
+		is.byItem[i] = iu
 	}
 	iu[u] = r
-	s.meanDirty[u] = true
+	is.mu.Unlock()
+	us.mu.Unlock()
+	if !existed {
+		s.count.Add(1)
+	}
+	s.reportWrite(u)
 	return nil
 }
 
@@ -108,57 +212,69 @@ func (s *Store) AddNew(u model.UserID, i model.ItemID, r model.Rating) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.byUser[u][i]; ok {
+	us, is := s.userShard(u), s.itemShard(i)
+	us.mu.Lock()
+	if _, ok := us.byUser[u][i]; ok {
+		us.mu.Unlock()
 		return fmt.Errorf("%w: user %s item %s", ErrDuplicate, u, i)
 	}
-	ui, ok := s.byUser[u]
+	ui, ok := us.byUser[u]
 	if !ok {
 		ui = make(map[model.ItemID]model.Rating)
-		s.byUser[u] = ui
+		us.byUser[u] = ui
 	}
 	ui[i] = r
-	iu, ok := s.byItem[i]
+	us.meanDirty[u] = true
+	is.mu.Lock()
+	iu, ok := is.byItem[i]
 	if !ok {
 		iu = make(map[model.UserID]model.Rating)
-		s.byItem[i] = iu
+		is.byItem[i] = iu
 	}
 	iu[u] = r
-	s.count++
-	s.meanDirty[u] = true
+	is.mu.Unlock()
+	us.mu.Unlock()
+	s.count.Add(1)
+	s.reportWrite(u)
 	return nil
 }
 
 // Remove deletes the rating of item i by user u.
 func (s *Store) Remove(u model.UserID, i model.ItemID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ui, ok := s.byUser[u]
+	us, is := s.userShard(u), s.itemShard(i)
+	us.mu.Lock()
+	ui, ok := us.byUser[u]
 	if !ok {
+		us.mu.Unlock()
 		return fmt.Errorf("%w: user %s item %s", ErrNotFound, u, i)
 	}
 	if _, ok := ui[i]; !ok {
+		us.mu.Unlock()
 		return fmt.Errorf("%w: user %s item %s", ErrNotFound, u, i)
 	}
 	delete(ui, i)
 	if len(ui) == 0 {
-		delete(s.byUser, u)
+		delete(us.byUser, u)
 	}
-	delete(s.byItem[i], u)
-	if len(s.byItem[i]) == 0 {
-		delete(s.byItem, i)
+	us.meanDirty[u] = true
+	is.mu.Lock()
+	delete(is.byItem[i], u)
+	if len(is.byItem[i]) == 0 {
+		delete(is.byItem, i)
 	}
-	s.count--
-	s.meanDirty[u] = true
+	is.mu.Unlock()
+	us.mu.Unlock()
+	s.count.Add(-1)
+	s.reportWrite(u)
 	return nil
 }
 
 // Rating returns the rating user u gave item i, if any.
 func (s *Store) Rating(u model.UserID, i model.ItemID) (model.Rating, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.byUser[u][i]
+	us := s.userShard(u)
+	us.mu.RLock()
+	defer us.mu.RUnlock()
+	r, ok := us.byUser[u][i]
 	return r, ok
 }
 
@@ -169,33 +285,42 @@ func (s *Store) HasRated(u model.UserID, i model.ItemID) bool {
 }
 
 // Len returns the number of stored ratings.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.count
-}
+func (s *Store) Len() int { return int(s.count.Load()) }
 
 // NumUsers returns the number of distinct users with ≥1 rating.
 func (s *Store) NumUsers() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byUser)
+	n := 0
+	for k := range s.users {
+		sh := &s.users[k]
+		sh.mu.RLock()
+		n += len(sh.byUser)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // NumItems returns the number of distinct items with ≥1 rating.
 func (s *Store) NumItems() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byItem)
+	n := 0
+	for k := range s.items {
+		sh := &s.items[k]
+		sh.mu.RLock()
+		n += len(sh.byItem)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Users returns all user IDs in ascending order.
 func (s *Store) Users() []model.UserID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]model.UserID, 0, len(s.byUser))
-	for u := range s.byUser {
-		out = append(out, u)
+	var out []model.UserID
+	for k := range s.users {
+		sh := &s.users[k]
+		sh.mu.RLock()
+		for u := range sh.byUser {
+			out = append(out, u)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
@@ -203,11 +328,14 @@ func (s *Store) Users() []model.UserID {
 
 // Items returns all item IDs in ascending order.
 func (s *Store) Items() []model.ItemID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]model.ItemID, 0, len(s.byItem))
-	for i := range s.byItem {
-		out = append(out, i)
+	var out []model.ItemID
+	for k := range s.items {
+		sh := &s.items[k]
+		sh.mu.RLock()
+		for i := range sh.byItem {
+			out = append(out, i)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
@@ -215,35 +343,38 @@ func (s *Store) Items() []model.ItemID {
 
 // ItemsRatedBy returns I(u): the items u has rated, ascending.
 func (s *Store) ItemsRatedBy(u model.UserID) []model.ItemID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ui := s.byUser[u]
+	us := s.userShard(u)
+	us.mu.RLock()
+	ui := us.byUser[u]
 	out := make([]model.ItemID, 0, len(ui))
 	for i := range ui {
 		out = append(out, i)
 	}
+	us.mu.RUnlock()
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
 }
 
 // UsersWhoRated returns U(i): the users who rated i, ascending.
 func (s *Store) UsersWhoRated(i model.ItemID) []model.UserID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	iu := s.byItem[i]
+	is := s.itemShard(i)
+	is.mu.RLock()
+	iu := is.byItem[i]
 	out := make([]model.UserID, 0, len(iu))
 	for u := range iu {
 		out = append(out, u)
 	}
+	is.mu.RUnlock()
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
 }
 
 // UserRatings returns a copy of u's rating vector.
 func (s *Store) UserRatings(u model.UserID) map[model.ItemID]model.Rating {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ui := s.byUser[u]
+	us := s.userShard(u)
+	us.mu.RLock()
+	defer us.mu.RUnlock()
+	ui := us.byUser[u]
 	out := make(map[model.ItemID]model.Rating, len(ui))
 	for i, r := range ui {
 		out[i] = r
@@ -253,9 +384,10 @@ func (s *Store) UserRatings(u model.UserID) map[model.ItemID]model.Rating {
 
 // ItemRatings returns a copy of i's rating column.
 func (s *Store) ItemRatings(i model.ItemID) map[model.UserID]model.Rating {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	iu := s.byItem[i]
+	is := s.itemShard(i)
+	is.mu.RLock()
+	defer is.mu.RUnlock()
+	iu := is.byItem[i]
 	out := make(map[model.UserID]model.Rating, len(iu))
 	for u, r := range iu {
 		out[u] = r
@@ -265,32 +397,43 @@ func (s *Store) ItemRatings(i model.ItemID) map[model.UserID]model.Rating {
 
 // NumRatedBy returns |I(u)| without copying.
 func (s *Store) NumRatedBy(u model.UserID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byUser[u])
+	us := s.userShard(u)
+	us.mu.RLock()
+	defer us.mu.RUnlock()
+	return len(us.byUser[u])
 }
 
 // MeanRating returns μ_u, the mean of u's ratings (Eq. 2 uses it for
 // mean-centering). ok is false when u has no ratings. Means are cached
-// and invalidated on writes.
+// per shard and invalidated on writes; the write-lock path rechecks the
+// dirty flag so racing callers recompute at most once per invalidation.
 func (s *Store) MeanRating(u model.UserID) (float64, bool) {
-	s.mu.RLock()
-	if !s.meanDirty[u] {
-		if m, ok := s.means[u]; ok {
-			s.mu.RUnlock()
+	us := s.userShard(u)
+	us.mu.RLock()
+	if !us.meanDirty[u] {
+		if m, ok := us.means[u]; ok {
+			us.mu.RUnlock()
 			return m, true
 		}
 	}
-	s.mu.RUnlock()
+	us.mu.RUnlock()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ui, ok := s.byUser[u]
+	us.mu.Lock()
+	defer us.mu.Unlock()
+	// Recheck under the write lock: a racing caller may have recomputed
+	// the mean between our RUnlock and Lock.
+	if !us.meanDirty[u] {
+		if m, ok := us.means[u]; ok {
+			return m, true
+		}
+	}
+	ui, ok := us.byUser[u]
 	if !ok || len(ui) == 0 {
-		delete(s.means, u)
-		delete(s.meanDirty, u)
+		delete(us.means, u)
+		delete(us.meanDirty, u)
 		return 0, false
 	}
+	s.meanComputes.Add(1)
 	// Sum in ascending item order, not map order: with fractional
 	// ratings the accumulation order changes the result by ULPs, and a
 	// per-process mean would leak run-to-run nondeterminism into every
@@ -305,17 +448,28 @@ func (s *Store) MeanRating(u model.UserID) (float64, bool) {
 		sum += float64(ui[i])
 	}
 	m := sum / float64(len(ui))
-	s.means[u] = m
-	s.meanDirty[u] = false
+	us.means[u] = m
+	us.meanDirty[u] = false
 	return m, true
 }
 
 // CoRated returns the items rated by both a and b (the intersection
 // I(a) ∩ I(b) over which Pearson correlation is computed), ascending.
 func (s *Store) CoRated(a, b model.UserID) []model.ItemID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ra, rb := s.byUser[a], s.byUser[b]
+	sa := fnv32a(string(a)) & s.mask
+	sb := fnv32a(string(b)) & s.mask
+	// Lock both user shards (ascending index, once if shared) so the
+	// intersection sees a consistent view of both vectors.
+	lo, hi := sa, sb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s.users[lo].mu.RLock()
+	if hi != lo {
+		s.users[hi].mu.RLock()
+	}
+	ra := s.users[sa].byUser[a]
+	rb := s.users[sb].byUser[b]
 	if len(rb) < len(ra) {
 		ra, rb = rb, ra
 	}
@@ -325,43 +479,53 @@ func (s *Store) CoRated(a, b model.UserID) []model.ItemID {
 			out = append(out, i)
 		}
 	}
+	if hi != lo {
+		s.users[hi].mu.RUnlock()
+	}
+	s.users[lo].mu.RUnlock()
 	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
 	return out
 }
 
 // Triples snapshots the whole matrix as (user,item,rating) triples in
 // deterministic (user, item) order — the input format of the MapReduce
-// pipeline (§IV).
+// pipeline (§IV). Each user's row is copied under its shard lock, so
+// every row is internally consistent; rows of different users may
+// straddle a concurrent write.
 func (s *Store) Triples() []model.Triple {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]model.Triple, 0, s.count)
-	users := make([]model.UserID, 0, len(s.byUser))
-	for u := range s.byUser {
-		users = append(users, u)
+	rows := make(map[model.UserID][]model.Triple)
+	var users []model.UserID
+	for k := range s.users {
+		sh := &s.users[k]
+		sh.mu.RLock()
+		for u, ui := range sh.byUser {
+			row := make([]model.Triple, 0, len(ui))
+			for i, r := range ui {
+				row = append(row, model.Triple{User: u, Item: i, Value: r})
+			}
+			rows[u] = row
+			users = append(users, u)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+	out := make([]model.Triple, 0, s.count.Load())
 	for _, u := range users {
-		ui := s.byUser[u]
-		items := make([]model.ItemID, 0, len(ui))
-		for i := range ui {
-			items = append(items, i)
-		}
-		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
-		for _, i := range items {
-			out = append(out, model.Triple{User: u, Item: i, Value: ui[i]})
-		}
+		row := rows[u]
+		sort.Slice(row, func(a, b int) bool { return row[a].Item < row[b].Item })
+		out = append(out, row...)
 	}
 	return out
 }
 
 // VisitUserRatings calls fn for every (item, rating) of u under the
-// read lock, in unspecified order. fn must not call back into the
+// shard read lock, in unspecified order. fn must not call back into the
 // store. Returning false stops the visit.
 func (s *Store) VisitUserRatings(u model.UserID, fn func(model.ItemID, model.Rating) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for i, r := range s.byUser[u] {
+	us := s.userShard(u)
+	us.mu.RLock()
+	defer us.mu.RUnlock()
+	for i, r := range us.byUser[u] {
 		if !fn(i, r) {
 			return
 		}
@@ -369,11 +533,13 @@ func (s *Store) VisitUserRatings(u model.UserID, fn func(model.ItemID, model.Rat
 }
 
 // VisitItemRatings calls fn for every (user, rating) of i under the
-// read lock, in unspecified order. Returning false stops the visit.
+// shard read lock, in unspecified order. Returning false stops the
+// visit.
 func (s *Store) VisitItemRatings(i model.ItemID, fn func(model.UserID, model.Rating) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for u, r := range s.byItem[i] {
+	is := s.itemShard(i)
+	is.mu.RLock()
+	defer is.mu.RUnlock()
+	for u, r := range is.byItem[i] {
 		if !fn(u, r) {
 			return
 		}
@@ -393,15 +559,17 @@ func (s *Store) Clone() *Store {
 }
 
 // Sparsity returns 1 - |ratings| / (|users|·|items|), the usual
-// sparsity measure of the matrix; 0 when the store is empty.
+// sparsity measure of the matrix; 0 when the store is empty. The three
+// counts are read without a global lock, so under concurrent writes
+// the raw ratio can drift past the boundaries; the result is clamped
+// to [0,1].
 func (s *Store) Sparsity() float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	den := len(s.byUser) * len(s.byItem)
+	den := s.NumUsers() * s.NumItems()
 	if den == 0 {
 		return 0
 	}
-	return 1 - float64(s.count)/float64(den)
+	sp := 1 - float64(s.Len())/float64(den)
+	return math.Min(1, math.Max(0, sp))
 }
 
 // WriteCSV emits the matrix as "user,item,rating" rows in the

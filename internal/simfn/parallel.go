@@ -86,12 +86,16 @@ func (c *Cached) warm(ctx context.Context, rows, cols []model.UserID, workers in
 	}
 
 	// Snapshot the already-cached keys so a re-warm after partial use
-	// only pays for the missing entries.
+	// only pays for the missing entries. The eviction seq is captured
+	// under the same lock: entries computed by the workers merge only if
+	// neither endpoint was evicted after this point, so a concurrent
+	// write cannot smuggle a pre-write value into the warmed cache.
 	c.mu.RLock()
 	existing := make(map[pairKey]struct{}, len(c.entries))
 	for k := range c.entries {
 		existing[k] = struct{}{}
 	}
+	startSeq := c.evictSeq
 	c.mu.RUnlock()
 
 	var rowPos map[model.UserID]int
@@ -137,12 +141,17 @@ func (c *Cached) warm(ctx context.Context, rows, cols []model.UserID, workers in
 		if len(local) == 0 {
 			return
 		}
+		merged := 0
 		c.mu.Lock()
 		for k, e := range local {
-			c.entries[k] = e
+			if c.evictedSinceLocked(k.a, startSeq) || c.evictedSinceLocked(k.b, startSeq) {
+				continue
+			}
+			c.storeLocked(k, e)
+			merged++
 		}
 		c.mu.Unlock()
-		added.Add(int64(len(local)))
+		added.Add(int64(merged))
 	})
 	return int(added.Load()), ctx.Err()
 }

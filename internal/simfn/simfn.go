@@ -225,15 +225,65 @@ type cacheEntry struct {
 // Cached memoizes a symmetric similarity measure. Peer discovery
 // (Def. 1) evaluates simU for every candidate pair; caching turns the
 // repeated lookups of group recommendation into O(1).
+//
+// Eviction is row-scoped: a write to user u only needs EvictRows(u) —
+// every other pair's similarity is a function of data the write did not
+// touch, so the rest of the memo table stays warm. Evictions are
+// sequence-numbered, and a computation that started before an eviction
+// of either of its endpoints is dropped instead of stored, so an
+// in-flight lookup racing a write can never resurrect a stale entry
+// (the value is still returned to its caller — a read overlapping a
+// write may see either side of it, but the cache only keeps entries
+// computed from post-eviction state).
 type Cached struct {
 	mu      sync.RWMutex
 	inner   UserSimilarity
 	entries map[pairKey]cacheEntry
+
+	// rows indexes entry keys by endpoint so EvictRows is O(|row|)
+	// instead of a scan of the whole table — the memo is O(U²) and a
+	// per-write full scan would put a quadratic term on the write path.
+	rows map[model.UserID]map[pairKey]struct{}
+
+	// evictSeq numbers eviction events; rowEvicted records, per user,
+	// the seq of the last EvictRows touching them, and floorSeq the seq
+	// of the last full Invalidate.
+	evictSeq   uint64
+	floorSeq   uint64
+	rowEvicted map[model.UserID]uint64
 }
 
 // NewCached wraps inner with a memo table.
 func NewCached(inner UserSimilarity) *Cached {
-	return &Cached{inner: inner, entries: make(map[pairKey]cacheEntry)}
+	return &Cached{
+		inner:      inner,
+		entries:    make(map[pairKey]cacheEntry),
+		rows:       make(map[model.UserID]map[pairKey]struct{}),
+		rowEvicted: make(map[model.UserID]uint64),
+	}
+}
+
+// storeLocked inserts an entry and indexes its key under both
+// endpoints. Caller holds c.mu.
+func (c *Cached) storeLocked(k pairKey, e cacheEntry) {
+	c.entries[k] = e
+	for _, u := range [2]model.UserID{k.a, k.b} {
+		m := c.rows[u]
+		if m == nil {
+			m = make(map[pairKey]struct{})
+			c.rows[u] = m
+		}
+		m[k] = struct{}{}
+	}
+}
+
+// evictedSinceLocked reports whether u's row was evicted (row-scoped or
+// via full Invalidate) after seq. Caller holds c.mu.
+func (c *Cached) evictedSinceLocked(u model.UserID, seq uint64) bool {
+	if c.floorSeq > seq {
+		return true
+	}
+	return c.rowEvicted[u] > seq
 }
 
 // Similarity implements UserSimilarity.
@@ -241,13 +291,18 @@ func (c *Cached) Similarity(a, b model.UserID) (float64, bool) {
 	k := canonical(a, b)
 	c.mu.RLock()
 	e, hit := c.entries[k]
+	startSeq := c.evictSeq
 	c.mu.RUnlock()
 	if hit {
 		return e.sim, e.ok
 	}
 	sim, ok := c.inner.Similarity(a, b)
 	c.mu.Lock()
-	c.entries[k] = cacheEntry{sim, ok}
+	// Store only if neither endpoint was evicted while we computed —
+	// otherwise the value may predate the write that evicted the row.
+	if !c.evictedSinceLocked(k.a, startSeq) && !c.evictedSinceLocked(k.b, startSeq) {
+		c.storeLocked(k, cacheEntry{sim, ok})
+	}
 	c.mu.Unlock()
 	return sim, ok
 }
@@ -259,10 +314,53 @@ func (c *Cached) Len() int {
 	return len(c.entries)
 }
 
-// Invalidate clears the memo table (call after mutating the underlying
-// ratings or profiles).
+// EvictRows drops every cached pair with an endpoint in users and
+// fences off in-flight computations involving them, keeping the rest of
+// the memo table warm — the scoped alternative to Invalidate for a
+// write that touched only these users' data. Cost is O(evicted), via
+// the per-user row index, not O(table). It returns the number of
+// entries evicted.
+func (c *Cached) EvictRows(users []model.UserID) int {
+	if len(users) == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictSeq++
+	n := 0
+	for _, u := range users {
+		c.rowEvicted[u] = c.evictSeq
+		for k := range c.rows[u] {
+			if _, ok := c.entries[k]; !ok {
+				continue // already removed via another user this call
+			}
+			delete(c.entries, k)
+			n++
+			other := k.a
+			if other == u {
+				other = k.b
+			}
+			if m := c.rows[other]; m != nil {
+				delete(m, k)
+				if len(m) == 0 {
+					delete(c.rows, other)
+				}
+			}
+		}
+		delete(c.rows, u)
+	}
+	return n
+}
+
+// Invalidate clears the memo table (call after a mutation whose blast
+// radius is unknown — e.g. a profile rebuild; for single-user rating
+// writes prefer EvictRows).
 func (c *Cached) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.evictSeq++
+	c.floorSeq = c.evictSeq
 	c.entries = make(map[pairKey]cacheEntry)
+	c.rows = make(map[model.UserID]map[pairKey]struct{})
+	c.rowEvicted = make(map[model.UserID]uint64)
 }

@@ -6,6 +6,11 @@
 #   scripts/bench.sh                 # full run (default benchtime)
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration each
 #   BENCH=GroupBatch scripts/bench.sh  # filter by benchmark regex
+#
+# The invalidation/sharding trajectory lives in two families included
+# in every run: BenchmarkScopedInvalidation (warm scoped eviction vs
+# cold full-flush serving) and BenchmarkRatingsWriteThroughput
+# (sharded vs single-lock store under concurrent writers).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
