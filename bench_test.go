@@ -23,6 +23,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -184,7 +186,8 @@ func BenchmarkFig1EndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	srv := httptest.NewServer(httpapi.New(sys, nil))
+	// Discard request logs: the bench measures serving, not logging IO.
+	srv := httptest.NewServer(httpapi.New(sys, log.New(io.Discard, "", 0)))
 	defer srv.Close()
 	grp := ds.SampleGroup(1, 3, 0)
 	url := fmt.Sprintf("%s/api/group-recommendations?users=%s,%s,%s&z=6", srv.URL, grp[0], grp[1], grp[2])

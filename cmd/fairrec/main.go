@@ -223,7 +223,7 @@ func cmdGroup(args []string) error {
 	k := fs.Int("k", 10, "per-member personal list size (fairness)")
 	delta := fs.Float64("delta", 0.5, "peer threshold δ")
 	aggr := fs.String("aggr", "avg", "aggregation: avg (majority) or min (veto)")
-	method := fs.String("method", "greedy", "greedy | brute | topz")
+	method := fs.String("method", "greedy", "greedy | brute | mapreduce | topz")
 	m := fs.Int("m", 20, "candidate pool for brute force")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -238,20 +238,9 @@ func cmdGroup(args []string) error {
 		return err
 	}
 	members := strings.Split(*users, ",")
-	switch *method {
-	case "greedy":
-		res, err := sys.GroupRecommend(members, *z)
-		if err != nil {
-			return err
-		}
-		printGroupResult(res, "Algorithm 1 (greedy)")
-	case "brute":
-		res, err := sys.GroupRecommendBruteForce(members, *z, *m, 0)
-		if err != nil {
-			return err
-		}
-		printGroupResult(res, fmt.Sprintf("brute force (%d combinations)", res.Combinations))
-	case "topz":
+	// topz is the fairness-agnostic baseline and stays a separate
+	// call; everything else is one GroupQuery against Serve.
+	if *method == "topz" {
 		recs, err := sys.GroupTopZ(members, *z)
 		if err != nil {
 			return err
@@ -260,9 +249,25 @@ func cmdGroup(args []string) error {
 		for i, r := range recs {
 			fmt.Printf("%2d. %-12s %.3f\n", i+1, r.Item, r.Score)
 		}
-	default:
-		return fmt.Errorf("unknown method %q", *method)
+		return nil
 	}
+	res, err := sys.Serve(context.Background(), fairhealth.GroupQuery{
+		Members: members,
+		Z:       *z,
+		Method:  fairhealth.Method(*method),
+		BruteM:  *m,
+	})
+	if err != nil {
+		return err
+	}
+	label := "Algorithm 1 (greedy)"
+	switch fairhealth.Method(*method) {
+	case fairhealth.MethodBrute:
+		label = fmt.Sprintf("brute force (%d combinations)", res.Combinations)
+	case fairhealth.MethodMapReduce:
+		label = "MapReduce pipeline + Algorithm 1"
+	}
+	printGroupResult(res, label)
 	return nil
 }
 
@@ -276,6 +281,7 @@ func cmdBatch(args []string) error {
 	k := fs.Int("k", 10, "per-member personal list size (fairness)")
 	delta := fs.Float64("delta", 0.5, "peer threshold δ")
 	aggr := fs.String("aggr", "avg", "aggregation: avg (majority) or min (veto)")
+	method := fs.String("method", "greedy", "solver for every group: greedy | brute | mapreduce")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	stream := fs.Bool("stream", false, "print each group as it completes (completion order) instead of buffering the batch")
 	if err := fs.Parse(args); err != nil {
@@ -318,6 +324,10 @@ func cmdBatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	queries := make([]fairhealth.GroupQuery, len(groups))
+	for i, g := range groups {
+		queries[i] = fairhealth.GroupQuery{Members: g, Z: *z, Method: fairhealth.Method(*method)}
+	}
 	failed := 0
 	printEntry := func(br fairhealth.BatchGroupResult) {
 		if br.Err != nil {
@@ -332,7 +342,7 @@ func cmdBatch(args []string) error {
 	}
 	if *stream {
 		// Entries print as they complete, in completion order.
-		err := sys.GroupRecommendStream(context.Background(), groups, *z, func(br fairhealth.BatchGroupResult) error {
+		err := sys.ServeStream(context.Background(), queries, func(br fairhealth.BatchGroupResult) error {
 			printEntry(br)
 			return nil
 		})
@@ -340,7 +350,7 @@ func cmdBatch(args []string) error {
 			return err
 		}
 	} else {
-		results, err := sys.GroupRecommendBatch(context.Background(), groups, *z)
+		results, err := sys.ServeBatch(context.Background(), queries)
 		if err != nil {
 			return err
 		}

@@ -1,9 +1,15 @@
 // Command iphrd serves the recommender over HTTP — the iPHR-style
 // service of the paper's architecture (Fig. 1). Patients post profiles
-// and document ratings; caregivers query fair group recommendations.
+// and document ratings; caregivers query fair group recommendations
+// through the v1 API (one typed GroupQuery body; see docs/api.md).
 //
 //	iphrd -addr :8080 -demo            # start with a demo dataset loaded
-//	curl localhost:8080/api/group-recommendations?users=patient0000,patient0001&z=10
+//	curl -X POST localhost:8080/v1/groups/recommend \
+//	    -d '{"members":["patient0000","patient0001"],"z":10}'
+//
+// Every request passes the middleware chain (request IDs, structured
+// logs, panic recovery, bounded in-flight limiter, per-request
+// timeout); -max-inflight and -timeout tune the bounds.
 package main
 
 import (
@@ -28,6 +34,8 @@ func main() {
 	k := flag.Int("k", 10, "personal list size (fairness)")
 	aggr := flag.String("aggr", "avg", "group aggregation: avg or min")
 	state := flag.String("state", "", "state directory for durable storage (empty = in-memory)")
+	timeout := flag.Duration("timeout", httpapi.DefaultTimeout, "per-request timeout (negative disables)")
+	maxInFlight := flag.Int("max-inflight", httpapi.DefaultMaxInFlight, "max concurrently served requests, 429 beyond (negative disables)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "iphrd ", log.LstdFlags)
@@ -91,8 +99,12 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.New(sys, logger),
+		Addr: *addr,
+		Handler: httpapi.NewWithOptions(sys, httpapi.Options{
+			Logger:      logger,
+			Timeout:     *timeout,
+			MaxInFlight: *maxInFlight,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	logger.Printf("listening on %s", *addr)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,7 +63,11 @@ func main() {
 	}
 
 	// ---- Algorithm 1 -------------------------------------------------------
-	fair, err := sys.GroupRecommend(users, z)
+	fair, err := sys.Serve(context.Background(), fairhealth.GroupQuery{
+		Members: users,
+		Z:       z,
+		Explain: true, // per-member lists feed the satisfaction table below
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,18 +123,14 @@ func main() {
 		fair.Fairness, fair.Value)
 
 	// ---- veto semantics ------------------------------------------------------
-	vetoSys, err := fairhealth.New(fairhealth.Config{
-		Delta: 0.55, MinOverlap: 4, K: 8, Aggregation: "min",
+	// Aggregation is a per-query knob of the unified API, so the veto
+	// comparison reuses the SAME system (and its warm caches) instead
+	// of rebuilding one with a different Config.
+	veto, err := sys.Serve(context.Background(), fairhealth.GroupQuery{
+		Members:     users,
+		Z:           z,
+		Aggregation: "min",
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, tr := range ds.Ratings.Triples() {
-		if err := vetoSys.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
-			log.Fatal(err)
-		}
-	}
-	veto, err := vetoSys.GroupRecommend(users, z)
 	if err != nil {
 		log.Fatal(err)
 	}

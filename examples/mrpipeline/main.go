@@ -82,7 +82,10 @@ func main() {
 		users[k] = string(u)
 	}
 	start = time.Now()
-	direct, err := sys.GroupRecommend(users, cfg.Z)
+	direct, err := sys.Serve(context.Background(), fairhealth.GroupQuery{
+		Members: users,
+		Z:       cfg.Z,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

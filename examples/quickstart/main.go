@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,8 +60,13 @@ func main() {
 		fmt.Printf("  %-14s group score %.2f\n", it.Item, it.Score)
 	}
 
-	// Fairness-aware top-z (Algorithm 1).
-	fair, err := sys.GroupRecommend(group, 2)
+	// Fairness-aware top-z (Algorithm 1) — one typed GroupQuery against
+	// the unified Serve path; Explain requests the per-member evidence.
+	fair, err := sys.Serve(context.Background(), fairhealth.GroupQuery{
+		Members: group,
+		Z:       2,
+		Explain: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

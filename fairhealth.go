@@ -18,34 +18,48 @@
 // semantic distance of coded health problems over a SNOMED-CT-style
 // ontology, or a weighted hybrid of all three.
 //
-// Basic use:
+// Every group recommendation is one typed request — a GroupQuery —
+// answered by the single execution path System.Serve:
 //
 //	sys, _ := fairhealth.New(fairhealth.Config{})
 //	sys.AddRating("alice", "doc1", 5)
 //	...
-//	res, _ := sys.GroupRecommend([]string{"alice", "bob"}, 10)
+//	res, _ := sys.Serve(ctx, fairhealth.GroupQuery{
+//		Members: []string{"alice", "bob"},
+//		Z:       10,
+//	})
 //	fmt.Println(res.Items, res.Fairness)
 //
-// Batch serving: many caregiver groups can be answered in one call.
-// The similarity rows of every member are precomputed by a sharded
-// worker pool, then the groups fan out across bounded workers — each
-// entry carries its own result or error, and a cancelled context stops
-// mid-batch:
+// The query object carries every knob — solver method (greedy, brute,
+// mapreduce), brute-force bounds, per-query aggregation semantics and
+// fairness K, and an explain flag for the per-member evidence. The
+// historical entry points (GroupRecommend, GroupRecommendBruteForce,
+// GroupRecommendMapReduce, GroupRecommendBatch, GroupRecommendStream)
+// remain as thin wrappers that build a GroupQuery and delegate.
 //
-//	groups := [][]string{{"alice", "bob"}, {"bob", "carol", "dan"}}
-//	batch, _ := sys.GroupRecommendBatch(ctx, groups, 10)
+// Batch serving: many caregiver queries can be answered in one call,
+// each with its own method and parameters. The similarity rows of
+// every member are precomputed by a sharded worker pool, then the
+// queries fan out across bounded workers — each entry carries its own
+// result or error, and a cancelled context stops mid-batch:
+//
+//	queries := []fairhealth.GroupQuery{
+//		{Members: []string{"alice", "bob"}, Z: 10},
+//		{Members: []string{"bob", "carol", "dan"}, Z: 5, Method: fairhealth.MethodBrute, BruteM: 20},
+//	}
+//	batch, _ := sys.ServeBatch(ctx, queries)
 //	for _, e := range batch {
 //		if e.Err == nil {
 //			fmt.Println(e.Group, e.Result.Items, e.Result.Fairness)
 //		}
 //	}
 //
-// GroupRecommendStream is the incremental variant: entries are yielded
-// to a callback as each group completes (completion order, Index links
-// an entry back to its request slot) instead of buffering the whole
-// batch — the backing of the HTTP API's NDJSON streaming mode:
+// ServeStream is the incremental variant: entries are yielded to a
+// callback as each query completes (completion order, Index links an
+// entry back to its request slot) instead of buffering the whole batch
+// — the backing of the HTTP API's NDJSON streaming mode:
 //
-//	_ = sys.GroupRecommendStream(ctx, groups, 10, func(e fairhealth.BatchGroupResult) error {
+//	_ = sys.ServeStream(ctx, queries, func(e fairhealth.BatchGroupResult) error {
 //		fmt.Println(e.Index, e.Group, e.Err)
 //		return nil // a non-nil error stops the stream
 //	})
@@ -79,10 +93,8 @@ import (
 	"fairhealth/internal/core"
 	"fairhealth/internal/group"
 	"fairhealth/internal/model"
-	"fairhealth/internal/mrpipeline"
 	"fairhealth/internal/ontology"
 	"fairhealth/internal/phr"
-	"fairhealth/internal/pool"
 	"fairhealth/internal/ratings"
 	"fairhealth/internal/reasoning"
 	"fairhealth/internal/search"
@@ -261,6 +273,12 @@ type System struct {
 	pcDirty  bool
 	pc       *simfn.ProfileCosine
 	pcBuilt  bool
+
+	// simHitsBase/simMissesBase accumulate the counters of similarity
+	// caches discarded by full invalidations, so CacheStats reports
+	// lifetime totals rather than resetting on every profile write.
+	simHitsBase   uint64
+	simMissesBase uint64
 
 	// peerCache memoizes P_u across requests. Rating writes evict it
 	// per touched user (invalidateUsers); profile writes flush it
@@ -480,6 +498,47 @@ func (s *System) Patients() []string {
 	return out
 }
 
+// CacheCounters is one cache layer's effectiveness snapshot.
+type CacheCounters struct {
+	// Hits and Misses count lookups answered from / past the cache
+	// since the System was built (full invalidations do not reset
+	// them).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Entries is the number of entries currently cached.
+	Entries int `json:"entries"`
+}
+
+// CacheStats reports the hit/miss/size counters of the memoization
+// layers — the observability feed for cache tuning (e.g. watching a
+// TTL'd warm cache age entries out). All counters are collected from
+// atomic, race-safe sources; Stats and CacheStats are cheap enough to
+// poll.
+type CacheStats struct {
+	// Similarity is the pairwise similarity memo table.
+	Similarity CacheCounters `json:"similarity"`
+	// Peers is the per-user peer-set (P_u) cache.
+	Peers CacheCounters `json:"peers"`
+}
+
+// CacheStats returns the current cache effectiveness counters.
+func (s *System) CacheStats() CacheStats {
+	s.mu.Lock()
+	sim := CacheCounters{Hits: s.simHitsBase, Misses: s.simMissesBase}
+	if s.simCache != nil {
+		st := s.simCache.Stats()
+		sim.Hits += st.Hits
+		sim.Misses += st.Misses
+		sim.Entries = st.Entries
+	}
+	s.mu.Unlock()
+	ps := s.peerCache.Stats()
+	return CacheStats{
+		Similarity: sim,
+		Peers:      CacheCounters{Hits: ps.Hits, Misses: ps.Misses, Entries: ps.Entries},
+	}
+}
+
 // Stats reports system contents.
 func (s *System) Stats() Stats {
 	return Stats{
@@ -664,6 +723,12 @@ func (s *System) similarity() (*simfn.Cached, error) {
 	if s.simCache != nil && !s.simDirty {
 		return s.simCache, nil
 	}
+	if s.simCache != nil {
+		// The old memo table is being discarded; keep its counters.
+		st := s.simCache.Stats()
+		s.simHitsBase += st.Hits
+		s.simMissesBase += st.Misses
+	}
 	base, err := s.buildSimilarityLocked()
 	if err != nil {
 		return nil, err
@@ -773,8 +838,19 @@ func (s *System) SimilarityBetween(a, b string) (sim float64, ok bool, err error
 	return sim, ok, nil
 }
 
-// Peers returns the user's peer set P_u (Def. 1), best-first.
+// knownUser reports whether the system has ever seen the user: at
+// least one rating or a registered profile.
+func (s *System) knownUser(u model.UserID) bool {
+	return s.ratings.NumRatedBy(u) > 0 || s.profiles.Has(u)
+}
+
+// Peers returns the user's peer set P_u (Def. 1), best-first. A user
+// the system has never seen (no ratings, no profile) is reported as
+// ErrUnknownPatient rather than as an empty peer set.
 func (s *System) Peers(user string) ([]Peer, error) {
+	if !s.knownUser(model.UserID(user)) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPatient, user)
+	}
 	rec, err := s.recommender()
 	if err != nil {
 		return nil, err
@@ -790,8 +866,12 @@ func (s *System) Peers(user string) ([]Peer, error) {
 	return out, nil
 }
 
-// Recommend returns the user's personal top-k list A_u (§III.A).
+// Recommend returns the user's personal top-k list A_u (§III.A). A
+// user the system has never seen is reported as ErrUnknownPatient.
 func (s *System) Recommend(user string, k int) ([]Recommendation, error) {
+	if !s.knownUser(model.UserID(user)) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPatient, user)
+	}
 	rec, err := s.recommender()
 	if err != nil {
 		return nil, err
@@ -811,29 +891,22 @@ func toRecs(items []model.ScoredItem) []Recommendation {
 	return out
 }
 
-// groupProblem assembles the core.Input shared by the fair solvers.
-func (s *System) groupProblem(users []string) (core.Input, map[model.UserID]map[model.ItemID]float64, error) {
-	g := make(model.Group, len(users))
-	for k, u := range users {
-		g[k] = model.UserID(u)
-	}
-	g = g.Dedup()
-	if err := g.Validate(); err != nil {
-		return core.Input{}, nil, fmt.Errorf("%w: %v", ErrEmptyGroup, err)
-	}
+// groupProblem assembles the core.Input shared by the in-memory fair
+// solvers, under the query's aggregation semantics and fairness list
+// size k.
+func (s *System) groupProblem(g model.Group, aggr group.Aggregator, k int) (core.Input, error) {
 	rec, err := s.recommender()
 	if err != nil {
-		return core.Input{}, nil, err
+		return core.Input{}, err
 	}
-	grec := &group.Recommender{Single: rec, Aggr: s.aggregator()}
+	grec := &group.Recommender{Single: rec, Aggr: aggr}
 	cands, err := grec.Candidates(g)
 	if err != nil {
 		if errors.Is(err, group.ErrEmptyGroup) {
-			return core.Input{}, nil, ErrEmptyGroup
+			return core.Input{}, ErrEmptyGroup
 		}
-		return core.Input{}, nil, err
+		return core.Input{}, err
 	}
-	aggr := s.aggregator()
 	groupRel := make(map[model.ItemID]float64, len(cands))
 	perUser := make(map[model.UserID]map[model.ItemID]float64, len(g))
 	for _, u := range g {
@@ -841,247 +914,63 @@ func (s *System) groupProblem(users []string) (core.Input, map[model.UserID]map[
 	}
 	for item, scores := range cands {
 		groupRel[item] = aggr.Aggregate(scores)
-		for k, u := range g {
-			perUser[u][item] = scores[k]
+		for j, u := range g {
+			perUser[u][item] = scores[j]
 		}
 	}
 	in := core.Input{
 		Group:    g,
-		Lists:    core.ListsFromRelevances(perUser, s.cfg.K),
+		Lists:    core.ListsFromRelevances(perUser, k),
 		GroupRel: groupRel,
 		Rel: func(u model.UserID, i model.ItemID) (float64, bool) {
 			sc, ok := perUser[u][i]
 			return sc, ok
 		},
 	}
-	return in, perUser, nil
+	return in, nil
 }
 
-func (s *System) toGroupResult(in core.Input, res core.Result) *GroupResult {
+// toGroupResult shapes a solver outcome. The per-member evidence maps
+// are built only when explain is set — they are |G|×K conversions the
+// default serving path never reads.
+func (s *System) toGroupResult(in core.Input, res core.Result, explain bool) *GroupResult {
 	out := &GroupResult{
 		Items:        make([]Recommendation, len(res.Items)),
 		Fairness:     res.Fairness,
 		Value:        res.Value,
-		PerMember:    make(map[string][]Recommendation, len(in.Group)),
 		Combinations: res.Combinations,
 	}
 	for k, item := range res.Items {
 		out.Items[k] = Recommendation{Item: string(item), Score: in.GroupRel[item]}
 	}
-	for u, list := range in.Lists {
-		out.PerMember[string(u)] = toRecs(list)
+	if explain {
+		out.PerMember = make(map[string][]Recommendation, len(in.Group))
+		for u, list := range in.Lists {
+			out.PerMember[string(u)] = toRecs(list)
+		}
 	}
 	return out
 }
 
-// GroupRecommend runs the paper's Algorithm 1: the fairness-aware
-// top-z recommendations for the group.
-func (s *System) GroupRecommend(users []string, z int) (*GroupResult, error) {
-	return s.groupRecommendCtx(context.Background(), users, z)
-}
-
-func (s *System) groupRecommendCtx(ctx context.Context, users []string, z int) (*GroupResult, error) {
-	in, _, err := s.groupProblem(users)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.GreedyContext(ctx, in, z)
-	if err != nil {
-		return nil, err
-	}
-	return s.toGroupResult(in, res), nil
-}
-
-// BatchGroupResult is one group's outcome within GroupRecommendBatch
-// and GroupRecommendStream. Exactly one of Result and Err is set.
-type BatchGroupResult struct {
-	// Index is the group's position in the request, linking a streamed
-	// entry (which arrives in completion order) back to its slot.
-	Index int
-	// Group echoes the requested members, in request order.
-	Group []string
-	// Result is the group's fair top-z (nil when Err is set).
-	Result *GroupResult
-	// Err is the group's failure: ErrEmptyGroup for an invalid group,
-	// or the context error for entries abandoned after cancellation.
-	Err error
-}
-
-// GroupRecommendBatch answers many group requests in one call — the
-// multi-caregiver serving path. It first warms the similarity rows of
-// every batch member with a sharded worker pool (so the per-group work
-// starts from a hot cache), then fans the groups out across at most
-// Config.Workers goroutines. Each entry fails or succeeds
-// independently; one bad group does not poison the batch. When ctx is
-// cancelled mid-batch, in-flight groups stop at the next cancellation
-// point, unstarted entries get Err = ctx.Err(), and the context error
-// is also returned. Results are in request order; for entries as they
-// complete, use GroupRecommendStream.
-func (s *System) GroupRecommendBatch(ctx context.Context, groups [][]string, z int) ([]BatchGroupResult, error) {
-	out := make([]BatchGroupResult, len(groups))
-	for k, g := range groups {
-		out[k].Index = k
-		out[k].Group = append([]string(nil), g...)
-	}
-	emitted := 0
-	err := s.GroupRecommendStream(ctx, groups, z, func(e BatchGroupResult) error {
-		out[e.Index] = e
-		emitted++
-		return nil
-	})
-	if err != nil && emitted == 0 && len(groups) > 0 {
-		// The failure preceded any per-group work (e.g. the similarity
-		// build itself); there are no entries to report.
-		return nil, err
-	}
-	return out, err
-}
-
-// GroupRecommendStream serves the same workload as GroupRecommendBatch
-// but yields each entry to fn as its group completes, in completion
-// order, instead of buffering the full batch — long batches start
-// producing output immediately and the caller never holds more than
-// one entry. fn is called serially (never concurrently) from the
-// worker pool; a non-nil error from fn stops the stream, abandons the
-// remaining groups, and is returned. When ctx is cancelled mid-stream,
-// remaining entries are yielded with Err = ctx.Err() and the context
-// error is returned.
-func (s *System) GroupRecommendStream(ctx context.Context, groups [][]string, z int, fn func(BatchGroupResult) error) error {
-	if fn == nil {
-		return errors.New("fairhealth: GroupRecommendStream requires a callback")
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if len(groups) == 0 {
-		return ctx.Err()
-	}
-
-	var emitMu sync.Mutex
-	var fnErr error
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	emit := func(e BatchGroupResult) {
-		emitMu.Lock()
-		defer emitMu.Unlock()
-		if fnErr != nil {
-			return
-		}
-		if err := fn(e); err != nil {
-			fnErr = err
-			cancel() // abandon the remaining groups
-		}
-	}
-	entry := func(k int) BatchGroupResult {
-		return BatchGroupResult{Index: k, Group: append([]string(nil), groups[k]...)}
-	}
-
-	sim, err := s.similarity()
-	if err != nil {
-		return err
-	}
-
-	// Warm the rows of the batch's member union against all raters.
-	seen := make(map[model.UserID]struct{})
-	var rows []model.UserID
-	for _, g := range groups {
-		for _, u := range g {
-			id := model.UserID(u)
-			if _, dup := seen[id]; dup || id == "" {
-				continue
-			}
-			seen[id] = struct{}{}
-			rows = append(rows, id)
-		}
-	}
-	if _, err := sim.WarmRows(ctx, rows, s.ratings.Users(), s.workers()); err != nil {
-		for k := range groups {
-			e := entry(k)
-			e.Err = err
-			emit(e)
-		}
-		if fnErr != nil {
-			return fnErr
-		}
-		return err
-	}
-
-	pool.Each(len(groups), s.workers(), func(k int) {
-		e := entry(k)
-		if cctx.Err() != nil {
-			if ctx.Err() == nil {
-				return // fn aborted the stream; emit nothing further
-			}
-			e.Err = ctx.Err()
-			emit(e)
-			return
-		}
-		e.Result, e.Err = s.groupRecommendCtx(cctx, groups[k], z)
-		emit(e)
-	})
-	if fnErr != nil {
-		return fnErr
-	}
-	return ctx.Err()
-}
-
-// GroupRecommendBruteForce runs the exponential baseline of §III.D over
-// the top-m candidates (m ≤ 0 means all candidates). Use small m —
-// the cost is C(m,z).
-func (s *System) GroupRecommendBruteForce(users []string, z, m int, maxCombos int64) (*GroupResult, error) {
-	in, _, err := s.groupProblem(users)
-	if err != nil {
-		return nil, err
-	}
-	if m > 0 {
-		in.GroupRel = core.TopCandidates(in.GroupRel, m)
-	}
-	res, err := core.BruteForce(in, z, maxCombos)
-	if err != nil {
-		return nil, err
-	}
-	return s.toGroupResult(in, res), nil
-}
-
 // GroupTopZ returns the plain (fairness-agnostic) top-z group list —
-// the §III.B baseline that Algorithm 1 improves on.
+// the §III.B baseline that Algorithm 1 improves on. z follows the
+// shared query rule: 0 means DefaultZ, negative is ErrBadQuery.
 func (s *System) GroupTopZ(users []string, z int) ([]Recommendation, error) {
-	in, _, err := s.groupProblem(users)
+	if z < 0 {
+		return nil, fmt.Errorf("%w: z must be ≥ 0 (0 means default %d), got %d", ErrBadQuery, DefaultZ, z)
+	}
+	if z == 0 {
+		z = DefaultZ
+	}
+	g, err := memberGroup(users)
+	if err != nil {
+		return nil, err
+	}
+	in, err := s.groupProblem(g, s.aggregator(), s.cfg.K)
 	if err != nil {
 		return nil, err
 	}
 	return toRecs(core.SortedItems(in.GroupRel)[:min(z, len(in.GroupRel))]), nil
-}
-
-// GroupRecommendMapReduce executes the §IV MapReduce pipeline (three
-// jobs + centralized Algorithm 1) instead of the in-memory path. Only
-// the ratings similarity and the paper's min/avg aggregations are
-// supported, matching the paper's pipeline.
-func (s *System) GroupRecommendMapReduce(ctx context.Context, users []string, z int) (*GroupResult, error) {
-	if s.cfg.Aggregation != "avg" && s.cfg.Aggregation != "min" {
-		return nil, fmt.Errorf("%w: MapReduce path supports avg|min, not %q", ErrBadConfig, s.cfg.Aggregation)
-	}
-	g := make(model.Group, len(users))
-	for k, u := range users {
-		g[k] = model.UserID(u)
-	}
-	g = g.Dedup()
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEmptyGroup, err)
-	}
-	out, err := mrpipeline.Run(ctx, s.ratings.Triples(), mrpipeline.Config{
-		Group:      g,
-		Delta:      s.cfg.Delta,
-		MinOverlap: s.cfg.MinOverlap,
-		K:          s.cfg.K,
-		Z:          z,
-		Aggregator: s.cfg.Aggregation,
-	})
-	if err != nil {
-		return nil, err
-	}
-	in := core.Input{Group: g, Lists: out.Lists, GroupRel: out.GroupRel}
-	return s.toGroupResult(in, out.Fair), nil
 }
 
 // ---------------------------------------------------------------------------

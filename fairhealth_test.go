@@ -189,8 +189,16 @@ func TestGroupRecommendErrors(t *testing.T) {
 	if _, err := sys.GroupRecommend(nil, 3); !errors.Is(err, ErrEmptyGroup) {
 		t.Errorf("empty group: %v", err)
 	}
-	if _, err := sys.GroupRecommend([]string{"g1"}, 0); err == nil {
-		t.Error("z=0 accepted")
+	// z=0 means DefaultZ under the shared validator; negative z is the
+	// invalid case and reports ErrBadQuery.
+	if res, err := sys.GroupRecommend([]string{"g1"}, 0); err != nil || len(res.Items) == 0 {
+		t.Errorf("z=0 should default to %d: res=%+v err=%v", DefaultZ, res, err)
+	}
+	if _, err := sys.GroupRecommend([]string{"g1"}, -1); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("z=-1 error = %v, want ErrBadQuery", err)
+	}
+	if _, err := sys.GroupRecommend([]string{"ghost-user"}, 3); !errors.Is(err, ErrUnknownPatient) {
+		t.Errorf("unknown member error = %v, want ErrUnknownPatient", err)
 	}
 }
 
@@ -554,8 +562,19 @@ func TestConsensusAggregationEndToEnd(t *testing.T) {
 		t.Errorf("consensus result = %+v", res)
 	}
 	// MapReduce path must reject non-paper aggregators
-	if _, err := sys.GroupRecommendMapReduce(context.Background(), []string{"g1", "g2"}, 2); !errors.Is(err, ErrBadConfig) {
-		t.Errorf("MR with consensus: %v, want ErrBadConfig", err)
+	if _, err := sys.GroupRecommendMapReduce(context.Background(), []string{"g1", "g2"}, 2); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("MR with consensus: %v, want ErrBadQuery", err)
+	}
+	// ...but a per-query aggregation override can use the paper's
+	// semantics on the same system without rebuilding it.
+	mr, err := sys.Serve(context.Background(), GroupQuery{
+		Members: []string{"g1", "g2"}, Z: 2, Method: MethodMapReduce, Aggregation: "avg",
+	})
+	if err != nil {
+		t.Fatalf("MR with per-query avg: %v", err)
+	}
+	if len(mr.Items) != 2 {
+		t.Errorf("MR per-query avg items = %+v", mr.Items)
 	}
 }
 

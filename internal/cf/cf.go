@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fairhealth/internal/model"
 	"fairhealth/internal/ratings"
@@ -110,6 +111,27 @@ type PeerCache struct {
 	// records at or below it have been pruned, so a set fenced earlier
 	// could no longer be patched correctly.
 	floor uint64
+
+	// hits/misses count Lookup outcomes: a hit means a cached set was
+	// usable (possibly after patching its stale users), a miss means
+	// the caller had to run a full peer scan. Race-safe.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// CacheStats is a race-safe snapshot of the peer cache's
+// effectiveness counters.
+type CacheStats struct {
+	// Hits and Misses count Lookup outcomes since the cache was built
+	// (Invalidate clears entries but not the counters).
+	Hits, Misses uint64
+	// Entries is the number of peer sets currently cached.
+	Entries int
+}
+
+// Stats returns the current hit/miss/size counters.
+func (c *PeerCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.Len()}
 }
 
 type peerEntry struct {
@@ -187,12 +209,14 @@ func (c *PeerCache) Lookup(u model.UserID) (peers []Peer, stale []model.UserID, 
 	defer c.mu.RUnlock()
 	e, ok := c.entries[u]
 	if !ok {
+		c.misses.Add(1)
 		return nil, nil, false
 	}
 	if e.seq < c.seq { // at least one eviction since the set was stored
 		for t, at := range c.touched {
 			if at > e.seq {
 				if len(stale) == maxStalePatch {
+					c.misses.Add(1)
 					return nil, nil, false // too far behind; rebuild instead
 				}
 				stale = append(stale, t)
@@ -200,6 +224,7 @@ func (c *PeerCache) Lookup(u model.UserID) (peers []Peer, stale []model.UserID, 
 		}
 		sort.Slice(stale, func(a, b int) bool { return stale[a] < stale[b] })
 	}
+	c.hits.Add(1)
 	return append([]Peer(nil), e.peers...), stale, true
 }
 

@@ -3,29 +3,61 @@
 // rate documents through the iPHR app, and a caregiver asks the
 // recommendation engine for fair suggestions for their patient group.
 //
-// Endpoints (all JSON):
+// # The v1 surface
 //
-//	GET  /healthz                    liveness probe
-//	GET  /api/stats                  corpus statistics
-//	POST /api/patients               create/update a patient profile
-//	GET  /api/patients               list patient IDs
-//	GET  /api/patients/{id}          fetch one profile
-//	POST /api/ratings                record a rating
-//	GET  /api/recommendations        personal top-k    ?user=&k=
-//	GET  /api/peers                  peer set          ?user=
-//	GET  /api/group-recommendations  fair top-z        ?users=a,b&z=&method=greedy|brute|mapreduce
-//	POST /v1/groups/recommend:batch  fair top-z for many groups in one call
+// All endpoints speak JSON and live under /v1 (full reference,
+// including every request/response body: docs/api.md):
 //
-// The batch endpoint is bounded (MaxBatchBody request bytes → 413,
-// MaxBatchGroups groups → 400) and supports ?stream=true, which
-// switches the response to NDJSON (application/x-ndjson): one
-// BatchGroupEntry JSON object per line, flushed as each group
-// completes, in completion order — the entry's index field links it
-// back to its request slot.
+//	GET  /healthz                    liveness probe (bypasses the limiter)
+//	GET  /v1/stats                   corpus statistics + cache hit/miss/size counters
+//	POST /v1/patients                create/update a patient profile
+//	GET  /v1/patients                list patient IDs
+//	GET  /v1/patients/{id}           fetch one profile
+//	POST /v1/ratings                 record a rating
+//	POST /v1/documents               index a document
+//	GET  /v1/search                  document search            ?q=&k=&user=
+//	GET  /v1/correspondences         profile reasoning          ?a=&b=
+//	GET  /v1/recommendations         personal top-k             ?user=&k=
+//	GET  /v1/peers                   peer set P_u               ?user=
+//	POST /v1/groups/recommend        fair top-z for one group (GroupQuery body)
+//	POST /v1/groups/recommend:batch  fair top-z for many groups ?stream=true → NDJSON
+//
+// POST /v1/groups/recommend takes the full fairhealth.GroupQuery as
+// its body — members, z, method (greedy|brute|mapreduce), brute-force
+// bounds, per-query aggregation and fairness k, and an explain flag —
+// and the batch endpoint takes a list of such queries, so one batch
+// can mix methods and parameters per group. Batch requests are
+// bounded (MaxBatchBody request bytes → 413, MaxBatchGroups queries →
+// 400).
+//
+// # Middleware
+//
+// Every request passes through a middleware chain: request-ID
+// assignment (X-Request-ID, inbound honoured), structured request
+// logging, panic recovery, a bounded in-flight limiter (429
+// "overloaded" when the server is at capacity), and a per-request
+// timeout surfaced as 504 "timeout". See Options.
+//
+// # Errors
+//
+// Every handler failure is the machine-readable envelope
+//
+//	{"error": {"code": "unknown_patient", "message": "..."}}
+//
+// with the status drawn from the exhaustive ErrorStatus mapping — an
+// unknown patient is 404 on every route, an invalid query 400, a
+// domain-rule violation 422, and so on.
+//
+// # Deprecated /api aliases
+//
+// Every pre-v1 route (GET /api/stats, GET /api/group-recommendations,
+// ...) remains mounted as a deprecated alias that adapts into the same
+// v1 handler — equivalence-tested, answering identical payloads — and
+// marks its responses with Deprecation: true and a Link to the v1
+// replacement.
 package httpapi
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,47 +65,93 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"fairhealth"
 )
 
 // Server wires a fairhealth.System to an http.Handler.
 type Server struct {
-	sys *fairhealth.System
-	mux *http.ServeMux
-	log *log.Logger
+	sys     *fairhealth.System
+	mux     *http.ServeMux
+	log     *log.Logger
+	opts    Options
+	handler http.Handler  // mux behind the middleware chain
+	reqSeq  atomic.Uint64 // request-ID counter
+	// inflight is the limiter semaphore (nil = unlimited).
+	inflight chan struct{}
 }
 
-// New builds a Server around sys. logger may be nil (logging is then
-// discarded into log.Default with a prefix).
+// New builds a Server with default Options. logger may be nil.
 func New(sys *fairhealth.System, logger *log.Logger) *Server {
-	if logger == nil {
-		logger = log.Default()
+	return NewWithOptions(sys, Options{Logger: logger})
+}
+
+// NewWithOptions builds a Server with explicit middleware options.
+func NewWithOptions(sys *fairhealth.System, opts Options) *Server {
+	if opts.Logger == nil {
+		opts.Logger = log.Default()
 	}
-	s := &Server{sys: sys, mux: http.NewServeMux(), log: logger}
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	s := &Server{sys: sys, mux: http.NewServeMux(), log: opts.Logger, opts: opts}
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
+
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("POST /api/patients", s.handlePutPatient)
-	s.mux.HandleFunc("GET /api/patients", s.handleListPatients)
-	s.mux.HandleFunc("GET /api/patients/{id}", s.handleGetPatient)
-	s.mux.HandleFunc("POST /api/ratings", s.handlePostRating)
-	s.mux.HandleFunc("POST /api/documents", s.handlePostDocument)
-	s.mux.HandleFunc("GET /api/search", s.handleSearch)
-	s.mux.HandleFunc("GET /api/correspondences", s.handleCorrespondences)
-	s.mux.HandleFunc("GET /api/recommendations", s.handleRecommend)
-	s.mux.HandleFunc("GET /api/peers", s.handlePeers)
-	s.mux.HandleFunc("GET /api/group-recommendations", s.handleGroupRecommend)
+
+	// Routes served identically under /v1 and the deprecated /api
+	// prefix. The alias IS the v1 handler — one code path, two mounts.
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"GET", "/stats", s.handleStats},
+		{"POST", "/patients", s.handlePutPatient},
+		{"GET", "/patients", s.handleListPatients},
+		{"GET", "/patients/{id}", s.handleGetPatient},
+		{"POST", "/ratings", s.handlePostRating},
+		{"POST", "/documents", s.handlePostDocument},
+		{"GET", "/search", s.handleSearch},
+		{"GET", "/correspondences", s.handleCorrespondences},
+		{"GET", "/recommendations", s.handleRecommend},
+		{"GET", "/peers", s.handlePeers},
+	}
+	for _, rt := range routes {
+		s.mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
+		s.mux.Handle(rt.method+" /api"+rt.path, deprecated(rt.h))
+	}
+	s.mux.HandleFunc("POST /v1/groups/recommend", s.handleGroupRecommendV1)
 	s.mux.HandleFunc("POST /v1/groups/recommend:batch", s.handleGroupRecommendBatch)
+	// The legacy query-param group endpoint adapts into the same
+	// GroupQuery path as POST /v1/groups/recommend.
+	s.mux.Handle("GET /api/group-recommendations", deprecated(http.HandlerFunc(s.handleGroupRecommendLegacy)))
+
+	s.handler = s.chain(s.mux)
 	return s
 }
 
+// deprecated marks an aliased legacy route's responses.
+func deprecated(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `<docs/api.md>; rel="successor-version"`)
+		next.ServeHTTP(w, r)
+	})
+}
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // ---------------------------------------------------------------------------
 // wire types
 
-// PatientBody is the POST /api/patients payload.
+// PatientBody is the POST /v1/patients payload.
 type PatientBody struct {
 	ID          string   `json:"id"`
 	Age         int      `json:"age,omitempty"`
@@ -85,26 +163,92 @@ type PatientBody struct {
 	Notes       string   `json:"notes,omitempty"`
 }
 
-// RatingBody is the POST /api/ratings payload.
+// RatingBody is the POST /v1/ratings payload.
 type RatingBody struct {
 	User  string  `json:"user"`
 	Item  string  `json:"item"`
 	Value float64 `json:"value"`
 }
 
-// DocumentBody is the POST /api/documents payload.
+// DocumentBody is the POST /v1/documents payload.
 type DocumentBody struct {
 	ID    string `json:"id"`
 	Title string `json:"title,omitempty"`
 	Body  string `json:"body,omitempty"`
 }
 
-// ErrorBody is every error response.
-type ErrorBody struct {
-	Error string `json:"error"`
+// StatsResponse is the GET /v1/stats payload: the corpus statistics
+// plus the cache observability counters.
+type StatsResponse struct {
+	fairhealth.Stats
+	Caches fairhealth.CacheStats `json:"caches"`
 }
 
-// GroupResponse is the GET /api/group-recommendations response.
+// GroupQueryBody mirrors fairhealth.GroupQuery on the wire — the body
+// of POST /v1/groups/recommend and the element type of the batch
+// endpoint's queries list.
+type GroupQueryBody struct {
+	// Members is the caregiver's patient group.
+	Members []string `json:"members"`
+	// Z is the number of recommendations (0 → server default).
+	Z int `json:"z,omitempty"`
+	// Method is greedy (default) | brute | mapreduce.
+	Method string `json:"method,omitempty"`
+	// BruteM bounds the brute-force candidate pool: 0 → DefaultBruteM,
+	// negative → all candidates.
+	BruteM int `json:"brute_m,omitempty"`
+	// BruteMaxCombos caps brute-force enumeration (0 → engine default).
+	BruteMaxCombos int64 `json:"brute_max_combos,omitempty"`
+	// Aggregation overrides the Def. 2 semantics for this query.
+	Aggregation string `json:"aggregation,omitempty"`
+	// K overrides the personal top-k fairness list size.
+	K int `json:"k,omitempty"`
+	// Explain requests the per_member evidence lists.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// DefaultBruteM is the brute-force candidate pool applied when a query
+// leaves brute_m unset — an unbounded default would make C(m,z) blow
+// up on any sizeable corpus. Send a negative brute_m to enumerate over
+// all candidates deliberately.
+const DefaultBruteM = 20
+
+// MaxBruteCombos caps the subsets a single request may ask the brute
+// force to enumerate. The engine's own safety default (billions) is
+// sized for offline library use; uncapped, one HTTP request could pin
+// a CPU for hours while holding an in-flight limiter slot. Applied
+// both as the default and as the upper bound for an explicit
+// brute_max_combos.
+const MaxBruteCombos = 10_000_000
+
+// toQuery converts the wire form to the library contract, applying
+// the server-side brute-force bounds.
+func (b GroupQueryBody) toQuery() (fairhealth.GroupQuery, error) {
+	m := b.BruteM
+	if m == 0 {
+		m = DefaultBruteM
+	}
+	combos := b.BruteMaxCombos
+	if combos == 0 {
+		combos = MaxBruteCombos
+	}
+	if combos > MaxBruteCombos {
+		return fairhealth.GroupQuery{}, coded(CodeInvalidQuery,
+			fmt.Errorf("brute_max_combos %d exceeds the server limit %d", combos, MaxBruteCombos))
+	}
+	return fairhealth.GroupQuery{
+		Members:        b.Members,
+		Z:              b.Z,
+		Method:         fairhealth.Method(b.Method),
+		BruteM:         m,
+		BruteMaxCombos: combos,
+		Aggregation:    b.Aggregation,
+		K:              b.K,
+		Explain:        b.Explain,
+	}, nil
+}
+
+// GroupResponse is the group recommendation payload (v1 and legacy).
 type GroupResponse struct {
 	Items        []fairhealth.Recommendation            `json:"items"`
 	Fairness     float64                                `json:"fairness"`
@@ -115,45 +259,51 @@ type GroupResponse struct {
 }
 
 // BatchGroupsBody is the POST /v1/groups/recommend:batch payload.
+// Queries is the v1 form; the deprecated Groups+Z form (uniform greedy
+// queries) is still accepted for pre-v1 clients.
 type BatchGroupsBody struct {
-	// Groups lists the member IDs of each group to serve.
-	Groups [][]string `json:"groups"`
-	// Z is the recommendations per group (default 10).
+	// Queries lists the full per-group queries to serve.
+	Queries []GroupQueryBody `json:"queries,omitempty"`
+	// Groups is the deprecated uniform form: member lists all served
+	// with Z and the greedy method.
+	Groups [][]string `json:"groups,omitempty"`
+	// Z is the recommendations per group for the Groups form.
 	Z int `json:"z,omitempty"`
 }
 
-// BatchGroupEntry is one group's outcome inside a batch response. A
+// BatchGroupEntry is one query's outcome inside a batch response. A
 // successful entry always carries items/fairness/value (matching the
 // single-shot GroupResponse contract, zeros included); a failed entry
-// carries error instead. In the NDJSON streaming mode entries arrive
-// in completion order and index links them back to the request.
+// carries the machine-readable error instead. In the NDJSON streaming
+// mode entries arrive in completion order and index links them back to
+// the request.
 type BatchGroupEntry struct {
 	Index    int                         `json:"index"`
 	Group    []string                    `json:"group"`
 	Items    []fairhealth.Recommendation `json:"items"`
 	Fairness float64                     `json:"fairness"`
 	Value    float64                     `json:"value"`
-	Error    string                      `json:"error,omitempty"`
+	Error    *ErrorInfo                  `json:"error,omitempty"`
 }
 
-// BatchGroupsResponse is the POST /v1/groups/recommend:batch response.
-// Results are in request order; Failed counts entries with an Error.
+// BatchGroupsResponse is the buffered batch response. Results are in
+// request order; Failed counts entries with an Error.
 type BatchGroupsResponse struct {
 	Results []BatchGroupEntry `json:"results"`
 	Failed  int               `json:"failed"`
 }
 
-// MaxBatchGroups caps the groups in a single batch request (400 when
+// MaxBatchGroups caps the queries in a single batch request (400 when
 // exceeded).
 const MaxBatchGroups = 256
 
-// MaxBatchBody caps the batch request body in bytes (413 when
-// exceeded); decoding an unbounded body straight into memory would let
-// one request exhaust the process.
+// MaxBatchBody caps every request body in bytes (413 when exceeded);
+// decoding an unbounded body straight into memory would let one
+// request exhaust the process.
 const MaxBatchBody = 1 << 20
 
 // ---------------------------------------------------------------------------
-// handlers
+// helpers
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -163,26 +313,77 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, ErrorBody{Error: err.Error()})
+// decodeBody bounds and decodes a JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBatchBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return coded(CodePayloadTooLarge, fmt.Errorf("request body exceeds %d bytes", MaxBatchBody))
+		}
+		return coded(CodeInvalidBody, fmt.Errorf("decode body: %w", err))
+	}
+	return nil
 }
+
+// intParam parses a strictly positive integer query parameter with a
+// default for absence.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 1 {
+		return 0, coded(CodeInvalidArgument,
+			fmt.Errorf("parameter %s must be a positive integer, got %q", name, raw))
+	}
+	return v, nil
+}
+
+// looseIntParam parses an integer query parameter without a range
+// restriction — range rules belong to the shared GroupQuery validator,
+// so ?z= and a JSON z field are rejected identically by the library.
+func looseIntParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, coded(CodeInvalidArgument,
+			fmt.Errorf("parameter %s must be an integer, got %q", name, raw))
+	}
+	return v, nil
+}
+
+func requiredParam(r *http.Request, name string) (string, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return "", coded(CodeInvalidArgument, fmt.Errorf("%s parameter required", name))
+	}
+	return v, nil
+}
+
+// ---------------------------------------------------------------------------
+// handlers
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.sys.Stats())
+	s.writeJSON(w, http.StatusOK, StatsResponse{Stats: s.sys.Stats(), Caches: s.sys.CacheStats()})
 }
 
 func (s *Server) handlePutPatient(w http.ResponseWriter, r *http.Request) {
 	var body PatientBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+	if err := decodeBody(w, r, &body); err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	if body.ID == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("patient id required"))
+		s.writeError(w, r, coded(CodeInvalidArgument, errors.New("patient id required")))
 		return
 	}
 	err := s.sys.AddPatient(fairhealth.Patient{
@@ -191,7 +392,7 @@ func (s *Server) handlePutPatient(w http.ResponseWriter, r *http.Request) {
 		Procedures: body.Procedures, Allergies: body.Allergies, Notes: body.Notes,
 	})
 	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, r, coded(CodeUnprocessable, err))
 		return
 	}
 	s.writeJSON(w, http.StatusCreated, map[string]string{"id": body.ID})
@@ -202,10 +403,9 @@ func (s *Server) handleListPatients(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleGetPatient(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	p, err := s.sys.Patient(id)
+	p, err := s.sys.Patient(r.PathValue("id"))
 	if err != nil {
-		s.writeError(w, http.StatusNotFound, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, p)
@@ -213,16 +413,16 @@ func (s *Server) handleGetPatient(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePostRating(w http.ResponseWriter, r *http.Request) {
 	var body RatingBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+	if err := decodeBody(w, r, &body); err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	if body.User == "" || body.Item == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("user and item required"))
+		s.writeError(w, r, coded(CodeInvalidArgument, errors.New("user and item required")))
 		return
 	}
 	if err := s.sys.AddRating(body.User, body.Item, body.Value); err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, r, coded(CodeUnprocessable, err))
 		return
 	}
 	s.writeJSON(w, http.StatusCreated, body)
@@ -230,30 +430,30 @@ func (s *Server) handlePostRating(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePostDocument(w http.ResponseWriter, r *http.Request) {
 	var body DocumentBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+	if err := decodeBody(w, r, &body); err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	if body.ID == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("document id required"))
+		s.writeError(w, r, coded(CodeInvalidArgument, errors.New("document id required")))
 		return
 	}
 	if err := s.sys.AddDocument(body.ID, body.Title, body.Body); err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, r, coded(CodeUnprocessable, err))
 		return
 	}
 	s.writeJSON(w, http.StatusCreated, map[string]string{"id": body.ID})
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("q parameter required"))
+	q, err := requiredParam(r, "q")
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	k, err := intParam(r, "k", 10)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, err)
 		return
 	}
 	var hits []fairhealth.SearchResult
@@ -261,11 +461,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// personalized search: boost the patient's problem vocabulary
 		hits, err = s.sys.SearchPersonalized(user, q, k, 2)
 		if err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(err, fairhealth.ErrUnknownPatient) {
-				status = http.StatusNotFound
-			}
-			s.writeError(w, status, err)
+			s.writeError(w, r, err)
 			return
 		}
 	} else {
@@ -278,37 +474,39 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCorrespondences(w http.ResponseWriter, r *http.Request) {
-	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
-	if a == "" || b == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("a and b parameters required"))
+	a, err := requiredParam(r, "a")
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	b, err := requiredParam(r, "b")
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	cs, err := s.sys.ProfileCorrespondences(a, b)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, fairhealth.ErrUnknownPatient) {
-			status = http.StatusNotFound
-		}
-		s.writeError(w, status, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"a": a, "b": b, "correspondences": cs})
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	user := r.URL.Query().Get("user")
-	if user == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("user parameter required"))
+	user, err := requiredParam(r, "user")
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	k, err := intParam(r, "k", 10)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, err)
 		return
 	}
 	recs, err := s.sys.Recommend(user, k)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		// unknown patient → 404 via the unified mapping
+		s.writeError(w, r, err)
 		return
 	}
 	if recs == nil {
@@ -318,14 +516,15 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
-	user := r.URL.Query().Get("user")
-	if user == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("user parameter required"))
+	user, err := requiredParam(r, "user")
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	peers, err := s.sys.Peers(user)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		// unknown patient → 404 via the unified mapping
+		s.writeError(w, r, err)
 		return
 	}
 	if peers == nil {
@@ -334,56 +533,74 @@ func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"user": user, "peers": peers})
 }
 
-func (s *Server) handleGroupRecommend(w http.ResponseWriter, r *http.Request) {
-	usersParam := r.URL.Query().Get("users")
-	if usersParam == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("users parameter required (comma-separated)"))
-		return
-	}
-	users := strings.Split(usersParam, ",")
-	z, err := intParam(r, "z", 10)
+// serveGroupQuery is the one group-serving path both the v1 body
+// endpoint and the legacy query-param alias feed into.
+func (s *Server) serveGroupQuery(w http.ResponseWriter, r *http.Request, q fairhealth.GroupQuery) {
+	res, err := s.sys.Serve(r.Context(), q)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, ctxErr(r.Context(), err))
 		return
 	}
-	method := r.URL.Query().Get("method")
+	method := q.Method
 	if method == "" {
-		method = "greedy"
-	}
-
-	var res *fairhealth.GroupResult
-	switch method {
-	case "greedy":
-		res, err = s.sys.GroupRecommend(users, z)
-	case "brute":
-		m, perr := intParam(r, "m", 20)
-		if perr != nil {
-			s.writeError(w, http.StatusBadRequest, perr)
-			return
-		}
-		res, err = s.sys.GroupRecommendBruteForce(users, z, m, 0)
-	case "mapreduce":
-		res, err = s.sys.GroupRecommendMapReduce(r.Context(), users, z)
-	default:
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown method %q (want greedy|brute|mapreduce)", method))
-		return
-	}
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, fairhealth.ErrEmptyGroup) {
-			status = http.StatusBadRequest
-		}
-		s.writeError(w, status, err)
-		return
+		method = fairhealth.MethodGreedy
 	}
 	s.writeJSON(w, http.StatusOK, GroupResponse{
 		Items:        res.Items,
 		Fairness:     res.Fairness,
 		Value:        res.Value,
 		PerMember:    res.PerMember,
-		Method:       method,
+		Method:       string(method),
 		Combinations: res.Combinations,
 	})
+}
+
+func (s *Server) handleGroupRecommendV1(w http.ResponseWriter, r *http.Request) {
+	var body GroupQueryBody
+	if err := decodeBody(w, r, &body); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	q, err := body.toQuery()
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.serveGroupQuery(w, r, q)
+}
+
+// handleGroupRecommendLegacy adapts the deprecated query-param form
+// (?users=a,b&z=&method=&m=) into the v1 GroupQuery path. Legacy
+// responses always carried per_member, so the adapter sets Explain.
+func (s *Server) handleGroupRecommendLegacy(w http.ResponseWriter, r *http.Request) {
+	users, err := requiredParam(r, "users")
+	if err != nil {
+		s.writeError(w, r, coded(CodeInvalidArgument, errors.New("users parameter required (comma-separated)")))
+		return
+	}
+	z, err := looseIntParam(r, "z")
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	m, err := looseIntParam(r, "m")
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	body := GroupQueryBody{
+		Members: strings.Split(users, ","),
+		Z:       z,
+		Method:  r.URL.Query().Get("method"),
+		BruteM:  m,
+		Explain: true,
+	}
+	q, err := body.toQuery()
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.serveGroupQuery(w, r, q)
 }
 
 // batchEntry converts one library batch result into its wire form.
@@ -391,7 +608,8 @@ func batchEntry(br fairhealth.BatchGroupResult) BatchGroupEntry {
 	e := BatchGroupEntry{Index: br.Index, Group: br.Group, Items: []fairhealth.Recommendation{}}
 	switch {
 	case br.Err != nil:
-		e.Error = br.Err.Error()
+		info := errorInfo(br.Err)
+		e.Error = &info
 	case br.Result != nil:
 		if br.Result.Items != nil {
 			e.Items = br.Result.Items
@@ -402,47 +620,68 @@ func batchEntry(br fairhealth.BatchGroupResult) BatchGroupEntry {
 	return e
 }
 
-func (s *Server) handleGroupRecommendBatch(w http.ResponseWriter, r *http.Request) {
-	// Bound the body BEFORE decoding: an unbounded payload would be
-	// decoded straight into memory.
-	r.Body = http.MaxBytesReader(w, r.Body, MaxBatchBody)
-	var body BatchGroupsBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			s.writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", MaxBatchBody))
-			return
+// batchQueries resolves the request body into the per-group queries,
+// validating shape and bounds up front so a malformed batch is
+// rejected before any work starts.
+func batchQueries(body BatchGroupsBody) ([]fairhealth.GroupQuery, error) {
+	if len(body.Queries) > 0 && len(body.Groups) > 0 {
+		return nil, coded(CodeInvalidArgument, errors.New("use either queries or the deprecated groups form, not both"))
+	}
+	var queries []fairhealth.GroupQuery
+	switch {
+	case len(body.Queries) > 0:
+		queries = make([]fairhealth.GroupQuery, len(body.Queries))
+		for k, qb := range body.Queries {
+			q, err := qb.toQuery()
+			if err != nil {
+				return nil, fmt.Errorf("queries[%d]: %w", k, err)
+			}
+			queries[k] = q
 		}
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+	case len(body.Groups) > 0:
+		queries = make([]fairhealth.GroupQuery, len(body.Groups))
+		for k, g := range body.Groups {
+			q, err := GroupQueryBody{Members: g, Z: body.Z}.toQuery()
+			if err != nil {
+				return nil, fmt.Errorf("groups[%d]: %w", k, err)
+			}
+			queries[k] = q
+		}
+	default:
+		return nil, coded(CodeInvalidArgument, errors.New("queries (or deprecated groups) required"))
+	}
+	if len(queries) > MaxBatchGroups {
+		return nil, coded(CodeInvalidArgument,
+			fmt.Errorf("too many queries: %d > %d", len(queries), MaxBatchGroups))
+	}
+	for k, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("queries[%d]: %w", k, err)
+		}
+	}
+	return queries, nil
+}
+
+func (s *Server) handleGroupRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	var body BatchGroupsBody
+	if err := decodeBody(w, r, &body); err != nil {
+		s.writeError(w, r, err)
 		return
 	}
-	if len(body.Groups) == 0 {
-		s.writeError(w, http.StatusBadRequest, errors.New("groups required"))
-		return
-	}
-	if len(body.Groups) > MaxBatchGroups {
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Errorf("too many groups: %d > %d", len(body.Groups), MaxBatchGroups))
-		return
-	}
-	z := body.Z
-	if z == 0 {
-		z = 10
-	}
-	if z < 1 {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("z must be a positive integer, got %d", z))
+	queries, err := batchQueries(body)
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	if stream, _ := strconv.ParseBool(r.URL.Query().Get("stream")); stream {
-		s.streamGroupRecommendBatch(w, r, body.Groups, z)
+		s.streamGroupRecommendBatch(w, r, queries)
 		return
 	}
-	// r.Context() cancels when the client disconnects, aborting
-	// in-flight groups.
-	results, err := s.sys.GroupRecommendBatch(r.Context(), body.Groups, z)
+	// r.Context() cancels when the client disconnects or the request
+	// deadline fires, aborting in-flight queries.
+	results, err := s.sys.ServeBatch(r.Context(), queries)
 	if err != nil && results == nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, ctxErr(r.Context(), err))
 		return
 	}
 	resp := BatchGroupsResponse{Results: make([]BatchGroupEntry, len(results))}
@@ -456,24 +695,24 @@ func (s *Server) handleGroupRecommendBatch(w http.ResponseWriter, r *http.Reques
 }
 
 // streamGroupRecommendBatch answers the batch as NDJSON: one
-// BatchGroupEntry per line, written and flushed as each group
+// BatchGroupEntry per line, written and flushed as each query
 // completes. The 200 and content type go out with the FIRST entry, so
 // a failure preceding any result (e.g. the similarity build) still
 // gets a proper error status; after that, failures can only be
 // reported in-band (per-entry error fields) or by truncating the
 // stream.
-func (s *Server) streamGroupRecommendBatch(w http.ResponseWriter, r *http.Request, groups [][]string, z int) {
+func (s *Server) streamGroupRecommendBatch(w http.ResponseWriter, r *http.Request, queries []fairhealth.GroupQuery) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	started := false
-	err := s.sys.GroupRecommendStream(r.Context(), groups, z, func(e fairhealth.BatchGroupResult) error {
+	err := s.sys.ServeStream(r.Context(), queries, func(e fairhealth.BatchGroupResult) error {
 		if !started {
 			started = true
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.WriteHeader(http.StatusOK)
 		}
 		if err := enc.Encode(batchEntry(e)); err != nil {
-			return err // client gone; abandon the remaining groups
+			return err // client gone; abandon the remaining queries
 		}
 		if flusher != nil {
 			flusher.Flush()
@@ -482,26 +721,14 @@ func (s *Server) streamGroupRecommendBatch(w http.ResponseWriter, r *http.Reques
 	})
 	if err != nil {
 		if !started {
-			s.writeError(w, http.StatusInternalServerError, err)
+			s.writeError(w, r, ctxErr(r.Context(), err))
 			return
 		}
 		// A disconnecting client surfaces either as the request context
 		// error or as the socket write error from enc.Encode — neither
 		// is server trouble worth logging.
-		if !errors.Is(err, context.Canceled) && r.Context().Err() == nil {
+		if r.Context().Err() == nil {
 			s.log.Printf("httpapi: batch stream aborted: %v", err)
 		}
 	}
-}
-
-func intParam(r *http.Request, name string, def int) (int, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return def, nil
-	}
-	v, err := strconv.Atoi(raw)
-	if err != nil || v < 1 {
-		return 0, fmt.Errorf("parameter %s must be a positive integer, got %q", name, raw)
-	}
-	return v, nil
 }

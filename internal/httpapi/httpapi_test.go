@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -19,7 +21,7 @@ func newTestServer(t *testing.T) (*Server, *fairhealth.System) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(sys, nil), sys
+	return NewWithOptions(sys, Options{Logger: log.New(io.Discard, "", 0)}), sys
 }
 
 func seed(t *testing.T, sys *fairhealth.System) {
@@ -175,10 +177,14 @@ func TestRecommendEndpoint(t *testing.T) {
 	if rec := do(t, srv, "GET", "/api/recommendations?user=g1&k=-2", nil); rec.Code != http.StatusBadRequest {
 		t.Errorf("bad k status = %d", rec.Code)
 	}
-	// unknown user → empty list, not an error
+	// unknown user → 404 with the unknown_patient code (regression:
+	// this used to leak through as a 200/500 depending on the path)
 	rec = do(t, srv, "GET", "/api/recommendations?user=ghost", nil)
-	if rec.Code != http.StatusOK {
-		t.Errorf("unknown user status = %d", rec.Code)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown user status = %d, want 404", rec.Code)
+	}
+	if e := decode[ErrorBody](t, rec); e.Error.Code != CodeUnknownPatient {
+		t.Errorf("unknown user code = %q, want %q", e.Error.Code, CodeUnknownPatient)
 	}
 }
 
@@ -273,8 +279,11 @@ func TestErrorBodiesAreJSON(t *testing.T) {
 	srv, _ := newTestServer(t)
 	rec := do(t, srv, "GET", "/api/recommendations", nil)
 	var e ErrorBody
-	if err := json.NewDecoder(rec.Body).Decode(&e); err != nil || e.Error == "" {
-		t.Errorf("error body not json: %q (%v)", rec.Body.String(), err)
+	if err := json.NewDecoder(rec.Body).Decode(&e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+		t.Errorf("error body not the machine-readable envelope: %q (%v)", rec.Body.String(), err)
+	}
+	if e.Error.Code != CodeInvalidArgument {
+		t.Errorf("code = %q, want %q", e.Error.Code, CodeInvalidArgument)
 	}
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 		t.Errorf("content type = %q", ct)
@@ -470,8 +479,11 @@ func TestGroupRecommendBatchEndpointPartialFailure(t *testing.T) {
 	if resp.Failed != 1 {
 		t.Errorf("failed = %d, want 1", resp.Failed)
 	}
-	if resp.Results[0].Error != "" || resp.Results[1].Error == "" {
+	if resp.Results[0].Error != nil || resp.Results[1].Error == nil {
 		t.Errorf("error placement wrong: %+v", resp.Results)
+	}
+	if got := resp.Results[1].Error.Code; got != CodeEmptyGroup {
+		t.Errorf("failed entry code = %q, want %q", got, CodeEmptyGroup)
 	}
 }
 
@@ -541,8 +553,8 @@ func TestGroupRecommendBatchEndpointStream(t *testing.T) {
 	if len(byIndex) != len(body.Groups) {
 		t.Fatalf("indices not a permutation of the request: %v", byIndex)
 	}
-	if byIndex[1].Error == "" {
-		t.Error("empty group's entry lacks an error")
+	if byIndex[1].Error == nil || byIndex[1].Error.Code != CodeEmptyGroup {
+		t.Errorf("empty group's entry lacks the machine-readable error: %+v", byIndex[1].Error)
 	}
 	// Streamed entries carry the same payload as the buffered batch.
 	buffered := decode[BatchGroupsResponse](t, do(t, srv, "POST", "/v1/groups/recommend:batch", body))

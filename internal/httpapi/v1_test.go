@@ -1,0 +1,571 @@
+package httpapi
+
+// Contract tests for the v1 surface: the machine-readable error
+// envelope (every code × status), legacy-alias equivalence against the
+// v1 routes, the GroupQuery round-trip, the middleware chain, and the
+// cache observability counters on /v1/stats.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fairhealth"
+	"fairhealth/internal/core"
+)
+
+// TestErrorStatusMappingExhaustive pins the one error→status table:
+// every code maps to a sensible status, and classify never returns a
+// code outside the table.
+func TestErrorStatusMappingExhaustive(t *testing.T) {
+	wantStatuses := map[string]int{
+		CodeInvalidBody:     400,
+		CodeInvalidArgument: 400,
+		CodeInvalidQuery:    400,
+		CodeEmptyGroup:      400,
+		CodeUnknownPatient:  404,
+		CodeNotFound:        404,
+		CodeUnprocessable:   422,
+		CodePayloadTooLarge: 413,
+		CodeOverloaded:      429,
+		CodeTimeout:         504,
+		CodeInternal:        500,
+	}
+	if !reflect.DeepEqual(ErrorStatus, wantStatuses) {
+		t.Errorf("ErrorStatus = %v, want %v", ErrorStatus, wantStatuses)
+	}
+	for code, status := range ErrorStatus {
+		if status < 400 || status > 599 {
+			t.Errorf("code %q maps to non-error status %d", code, status)
+		}
+	}
+}
+
+// TestErrorEnvelopeContract drives one real request per error code and
+// asserts the full envelope contract end to end: status from the
+// table, code in the body, non-empty message, JSON content type.
+func TestErrorEnvelopeContract(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+
+	// A decodable body past MaxBatchBody: the size bound must trip
+	// before the decoder materializes the payload.
+	bigMembers := make([]string, 1<<17)
+	for i := range bigMembers {
+		bigMembers[i] = fmt.Sprintf("m%06d", i) // ≈ 1.3 MiB encoded
+	}
+	oversized, err := json.Marshal(BatchGroupsBody{Groups: [][]string{bigMembers}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		code           string
+		method, path   string
+		body           any
+		rawBody        []byte
+		skipStatusOnly bool
+	}{
+		{code: CodeInvalidBody, method: "POST", path: "/v1/ratings", rawBody: []byte("{broken")},
+		{code: CodeInvalidArgument, method: "GET", path: "/v1/recommendations"},
+		{code: CodeInvalidArgument, method: "GET", path: "/v1/peers"},
+		{code: CodeInvalidArgument, method: "GET", path: "/v1/recommendations?user=g1&k=-2"},
+		{code: CodeInvalidQuery, method: "POST", path: "/v1/groups/recommend",
+			body: GroupQueryBody{Members: []string{"g1"}, Z: -3}},
+		{code: CodeInvalidQuery, method: "POST", path: "/v1/groups/recommend",
+			body: GroupQueryBody{Members: []string{"g1"}, Method: "oracle"}},
+		{code: CodeEmptyGroup, method: "POST", path: "/v1/groups/recommend",
+			body: GroupQueryBody{Members: nil}},
+		{code: CodeUnknownPatient, method: "GET", path: "/v1/peers?user=ghost"},
+		{code: CodeUnknownPatient, method: "GET", path: "/v1/recommendations?user=ghost"},
+		{code: CodeUnknownPatient, method: "GET", path: "/v1/patients/ghost"},
+		{code: CodeUnknownPatient, method: "POST", path: "/v1/groups/recommend",
+			body: GroupQueryBody{Members: []string{"g1", "ghost"}}},
+		{code: CodeUnprocessable, method: "POST", path: "/v1/ratings",
+			body: RatingBody{User: "u", Item: "i", Value: 11}},
+		{code: CodeUnprocessable, method: "POST", path: "/v1/patients",
+			body: PatientBody{ID: "p", Problems: []string{"not-a-code"}}},
+		{code: CodePayloadTooLarge, method: "POST", path: "/v1/groups/recommend:batch", rawBody: oversized},
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("%s %s %s", c.code, c.method, c.path)
+		var rec *httptest.ResponseRecorder
+		if c.rawBody != nil {
+			req := httptest.NewRequest(c.method, c.path, bytes.NewReader(c.rawBody))
+			rec = httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+		} else {
+			rec = do(t, srv, c.method, c.path, c.body)
+		}
+		if rec.Code != ErrorStatus[c.code] {
+			t.Errorf("%s: status = %d, want %d", name, rec.Code, ErrorStatus[c.code])
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content type = %q", name, ct)
+		}
+		var e ErrorBody
+		if err := json.NewDecoder(rec.Body).Decode(&e); err != nil {
+			t.Errorf("%s: body not an envelope: %v", name, err)
+			continue
+		}
+		if e.Error.Code != c.code {
+			t.Errorf("%s: code = %q", name, e.Error.Code)
+		}
+		if e.Error.Message == "" {
+			t.Errorf("%s: empty message", name)
+		}
+	}
+}
+
+// TestBruteForceServerBounds: the HTTP layer defaults and caps the
+// brute-force enumeration so one request cannot pin a CPU past the
+// limiter, and an infeasible C(m,z) is a client error, not a 500.
+func TestBruteForceServerBounds(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+
+	// Asking to lift the cap is rejected up front.
+	rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2, Method: "brute", BruteMaxCombos: MaxBruteCombos + 1,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("over-limit combos status = %d, want 400", rec.Code)
+	}
+	if e := decode[ErrorBody](t, rec); e.Error.Code != CodeInvalidQuery {
+		t.Errorf("over-limit combos code = %q, want %q", e.Error.Code, CodeInvalidQuery)
+	}
+	// Same rule on the batch route, with the offending index named.
+	rec = do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{
+		Queries: []GroupQueryBody{
+			{Members: []string{"g1", "g2"}},
+			{Members: []string{"g1", "g2"}, Method: "brute", BruteMaxCombos: MaxBruteCombos + 1},
+		},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("batch over-limit status = %d, want 400", rec.Code)
+	}
+	if e := decode[ErrorBody](t, rec); !strings.Contains(e.Error.Message, "queries[1]") {
+		t.Errorf("batch over-limit envelope does not name the entry: %+v", e.Error)
+	}
+	// An explicit cap within the limit passes through.
+	rec = do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2, Method: "brute", BruteMaxCombos: 1000,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("in-limit combos status = %d body=%s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestTooManyCombinationsIsInvalidQuery pins the classification of the
+// engine's enumeration guard: a client-chosen m/z whose C(m,z) blows
+// the cap must map to 400 invalid_query, not 500 internal.
+func TestTooManyCombinationsIsInvalidQuery(t *testing.T) {
+	if got := classify(fmt.Errorf("wrapped: %w", core.ErrTooManyCombinations)); got != CodeInvalidQuery {
+		t.Errorf("classify(ErrTooManyCombinations) = %q, want %q", got, CodeInvalidQuery)
+	}
+}
+
+// TestPeersUnknownPatient404 is the second half of the satellite
+// regression: /peers (both mounts) must answer 404, not 500, for a
+// patient the system has never seen.
+func TestPeersUnknownPatient404(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	for _, path := range []string{"/api/peers?user=ghost", "/v1/peers?user=ghost"} {
+		rec := do(t, srv, "GET", path, nil)
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s: status = %d, want 404", path, rec.Code)
+		}
+		if e := decode[ErrorBody](t, rec); e.Error.Code != CodeUnknownPatient {
+			t.Errorf("%s: code = %q, want %q", path, e.Error.Code, CodeUnknownPatient)
+		}
+	}
+}
+
+// TestGroupQueryRoundTrip posts the full GroupQuery body and checks
+// every knob takes effect.
+func TestGroupQueryRoundTrip(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+
+	rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2, Method: "brute", BruteM: 10, Explain: true,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body.String())
+	}
+	res := decode[GroupResponse](t, rec)
+	if res.Method != "brute" || res.Combinations == 0 {
+		t.Errorf("brute round-trip = %+v", res)
+	}
+	if len(res.Items) != 2 || res.Fairness != 1 {
+		t.Errorf("items/fairness = %+v", res)
+	}
+	if len(res.PerMember) != 2 {
+		t.Errorf("explain=true lost per_member: %+v", res.PerMember)
+	}
+
+	// explain defaults off in v1 — no per_member payload.
+	rec = do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2,
+	})
+	res = decode[GroupResponse](t, rec)
+	if res.Method != "greedy" {
+		t.Errorf("default method = %q", res.Method)
+	}
+	if res.PerMember != nil {
+		t.Errorf("per_member present without explain: %+v", res.PerMember)
+	}
+
+	// per-query aggregation override
+	rec = do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2, Aggregation: "min",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("aggregation override status = %d body=%s", rec.Code, rec.Body.String())
+	}
+
+	// mapreduce method over the same route
+	rec = do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2, Method: "mapreduce",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mapreduce status = %d body=%s", rec.Code, rec.Body.String())
+	}
+	if res = decode[GroupResponse](t, rec); res.Method != "mapreduce" {
+		t.Errorf("mapreduce echo = %q", res.Method)
+	}
+}
+
+// TestLegacyAliasEquivalence is the acceptance criterion: every
+// deprecated /api route answers byte-identical payloads to its v1
+// counterpart, and the legacy group endpoint matches POST
+// /v1/groups/recommend item for item.
+func TestLegacyAliasEquivalence(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	if err := sys.AddPatient(fairhealth.Patient{ID: "alice", Age: 41, Problems: []string{"10509002"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1:1 GET aliases must answer identical bodies.
+	pairs := [][2]string{
+		{"/api/stats", "/v1/stats"},
+		{"/api/patients", "/v1/patients"},
+		{"/api/patients/alice", "/v1/patients/alice"},
+		{"/api/recommendations?user=g1&k=3", "/v1/recommendations?user=g1&k=3"},
+		{"/api/peers?user=g1", "/v1/peers?user=g1"},
+	}
+	for _, pair := range pairs {
+		legacy := do(t, srv, "GET", pair[0], nil)
+		v1 := do(t, srv, "GET", pair[1], nil)
+		if legacy.Code != v1.Code {
+			t.Errorf("%s status %d != %s status %d", pair[0], legacy.Code, pair[1], v1.Code)
+		}
+		// Stats bodies contain live cache counters that move between
+		// the two requests; compare everything except the counters by
+		// decoding into maps and dropping the caches key.
+		lb, vb := decodeMap(t, legacy), decodeMap(t, v1)
+		delete(lb, "caches")
+		delete(vb, "caches")
+		if !reflect.DeepEqual(lb, vb) {
+			t.Errorf("%s body %v != %s body %v", pair[0], lb, pair[1], vb)
+		}
+	}
+
+	// The legacy group endpoint must match the v1 GroupQuery route for
+	// every method, on items, fairness, and value.
+	for _, method := range []string{"greedy", "brute", "mapreduce"} {
+		legacy := do(t, srv, "GET",
+			fmt.Sprintf("/api/group-recommendations?users=g1,g2&z=2&method=%s", method), nil)
+		if legacy.Code != http.StatusOK {
+			t.Fatalf("legacy %s status = %d body=%s", method, legacy.Code, legacy.Body.String())
+		}
+		v1 := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+			Members: []string{"g1", "g2"}, Z: 2, Method: method, Explain: true,
+		})
+		if v1.Code != http.StatusOK {
+			t.Fatalf("v1 %s status = %d body=%s", method, v1.Code, v1.Body.String())
+		}
+		lr, vr := decode[GroupResponse](t, legacy), decode[GroupResponse](t, v1)
+		if !reflect.DeepEqual(lr.Items, vr.Items) {
+			t.Errorf("%s: legacy items %v != v1 items %v", method, lr.Items, vr.Items)
+		}
+		if lr.Fairness != vr.Fairness || lr.Value != vr.Value {
+			t.Errorf("%s: legacy fairness/value %v/%v != v1 %v/%v",
+				method, lr.Fairness, lr.Value, vr.Fairness, vr.Value)
+		}
+		if !reflect.DeepEqual(lr.PerMember, vr.PerMember) {
+			t.Errorf("%s: per_member differs", method)
+		}
+	}
+
+	// Alias responses carry the deprecation marker; v1 does not.
+	legacy := do(t, srv, "GET", "/api/stats", nil)
+	if legacy.Header().Get("Deprecation") != "true" {
+		t.Error("alias response lacks Deprecation header")
+	}
+	v1 := do(t, srv, "GET", "/v1/stats", nil)
+	if v1.Header().Get("Deprecation") != "" {
+		t.Error("v1 response carries Deprecation header")
+	}
+}
+
+func decodeMap(t *testing.T, rec *httptest.ResponseRecorder) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.NewDecoder(rec.Body).Decode(&m); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	return m
+}
+
+// TestBatchQueriesForm posts the v1 queries list with mixed methods
+// and parameters and checks per-entry results match single-shot
+// serving; the deprecated groups form must stay equivalent to uniform
+// queries.
+func TestBatchQueriesForm(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	rec := do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{
+		Queries: []GroupQueryBody{
+			{Members: []string{"g1", "g2"}, Z: 2},
+			{Members: []string{"g2", "p1"}, Z: 3, Method: "brute", BruteM: 8},
+			{Members: []string{"g1", "p2"}, Z: 2, Aggregation: "min"},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body.String())
+	}
+	resp := decode[BatchGroupsResponse](t, rec)
+	if len(resp.Results) != 3 || resp.Failed != 0 {
+		t.Fatalf("results/failed = %d/%d", len(resp.Results), resp.Failed)
+	}
+	// Entry 1 must match the single-shot brute query exactly.
+	single := decode[GroupResponse](t, do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g2", "p1"}, Z: 3, Method: "brute", BruteM: 8,
+	}))
+	if !reflect.DeepEqual(resp.Results[1].Items, single.Items) {
+		t.Errorf("batch brute items %v != single-shot %v", resp.Results[1].Items, single.Items)
+	}
+
+	// groups+z form ≡ uniform queries form
+	legacy := decode[BatchGroupsResponse](t, do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{
+		Groups: [][]string{{"g1", "g2"}, {"g2", "p1"}}, Z: 2,
+	}))
+	uniform := decode[BatchGroupsResponse](t, do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{
+		Queries: []GroupQueryBody{
+			{Members: []string{"g1", "g2"}, Z: 2},
+			{Members: []string{"g2", "p1"}, Z: 2},
+		},
+	}))
+	if !reflect.DeepEqual(legacy, uniform) {
+		t.Errorf("groups form %+v != queries form %+v", legacy, uniform)
+	}
+
+	// both forms at once is a client bug
+	rec = do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{
+		Queries: []GroupQueryBody{{Members: []string{"g1"}}},
+		Groups:  [][]string{{"g1"}},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("both forms status = %d, want 400", rec.Code)
+	}
+
+	// a malformed query fails the whole batch up front with its index
+	rec = do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{
+		Queries: []GroupQueryBody{
+			{Members: []string{"g1", "g2"}},
+			{Members: []string{"g1"}, Z: -4},
+		},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("invalid query status = %d, want 400", rec.Code)
+	}
+	e := decode[ErrorBody](t, rec)
+	if e.Error.Code != CodeInvalidQuery || !strings.Contains(e.Error.Message, "queries[1]") {
+		t.Errorf("invalid query envelope = %+v", e.Error)
+	}
+}
+
+// TestStatsCacheCounters checks /v1/stats exposes the similarity and
+// peer cache hit/miss/size counters and that they move under traffic.
+func TestStatsCacheCounters(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	statsOf := func() StatsResponse {
+		return decode[StatsResponse](t, do(t, srv, "GET", "/v1/stats", nil))
+	}
+	before := statsOf()
+	if before.Caches.Similarity.Hits+before.Caches.Similarity.Misses != 0 {
+		t.Fatalf("fresh server has similarity traffic: %+v", before.Caches)
+	}
+	if rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2,
+	}); rec.Code != http.StatusOK {
+		t.Fatal("serve failed")
+	}
+	cold := statsOf()
+	if cold.Caches.Similarity.Entries == 0 || cold.Caches.Peers.Entries == 0 {
+		t.Errorf("cold serve left empty caches: %+v", cold.Caches)
+	}
+	if rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2,
+	}); rec.Code != http.StatusOK {
+		t.Fatal("second serve failed")
+	}
+	warm := statsOf()
+	if warm.Caches.Peers.Hits <= cold.Caches.Peers.Hits {
+		t.Errorf("peer hits did not move: cold %+v warm %+v", cold.Caches.Peers, warm.Caches.Peers)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// middleware
+
+func TestRequestIDAssignedAndHonoured(t *testing.T) {
+	srv, _ := newTestServer(t)
+	rec := do(t, srv, "GET", "/healthz", nil)
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Error("no request ID assigned")
+	}
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-chosen-7")
+	got := httptest.NewRecorder()
+	srv.ServeHTTP(got, req)
+	if got.Header().Get("X-Request-ID") != "caller-chosen-7" {
+		t.Errorf("inbound request ID not honoured: %q", got.Header().Get("X-Request-ID"))
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	sys, err := fairhealth.New(fairhealth.Config{MinOverlap: 1, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(sys, Options{Logger: log.New(&buf, "", 0)})
+	do(t, srv, "GET", "/v1/stats", nil)
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/v1/stats", "status=200", "request_id="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	var buf bytes.Buffer
+	sys, err := fairhealth.New(fairhealth.Config{MinOverlap: 1, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(sys, Options{Logger: log.New(&buf, "", 0)})
+	srv.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	rec := do(t, srv, "GET", "/boom", nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if e := decode[ErrorBody](t, rec); e.Error.Code != CodeInternal {
+		t.Errorf("code = %q, want %q", e.Error.Code, CodeInternal)
+	}
+	if !strings.Contains(buf.String(), "kaboom") {
+		t.Error("panic not logged")
+	}
+	// The server survives and keeps answering.
+	if rec := do(t, srv, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("server dead after panic: %d", rec.Code)
+	}
+}
+
+// TestInFlightLimiter saturates a MaxInFlight=2 server with blocked
+// handlers and checks the overflow is rejected 429/overloaded while
+// /healthz stays reachable; exercised concurrently for -race.
+func TestInFlightLimiter(t *testing.T) {
+	sys, err := fairhealth.New(fairhealth.Config{MinOverlap: 1, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(sys, Options{Logger: log.New(io.Discard, "", 0), MaxInFlight: 2})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	srv.mux.HandleFunc("GET /slow", func(w http.ResponseWriter, _ *http.Request) {
+		entered <- struct{}{}
+		<-gate
+		w.WriteHeader(http.StatusOK)
+	})
+
+	var wg sync.WaitGroup
+	codes := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("GET", "/slow", nil))
+			codes <- rec.Code
+		}()
+	}
+	// Wait for both in-flight slots to be held.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("slow handlers never started")
+		}
+	}
+	// The server is full: further requests bounce with 429...
+	rec := do(t, srv, "GET", "/slow", nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", rec.Code)
+	}
+	if e := decode[ErrorBody](t, rec); e.Error.Code != CodeOverloaded {
+		t.Errorf("overflow code = %q, want %q", e.Error.Code, CodeOverloaded)
+	}
+	// ...but the liveness probe bypasses the limiter.
+	if rec := do(t, srv, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("healthz under overload = %d, want 200", rec.Code)
+	}
+	close(gate)
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("in-flight request finished %d, want 200", code)
+		}
+	}
+	// Slots released: the server accepts work again.
+	if rec := do(t, srv, "GET", "/v1/stats", nil); rec.Code != http.StatusOK {
+		t.Errorf("post-overload request = %d, want 200", rec.Code)
+	}
+}
+
+// TestPerRequestTimeout installs a nanosecond deadline and checks a
+// context-aware route reports 504/timeout through the envelope.
+func TestPerRequestTimeout(t *testing.T) {
+	sys, err := fairhealth.New(fairhealth.Config{MinOverlap: 1, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(t, sys)
+	srv := NewWithOptions(sys, Options{Logger: log.New(io.Discard, "", 0), Timeout: time.Nanosecond})
+	rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2,
+	})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d body=%s, want 504", rec.Code, rec.Body.String())
+	}
+	if e := decode[ErrorBody](t, rec); e.Error.Code != CodeTimeout {
+		t.Errorf("code = %q, want %q", e.Error.Code, CodeTimeout)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"fairhealth/internal/model"
 	"fairhealth/internal/ontology"
@@ -251,6 +252,27 @@ type Cached struct {
 	evictSeq   uint64
 	floorSeq   uint64
 	rowEvicted map[model.UserID]uint64
+
+	// hits/misses count Similarity lookups answered from / past the
+	// memo table. Warm-up (WarmAll/WarmRows) bypasses the counters —
+	// they measure request traffic, not precompute.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// CacheStats is a race-safe snapshot of the memo table's
+// effectiveness counters.
+type CacheStats struct {
+	// Hits and Misses count Similarity lookups served from / past the
+	// table since it was built.
+	Hits, Misses uint64
+	// Entries is the number of pairs currently memoized.
+	Entries int
+}
+
+// Stats returns the current hit/miss/size counters.
+func (c *Cached) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.Len()}
 }
 
 // NewCached wraps inner with a memo table.
@@ -294,8 +316,10 @@ func (c *Cached) Similarity(a, b model.UserID) (float64, bool) {
 	startSeq := c.evictSeq
 	c.mu.RUnlock()
 	if hit {
+		c.hits.Add(1)
 		return e.sim, e.ok
 	}
+	c.misses.Add(1)
 	sim, ok := c.inner.Similarity(a, b)
 	c.mu.Lock()
 	// Store only if neither endpoint was evicted while we computed —

@@ -1,0 +1,413 @@
+package fairhealth
+
+// The unified request contract. Every group recommendation — library
+// call, CLI invocation, or HTTP request — is a GroupQuery served by
+// System.Serve; the legacy positional-argument methods are thin
+// wrappers that build a query and delegate. One typed object means new
+// knobs (per-query aggregation, brute-force bounds, explain output)
+// extend a struct instead of widening a positional-argument matrix,
+// and a batch can mix methods and parameters freely.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fairhealth/internal/core"
+	"fairhealth/internal/group"
+	"fairhealth/internal/model"
+	"fairhealth/internal/mrpipeline"
+	"fairhealth/internal/pool"
+)
+
+// ErrBadQuery reports a GroupQuery that fails validation (negative Z
+// or K, unknown method or aggregation, a method/parameter combination
+// the engine does not support). It is distinct from ErrEmptyGroup,
+// which reports a structurally valid query over no members.
+var ErrBadQuery = errors.New("fairhealth: bad query")
+
+// DefaultZ is the group list size used when a query leaves Z zero —
+// the one shared default across single-shot, batch, CLI, and HTTP
+// serving.
+const DefaultZ = 10
+
+// Method selects the solver a GroupQuery runs.
+type Method string
+
+// Available methods.
+const (
+	// MethodGreedy is the paper's Algorithm 1 (the default).
+	MethodGreedy Method = "greedy"
+	// MethodBrute is the exponential §III.D baseline over the top
+	// BruteM candidates.
+	MethodBrute Method = "brute"
+	// MethodMapReduce runs the §IV three-job pipeline plus centralized
+	// Algorithm 1. Supports only the paper's avg|min aggregations.
+	MethodMapReduce Method = "mapreduce"
+)
+
+// GroupQuery is the single typed request served by System.Serve. The
+// zero value of every optional field means "use the default": Z=0 →
+// DefaultZ, Method="" → greedy, K=0 and Aggregation="" → the System's
+// Config, BruteM≤0 → all candidates, BruteMaxCombos=0 → the core
+// safety limit.
+type GroupQuery struct {
+	// Members is the caregiver's patient group G. Duplicates are
+	// removed; every member must be known to the system (registered
+	// profile or at least one rating).
+	Members []string
+	// Z is the number of recommendations to select (top-z). Zero means
+	// DefaultZ; negative is invalid.
+	Z int
+	// Method picks the solver: greedy (default), brute, or mapreduce.
+	Method Method
+	// BruteM restricts the brute-force enumeration to the top-m group
+	// candidates (C(m,z) subsets are scored). ≤ 0 enumerates over all
+	// candidates. Ignored by other methods.
+	BruteM int
+	// BruteMaxCombos caps the number of subsets the brute force may
+	// enumerate; 0 applies the engine's safety default. Ignored by
+	// other methods.
+	BruteMaxCombos int64
+	// Aggregation overrides the Def. 2 semantics for this query: "avg"
+	// (majority), "min" (veto), or the extensions "max", "median",
+	// "consensus". Empty uses the System's configured aggregation. The
+	// mapreduce method supports only avg and min.
+	Aggregation string
+	// K overrides the size of each member's personal top-k list A_u
+	// (fairness Def. 3) for this query. Zero uses the System's
+	// configured K; negative is invalid.
+	K int
+	// Explain requests the per-member evidence: the result's PerMember
+	// map (each member's personal list A_u). Off by default — the
+	// lists are sizeable and most callers only need the selection.
+	Explain bool
+}
+
+// Validate checks the query's shape without a System: field ranges,
+// method and aggregation names, and method/parameter compatibility.
+// Serve calls it implicitly; servers validate batches up front with it
+// so a malformed entry is rejected before any work starts.
+func (q GroupQuery) Validate() error {
+	if q.Z < 0 {
+		return fmt.Errorf("%w: z must be ≥ 0 (0 means default %d), got %d", ErrBadQuery, DefaultZ, q.Z)
+	}
+	if q.K < 0 {
+		return fmt.Errorf("%w: k must be ≥ 0 (0 means the configured default), got %d", ErrBadQuery, q.K)
+	}
+	if q.BruteMaxCombos < 0 {
+		return fmt.Errorf("%w: brute_max_combos must be ≥ 0, got %d", ErrBadQuery, q.BruteMaxCombos)
+	}
+	switch q.Method {
+	case "", MethodGreedy, MethodBrute:
+	case MethodMapReduce:
+		switch q.Aggregation {
+		case "", "avg", "min":
+		default:
+			return fmt.Errorf("%w: mapreduce supports avg|min aggregation, not %q", ErrBadQuery, q.Aggregation)
+		}
+	default:
+		return fmt.Errorf("%w: unknown method %q (want %s|%s|%s)",
+			ErrBadQuery, q.Method, MethodGreedy, MethodBrute, MethodMapReduce)
+	}
+	if q.Aggregation != "" {
+		if _, err := group.ParseAggregator(q.Aggregation); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+	}
+	return nil
+}
+
+// normalize validates q and resolves every defaulted field against the
+// system configuration, returning the effective query.
+func (q GroupQuery) normalize(cfg Config) (GroupQuery, error) {
+	if err := q.Validate(); err != nil {
+		return q, err
+	}
+	if q.Z == 0 {
+		q.Z = DefaultZ
+	}
+	if q.Method == "" {
+		q.Method = MethodGreedy
+	}
+	if q.K == 0 {
+		q.K = cfg.K
+	}
+	if q.Aggregation == "" {
+		q.Aggregation = cfg.Aggregation
+		if q.Method == MethodMapReduce && q.Aggregation != "avg" && q.Aggregation != "min" {
+			return q, fmt.Errorf("%w: mapreduce supports avg|min aggregation, not the configured %q",
+				ErrBadQuery, q.Aggregation)
+		}
+	}
+	return q, nil
+}
+
+// memberGroup dedups and validates the query's member list.
+func memberGroup(members []string) (model.Group, error) {
+	g := make(model.Group, len(members))
+	for k, u := range members {
+		g[k] = model.UserID(u)
+	}
+	g = g.Dedup()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEmptyGroup, err)
+	}
+	return g, nil
+}
+
+// Serve answers one GroupQuery — the single execution path behind
+// every group recommendation surface. It validates and normalizes the
+// query, checks every member is known, runs the selected solver under
+// ctx, and shapes the result (PerMember only when q.Explain is set).
+//
+// Errors: ErrBadQuery for an invalid query, ErrEmptyGroup for a query
+// over no members, ErrUnknownPatient naming the first member the
+// system has never seen, the context error on cancellation.
+func (s *System) Serve(ctx context.Context, q GroupQuery) (*GroupResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nq, err := q.normalize(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	g, err := memberGroup(nq.Members)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range g {
+		if !s.knownUser(u) {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownPatient, u)
+		}
+	}
+
+	var in core.Input
+	var res core.Result
+	switch nq.Method {
+	case MethodMapReduce:
+		out, err := mrpipeline.Run(ctx, s.ratings.Triples(), mrpipeline.Config{
+			Group:      g,
+			Delta:      s.cfg.Delta,
+			MinOverlap: s.cfg.MinOverlap,
+			K:          nq.K,
+			Z:          nq.Z,
+			Aggregator: nq.Aggregation,
+		})
+		if err != nil {
+			return nil, err
+		}
+		in = core.Input{Group: g, Lists: out.Lists, GroupRel: out.GroupRel}
+		res = out.Fair
+	default:
+		aggr, aerr := group.ParseAggregator(nq.Aggregation)
+		if aerr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, aerr) // unreachable: normalize validated
+		}
+		in, err = s.groupProblem(g, aggr, nq.K)
+		if err != nil {
+			return nil, err
+		}
+		switch nq.Method {
+		case MethodBrute:
+			if nq.BruteM > 0 {
+				in.GroupRel = core.TopCandidates(in.GroupRel, nq.BruteM)
+			}
+			res, err = core.BruteForce(in, nq.Z, nq.BruteMaxCombos)
+		default: // MethodGreedy
+			res, err = core.GreedyContext(ctx, in, nq.Z)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.toGroupResult(in, res, nq.Explain), nil
+}
+
+// BatchGroupResult is one query's outcome within ServeBatch and
+// ServeStream. Exactly one of Result and Err is set.
+type BatchGroupResult struct {
+	// Index is the query's position in the request, linking a streamed
+	// entry (which arrives in completion order) back to its slot.
+	Index int
+	// Group echoes the requested members, in request order.
+	Group []string
+	// Result is the query's outcome (nil when Err is set).
+	Result *GroupResult
+	// Err is the query's failure: ErrBadQuery / ErrEmptyGroup /
+	// ErrUnknownPatient for an invalid entry, or the context error for
+	// entries abandoned after cancellation.
+	Err error
+}
+
+// ServeBatch answers many GroupQueries in one call — the
+// multi-caregiver serving path. Queries are independent: each entry
+// may use its own method, z, aggregation, or k, and fails or succeeds
+// on its own (one bad query does not poison the batch). The
+// similarity rows of every member in the batch are warmed by a
+// sharded worker pool first, then the queries fan out across at most
+// Config.Workers goroutines. When ctx is cancelled mid-batch,
+// in-flight queries stop at the next cancellation point, unstarted
+// entries get Err = ctx.Err(), and the context error is also
+// returned. Results are in request order; for entries as they
+// complete, use ServeStream.
+func (s *System) ServeBatch(ctx context.Context, queries []GroupQuery) ([]BatchGroupResult, error) {
+	out := make([]BatchGroupResult, len(queries))
+	for k, q := range queries {
+		out[k].Index = k
+		out[k].Group = append([]string(nil), q.Members...)
+	}
+	emitted := 0
+	err := s.ServeStream(ctx, queries, func(e BatchGroupResult) error {
+		out[e.Index] = e
+		emitted++
+		return nil
+	})
+	if err != nil && emitted == 0 && len(queries) > 0 {
+		// The failure preceded any per-query work (e.g. the similarity
+		// build itself); there are no entries to report.
+		return nil, err
+	}
+	return out, err
+}
+
+// ServeStream serves the same workload as ServeBatch but yields each
+// entry to fn as its query completes, in completion order, instead of
+// buffering the full batch — long batches start producing output
+// immediately and the caller never holds more than one entry. fn is
+// called serially (never concurrently) from the worker pool; a
+// non-nil error from fn stops the stream, abandons the remaining
+// queries, and is returned. When ctx is cancelled mid-stream,
+// remaining entries are yielded with Err = ctx.Err() and the context
+// error is returned.
+func (s *System) ServeStream(ctx context.Context, queries []GroupQuery, fn func(BatchGroupResult) error) error {
+	if fn == nil {
+		return errors.New("fairhealth: ServeStream requires a callback")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(queries) == 0 {
+		return ctx.Err()
+	}
+
+	var emitMu sync.Mutex
+	var fnErr error
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	emit := func(e BatchGroupResult) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if fnErr != nil {
+			return
+		}
+		if err := fn(e); err != nil {
+			fnErr = err
+			cancel() // abandon the remaining queries
+		}
+	}
+	entry := func(k int) BatchGroupResult {
+		return BatchGroupResult{Index: k, Group: append([]string(nil), queries[k].Members...)}
+	}
+
+	sim, err := s.similarity()
+	if err != nil {
+		return err
+	}
+
+	// Warm the rows of the batch's member union against all raters.
+	seen := make(map[model.UserID]struct{})
+	var rows []model.UserID
+	for _, q := range queries {
+		for _, u := range q.Members {
+			id := model.UserID(u)
+			if _, dup := seen[id]; dup || id == "" {
+				continue
+			}
+			seen[id] = struct{}{}
+			rows = append(rows, id)
+		}
+	}
+	if _, err := sim.WarmRows(ctx, rows, s.ratings.Users(), s.workers()); err != nil {
+		for k := range queries {
+			e := entry(k)
+			e.Err = err
+			emit(e)
+		}
+		if fnErr != nil {
+			return fnErr
+		}
+		return err
+	}
+
+	pool.Each(len(queries), s.workers(), func(k int) {
+		e := entry(k)
+		if cctx.Err() != nil {
+			if ctx.Err() == nil {
+				return // fn aborted the stream; emit nothing further
+			}
+			e.Err = ctx.Err()
+			emit(e)
+			return
+		}
+		e.Result, e.Err = s.Serve(cctx, queries[k])
+		emit(e)
+	})
+	if fnErr != nil {
+		return fnErr
+	}
+	return ctx.Err()
+}
+
+// ---------------------------------------------------------------------------
+// legacy wrappers — every historical entry point delegates to Serve
+
+// GroupRecommend runs the paper's Algorithm 1: the fairness-aware
+// top-z recommendations for the group. It is shorthand for Serve with
+// the greedy method and Explain set.
+func (s *System) GroupRecommend(users []string, z int) (*GroupResult, error) {
+	return s.Serve(context.Background(), GroupQuery{Members: users, Z: z, Method: MethodGreedy, Explain: true})
+}
+
+// GroupRecommendBruteForce runs the exponential baseline of §III.D
+// over the top-m candidates (m ≤ 0 means all candidates; use small m —
+// the cost is C(m,z)). Shorthand for Serve with the brute method.
+func (s *System) GroupRecommendBruteForce(users []string, z, m int, maxCombos int64) (*GroupResult, error) {
+	return s.Serve(context.Background(), GroupQuery{
+		Members: users, Z: z, Method: MethodBrute,
+		BruteM: m, BruteMaxCombos: maxCombos, Explain: true,
+	})
+}
+
+// GroupRecommendMapReduce executes the §IV MapReduce pipeline (three
+// jobs + centralized Algorithm 1) instead of the in-memory path.
+// Shorthand for Serve with the mapreduce method; only the paper's
+// min/avg aggregations are supported, matching the paper's pipeline.
+func (s *System) GroupRecommendMapReduce(ctx context.Context, users []string, z int) (*GroupResult, error) {
+	return s.Serve(ctx, GroupQuery{Members: users, Z: z, Method: MethodMapReduce, Explain: true})
+}
+
+// queriesFromGroups adapts the legacy ([][]string, z) batch shape into
+// uniform greedy queries.
+func queriesFromGroups(groups [][]string, z int) []GroupQuery {
+	queries := make([]GroupQuery, len(groups))
+	for k, g := range groups {
+		queries[k] = GroupQuery{Members: g, Z: z, Method: MethodGreedy, Explain: true}
+	}
+	return queries
+}
+
+// GroupRecommendBatch answers many uniform greedy group requests in
+// one call. Shorthand for ServeBatch over identical per-group queries;
+// use ServeBatch directly to mix methods or parameters per group.
+func (s *System) GroupRecommendBatch(ctx context.Context, groups [][]string, z int) ([]BatchGroupResult, error) {
+	return s.ServeBatch(ctx, queriesFromGroups(groups, z))
+}
+
+// GroupRecommendStream is GroupRecommendBatch's incremental variant:
+// entries are yielded to fn as each group completes. Shorthand for
+// ServeStream over identical per-group queries.
+func (s *System) GroupRecommendStream(ctx context.Context, groups [][]string, z int, fn func(BatchGroupResult) error) error {
+	return s.ServeStream(ctx, queriesFromGroups(groups, z), fn)
+}
