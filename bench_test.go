@@ -14,6 +14,7 @@
 //	BenchmarkClustering/*       [17] — full-scan vs clustered peer discovery
 //	BenchmarkRatingsWriteThroughput/*  sharded vs single-lock store under concurrent writers
 //	BenchmarkScopedInvalidation/*      serving after a write: scoped eviction vs full cache rebuild
+//	BenchmarkWarmCacheTTL/*            serving inside vs past the warm-cache TTL (internal/cache)
 //
 // Run: go test -bench=. -benchmem
 package fairhealth_test
@@ -30,6 +31,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"fairhealth"
 	"fairhealth/internal/cf"
@@ -424,6 +426,71 @@ func BenchmarkScopedInvalidation(b *testing.B) {
 	b.Run("warm-scoped-eviction", func(b *testing.B) { serveAfterWrite(b, sysWarm, groups, false) })
 	sysCold, groups := build(b)
 	b.Run("cold-full-invalidation", func(b *testing.B) { serveAfterWrite(b, sysCold, groups, true) })
+}
+
+// ---------------------------------------------------------------------------
+// Warm-cache TTL — read-only serving against the internal/cache layer
+// under three lease regimes: no TTL (the historical always-warm
+// behavior), a TTL the workload stays inside (every request rides warm
+// entries), and a TTL so short every request finds its entries expired
+// (the recompute bound a TTL'd deployment degrades to when traffic
+// outlives the lease). The warm arms should track each other; the
+// expired arm prices a full per-request rebuild.
+
+func BenchmarkWarmCacheTTL(b *testing.B) {
+	build := func(b *testing.B, ttl time.Duration) (*fairhealth.System, [][]string) {
+		sys, err := fairhealth.New(fairhealth.Config{Delta: 0.55, MinOverlap: 4, K: 8, CacheTTL: ttl})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { sys.Close() })
+		ds, err := dataset.Generate(dataset.Config{Seed: 31, Users: 100, Items: 200, RatingsPerUser: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tr := range ds.Ratings.Triples() {
+			if err := sys.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sys.PrecomputeSimilarity(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		users := sys.SortedUsers()
+		groups := make([][]string, 8)
+		for g := range groups {
+			groups[g] = []string{users[3*g], users[3*g+1], users[3*g+2]}
+		}
+		// Populate the peer cache too, so the warm arms start warm.
+		if _, err := sys.GroupRecommendBatch(context.Background(), groups, 6); err != nil {
+			b.Fatal(err)
+		}
+		return sys, groups
+	}
+	serve := func(b *testing.B, sys *fairhealth.System, groups [][]string) {
+		for i := 0; i < b.N; i++ {
+			res, err := sys.GroupRecommendBatch(context.Background(), groups, 6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range res {
+				if e.Err != nil {
+					b.Fatal(e.Err)
+				}
+			}
+		}
+	}
+	for _, arm := range []struct {
+		name string
+		ttl  time.Duration
+	}{
+		{"warm-no-ttl", 0},
+		{"warm-within-ttl", time.Hour},
+		{"expired-every-request", time.Nanosecond},
+	} {
+		sys, groups := build(b, arm.ttl)
+		b.Run(arm.name, func(b *testing.B) { serve(b, sys, groups) })
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -9,7 +9,10 @@
 //
 // Every request passes the middleware chain (request IDs, structured
 // logs, panic recovery, bounded in-flight limiter, per-request
-// timeout); -max-inflight and -timeout tune the bounds.
+// timeout); -max-inflight and -timeout tune the bounds. The warm
+// caches under the scoring path are tuned with -cache-ttl (entries age
+// out across requests) and -cache-max-entries (LRU bound per layer);
+// GET /v1/stats reports their hit/miss/eviction/expiration counters.
 package main
 
 import (
@@ -33,19 +36,23 @@ func main() {
 	delta := flag.Float64("delta", 0.5, "peer threshold δ")
 	k := flag.Int("k", 10, "personal list size (fairness)")
 	aggr := flag.String("aggr", "avg", "group aggregation: avg or min")
+	cacheTTL := flag.Duration("cache-ttl", 0, "lifetime of warm similarity rows and peer sets across requests (0 = never expire)")
+	cacheMaxEntries := flag.Int("cache-max-entries", 0, "LRU bound per cache layer (0 = unbounded)")
 	state := flag.String("state", "", "state directory for durable storage (empty = in-memory)")
 	timeout := flag.Duration("timeout", httpapi.DefaultTimeout, "per-request timeout (negative disables)")
 	maxInFlight := flag.Int("max-inflight", httpapi.DefaultMaxInFlight, "max concurrently served requests, 429 beyond (negative disables)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "iphrd ", log.LstdFlags)
-	cfg := fairhealth.Config{Delta: *delta, K: *k, Aggregation: *aggr}
+	cfg := fairhealth.Config{
+		Delta: *delta, K: *k, Aggregation: *aggr,
+		CacheTTL: *cacheTTL, CacheMaxEntries: *cacheMaxEntries,
+	}
 	var sys *fairhealth.System
 	var err error
 	if *state != "" {
 		sys, err = fairhealth.NewPersistent(cfg, *state)
 		if err == nil {
-			defer sys.Close()
 			st := sys.Stats()
 			logger.Printf("restored state from %s: %d ratings, %d patients", *state, st.Ratings, st.Patients)
 		}
@@ -55,6 +62,7 @@ func main() {
 	if err != nil {
 		logger.Fatalf("config: %v", err)
 	}
+	defer sys.Close()
 
 	if *demo && sys.Stats().Ratings > 0 {
 		logger.Printf("state already populated; skipping demo load")

@@ -73,6 +73,14 @@
 // racing a write may see either side of it; once writes quiesce,
 // served scores are bit-identical to a freshly built system's.
 //
+// Both memoization layers (the similarity memo and the peer-set cache)
+// ride the shared internal/cache engine: Config.CacheTTL ages
+// long-idle entries out across requests and Config.CacheMaxEntries
+// LRU-bounds each layer; System.CacheStats (and GET /v1/stats) report
+// hits, misses, evictions, expirations, and live entry counts. With a
+// TTL configured, call Close when discarding the System so the
+// background janitors stop.
+//
 // For read-heavy deployments, PrecomputeSimilarity materializes the
 // full pairwise similarity matrix in parallel ahead of traffic;
 // Config.Workers bounds both pools (default GOMAXPROCS).
@@ -88,6 +96,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"fairhealth/internal/cf"
 	"fairhealth/internal/core"
@@ -160,6 +169,19 @@ type Config struct {
 	// precompute (PrecomputeSimilarity) and the batch group API
 	// (GroupRecommendBatch). 0 means runtime.GOMAXPROCS at call time.
 	Workers int
+	// CacheTTL bounds how long memoized similarity rows and peer sets
+	// stay live across requests: entries older than the TTL answer as
+	// misses and are reaped (lazily on lookup plus a background
+	// janitor), so long-idle entries age out instead of living forever.
+	// 0 keeps the historical behavior (entries live until evicted by a
+	// write); negative is ErrBadConfig. With a TTL set, call Close when
+	// discarding the System so the janitor goroutines stop.
+	CacheTTL time.Duration
+	// CacheMaxEntries caps each cache layer (the similarity memo table
+	// and the peer-set cache, independently); inserts beyond the cap
+	// evict least-recently-used entries. 0 means unbounded; negative is
+	// ErrBadConfig.
+	CacheMaxEntries int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -194,6 +216,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("%w: workers %d must be ≥ 0", ErrBadConfig, c.Workers)
+	}
+	if c.CacheTTL < 0 {
+		return c, fmt.Errorf("%w: cache ttl %v must be ≥ 0 (0 disables expiry)", ErrBadConfig, c.CacheTTL)
+	}
+	if c.CacheMaxEntries < 0 {
+		return c, fmt.Errorf("%w: cache max entries %d must be ≥ 0 (0 means unbounded)", ErrBadConfig, c.CacheMaxEntries)
 	}
 	return c, nil
 }
@@ -274,11 +302,10 @@ type System struct {
 	pc       *simfn.ProfileCosine
 	pcBuilt  bool
 
-	// simHitsBase/simMissesBase accumulate the counters of similarity
-	// caches discarded by full invalidations, so CacheStats reports
-	// lifetime totals rather than resetting on every profile write.
-	simHitsBase   uint64
-	simMissesBase uint64
+	// simBase accumulates the counters of similarity caches discarded
+	// by full invalidations, so CacheStats reports lifetime totals
+	// rather than resetting on every profile write.
+	simBase CacheCounters
 
 	// peerCache memoizes P_u across requests. Rating writes evict it
 	// per touched user (invalidateUsers); profile writes flush it
@@ -301,14 +328,17 @@ func NewWithOntology(cfg Config, ont *ontology.Ontology) (*System, error) {
 		return nil, err
 	}
 	sys := &System{
-		cfg:       c,
-		ratings:   ratings.New(),
-		profiles:  phr.NewStore(ont),
-		ont:       ont,
-		index:     search.NewIndex(nil),
-		simDirty:  true,
-		pcDirty:   true,
-		peerCache: cf.NewPeerCache(),
+		cfg:      c,
+		ratings:  ratings.New(),
+		profiles: phr.NewStore(ont),
+		ont:      ont,
+		index:    search.NewIndex(nil),
+		simDirty: true,
+		pcDirty:  true,
+		peerCache: cf.NewPeerCacheWith(cf.PeerCacheOptions{
+			TTL:        c.CacheTTL,
+			MaxEntries: c.CacheMaxEntries,
+		}),
 	}
 	// Every rating write — direct, CSV bulk load, or WAL replay —
 	// reports its touched user here, and the scoped invalidation routes
@@ -371,8 +401,17 @@ func (s *System) applyRecord(rec wal.Record) error {
 	}
 }
 
-// Close releases the persistence log (no-op for in-memory systems).
+// Close stops the cache janitor goroutines and releases the
+// persistence log (the latter a no-op for in-memory systems). The
+// caches themselves remain usable — only their background expiry
+// sweeps stop. Required for TTL'd systems; harmless otherwise.
 func (s *System) Close() error {
+	s.mu.Lock()
+	if s.simCache != nil {
+		s.simCache.Close()
+	}
+	s.mu.Unlock()
+	s.peerCache.Close()
 	if s.walLog == nil {
 		return nil
 	}
@@ -505,6 +544,13 @@ type CacheCounters struct {
 	// them).
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
+	// Evictions counts entries removed before natural expiry: scoped
+	// per-user eviction after writes, LRU capacity eviction
+	// (Config.CacheMaxEntries), and full invalidations.
+	Evictions uint64 `json:"evictions"`
+	// Expirations counts entries aged out by the TTL
+	// (Config.CacheTTL).
+	Expirations uint64 `json:"expirations"`
 	// Entries is the number of entries currently cached.
 	Entries int `json:"entries"`
 }
@@ -524,18 +570,26 @@ type CacheStats struct {
 // CacheStats returns the current cache effectiveness counters.
 func (s *System) CacheStats() CacheStats {
 	s.mu.Lock()
-	sim := CacheCounters{Hits: s.simHitsBase, Misses: s.simMissesBase}
+	sim := s.simBase
 	if s.simCache != nil {
 		st := s.simCache.Stats()
 		sim.Hits += st.Hits
 		sim.Misses += st.Misses
+		sim.Evictions += st.Evictions
+		sim.Expirations += st.Expirations
 		sim.Entries = st.Entries
 	}
 	s.mu.Unlock()
 	ps := s.peerCache.Stats()
 	return CacheStats{
 		Similarity: sim,
-		Peers:      CacheCounters{Hits: ps.Hits, Misses: ps.Misses, Entries: ps.Entries},
+		Peers: CacheCounters{
+			Hits:        ps.Hits,
+			Misses:      ps.Misses,
+			Evictions:   ps.Evictions,
+			Expirations: ps.Expirations,
+			Entries:     ps.Entries,
+		},
 	}
 }
 
@@ -724,16 +778,26 @@ func (s *System) similarity() (*simfn.Cached, error) {
 		return s.simCache, nil
 	}
 	if s.simCache != nil {
-		// The old memo table is being discarded; keep its counters.
+		// The old memo table is being discarded; keep its counters and
+		// stop its janitor (in-flight queries still holding it are fine
+		// — Close only ends the background sweep). Its live entries are
+		// dropped by this full invalidation, so they count as evictions
+		// — matching the peer cache, whose Invalidate counts the flush.
 		st := s.simCache.Stats()
-		s.simHitsBase += st.Hits
-		s.simMissesBase += st.Misses
+		s.simBase.Hits += st.Hits
+		s.simBase.Misses += st.Misses
+		s.simBase.Evictions += st.Evictions + uint64(st.Entries)
+		s.simBase.Expirations += st.Expirations
+		s.simCache.Close()
 	}
 	base, err := s.buildSimilarityLocked()
 	if err != nil {
 		return nil, err
 	}
-	s.simCache = simfn.NewCached(base)
+	s.simCache = simfn.NewCachedWith(base, simfn.CacheOptions{
+		TTL:        s.cfg.CacheTTL,
+		MaxEntries: s.cfg.CacheMaxEntries,
+	})
 	s.simDirty = false
 	return s.simCache, nil
 }

@@ -15,9 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
+	"time"
 
+	"fairhealth/internal/cache"
 	"fairhealth/internal/model"
 	"fairhealth/internal/ratings"
 	"fairhealth/internal/simfn"
@@ -82,41 +82,45 @@ type Recommender struct {
 	CacheSeq uint64
 }
 
-// PeerCache memoizes Peers results per user. It is safe for concurrent
-// use and staleness is impossible by construction, through two fences:
+// PeerCacheOptions tunes the table behind a PeerCache. The zero value
+// is the historical behavior: unbounded, never expiring.
+type PeerCacheOptions struct {
+	// TTL bounds each cached peer set's lifetime; 0 disables expiry.
+	TTL time.Duration
+	// MaxEntries caps the number of cached sets (LRU eviction beyond);
+	// 0 is unbounded.
+	MaxEntries int
+	// Clock injects a fake clock for TTL tests; nil means time.Now.
+	Clock func() time.Time
+	// JanitorInterval tunes the background expiry sweep: 0 derives it
+	// from the TTL, negative disables it (lazy expiry still applies).
+	JanitorInterval time.Duration
+}
+
+// PeerCache memoizes Peers results per user over the shared
+// internal/cache engine. It is safe for concurrent use and staleness
+// is impossible by construction, through the engine's two fences:
 //
 //   - Generation (full flush): Invalidate bumps the generation and an
 //     in-flight Put carrying the older generation is dropped, so a peer
 //     set computed against a pre-flush snapshot can never land.
 //   - Eviction sequence (scoped): EvictUsers(users) deletes each user's
-//     own entry plus every cached set containing one of them, and
-//     records the users as touched at the current sequence. A cached
-//     set stored before a touch does not know about it; Lookup reports
-//     those touched users as stale, and the Recommender re-evaluates
-//     exactly them (a write to u can also pull u INTO another user's
-//     peer set, so deleting containing sets alone would not be enough).
-//     Entries stored by in-flight Puts after an eviction carry the
-//     pre-eviction sequence and are patched the same way on next read.
+//     own entry plus every cached set containing one of them (each set
+//     is indexed under its owner and every member as eviction scopes),
+//     and records the users as touched at the current sequence. A
+//     cached set stored before a touch does not know about it; Lookup
+//     reports those touched users as stale, and the Recommender
+//     re-evaluates exactly them (a write to u can also pull u INTO
+//     another user's peer set, so deleting containing sets alone would
+//     not be enough). Entries stored by in-flight Puts after an
+//     eviction carry the pre-eviction sequence and are patched the
+//     same way on next read.
+//
+// TTL expiry and LRU capacity eviction only remove sets — the next
+// Peers call rebuilds from current data, so no staleness can arise
+// from either. Call Close when discarding a TTL'd cache.
 type PeerCache struct {
-	mu      sync.RWMutex
-	gen     uint64
-	seq     uint64
-	entries map[model.UserID]peerEntry
-	touched map[model.UserID]uint64
-	// owners indexes entries by member: owners[p] is the set of users
-	// whose cached peer set contains p, so EvictUsers touches only the
-	// affected sets instead of scanning every entry on each write.
-	owners map[model.UserID]map[model.UserID]struct{}
-	// floor is the oldest sequence Puts are still accepted for: touch
-	// records at or below it have been pruned, so a set fenced earlier
-	// could no longer be patched correctly.
-	floor uint64
-
-	// hits/misses count Lookup outcomes: a hit means a cached set was
-	// usable (possibly after patching its stale users), a miss means
-	// the caller had to run a full peer scan. Race-safe.
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	c *cache.Cache[model.UserID, model.UserID, []Peer]
 }
 
 // CacheStats is a race-safe snapshot of the peer cache's
@@ -125,60 +129,57 @@ type CacheStats struct {
 	// Hits and Misses count Lookup outcomes since the cache was built
 	// (Invalidate clears entries but not the counters).
 	Hits, Misses uint64
+	// Evictions counts sets dropped by scoped eviction, the LRU
+	// capacity bound, or full invalidation; Expirations counts sets
+	// aged out by the TTL.
+	Evictions, Expirations uint64
 	// Entries is the number of peer sets currently cached.
 	Entries int
 }
 
-// Stats returns the current hit/miss/size counters.
+// Stats returns the current counters.
 func (c *PeerCache) Stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.Len()}
+	st := c.c.Stats()
+	return CacheStats{
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Evictions:   st.Evictions,
+		Expirations: st.Expirations,
+		Entries:     st.Entries,
+	}
 }
 
-type peerEntry struct {
-	peers []Peer
-	seq   uint64 // eviction sequence the set is valid for
-}
-
-// NewPeerCache returns an empty cache.
+// NewPeerCache returns an empty, unbounded, non-expiring cache.
 func NewPeerCache() *PeerCache {
+	return NewPeerCacheWith(PeerCacheOptions{})
+}
+
+// NewPeerCacheWith returns an empty cache tuned by opts.
+func NewPeerCacheWith(opts PeerCacheOptions) *PeerCache {
 	return &PeerCache{
-		entries: make(map[model.UserID]peerEntry),
-		touched: make(map[model.UserID]uint64),
-		owners:  make(map[model.UserID]map[model.UserID]struct{}),
+		c: cache.New[model.UserID, model.UserID, []Peer](cache.Config[model.UserID]{
+			Hash:            func(u model.UserID) uint32 { return cache.FNV1a(string(u)) },
+			TTL:             opts.TTL,
+			MaxEntries:      opts.MaxEntries,
+			Now:             opts.Clock,
+			JanitorInterval: opts.JanitorInterval,
+		}),
 	}
 }
 
-// removeLocked deletes owner's entry and unindexes its members.
-// Caller holds c.mu.
-func (c *PeerCache) removeLocked(owner model.UserID) {
-	e, ok := c.entries[owner]
-	if !ok {
-		return
-	}
-	for _, p := range e.peers {
-		if m := c.owners[p.User]; m != nil {
-			delete(m, owner)
-			if len(m) == 0 {
-				delete(c.owners, p.User)
-			}
-		}
-	}
-	delete(c.entries, owner)
-}
+// Close stops the cache's background janitor (a no-op without a TTL).
+// The cache remains usable afterwards.
+func (c *PeerCache) Close() { c.c.Close() }
 
-// storeLocked replaces owner's entry and indexes its members. Caller
-// holds c.mu.
-func (c *PeerCache) storeLocked(owner model.UserID, e peerEntry) {
-	c.removeLocked(owner)
-	c.entries[owner] = e
-	for _, p := range e.peers {
-		m := c.owners[p.User]
-		if m == nil {
-			m = make(map[model.UserID]struct{})
-			c.owners[p.User] = m
-		}
-		m[owner] = struct{}{}
+// scopesOf lists the eviction scopes of owner's peer set: the owner
+// plus every member, so a write to any of them reaches the set.
+func scopesOf(owner model.UserID, peers []Peer) []model.UserID {
+	scopes := make([]model.UserID, 0, len(peers)+1)
+	scopes = append(scopes, owner)
+	for _, p := range peers {
+		scopes = append(scopes, p.User)
 	}
+	return scopes
 }
 
 // Get returns a copy of the cached peer set for u if it is present and
@@ -205,122 +206,55 @@ const maxStalePatch = 64
 // Recommender.Peers), after which the patched set can be Put back.
 // Sets more than maxStalePatch evictions behind report a miss.
 func (c *PeerCache) Lookup(u model.UserID) (peers []Peer, stale []model.UserID, ok bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.entries[u]
+	set, entrySeq, ok := c.c.Lookup(u)
 	if !ok {
-		c.misses.Add(1)
+		c.c.RecordMiss()
 		return nil, nil, false
 	}
-	if e.seq < c.seq { // at least one eviction since the set was stored
-		for t, at := range c.touched {
-			if at > e.seq {
-				if len(stale) == maxStalePatch {
-					c.misses.Add(1)
-					return nil, nil, false // too far behind; rebuild instead
-				}
-				stale = append(stale, t)
-			}
-		}
-		sort.Slice(stale, func(a, b int) bool { return stale[a] < stale[b] })
+	stale, tooMany := c.c.StaleSince(entrySeq, maxStalePatch)
+	if tooMany {
+		c.c.RecordMiss()
+		return nil, nil, false // too far behind; rebuild instead
 	}
-	c.hits.Add(1)
-	return append([]Peer(nil), e.peers...), stale, true
+	sort.Slice(stale, func(a, b int) bool { return stale[a] < stale[b] })
+	c.c.RecordHit()
+	return append([]Peer(nil), set...), stale, true
 }
 
 // Generation returns the current invalidation generation; capture it
 // (via Fence) before computing a peer set and pass it to Put.
-func (c *PeerCache) Generation() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.gen
-}
+func (c *PeerCache) Generation() uint64 { return c.c.Generation() }
 
 // Fence captures the generation and eviction sequence in one shot —
 // the pair a Recommender needs before snapshotting its similarity.
-func (c *PeerCache) Fence() (gen, seq uint64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.gen, c.seq
-}
+func (c *PeerCache) Fence() (gen, seq uint64) { return c.c.Fence() }
 
 // Put stores a copy of u's peer set, valid as of the captured (gen,
 // seq) fence. The set is dropped when the cache was fully invalidated
 // since gen was captured; scoped evictions since seq are reconciled
 // lazily by Lookup's stale reporting.
 func (c *PeerCache) Put(u model.UserID, peers []Peer, gen, seq uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.gen != gen || seq < c.floor {
-		return
-	}
-	c.storeLocked(u, peerEntry{peers: append([]Peer(nil), peers...), seq: seq})
+	c.c.PutFenced(u, append([]Peer(nil), peers...), scopesOf(u, peers), gen, seq)
 }
 
 // EvictUsers routes a write touching users down the cache: each user's
 // own peer set goes, as does every cached set containing one of them
-// (found through the member index, so cost is O(affected sets), not a
-// scan of the table), and the users are recorded as touched so sets
-// stored by in-flight computations get patched on their next read. All
-// other sets stay warm.
+// (found through the engine's scope index, so cost is O(affected
+// sets), not a scan of the table), and the users are recorded as
+// touched so sets stored by in-flight computations get patched on
+// their next read. All other sets stay warm. The engine periodically
+// prunes touch records no live entry can still be behind on, so the
+// metadata doesn't grow with every user ever written.
 func (c *PeerCache) EvictUsers(users []model.UserID) {
-	if len(users) == 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.seq++
-	for _, u := range users {
-		c.touched[u] = c.seq
-		c.removeLocked(u)
-		if m := c.owners[u]; m != nil {
-			affected := make([]model.UserID, 0, len(m))
-			for owner := range m {
-				affected = append(affected, owner)
-			}
-			for _, owner := range affected {
-				c.removeLocked(owner)
-			}
-		}
-	}
-	// Periodically drop touch records no live entry can still be behind
-	// on, so touched doesn't grow with every user ever written. The
-	// floor rises with the prune: a Put fenced before it can no longer
-	// be patched correctly (its touch records are gone) and is refused.
-	if c.seq%64 == 0 {
-		minSeq := c.seq
-		for _, e := range c.entries {
-			if e.seq < minSeq {
-				minSeq = e.seq
-			}
-		}
-		c.floor = minSeq
-		for t, at := range c.touched {
-			if at <= minSeq {
-				delete(c.touched, t)
-			}
-		}
-	}
+	c.c.EvictScopes(users)
 }
 
 // Invalidate clears the cache and bumps the generation, fencing off any
 // in-flight Put that started before the call.
-func (c *PeerCache) Invalidate() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.gen++
-	c.seq++
-	c.entries = make(map[model.UserID]peerEntry)
-	c.touched = make(map[model.UserID]uint64)
-	c.owners = make(map[model.UserID]map[model.UserID]struct{})
-}
+func (c *PeerCache) Invalidate() { c.c.Invalidate() }
 
 // Len returns the number of cached peer sets.
-func (c *PeerCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.entries)
-}
+func (c *PeerCache) Len() int { return c.c.Len() }
 
 func (r *Recommender) check() error {
 	if r == nil || r.Store == nil || r.Sim == nil {

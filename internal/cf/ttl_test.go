@@ -1,0 +1,99 @@
+package cf
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/simfn"
+)
+
+type ttlClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *ttlClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *ttlClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestPeerCacheTTLExpiredRebuildsIdentical: a peer set past its lease
+// answers as a miss, the Recommender rebuilds it by full scan, and the
+// rebuilt set is element-wise identical to a cache-free scan.
+func TestPeerCacheTTLExpiredRebuildsIdentical(t *testing.T) {
+	store := storeWith(t,
+		tr("u", "d0", 3),
+		tr("a", "d1", 3), tr("b", "d2", 3), tr("w", "d3", 3),
+	)
+	sim := simfn.Func(func(x, y model.UserID) (float64, bool) { return 0.8, true })
+	clk := &ttlClock{t: time.Unix(1000, 0)}
+	cache := NewPeerCacheWith(PeerCacheOptions{TTL: time.Minute, Clock: clk.Now, JanitorInterval: -1})
+	defer cache.Close()
+	newRec := func() *Recommender {
+		gen, seq := cache.Fence()
+		return &Recommender{Store: store, Sim: sim, Delta: 0.5, Cache: cache, CacheGen: gen, CacheSeq: seq}
+	}
+	first, err := newRec().Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", cache.Len())
+	}
+
+	clk.advance(2 * time.Minute)
+	if _, _, ok := cache.Lookup("u"); ok {
+		t.Fatal("expired peer set served")
+	}
+	rebuilt, err := newRec().Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := (&Recommender{Store: store, Sim: sim, Delta: 0.5}).Peers("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rebuilt, fresh) || !reflect.DeepEqual(rebuilt, first) {
+		t.Fatalf("expired-then-rebuilt set differs:\n rebuilt %+v\n fresh %+v\n first %+v", rebuilt, fresh, first)
+	}
+	// The rebuilt set is stored with a fresh lease.
+	if _, _, ok := cache.Lookup("u"); !ok {
+		t.Fatal("rebuilt set not re-cached")
+	}
+	if st := cache.Stats(); st.Expirations == 0 {
+		t.Errorf("no expirations counted: %+v", st)
+	}
+	// The janitor's sweep path also reaps expired sets.
+	clk.advance(2 * time.Minute)
+	if _, err := newRec().Peers("u"); err != nil { // repopulate after lapse
+		t.Fatal(err)
+	}
+}
+
+// TestPeerCacheMaxEntriesLRU: the set cache honors its capacity bound.
+func TestPeerCacheMaxEntriesLRU(t *testing.T) {
+	cache := NewPeerCacheWith(PeerCacheOptions{MaxEntries: 2})
+	gen, seq := cache.Fence()
+	// Single-shard behavior isn't guaranteed (users hash to shards), so
+	// only the global invariant is asserted: Len never exceeds the cap.
+	users := []model.UserID{"u1", "u2", "u3", "u4", "u5", "u6"}
+	for _, u := range users {
+		cache.Put(u, []Peer{{User: "x", Sim: 0.9}}, gen, seq)
+		if cache.Len() > 2 {
+			t.Fatalf("Len = %d exceeds the 2-set bound", cache.Len())
+		}
+	}
+	if st := cache.Stats(); st.Evictions == 0 {
+		t.Errorf("no LRU evictions counted: %+v", st)
+	}
+}

@@ -9,7 +9,8 @@
 // including every request/response body: docs/api.md):
 //
 //	GET  /healthz                    liveness probe (bypasses the limiter)
-//	GET  /v1/stats                   corpus statistics + cache hit/miss/size counters
+//	GET  /v1/stats                   corpus statistics + cache counters (hits, misses,
+//	                                 evictions, expirations, entries per layer)
 //	POST /v1/patients                create/update a patient profile
 //	GET  /v1/patients                list patient IDs
 //	GET  /v1/patients/{id}           fetch one profile

@@ -428,6 +428,40 @@ func TestStatsCacheCounters(t *testing.T) {
 	}
 }
 
+// TestStatsCacheEvictionExpirationFields: the stats payload carries
+// the engine's eviction/expiration counters on the wire, and a rating
+// write moves the eviction counters through scoped invalidation.
+func TestStatsCacheEvictionExpirationFields(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	if rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2,
+	}); rec.Code != http.StatusOK {
+		t.Fatal("serve failed")
+	}
+	raw := do(t, srv, "GET", "/v1/stats", nil).Body.String()
+	for _, field := range []string{`"evictions"`, `"expirations"`} {
+		if !strings.Contains(raw, field) {
+			t.Errorf("stats payload missing %s field:\n%s", field, raw)
+		}
+	}
+	before := decode[StatsResponse](t, do(t, srv, "GET", "/v1/stats", nil))
+	if rec := do(t, srv, "POST", "/v1/ratings", RatingBody{
+		User: "g1", Item: "doc1", Value: 2,
+	}); rec.Code != http.StatusCreated {
+		t.Fatal("rating write failed")
+	}
+	after := decode[StatsResponse](t, do(t, srv, "GET", "/v1/stats", nil))
+	if after.Caches.Similarity.Evictions <= before.Caches.Similarity.Evictions {
+		t.Errorf("similarity evictions did not move after a write: before %+v after %+v",
+			before.Caches.Similarity, after.Caches.Similarity)
+	}
+	if after.Caches.Peers.Evictions <= before.Caches.Peers.Evictions {
+		t.Errorf("peer evictions did not move after a write: before %+v after %+v",
+			before.Caches.Peers, after.Caches.Peers)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // middleware
 

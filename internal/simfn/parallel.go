@@ -29,14 +29,13 @@ type Pair struct {
 
 // Entries snapshots the cached matrix as canonical pairs sorted by
 // (A, B) — the deterministic comparison format used by the
-// parallel-vs-serial equivalence tests.
+// parallel-vs-serial equivalence tests. Expired entries are excluded.
 func (c *Cached) Entries() []Pair {
-	c.mu.RLock()
-	out := make([]Pair, 0, len(c.entries))
-	for k, e := range c.entries {
+	out := make([]Pair, 0, c.table.Len())
+	c.table.Range(func(k pairKey, e cacheEntry) bool {
 		out = append(out, Pair{A: k.a, B: k.b, Sim: e.sim, Ok: e.ok})
-	}
-	c.mu.RUnlock()
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A != out[j].A {
 			return out[i].A < out[j].A
@@ -85,18 +84,16 @@ func (c *Cached) warm(ctx context.Context, rows, cols []model.UserID, workers in
 		return 0, ctx.Err()
 	}
 
-	// Snapshot the already-cached keys so a re-warm after partial use
-	// only pays for the missing entries. The eviction seq is captured
-	// under the same lock: entries computed by the workers merge only if
-	// neither endpoint was evicted after this point, so a concurrent
-	// write cannot smuggle a pre-write value into the warmed cache.
-	c.mu.RLock()
-	existing := make(map[pairKey]struct{}, len(c.entries))
-	for k := range c.entries {
-		existing[k] = struct{}{}
-	}
-	startSeq := c.evictSeq
-	c.mu.RUnlock()
+	// Capture the eviction seq, then snapshot the already-cached keys so
+	// a re-warm after partial use only pays for the missing entries
+	// (expired entries are absent from the snapshot, so a warm over a
+	// TTL'd cache refreshes them). Entries computed by the workers merge
+	// only if neither endpoint was evicted after the captured seq, so a
+	// concurrent write cannot smuggle a pre-write value into the warmed
+	// cache; capturing the seq before the snapshot can only make the
+	// fence more conservative, never less.
+	startSeq := c.table.Seq()
+	existing := c.table.Keys()
 
 	var rowPos map[model.UserID]int
 	if cols != nil {
@@ -142,15 +139,13 @@ func (c *Cached) warm(ctx context.Context, rows, cols []model.UserID, workers in
 			return
 		}
 		merged := 0
-		c.mu.Lock()
 		for k, e := range local {
-			if c.evictedSinceLocked(k.a, startSeq) || c.evictedSinceLocked(k.b, startSeq) {
-				continue
+			// PutChecked drops entries whose endpoints were evicted after
+			// the captured seq — the same fence the old merge applied.
+			if c.table.PutChecked(k, e, k.scopes(), startSeq) {
+				merged++
 			}
-			c.storeLocked(k, e)
-			merged++
 		}
-		c.mu.Unlock()
 		added.Add(int64(merged))
 	})
 	return int(added.Load()), ctx.Err()

@@ -12,9 +12,9 @@ package simfn
 import (
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
+	"time"
 
+	"fairhealth/internal/cache"
 	"fairhealth/internal/model"
 	"fairhealth/internal/ontology"
 	"fairhealth/internal/phr"
@@ -218,46 +218,53 @@ func canonical(a, b model.UserID) pairKey {
 	return pairKey{a, b}
 }
 
+// scopes returns the eviction scopes of a pair: its two endpoints. A
+// write to either user invalidates exactly the entries carrying them.
+func (k pairKey) scopes() []model.UserID { return []model.UserID{k.a, k.b} }
+
 type cacheEntry struct {
 	sim float64
 	ok  bool
 }
 
-// Cached memoizes a symmetric similarity measure. Peer discovery
-// (Def. 1) evaluates simU for every candidate pair; caching turns the
-// repeated lookups of group recommendation into O(1).
+// CacheOptions tunes the memo table behind Cached. The zero value is
+// the historical behavior: unbounded, never expiring.
+type CacheOptions struct {
+	// TTL bounds each memoized pair's lifetime; 0 disables expiry.
+	TTL time.Duration
+	// MaxEntries caps the table (LRU eviction beyond); 0 is unbounded.
+	MaxEntries int
+	// Clock injects a fake clock for TTL tests; nil means time.Now.
+	Clock func() time.Time
+	// JanitorInterval tunes the background expiry sweep: 0 derives it
+	// from the TTL, negative disables it (lazy expiry still applies).
+	JanitorInterval time.Duration
+}
+
+// Cached memoizes a symmetric similarity measure over the shared
+// internal/cache engine. Peer discovery (Def. 1) evaluates simU for
+// every candidate pair; caching turns the repeated lookups of group
+// recommendation into O(1), and concurrent misses of one pair compute
+// it once (singleflight).
 //
 // Eviction is row-scoped: a write to user u only needs EvictRows(u) —
 // every other pair's similarity is a function of data the write did not
 // touch, so the rest of the memo table stays warm. Evictions are
-// sequence-numbered, and a computation that started before an eviction
-// of either of its endpoints is dropped instead of stored, so an
-// in-flight lookup racing a write can never resurrect a stale entry
-// (the value is still returned to its caller — a read overlapping a
-// write may see either side of it, but the cache only keeps entries
-// computed from post-eviction state).
+// sequence-numbered by the engine, and a computation that started
+// before an eviction of either of its endpoints is dropped instead of
+// stored, so an in-flight lookup racing a write can never resurrect a
+// stale entry (the value is still returned to its caller — a read
+// overlapping a write may see either side of it, but the cache only
+// keeps entries computed from post-eviction state).
+//
+// With a TTL, long-idle entries age out (lazily on lookup plus a
+// background janitor — call Close when discarding a TTL'd Cached);
+// with MaxEntries, the table is LRU-bounded. A recomputation after
+// expiry or LRU eviction reads the same underlying data, so warm
+// answers stay bit-identical to cold rebuilds.
 type Cached struct {
-	mu      sync.RWMutex
-	inner   UserSimilarity
-	entries map[pairKey]cacheEntry
-
-	// rows indexes entry keys by endpoint so EvictRows is O(|row|)
-	// instead of a scan of the whole table — the memo is O(U²) and a
-	// per-write full scan would put a quadratic term on the write path.
-	rows map[model.UserID]map[pairKey]struct{}
-
-	// evictSeq numbers eviction events; rowEvicted records, per user,
-	// the seq of the last EvictRows touching them, and floorSeq the seq
-	// of the last full Invalidate.
-	evictSeq   uint64
-	floorSeq   uint64
-	rowEvicted map[model.UserID]uint64
-
-	// hits/misses count Similarity lookups answered from / past the
-	// memo table. Warm-up (WarmAll/WarmRows) bypasses the counters —
-	// they measure request traffic, not precompute.
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	inner UserSimilarity
+	table *cache.Cache[pairKey, model.UserID, cacheEntry]
 }
 
 // CacheStats is a race-safe snapshot of the memo table's
@@ -266,125 +273,73 @@ type CacheStats struct {
 	// Hits and Misses count Similarity lookups served from / past the
 	// table since it was built.
 	Hits, Misses uint64
+	// Evictions counts entries dropped by row-scoped eviction, the LRU
+	// capacity bound, or full invalidation; Expirations counts entries
+	// aged out by the TTL.
+	Evictions, Expirations uint64
 	// Entries is the number of pairs currently memoized.
 	Entries int
 }
 
-// Stats returns the current hit/miss/size counters.
+// Stats returns the current counters.
 func (c *Cached) Stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.Len()}
+	st := c.table.Stats()
+	return CacheStats{
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Evictions:   st.Evictions,
+		Expirations: st.Expirations,
+		Entries:     st.Entries,
+	}
 }
 
-// NewCached wraps inner with a memo table.
+// NewCached wraps inner with an unbounded, non-expiring memo table.
 func NewCached(inner UserSimilarity) *Cached {
+	return NewCachedWith(inner, CacheOptions{})
+}
+
+// NewCachedWith wraps inner with a memo table tuned by opts.
+func NewCachedWith(inner UserSimilarity, opts CacheOptions) *Cached {
 	return &Cached{
-		inner:      inner,
-		entries:    make(map[pairKey]cacheEntry),
-		rows:       make(map[model.UserID]map[pairKey]struct{}),
-		rowEvicted: make(map[model.UserID]uint64),
+		inner: inner,
+		table: cache.New[pairKey, model.UserID, cacheEntry](cache.Config[pairKey]{
+			Hash:            func(k pairKey) uint32 { return cache.FNV1a(string(k.a), string(k.b)) },
+			TTL:             opts.TTL,
+			MaxEntries:      opts.MaxEntries,
+			Now:             opts.Clock,
+			JanitorInterval: opts.JanitorInterval,
+		}),
 	}
 }
 
-// storeLocked inserts an entry and indexes its key under both
-// endpoints. Caller holds c.mu.
-func (c *Cached) storeLocked(k pairKey, e cacheEntry) {
-	c.entries[k] = e
-	for _, u := range [2]model.UserID{k.a, k.b} {
-		m := c.rows[u]
-		if m == nil {
-			m = make(map[pairKey]struct{})
-			c.rows[u] = m
-		}
-		m[k] = struct{}{}
-	}
-}
-
-// evictedSinceLocked reports whether u's row was evicted (row-scoped or
-// via full Invalidate) after seq. Caller holds c.mu.
-func (c *Cached) evictedSinceLocked(u model.UserID, seq uint64) bool {
-	if c.floorSeq > seq {
-		return true
-	}
-	return c.rowEvicted[u] > seq
-}
+// Close stops the memo table's background janitor (a no-op without a
+// TTL). The table remains usable afterwards.
+func (c *Cached) Close() { c.table.Close() }
 
 // Similarity implements UserSimilarity.
 func (c *Cached) Similarity(a, b model.UserID) (float64, bool) {
 	k := canonical(a, b)
-	c.mu.RLock()
-	e, hit := c.entries[k]
-	startSeq := c.evictSeq
-	c.mu.RUnlock()
-	if hit {
-		c.hits.Add(1)
-		return e.sim, e.ok
-	}
-	c.misses.Add(1)
-	sim, ok := c.inner.Similarity(a, b)
-	c.mu.Lock()
-	// Store only if neither endpoint was evicted while we computed —
-	// otherwise the value may predate the write that evicted the row.
-	if !c.evictedSinceLocked(k.a, startSeq) && !c.evictedSinceLocked(k.b, startSeq) {
-		c.storeLocked(k, cacheEntry{sim, ok})
-	}
-	c.mu.Unlock()
-	return sim, ok
+	e := c.table.GetOrCompute(k, k.scopes(), func() cacheEntry {
+		sim, ok := c.inner.Similarity(a, b)
+		return cacheEntry{sim, ok}
+	})
+	return e.sim, e.ok
 }
 
 // Len returns the number of cached pairs.
-func (c *Cached) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.entries)
-}
+func (c *Cached) Len() int { return c.table.Len() }
 
 // EvictRows drops every cached pair with an endpoint in users and
 // fences off in-flight computations involving them, keeping the rest of
 // the memo table warm — the scoped alternative to Invalidate for a
 // write that touched only these users' data. Cost is O(evicted), via
-// the per-user row index, not O(table). It returns the number of
+// the engine's scope index, not O(table). It returns the number of
 // entries evicted.
 func (c *Cached) EvictRows(users []model.UserID) int {
-	if len(users) == 0 {
-		return 0
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.evictSeq++
-	n := 0
-	for _, u := range users {
-		c.rowEvicted[u] = c.evictSeq
-		for k := range c.rows[u] {
-			if _, ok := c.entries[k]; !ok {
-				continue // already removed via another user this call
-			}
-			delete(c.entries, k)
-			n++
-			other := k.a
-			if other == u {
-				other = k.b
-			}
-			if m := c.rows[other]; m != nil {
-				delete(m, k)
-				if len(m) == 0 {
-					delete(c.rows, other)
-				}
-			}
-		}
-		delete(c.rows, u)
-	}
-	return n
+	return c.table.EvictScopes(users)
 }
 
 // Invalidate clears the memo table (call after a mutation whose blast
 // radius is unknown — e.g. a profile rebuild; for single-user rating
 // writes prefer EvictRows).
-func (c *Cached) Invalidate() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.evictSeq++
-	c.floorSeq = c.evictSeq
-	c.entries = make(map[pairKey]cacheEntry)
-	c.rows = make(map[model.UserID]map[pairKey]struct{})
-	c.rowEvicted = make(map[model.UserID]uint64)
-}
+func (c *Cached) Invalidate() { c.table.Invalidate() }

@@ -1,0 +1,160 @@
+package simfn
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"fairhealth/internal/model"
+)
+
+// ttlClock is an injectable clock for deterministic expiry tests.
+type ttlClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *ttlClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *ttlClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestCachedTTLExpiredRecomputeBitIdentical: a memo table whose
+// entries all expired and were recomputed holds exactly the bytes a
+// cold build holds — TTL'd warmth never changes answers.
+func TestCachedTTLExpiredRecomputeBitIdentical(t *testing.T) {
+	st, users := warmStore(t, 16, 30)
+	base := warmMeasure(st)
+	clk := &ttlClock{t: time.Unix(1000, 0)}
+	c := NewCachedWith(base, CacheOptions{TTL: time.Minute, Clock: clk.Now, JanitorInterval: -1})
+	if _, err := c.WarmAll(context.Background(), users, 4); err != nil {
+		t.Fatal(err)
+	}
+	warmJSON := entriesJSON(t, c)
+
+	clk.advance(2 * time.Minute)
+	if got := len(c.Entries()); got != 0 {
+		t.Fatalf("expired table still exposes %d entries", got)
+	}
+	// Lookups past the lease recompute; a full re-touch rebuilds the
+	// table from the same data.
+	for i, a := range users {
+		for _, b := range users[i+1:] {
+			gotSim, gotOK := c.Similarity(a, b)
+			wantSim, wantOK := base.Similarity(a, b)
+			if gotSim != wantSim || gotOK != wantOK {
+				t.Fatalf("pair (%s,%s): recomputed (%v,%v), direct (%v,%v)", a, b, gotSim, gotOK, wantSim, wantOK)
+			}
+		}
+	}
+	if !bytes.Equal(entriesJSON(t, c), warmJSON) {
+		t.Fatal("expired-then-recomputed table differs from the original warm build")
+	}
+	cold := NewCached(base)
+	for i, a := range users {
+		for _, b := range users[i+1:] {
+			cold.Similarity(a, b)
+		}
+	}
+	if !bytes.Equal(entriesJSON(t, c), entriesJSON(t, cold)) {
+		t.Fatal("TTL'd table differs from a cold build")
+	}
+	if st := c.Stats(); st.Expirations == 0 {
+		t.Errorf("no expirations counted: %+v", st)
+	}
+}
+
+// TestCachedTTLWarmRefreshesExpired: WarmAll over a table whose
+// entries lapsed treats them as missing and refreshes every pair.
+func TestCachedTTLWarmRefreshesExpired(t *testing.T) {
+	st, users := warmStore(t, 10, 20)
+	clk := &ttlClock{t: time.Unix(1000, 0)}
+	c := NewCachedWith(warmMeasure(st), CacheOptions{TTL: time.Minute, Clock: clk.Now, JanitorInterval: -1})
+	want := len(users) * (len(users) - 1) / 2
+	if n, err := c.WarmAll(context.Background(), users, 2); err != nil || n != want {
+		t.Fatalf("first warm = (%d,%v), want (%d,nil)", n, err, want)
+	}
+	clk.advance(2 * time.Minute)
+	n, err := c.WarmAll(context.Background(), users, 2)
+	if err != nil || n != want {
+		t.Fatalf("re-warm over expired table = (%d,%v), want (%d,nil)", n, err, want)
+	}
+	// The refreshed entries carry a fresh lease: half a TTL later the
+	// whole table is still live.
+	clk.advance(30 * time.Second)
+	if c.Len() != want {
+		t.Fatalf("refreshed table Len = %d, want %d", c.Len(), want)
+	}
+}
+
+// TestCachedMaxEntriesLRU: the pair memo honors its LRU bound and
+// evicted pairs recompute correctly.
+func TestCachedMaxEntriesLRU(t *testing.T) {
+	inner := newCountingSim()
+	users := evictUsers(8)
+	for i := range users {
+		for j := i + 1; j < len(users); j++ {
+			inner.set(users[i], users[j], float64(i+j)/10)
+		}
+	}
+	c := NewCachedWith(inner, CacheOptions{MaxEntries: 8})
+	for i := range users {
+		for j := i + 1; j < len(users); j++ {
+			c.Similarity(users[i], users[j])
+		}
+	}
+	if c.Len() > 8 {
+		t.Fatalf("Len = %d exceeds the 8-entry bound", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no LRU evictions counted: %+v", st)
+	}
+	// Evicted pairs recompute to the same values.
+	for i := range users {
+		for j := i + 1; j < len(users); j++ {
+			if s, ok := c.Similarity(users[i], users[j]); !ok || s != float64(i+j)/10 {
+				t.Fatalf("pair (%d,%d) = (%v,%v) after eviction", i, j, s, ok)
+			}
+		}
+	}
+}
+
+// TestCachedSingleflightDedupes: concurrent misses of one pair run the
+// inner measure once.
+func TestCachedSingleflightDedupes(t *testing.T) {
+	gate := make(chan struct{})
+	inner := newCountingSim()
+	inner.set("a", "b", 0.5)
+	gated := Func(func(x, y model.UserID) (float64, bool) {
+		<-gate
+		return inner.Similarity(x, y)
+	})
+	c := NewCached(gated)
+	const callers = 6
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s, ok := c.Similarity("a", "b"); !ok || s != 0.5 {
+				t.Errorf("Similarity = (%v,%v), want (0.5,true)", s, ok)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the callers pile onto the flight
+	close(gate)
+	wg.Wait()
+	if n := inner.calls.Load(); n != 1 {
+		t.Fatalf("inner ran %d times for one pair, want 1 (singleflight)", n)
+	}
+}

@@ -7,10 +7,15 @@
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration each
 #   BENCH=GroupBatch scripts/bench.sh  # filter by benchmark regex
 #
-# The invalidation/sharding trajectory lives in two families included
-# in every run: BenchmarkScopedInvalidation (warm scoped eviction vs
-# cold full-flush serving) and BenchmarkRatingsWriteThroughput
-# (sharded vs single-lock store under concurrent writers).
+# The perf trajectory lives in three families included in every run:
+# BenchmarkScopedInvalidation (warm scoped eviction vs cold full-flush
+# serving), BenchmarkRatingsWriteThroughput (sharded vs single-lock
+# store under concurrent writers), and BenchmarkWarmCacheTTL (serving
+# inside vs past the internal/cache warm-cache TTL).
+#
+# The script exits non-zero — without writing the output file — when
+# the benchmark run itself fails or parses to zero results, so a broken
+# build can never leave a partial BENCH_<date>.json in the trajectory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,9 +24,13 @@ BENCH="${BENCH:-.}"
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+out_tmp="$(mktemp)"
+trap 'rm -f "$raw" "$out_tmp"' EXIT
 
-go test -run='^$' -bench="$BENCH" -benchmem -benchtime="$BENCHTIME" ./... | tee "$raw"
+if ! go test -run='^$' -bench="$BENCH" -benchmem -benchtime="$BENCHTIME" ./... | tee "$raw"; then
+    echo "scripts/bench.sh: go test -bench failed; not writing $OUT" >&2
+    exit 1
+fi
 
 # Convert `go test -bench` text output into a JSON document. With
 # -benchmem each result line is:
@@ -56,6 +65,14 @@ END {
         printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
     printf "  ]\n"
     printf "}\n"
-}' "$raw" > "$OUT"
+}' "$raw" > "$out_tmp"
 
-echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
+count="$(grep -c '"name"' "$out_tmp" || true)"
+if [ "$count" -eq 0 ]; then
+    echo "scripts/bench.sh: no benchmark results parsed; not writing $OUT" >&2
+    exit 1
+fi
+mv "$out_tmp" "$OUT"
+# the EXIT trap's rm of the moved tmp file is now a no-op
+
+echo "wrote $OUT ($count benchmarks)"
