@@ -15,6 +15,8 @@
 //	BenchmarkRatingsWriteThroughput/*  sharded vs single-lock store under concurrent writers
 //	BenchmarkScopedInvalidation/*      serving after a write: scoped eviction vs full cache rebuild
 //	BenchmarkWarmCacheTTL/*            serving inside vs past the warm-cache TTL (internal/cache)
+//	BenchmarkScorerServe/*             group serving per relevance backend (user-cf vs item-cf vs
+//	                                   profile), warm group-relevance cache vs cold after a write
 //
 // Run: go test -bench=. -benchmem
 package fairhealth_test
@@ -490,6 +492,83 @@ func BenchmarkWarmCacheTTL(b *testing.B) {
 	} {
 		sys, groups := build(b, arm.ttl)
 		b.Run(arm.name, func(b *testing.B) { serve(b, sys, groups) })
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scorer dimension — group serving per relevance backend. The warm arm
+// repeats one query against a hot group-relevance memo (the steady
+// state of read-heavy traffic); the cold arm precedes every serve with
+// a rating write by a non-member, which evicts the group memo (and,
+// for item-cf, dirties the neighbor model), pricing each backend's
+// scoped-invalidation rebuild under mixed read/write traffic.
+
+func BenchmarkScorerServe(b *testing.B) {
+	build := func(b *testing.B) (*fairhealth.System, []string, string) {
+		sys, err := fairhealth.New(fairhealth.Config{Delta: 0.3, MinOverlap: 3, K: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { sys.Close() })
+		ds, err := dataset.Generate(dataset.Config{Seed: 37, Users: 80, Items: 150, RatingsPerUser: 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Profiles first (the profile scorer needs a corpus; AddPatient
+		// flushes caches, so load them before the ratings).
+		for _, id := range ds.Profiles.IDs() {
+			prof, err := ds.Profiles.Get(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			problems := make([]string, len(prof.Problems))
+			for i, c := range prof.Problems {
+				problems[i] = string(c)
+			}
+			err = sys.AddPatient(fairhealth.Patient{
+				ID: string(prof.ID), Age: prof.Age, Gender: string(prof.Gender),
+				Problems: problems, Medications: prof.Medications,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, tr := range ds.Ratings.Triples() {
+			if err := sys.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		users := sys.SortedUsers()
+		return sys, users[:4], users[len(users)-1]
+	}
+	for _, scorer := range []string{"user-cf", "item-cf", "profile"} {
+		warmSys, group, _ := build(b)
+		q := fairhealth.GroupQuery{Members: group, Z: 6, Scorer: scorer}
+		if _, err := warmSys.Serve(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(scorer+"/warm-group-cache", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := warmSys.Serve(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		coldSys, coldGroup, writer := build(b)
+		cq := fairhealth.GroupQuery{Members: coldGroup, Z: 6, Scorer: scorer}
+		if _, err := coldSys.Serve(context.Background(), cq); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(scorer+"/cold-after-write", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := coldSys.AddRating(writer, fmt.Sprintf("doc%04d", i%50), float64(1+i%5)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := coldSys.Serve(context.Background(), cq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -80,8 +80,9 @@ Usage:
   fairrec gen       -seed 1 -users 100 -items 200 -out data/           generate dataset
   fairrec recommend -ratings data/ratings.csv -user patient0001 -k 10  personal top-k
   fairrec group     -ratings data/ratings.csv -users a,b,c -z 10       fair group top-z
+                    [-scorer user-cf|item-cf|profile]                  pick the relevance backend
   fairrec batch     -ratings data/ratings.csv -groups "a,b;c,d" -z 10  many groups in parallel
-                    [-stream]                                          print entries as they complete
+                    [-stream] [-scorer s]                              print entries as they complete
   fairrec mr        -ratings data/ratings.csv -users a,b,c -z 10       MapReduce pipeline
   fairrec table2    [-quick]                                           reproduce Table II
   fairrec ablation                                                     aggregator ablation
@@ -224,6 +225,7 @@ func cmdGroup(args []string) error {
 	delta := fs.Float64("delta", 0.5, "peer threshold δ")
 	aggr := fs.String("aggr", "avg", "aggregation: avg (majority) or min (veto)")
 	method := fs.String("method", "greedy", "greedy | brute | mapreduce | topz")
+	scorer := fs.String("scorer", "", "relevance scorer: user-cf (default) | item-cf | profile")
 	m := fs.Int("m", 20, "candidate pool for brute force")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -231,8 +233,15 @@ func cmdGroup(args []string) error {
 	if *users == "" {
 		return fmt.Errorf("-users is required")
 	}
+	if *scorer == "profile" && *profiles == "" {
+		// Without a corpus the profile scorer finds no peers and would
+		// quietly print an empty selection.
+		return fmt.Errorf("-scorer profile requires -profiles (the cosine corpus is built from patient profiles)")
+	}
+	// The scorer is also the system default so the topz branch — which
+	// serves through GroupTopZ, not a GroupQuery — honors it too.
 	sys, err := loadSystem(*ratingsPath, *profiles, fairhealth.Config{
-		Delta: *delta, K: *k, Aggregation: *aggr,
+		Delta: *delta, K: *k, Aggregation: *aggr, Scorer: *scorer,
 	})
 	if err != nil {
 		return err
@@ -256,6 +265,7 @@ func cmdGroup(args []string) error {
 		Z:       *z,
 		Method:  fairhealth.Method(*method),
 		BruteM:  *m,
+		Scorer:  *scorer,
 	})
 	if err != nil {
 		return err
@@ -282,6 +292,7 @@ func cmdBatch(args []string) error {
 	delta := fs.Float64("delta", 0.5, "peer threshold δ")
 	aggr := fs.String("aggr", "avg", "aggregation: avg (majority) or min (veto)")
 	method := fs.String("method", "greedy", "solver for every group: greedy | brute | mapreduce")
+	scorer := fs.String("scorer", "", "relevance scorer for every group: user-cf (default) | item-cf | profile")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	stream := fs.Bool("stream", false, "print each group as it completes (completion order) instead of buffering the batch")
 	if err := fs.Parse(args); err != nil {
@@ -318,6 +329,9 @@ func cmdBatch(args []string) error {
 	if len(groups) == 0 {
 		return fmt.Errorf("no groups given")
 	}
+	if *scorer == "profile" && *profiles == "" {
+		return fmt.Errorf("-scorer profile requires -profiles (the cosine corpus is built from patient profiles)")
+	}
 	sys, err := loadSystem(*ratingsPath, *profiles, fairhealth.Config{
 		Delta: *delta, K: *k, Aggregation: *aggr, Workers: *workers,
 	})
@@ -326,7 +340,7 @@ func cmdBatch(args []string) error {
 	}
 	queries := make([]fairhealth.GroupQuery, len(groups))
 	for i, g := range groups {
-		queries[i] = fairhealth.GroupQuery{Members: g, Z: *z, Method: fairhealth.Method(*method)}
+		queries[i] = fairhealth.GroupQuery{Members: g, Z: *z, Method: fairhealth.Method(*method), Scorer: *scorer}
 	}
 	failed := 0
 	printEntry := func(br fairhealth.BatchGroupResult) {

@@ -136,3 +136,53 @@ func TestCmdClustering(t *testing.T) {
 		t.Error("bad -k accepted")
 	}
 }
+
+// TestCmdGroupScorers drives the -scorer flag end to end: each
+// registered backend serves, and an unknown one is rejected.
+func TestCmdGroupScorers(t *testing.T) {
+	ratingsPath, profilesPath := genTestData(t)
+	users := "patient0000,patient0001,patient0002"
+	for _, scorer := range []string{"user-cf", "item-cf", "profile"} {
+		if err := cmdGroup([]string{
+			"-ratings", ratingsPath, "-profiles", profilesPath,
+			"-users", users, "-z", "4", "-delta", "0.3", "-scorer", scorer,
+		}); err != nil {
+			t.Errorf("cmdGroup -scorer %s: %v", scorer, err)
+		}
+	}
+	if err := cmdGroup([]string{"-ratings", ratingsPath, "-users", users, "-scorer", "psychic"}); err == nil {
+		t.Error("unknown scorer accepted")
+	}
+}
+
+func TestCmdBatchScorer(t *testing.T) {
+	ratingsPath, _ := genTestData(t)
+	groups := "patient0000,patient0001;patient0002,patient0003"
+	if err := cmdBatch([]string{"-ratings", ratingsPath, "-groups", groups, "-z", "4", "-scorer", "item-cf"}); err != nil {
+		t.Errorf("cmdBatch -scorer item-cf: %v", err)
+	}
+	if err := cmdBatch([]string{"-ratings", ratingsPath, "-groups", groups, "-scorer", "psychic"}); err == nil {
+		t.Error("unknown scorer accepted in batch")
+	}
+}
+
+func TestCmdProfileScorerRequiresProfiles(t *testing.T) {
+	ratingsPath, _ := genTestData(t)
+	if err := cmdGroup([]string{"-ratings", ratingsPath, "-users", "patient0000,patient0001", "-scorer", "profile"}); err == nil {
+		t.Error("profile scorer without -profiles accepted")
+	}
+	if err := cmdBatch([]string{"-ratings", ratingsPath, "-groups", "patient0000,patient0001", "-scorer", "profile"}); err == nil {
+		t.Error("batch profile scorer without -profiles accepted")
+	}
+}
+
+func TestCmdGroupTopzHonorsScorer(t *testing.T) {
+	ratingsPath, _ := genTestData(t)
+	users := "patient0000,patient0001"
+	if err := cmdGroup([]string{"-ratings", ratingsPath, "-users", users, "-method", "topz", "-scorer", "item-cf", "-z", "3"}); err != nil {
+		t.Errorf("topz with item-cf: %v", err)
+	}
+	if err := cmdGroup([]string{"-ratings", ratingsPath, "-users", users, "-method", "topz", "-scorer", "psychic"}); err == nil {
+		t.Error("topz with unknown scorer accepted")
+	}
+}

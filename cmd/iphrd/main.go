@@ -12,15 +12,24 @@
 // timeout); -max-inflight and -timeout tune the bounds. The warm
 // caches under the scoring path are tuned with -cache-ttl (entries age
 // out across requests) and -cache-max-entries (LRU bound per layer);
-// GET /v1/stats reports their hit/miss/eviction/expiration counters.
+// GET /v1/stats reports their hit/miss/eviction/expiration counters
+// and per-layer entry-age histograms. -scorer sets the default
+// relevance backend (user-cf | item-cf | profile) for queries that
+// name none. SIGINT/SIGTERM shut down gracefully: the listener closes,
+// in-flight requests drain for up to -drain-timeout, then the system
+// is closed cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fairhealth"
@@ -36,16 +45,18 @@ func main() {
 	delta := flag.Float64("delta", 0.5, "peer threshold δ")
 	k := flag.Int("k", 10, "personal list size (fairness)")
 	aggr := flag.String("aggr", "avg", "group aggregation: avg or min")
+	scorer := flag.String("scorer", "", "default relevance scorer for queries that name none: user-cf | item-cf | profile (empty = user-cf)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "lifetime of warm similarity rows and peer sets across requests (0 = never expire)")
 	cacheMaxEntries := flag.Int("cache-max-entries", 0, "LRU bound per cache layer (0 = unbounded)")
 	state := flag.String("state", "", "state directory for durable storage (empty = in-memory)")
 	timeout := flag.Duration("timeout", httpapi.DefaultTimeout, "per-request timeout (negative disables)")
 	maxInFlight := flag.Int("max-inflight", httpapi.DefaultMaxInFlight, "max concurrently served requests, 429 beyond (negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGINT/SIGTERM shutdown waits for in-flight requests to finish")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "iphrd ", log.LstdFlags)
 	cfg := fairhealth.Config{
-		Delta: *delta, K: *k, Aggregation: *aggr,
+		Delta: *delta, K: *k, Aggregation: *aggr, Scorer: *scorer,
 		CacheTTL: *cacheTTL, CacheMaxEntries: *cacheMaxEntries,
 	}
 	var sys *fairhealth.System
@@ -62,7 +73,6 @@ func main() {
 	if err != nil {
 		logger.Fatalf("config: %v", err)
 	}
-	defer sys.Close()
 
 	if *demo && sys.Stats().Ratings > 0 {
 		logger.Printf("state already populated; skipping demo load")
@@ -115,9 +125,35 @@ func main() {
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// Serve until the listener fails or a shutdown signal arrives.
+	// SIGINT/SIGTERM drain gracefully: the listener closes immediately,
+	// in-flight requests get up to -drain-timeout to finish, and only
+	// then is the System closed (cache janitors stopped, WAL released)
+	// — a kill no longer drops requests mid-flight or skips Close.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
 	logger.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		logger.Fatalf("serve: %v", err)
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			sys.Close()
+			logger.Fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		logger.Printf("shutdown signal received; draining for up to %v", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			logger.Printf("drain incomplete: %v", err)
+		}
+		<-serveErr // ListenAndServe has returned ErrServerClosed by now
+	}
+	if err := sys.Close(); err != nil {
+		logger.Printf("close: %v", err)
 	}
 	fmt.Println("bye")
 }

@@ -31,11 +31,24 @@
 //	fmt.Println(res.Items, res.Fairness)
 //
 // The query object carries every knob — solver method (greedy, brute,
-// mapreduce), brute-force bounds, per-query aggregation semantics and
-// fairness K, and an explain flag for the per-member evidence. The
-// historical entry points (GroupRecommend, GroupRecommendBruteForce,
-// GroupRecommendMapReduce, GroupRecommendBatch, GroupRecommendStream)
-// remain as thin wrappers that build a GroupQuery and delegate.
+// mapreduce), relevance scorer, brute-force bounds, per-query
+// aggregation semantics and fairness K, and an explain flag for the
+// per-member evidence. The historical entry points (GroupRecommend,
+// GroupRecommendBruteForce, GroupRecommendMapReduce,
+// GroupRecommendBatch, GroupRecommendStream) remain as thin wrappers
+// that build a GroupQuery and delegate.
+//
+// The fairness machinery is scorer-agnostic: the per-member candidate
+// scores it selects over come from a pluggable relevance backend
+// (internal/scoring). GroupQuery.Scorer picks it per query — "user-cf"
+// (the paper's §III.A model, the default), "item-cf" (item-based CF
+// whose neighbor model scales with items instead of users, built
+// lazily and rebuilt after writes), or "profile" (peers by
+// profile-cosine, for cold raters with rich profiles) — and
+// Config.Scorer changes the default. Per-member scoring fans out
+// across the group in parallel, and assembled group-relevance inputs
+// are memoized per (scorer, members, aggregation, K) with the same
+// write-fencing discipline as the caches below them.
 //
 // Batch serving: many caregiver queries can be answered in one call,
 // each with its own method and parameters. The similarity rows of
@@ -95,9 +108,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"fairhealth/internal/cache"
 	"fairhealth/internal/cf"
 	"fairhealth/internal/core"
 	"fairhealth/internal/group"
@@ -106,6 +122,7 @@ import (
 	"fairhealth/internal/phr"
 	"fairhealth/internal/ratings"
 	"fairhealth/internal/reasoning"
+	"fairhealth/internal/scoring"
 	"fairhealth/internal/search"
 	"fairhealth/internal/simfn"
 	"fairhealth/internal/snomed"
@@ -165,6 +182,14 @@ type Config struct {
 	// "consensus" (Amer-Yahia et al. [1], relevance + agreement). The
 	// MapReduce path supports only the paper's "avg" and "min".
 	Aggregation string
+	// Scorer selects the default relevance backend for queries that
+	// leave GroupQuery.Scorer empty: "user-cf" (the paper's §III.A
+	// model, the default), "item-cf" (item-based CF over
+	// internal/itemcf), "profile" (peers by profile-cosine), or any
+	// in-tree scorer registered with internal/scoring (the registry is
+	// an internal extension point — registration happens inside this
+	// module). The mapreduce method serves only user-cf.
+	Scorer string
 	// Workers bounds the worker pools of the parallel similarity
 	// precompute (PrecomputeSimilarity) and the batch group API
 	// (GroupRecommendBatch). 0 means runtime.GOMAXPROCS at call time.
@@ -213,6 +238,13 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if _, err := group.ParseAggregator(c.Aggregation); err != nil {
 		return c, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if c.Scorer == "" {
+		c.Scorer = scoring.DefaultName
+	}
+	if !scoring.Registered(c.Scorer) {
+		return c, fmt.Errorf("%w: unknown scorer %q (registered: %s)",
+			ErrBadConfig, c.Scorer, strings.Join(scoring.Names(), "|"))
 	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("%w: workers %d must be ≥ 0", ErrBadConfig, c.Workers)
@@ -313,6 +345,39 @@ type System struct {
 	// checked, so an in-flight computation cannot resurrect a stale
 	// set.
 	peerCache *cf.PeerCache
+
+	// providers holds the lazily built relevance backends, one per
+	// scorer name used so far (the item-cf neighbor model, for
+	// example, is never built unless a query asks for it).
+	provMu    sync.Mutex
+	providers map[string]scoring.Provider
+
+	// groupCache memoizes assembled group-relevance inputs per
+	// (scorer, members, aggregation, K) over the shared cache engine.
+	// Every entry is scoped under the single ratings scope: a member's
+	// relevance is a function of potentially every user's ratings (any
+	// rater can be or become a peer), so a rating write to anyone
+	// evicts the whole layer — but the eviction is sequence-fenced, so
+	// an assembly in flight across a write is refused at store time
+	// and a warm hit is always bit-identical to a cold rebuild.
+	// Profile writes flush it via invalidateAll.
+	groupCache *cache.Cache[string, string, groupInput]
+}
+
+// groupScopeRatings is the one eviction scope every group-input memo
+// entry carries (see System.groupCache).
+const groupScopeRatings = "ratings"
+
+// groupInput is a memoized assembled group problem: the inputs both
+// in-memory fair solvers consume, keyed by (scorer, members,
+// aggregation, K). All maps are read-only after assembly — solvers and
+// result shaping never mutate them — so entries are shared across
+// concurrent queries without copying.
+type groupInput struct {
+	group    model.Group
+	perUser  map[model.UserID]map[model.ItemID]float64
+	groupRel map[model.ItemID]float64
+	lists    core.UserLists
 }
 
 // New builds a System with the curated mini-SNOMED ontology.
@@ -336,6 +401,12 @@ func NewWithOntology(cfg Config, ont *ontology.Ontology) (*System, error) {
 		simDirty: true,
 		pcDirty:  true,
 		peerCache: cf.NewPeerCacheWith(cf.PeerCacheOptions{
+			TTL:        c.CacheTTL,
+			MaxEntries: c.CacheMaxEntries,
+		}),
+		providers: make(map[string]scoring.Provider),
+		groupCache: cache.New[string, string, groupInput](cache.Config[string]{
+			Hash:       func(k string) uint32 { return cache.FNV1a(k) },
 			TTL:        c.CacheTTL,
 			MaxEntries: c.CacheMaxEntries,
 		}),
@@ -412,6 +483,12 @@ func (s *System) Close() error {
 	}
 	s.mu.Unlock()
 	s.peerCache.Close()
+	s.groupCache.Close()
+	s.provMu.Lock()
+	for _, p := range s.providers {
+		p.Close()
+	}
+	s.provMu.Unlock()
 	if s.walLog == nil {
 		return nil
 	}
@@ -553,6 +630,41 @@ type CacheCounters struct {
 	Expirations uint64 `json:"expirations"`
 	// Entries is the number of entries currently cached.
 	Entries int `json:"entries"`
+	// Ages buckets the stored entries by age (expired-but-unreaped
+	// entries included at their true age, so the buckets total Entries
+	// up to the skew of concurrent writes — the histogram and the
+	// counters are separate snapshots) — the feed for tuning
+	// Config.CacheTTL from production traffic (a mass in the overflow
+	// bucket under a generous TTL means the lease could shrink without
+	// costing hits).
+	Ages CacheAgeHistogram `json:"age_histogram"`
+}
+
+// ageBounds are the bucket upper bounds of every reported entry-age
+// histogram.
+var ageBounds = []time.Duration{10 * time.Second, time.Minute, 10 * time.Minute, time.Hour}
+
+// CacheAgeHistogram buckets a cache layer's live entries by age.
+type CacheAgeHistogram struct {
+	// BoundsSeconds are the ascending bucket upper bounds, in seconds.
+	BoundsSeconds []float64 `json:"bounds_seconds"`
+	// Counts has len(BoundsSeconds)+1 elements: Counts[i] is the
+	// number of entries no older than BoundsSeconds[i] (and older than
+	// the previous bound); the final element counts entries older than
+	// every bound.
+	Counts []int `json:"counts"`
+}
+
+// ageHistogram shapes raw bucket counts into the public histogram.
+func ageHistogram(counts []int) CacheAgeHistogram {
+	bounds := make([]float64, len(ageBounds))
+	for i, b := range ageBounds {
+		bounds[i] = b.Seconds()
+	}
+	if counts == nil {
+		counts = make([]int, len(ageBounds)+1)
+	}
+	return CacheAgeHistogram{BoundsSeconds: bounds, Counts: counts}
 }
 
 // CacheStats reports the hit/miss/size counters of the memoization
@@ -565,22 +677,35 @@ type CacheStats struct {
 	Similarity CacheCounters `json:"similarity"`
 	// Peers is the per-user peer-set (P_u) cache.
 	Peers CacheCounters `json:"peers"`
+	// Groups is the assembled group-relevance input memo, keyed by
+	// (scorer, members, aggregation, K).
+	Groups CacheCounters `json:"groups"`
 }
 
 // CacheStats returns the current cache effectiveness counters.
 func (s *System) CacheStats() CacheStats {
+	// Snapshot the memo pointer under s.mu but walk it after release:
+	// the age scan is O(entries) over a pairwise table, and holding the
+	// System mutex across it would let a stats scrape stall writes and
+	// serves. The cache itself is safe for concurrent use (a racing
+	// full invalidation at worst hands us the outgoing table, whose
+	// counters the base already absorbed at swap time).
 	s.mu.Lock()
 	sim := s.simBase
-	if s.simCache != nil {
-		st := s.simCache.Stats()
+	simCache := s.simCache
+	s.mu.Unlock()
+	sim.Ages = ageHistogram(nil)
+	if simCache != nil {
+		st := simCache.Stats()
 		sim.Hits += st.Hits
 		sim.Misses += st.Misses
 		sim.Evictions += st.Evictions
 		sim.Expirations += st.Expirations
 		sim.Entries = st.Entries
+		sim.Ages = ageHistogram(simCache.AgeHistogram(ageBounds))
 	}
-	s.mu.Unlock()
 	ps := s.peerCache.Stats()
+	gs := s.groupCache.Stats()
 	return CacheStats{
 		Similarity: sim,
 		Peers: CacheCounters{
@@ -589,6 +714,15 @@ func (s *System) CacheStats() CacheStats {
 			Evictions:   ps.Evictions,
 			Expirations: ps.Expirations,
 			Entries:     ps.Entries,
+			Ages:        ageHistogram(s.peerCache.AgeHistogram(ageBounds)),
+		},
+		Groups: CacheCounters{
+			Hits:        gs.Hits,
+			Misses:      gs.Misses,
+			Evictions:   gs.Evictions,
+			Expirations: gs.Expirations,
+			Entries:     gs.Entries,
+			Ages:        ageHistogram(s.groupCache.AgeHistogram(ageBounds)),
 		},
 	}
 }
@@ -728,6 +862,12 @@ func fromProfile(prof *phr.Profile) Patient {
 // were already in flight). Everything not reachable from the touched
 // users stays warm: Pearson(v,w) is a function of v's and w's ratings
 // only, so no other entry can have changed.
+//
+// Below the shared layers, the write fans out to every built scoring
+// provider (the item-cf neighbor model goes lazily dirty; user-cf and
+// profile need nothing) and, LAST, evicts the group-input memo — its
+// scope eviction bumps the memo's fence sequence, so an assembly that
+// read any pre-write state upstream is refused at store time.
 func (s *System) invalidateUsers(users ...model.UserID) {
 	s.mu.Lock()
 	if s.simCache != nil {
@@ -735,6 +875,12 @@ func (s *System) invalidateUsers(users ...model.UserID) {
 	}
 	s.mu.Unlock()
 	s.peerCache.EvictUsers(users)
+	s.provMu.Lock()
+	for _, p := range s.providers {
+		p.InvalidateUsers(users)
+	}
+	s.provMu.Unlock()
+	s.groupCache.EvictScopes([]string{groupScopeRatings})
 }
 
 // invalidateAll flushes every cache layer — the route for profile
@@ -747,6 +893,14 @@ func (s *System) invalidateAll() {
 	s.pcDirty = true
 	s.mu.Unlock()
 	s.peerCache.Invalidate()
+	s.provMu.Lock()
+	for _, p := range s.providers {
+		p.InvalidateAll()
+	}
+	s.provMu.Unlock()
+	// Flushed last, so anything assembled from pre-flush upstream
+	// state is generation-fenced out of the memo.
+	s.groupCache.Invalidate()
 }
 
 // InvalidateCaches drops all memoized state (similarity matrix,
@@ -955,43 +1109,111 @@ func toRecs(items []model.ScoredItem) []Recommendation {
 	return out
 }
 
-// groupProblem assembles the core.Input shared by the in-memory fair
-// solvers, under the query's aggregation semantics and fairness list
-// size k.
-func (s *System) groupProblem(g model.Group, aggr group.Aggregator, k int) (core.Input, error) {
-	rec, err := s.recommender()
-	if err != nil {
-		return core.Input{}, err
+// scorerProvider returns the relevance backend registered under name,
+// building it on first use. Callers validate the name up front (query
+// or config validation), so an unknown name here is a programming
+// error surfaced as ErrBadQuery.
+func (s *System) scorerProvider(name string) (scoring.Provider, error) {
+	s.provMu.Lock()
+	defer s.provMu.Unlock()
+	if p, ok := s.providers[name]; ok {
+		return p, nil
 	}
-	grec := &group.Recommender{Single: rec, Aggr: aggr}
-	cands, err := grec.Candidates(g)
+	p, err := scoring.New(name, scoring.Deps{
+		Ratings:         s.ratings,
+		Profiles:        s.profiles,
+		Ontology:        s.ont,
+		UserCF:          s.recommender,
+		Delta:           s.cfg.Delta,
+		MinOverlap:      s.cfg.MinOverlap,
+		CacheTTL:        s.cfg.CacheTTL,
+		CacheMaxEntries: s.cfg.CacheMaxEntries,
+	})
 	if err != nil {
-		if errors.Is(err, group.ErrEmptyGroup) {
-			return core.Input{}, ErrEmptyGroup
-		}
-		return core.Input{}, err
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
-	groupRel := make(map[model.ItemID]float64, len(cands))
-	perUser := make(map[model.UserID]map[model.ItemID]float64, len(g))
+	s.providers[name] = p
+	return p, nil
+}
+
+// groupKey canonicalizes a group problem into its memo key. Member
+// order matters (scores are aggregated in group order), so the key
+// preserves it; the aggregator's canonical Name collapses aliases
+// ("mean" and "avg" assemble identical inputs). Every field is
+// length-prefixed, so the encoding is injective no matter what bytes
+// appear in user IDs — a member named "a<sep>b" can never collide
+// with the two-member group ["a","b"].
+func groupKey(scorer string, g model.Group, aggr string, k int) string {
+	var b strings.Builder
+	field := func(s string) {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	field(scorer)
+	field(aggr)
+	field(strconv.Itoa(k))
 	for _, u := range g {
-		perUser[u] = make(map[model.ItemID]float64)
+		field(string(u))
 	}
-	for item, scores := range cands {
-		groupRel[item] = aggr.Aggregate(scores)
-		for j, u := range g {
-			perUser[u][item] = scores[j]
+	return b.String()
+}
+
+// groupProblem is the pipeline stage between a query and the fair
+// solvers: resolve the scorer, assemble every member's candidate
+// scores in parallel across at most workers goroutines
+// (scoring.Assemble; batch serving passes 1 because the queries
+// themselves already fan out across the Config.Workers bound — nested
+// pools would oversubscribe it), fold them into group relevance under
+// the query's aggregation, and build the personal top-k lists A_u.
+// Assembled inputs are memoized per (scorer, members, aggregation, K)
+// in the group-input cache; the eviction-sequence fence is captured
+// before any upstream state is read, so a write racing the assembly
+// keeps the result out of the memo (the caller still gets its answer
+// — a read overlapping a write may see either side of it).
+func (s *System) groupProblem(scorer string, g model.Group, aggr group.Aggregator, k, workers int) (groupInput, error) {
+	key := groupKey(scorer, g, aggr.Name(), k)
+	if in, _, ok := s.groupCache.Get(key); ok {
+		return in, nil
+	}
+	startSeq := s.groupCache.Seq()
+	prov, err := s.scorerProvider(scorer)
+	if err != nil {
+		return groupInput{}, err
+	}
+	cands, err := scoring.Assemble(prov, g, workers)
+	if err != nil {
+		if errors.Is(err, scoring.ErrEmptyGroup) {
+			return groupInput{}, ErrEmptyGroup
 		}
+		return groupInput{}, err
 	}
-	in := core.Input{
-		Group:    g,
-		Lists:    core.ListsFromRelevances(perUser, k),
-		GroupRel: groupRel,
+	groupRel := make(map[model.ItemID]float64, len(cands.Items))
+	for item, scores := range cands.Items {
+		groupRel[item] = aggr.Aggregate(scores)
+	}
+	in := groupInput{
+		group:    g,
+		perUser:  cands.PerUser,
+		groupRel: groupRel,
+		lists:    core.ListsFromRelevances(cands.PerUser, k),
+	}
+	s.groupCache.PutChecked(key, in, []string{groupScopeRatings}, startSeq)
+	return in, nil
+}
+
+// coreInput adapts a memoized group problem to the solvers' contract.
+func (in groupInput) coreInput() core.Input {
+	perUser := in.perUser
+	return core.Input{
+		Group:    in.group,
+		Lists:    in.lists,
+		GroupRel: in.groupRel,
 		Rel: func(u model.UserID, i model.ItemID) (float64, bool) {
 			sc, ok := perUser[u][i]
 			return sc, ok
 		},
 	}
-	return in, nil
 }
 
 // toGroupResult shapes a solver outcome. The per-member evidence maps
@@ -1030,11 +1252,11 @@ func (s *System) GroupTopZ(users []string, z int) ([]Recommendation, error) {
 	if err != nil {
 		return nil, err
 	}
-	in, err := s.groupProblem(g, s.aggregator(), s.cfg.K)
+	in, err := s.groupProblem(s.cfg.Scorer, g, s.aggregator(), s.cfg.K, s.workers())
 	if err != nil {
 		return nil, err
 	}
-	return toRecs(core.SortedItems(in.GroupRel)[:min(z, len(in.GroupRel))]), nil
+	return toRecs(core.SortedItems(in.groupRel)[:min(z, len(in.groupRel))]), nil
 }
 
 // ---------------------------------------------------------------------------

@@ -128,6 +128,7 @@ type entry[K comparable, S comparable, V any] struct {
 	val      V
 	seq      uint64 // fence sequence the value is valid for
 	scopes   []S
+	storedAt int64 // unix nanos; feeds the entry-age histogram
 	expireAt int64 // unix nanos; 0 = never
 	prev     *entry[K, S, V]
 	next     *entry[K, S, V]
@@ -496,10 +497,10 @@ func (c *Cache[K, S, V]) PutFenced(k K, v V, scopes []S, gen, seq uint64) bool {
 // storeEntry inserts (or replaces) the entry. Caller holds c.fmu.RLock.
 func (c *Cache[K, S, V]) storeEntry(k K, v V, scopes []S, seq uint64) {
 	sh := c.shard(k)
-	var nowNano, expireAt int64
+	t := c.now()
+	nowNano := t.UnixNano()
+	var expireAt int64
 	if c.ttl > 0 {
-		t := c.now()
-		nowNano = t.UnixNano()
 		expireAt = t.Add(c.ttl).UnixNano()
 	}
 	sh.mu.Lock()
@@ -513,7 +514,7 @@ func (c *Cache[K, S, V]) storeEntry(k K, v V, scopes []S, seq uint64) {
 		}
 		c.removeLocked(sh, old)
 	}
-	e := &entry[K, S, V]{key: k, val: v, seq: seq, scopes: append([]S(nil), scopes...), expireAt: expireAt}
+	e := &entry[K, S, V]{key: k, val: v, seq: seq, scopes: append([]S(nil), scopes...), storedAt: nowNano, expireAt: expireAt}
 	sh.entries[k] = e
 	for _, s := range e.scopes {
 		m := sh.byScope[s]
@@ -753,6 +754,41 @@ func (c *Cache[K, S, V]) Stats() Stats {
 		Expirations: c.expirations.Load(),
 		Entries:     c.Len(),
 	}
+}
+
+// AgeHistogram buckets every STORED entry by age at the given
+// ascending upper bounds: counts[i] holds the entries no older than
+// bounds[i] (and older than bounds[i-1]), and the final element — the
+// histogram is always len(bounds)+1 long — holds the entries older
+// than every bound. Expired-but-unreaped entries are included at
+// their true age, so the histogram totals the same stored count
+// Stats().Entries reports for the same instant; the two are separate
+// snapshots (shards are locked one at a time), so under concurrent
+// writes or sweeps they may differ by the traffic in between — skew,
+// not leakage. The feed for
+// TTL tuning from production traffic: mass in the overflow bucket
+// under a generous TTL means the lease could shrink without costing
+// hits.
+func (c *Cache[K, S, V]) AgeHistogram(bounds []time.Duration) []int {
+	counts := make([]int, len(bounds)+1)
+	now := c.now().UnixNano()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			age := now - e.storedAt
+			idx := len(bounds)
+			for b, bound := range bounds {
+				if age <= int64(bound) {
+					idx = b
+					break
+				}
+			}
+			counts[idx]++
+		}
+		sh.mu.RUnlock()
+	}
+	return counts
 }
 
 // Keys snapshots the live (unexpired) key set — the warm-up paths use

@@ -366,3 +366,61 @@ func TestConcurrentMixedOps(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestAgeHistogram: entries land in the bucket matching their age
+// under the injected clock, and refreshing an entry resets its age.
+func TestAgeHistogram(t *testing.T) {
+	c, clk := newTest(0, 0)
+	bounds := []time.Duration{time.Second, time.Minute, time.Hour}
+	if got := c.AgeHistogram(bounds); len(got) != 4 {
+		t.Fatalf("histogram length = %d, want len(bounds)+1", len(got))
+	}
+	put := func(k string) {
+		if !c.PutChecked(k, "v", scopesOf(k), c.Seq()) {
+			t.Fatalf("put %s refused", k)
+		}
+	}
+	put("old")
+	clk.advance(2 * time.Hour) // "old" is now beyond every bound
+	put("mid")
+	clk.advance(30 * time.Second) // "mid" now ≤ 1m
+	put("fresh")                  // age 0 → ≤ 1s
+	got := c.AgeHistogram(bounds)
+	want := []int{1, 1, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", got, want)
+		}
+	}
+	// Refreshing "old" in place moves it to the youngest bucket.
+	put("old")
+	got = c.AgeHistogram(bounds)
+	if got[0] != 2 || got[3] != 0 {
+		t.Fatalf("histogram after refresh = %v, want [2 1 0 0]", got)
+	}
+}
+
+// TestAgeHistogramTotalsMatchEntries: expired-but-unreaped entries
+// stay in the histogram at their true age, so the bucket totals always
+// agree with the stored-entry count — until a sweep reaps them, when
+// both drop together.
+func TestAgeHistogramTotalsMatchEntries(t *testing.T) {
+	c, clk := newTest(time.Minute, 0)
+	if !c.PutChecked("a", "v", scopesOf("a"), c.Seq()) {
+		t.Fatal("put refused")
+	}
+	bounds := []time.Duration{time.Hour}
+	if got := c.AgeHistogram(bounds); got[0] != 1 {
+		t.Fatalf("live entry not counted: %v", got)
+	}
+	clk.advance(2 * time.Minute) // past the TTL, not yet reaped
+	got := c.AgeHistogram(bounds)
+	if got[0]+got[1] != c.Len() || c.Len() != 1 {
+		t.Fatalf("histogram %v totals != stored entries %d", got, c.Len())
+	}
+	c.Sweep()
+	got = c.AgeHistogram(bounds)
+	if got[0]+got[1] != c.Len() || c.Len() != 0 {
+		t.Fatalf("post-sweep histogram %v totals != stored entries %d", got, c.Len())
+	}
+}

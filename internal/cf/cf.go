@@ -256,6 +256,14 @@ func (c *PeerCache) Invalidate() { c.c.Invalidate() }
 // Len returns the number of cached peer sets.
 func (c *PeerCache) Len() int { return c.c.Len() }
 
+// AgeHistogram buckets the stored cached peer sets by age at the given
+// ascending upper bounds (the result is len(bounds)+1 long; the final
+// element counts entries older than every bound) — the TTL-tuning feed
+// surfaced on GET /v1/stats.
+func (c *PeerCache) AgeHistogram(bounds []time.Duration) []int {
+	return c.c.AgeHistogram(bounds)
+}
+
 func (r *Recommender) check() error {
 	if r == nil || r.Store == nil || r.Sim == nil {
 		return ErrNoConfig

@@ -24,10 +24,11 @@
 //	POST /v1/groups/recommend:batch  fair top-z for many groups ?stream=true → NDJSON
 //
 // POST /v1/groups/recommend takes the full fairhealth.GroupQuery as
-// its body — members, z, method (greedy|brute|mapreduce), brute-force
-// bounds, per-query aggregation and fairness k, and an explain flag —
-// and the batch endpoint takes a list of such queries, so one batch
-// can mix methods and parameters per group. Batch requests are
+// its body — members, z, method (greedy|brute|mapreduce), relevance
+// scorer (user-cf|item-cf|profile), brute-force bounds, per-query
+// aggregation and fairness k, and an explain flag — and the batch
+// endpoint takes a list of such queries, so one batch can mix methods,
+// scorers, and parameters per group. Batch requests are
 // bounded (MaxBatchBody request bytes → 413, MaxBatchGroups queries →
 // 400).
 //
@@ -202,6 +203,9 @@ type GroupQueryBody struct {
 	BruteMaxCombos int64 `json:"brute_max_combos,omitempty"`
 	// Aggregation overrides the Def. 2 semantics for this query.
 	Aggregation string `json:"aggregation,omitempty"`
+	// Scorer selects the relevance backend: user-cf (default) |
+	// item-cf | profile (or any registered scorer).
+	Scorer string `json:"scorer,omitempty"`
 	// K overrides the personal top-k fairness list size.
 	K int `json:"k,omitempty"`
 	// Explain requests the per_member evidence lists.
@@ -244,6 +248,7 @@ func (b GroupQueryBody) toQuery() (fairhealth.GroupQuery, error) {
 		BruteM:         m,
 		BruteMaxCombos: combos,
 		Aggregation:    b.Aggregation,
+		Scorer:         b.Scorer,
 		K:              b.K,
 		Explain:        b.Explain,
 	}, nil

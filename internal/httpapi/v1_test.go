@@ -422,9 +422,11 @@ func TestStatsCacheCounters(t *testing.T) {
 	}); rec.Code != http.StatusOK {
 		t.Fatal("second serve failed")
 	}
+	// The repeat query is answered by the group-input memo — the layer
+	// above the peer cache — so warmth shows up in the groups counters.
 	warm := statsOf()
-	if warm.Caches.Peers.Hits <= cold.Caches.Peers.Hits {
-		t.Errorf("peer hits did not move: cold %+v warm %+v", cold.Caches.Peers, warm.Caches.Peers)
+	if warm.Caches.Groups.Hits <= cold.Caches.Groups.Hits {
+		t.Errorf("group-memo hits did not move: cold %+v warm %+v", cold.Caches.Groups, warm.Caches.Groups)
 	}
 }
 
@@ -601,5 +603,128 @@ func TestPerRequestTimeout(t *testing.T) {
 	}
 	if e := decode[ErrorBody](t, rec); e.Error.Code != CodeTimeout {
 		t.Errorf("code = %q, want %q", e.Error.Code, CodeTimeout)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// scorer field
+
+// TestScorerFieldRoundTrip: the scorer wire field reaches the library
+// (item-cf answers differ in shape from an invalid scorer's 400) and
+// the served result matches the library path exactly.
+func TestScorerFieldRoundTrip(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2, Scorer: "item-cf",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("item-cf serve = %d: %s", rec.Code, rec.Body.String())
+	}
+	got := decode[GroupResponse](t, rec)
+	want, err := sys.Serve(nil, fairhealth.GroupQuery{
+		Members: []string{"g1", "g2"}, Z: 2, Scorer: "item-cf",
+		BruteM: DefaultBruteM, BruteMaxCombos: MaxBruteCombos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Items, want.Items) || got.Fairness != want.Fairness || got.Value != want.Value {
+		t.Errorf("HTTP item-cf result diverged from library Serve: %+v vs %+v", got, want)
+	}
+}
+
+// TestScorerFieldValidation: an unknown scorer is 400 invalid_query
+// with the standard envelope, on the single and batch endpoints.
+func TestScorerFieldValidation(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1"}, Scorer: "psychic",
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown scorer status = %d", rec.Code)
+	}
+	if e := decode[ErrorBody](t, rec); e.Error.Code != CodeInvalidQuery {
+		t.Errorf("unknown scorer code = %q, want %q", e.Error.Code, CodeInvalidQuery)
+	}
+	rec = do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{
+		Queries: []GroupQueryBody{{Members: []string{"g1"}, Scorer: "psychic"}},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("batch unknown scorer status = %d", rec.Code)
+	}
+	if e := decode[ErrorBody](t, rec); e.Error.Code != CodeInvalidQuery || !strings.Contains(e.Error.Message, "queries[0]") {
+		t.Errorf("batch unknown scorer envelope = %+v", e.Error)
+	}
+	// mapreduce restricts the scorer to user-cf.
+	rec = do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Method: "mapreduce", Scorer: "item-cf",
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("mapreduce+item-cf status = %d", rec.Code)
+	}
+}
+
+// TestBatchMixedScorers: one batch mixes relevance backends and every
+// entry succeeds.
+func TestBatchMixedScorers(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	rec := do(t, srv, "POST", "/v1/groups/recommend:batch", BatchGroupsBody{
+		Queries: []GroupQueryBody{
+			{Members: []string{"g1", "g2"}, Z: 2},
+			{Members: []string{"g1", "g2"}, Z: 2, Scorer: "item-cf"},
+			{Members: []string{"g1", "g2"}, Z: 2, Scorer: "user-cf"},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mixed batch = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decode[BatchGroupsResponse](t, rec)
+	if resp.Failed != 0 || len(resp.Results) != 3 {
+		t.Fatalf("mixed batch results = %+v", resp)
+	}
+	// Entries 0 and 2 are both user-cf over the same group: identical.
+	if !reflect.DeepEqual(resp.Results[0].Items, resp.Results[2].Items) {
+		t.Error("default and explicit user-cf entries diverged")
+	}
+}
+
+// TestStatsAgeHistogram: every cache layer reports an entry-age
+// histogram with one overflow bucket, and serving moves entries into
+// the youngest bucket.
+func TestStatsAgeHistogram(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	if rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2,
+	}); rec.Code != http.StatusOK {
+		t.Fatal("serve failed")
+	}
+	st := decode[StatsResponse](t, do(t, srv, "GET", "/v1/stats", nil))
+	for name, layer := range map[string]fairhealth.CacheCounters{
+		"similarity": st.Caches.Similarity,
+		"peers":      st.Caches.Peers,
+		"groups":     st.Caches.Groups,
+	} {
+		h := layer.Ages
+		if len(h.BoundsSeconds) == 0 || len(h.Counts) != len(h.BoundsSeconds)+1 {
+			t.Fatalf("%s histogram malformed: %+v", name, h)
+		}
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != layer.Entries {
+			t.Errorf("%s: histogram total %d != entries %d", name, total, layer.Entries)
+		}
+		if layer.Entries > 0 && h.Counts[0] == 0 {
+			t.Errorf("%s: fresh entries missing from the youngest bucket: %+v", name, h)
+		}
+	}
+	raw := do(t, srv, "GET", "/v1/stats", nil).Body.String()
+	if !strings.Contains(raw, `"age_histogram"`) {
+		t.Errorf("stats payload missing age_histogram field:\n%s", raw)
 	}
 }

@@ -201,38 +201,56 @@ func (r *Recommender) Relevance(u model.UserID, i model.ItemID) (float64, bool, 
 	return num / den, true, nil
 }
 
-// Recommend returns the user's top-k unrated items.
-func (r *Recommender) Recommend(u model.UserID, k int) ([]model.ScoredItem, error) {
+// AllRelevances predicts the relevance of every item the user has NOT
+// rated that is reachable from their rated items through the neighbor
+// model, mapping item → score. Accumulation order is deterministic —
+// the user's rated items ascending (ItemsRatedBy), each neighbor list
+// in its stored order — so scores are bit-reproducible across runs and
+// serving paths, matching the reproducibility contract of the user-CF
+// path's AllRelevances.
+func (r *Recommender) AllRelevances(u model.UserID) (map[model.ItemID]float64, error) {
 	r.mu.RLock()
 	if !r.built {
 		r.mu.RUnlock()
 		return nil, ErrNotBuilt
 	}
-	// score candidates reachable from the user's rated items
-	scores := make(map[model.ItemID]*struct{ num, den float64 })
-	r.Store.VisitUserRatings(u, func(j model.ItemID, v model.Rating) bool {
-		for _, n := range r.neighbors[j] {
-			acc, ok := scores[n.Item]
-			if !ok {
-				acc = &struct{ num, den float64 }{}
-				scores[n.Item] = acc
-			}
-			acc.num += n.Score * float64(v)
-			acc.den += n.Score
-			_ = n
+	// Score candidates reachable from the user's rated items.
+	type acc struct{ num, den float64 }
+	accs := make(map[model.ItemID]*acc)
+	for _, j := range r.Store.ItemsRatedBy(u) { // ascending → deterministic
+		v, ok := r.Store.Rating(u, j)
+		if !ok {
+			continue // write raced the snapshot; skip the vanished rating
 		}
-		return true
-	})
+		for _, n := range r.neighbors[j] {
+			a, ok := accs[n.Item]
+			if !ok {
+				a = &acc{}
+				accs[n.Item] = a
+			}
+			a.num += n.Score * float64(v)
+			a.den += n.Score
+		}
+	}
 	r.mu.RUnlock()
 
-	sel := topk.NewSelector(k)
-	for i, acc := range scores {
-		if r.Store.HasRated(u, i) || acc.den == 0 {
+	out := make(map[model.ItemID]float64, len(accs))
+	for i, a := range accs {
+		if r.Store.HasRated(u, i) || a.den == 0 {
 			continue
 		}
-		sel.Push(model.ScoredItem{Item: i, Score: acc.num / acc.den})
+		out[i] = a.num / a.den
 	}
-	return sel.Result(), nil
+	return out, nil
+}
+
+// Recommend returns the user's top-k unrated items.
+func (r *Recommender) Recommend(u model.UserID, k int) ([]model.ScoredItem, error) {
+	scores, err := r.AllRelevances(u)
+	if err != nil {
+		return nil, err
+	}
+	return topk.TopOfMap(scores, k), nil
 }
 
 // ModelSize returns (items with neighbors, total neighbor edges) for

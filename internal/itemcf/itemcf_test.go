@@ -275,3 +275,91 @@ func TestDumpNeighbors(t *testing.T) {
 		t.Errorf("dump = %q, %v", dump, err)
 	}
 }
+
+// TestAllRelevancesMatchesPointRelevanceSet: the bulk map's candidate
+// set is exactly the unrated items reachable through the neighbor
+// model, with values agreeing with a direct accumulation (to a float
+// tolerance — the point path sums through the item's neighbor list,
+// the bulk path through the user's rated items, so term order
+// differs).
+func TestAllRelevancesMatchesPointRelevanceSet(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 5, Users: 25, Items: 50, RatingsPerUser: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Recommender{Store: ds.Ratings, MinOverlap: 2}
+	if err := r.Build(); err != nil {
+		t.Fatal(err)
+	}
+	u := model.UserID("patient0003")
+	all, err := r.AllRelevances(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no predictions")
+	}
+	for item, score := range all {
+		if ds.Ratings.HasRated(u, item) {
+			t.Fatalf("rated item %s appears as candidate", item)
+		}
+		// The point path ranges over neighbors[item]; under the default
+		// (unsaturated) ModelK the edge set is symmetric, so the same
+		// terms accumulate and only order differs.
+		point, ok, err := r.Relevance(u, item)
+		if err != nil || !ok {
+			t.Fatalf("Relevance(%s,%s) = (_,%v,%v)", u, item, ok, err)
+		}
+		if math.Abs(point-score) > 1e-9 {
+			t.Fatalf("bulk %v vs point %v for %s", score, point, item)
+		}
+	}
+	// Recommend is AllRelevances + deterministic top-k.
+	recs, err := r.Recommend(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range recs {
+		if all[it.Item] != it.Score {
+			t.Fatalf("Recommend score %v != bulk %v for %s", it.Score, all[it.Item], it.Item)
+		}
+	}
+}
+
+// TestAllRelevancesDeterministic: repeated calls and rebuilt models
+// must agree bit-for-bit — the contract the serving memo layers rely
+// on for warm-equals-cold answers.
+func TestAllRelevancesDeterministic(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 6, Users: 30, Items: 60, RatingsPerUser: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Recommender{Store: ds.Ratings, MinOverlap: 2}
+	if err := r.Build(); err != nil {
+		t.Fatal(err)
+	}
+	u := model.UserID("patient0011")
+	first, err := r.AllRelevances(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		// A rebuilt model over unchanged data must reproduce every bit.
+		fresh := &Recommender{Store: ds.Ratings, MinOverlap: 2}
+		if err := fresh.Build(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := fresh.AllRelevances(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d predictions vs %d", run, len(again), len(first))
+		}
+		for item, score := range first {
+			if again[item] != score {
+				t.Fatalf("run %d: item %s drifted: %v vs %v", run, item, again[item], score)
+			}
+		}
+	}
+}

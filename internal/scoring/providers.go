@@ -1,0 +1,228 @@
+package scoring
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fairhealth/internal/cf"
+	"fairhealth/internal/itemcf"
+	"fairhealth/internal/model"
+	"fairhealth/internal/simfn"
+)
+
+// ---------------------------------------------------------------------------
+// user-cf — the default: the paper's §III.A model, riding the owner's
+// similarity memo and peer cache through the fenced recommender
+// factory. Invalidation is a no-op here because the owner already
+// routes writes down those shared caches; duplicating the eviction
+// would double-count.
+
+type userCF struct {
+	deps Deps
+}
+
+func (p *userCF) Name() string { return NameUserCF }
+
+func (p *userCF) Relevances(u model.UserID) (map[model.ItemID]float64, error) {
+	rec, err := p.deps.UserCF()
+	if err != nil {
+		return nil, err
+	}
+	return rec.AllRelevances(u)
+}
+
+func (p *userCF) Relevance(u model.UserID, i model.ItemID) (float64, bool, error) {
+	rec, err := p.deps.UserCF()
+	if err != nil {
+		return 0, false, err
+	}
+	return rec.Relevance(u, i)
+}
+
+func (p *userCF) InvalidateUsers([]model.UserID) {}
+func (p *userCF) InvalidateAll()                 {}
+func (p *userCF) Close()                         {}
+
+// ---------------------------------------------------------------------------
+// item-cf — item-based CF over internal/itemcf. The neighbor model is
+// a global function of the ratings, so any rating write dirties the
+// whole model; the rebuild is lazy (next query pays it, a write burst
+// pays once) and fenced by the owner's group-input memo, so a serve
+// racing a write can see either side but never persists pre-write
+// scores.
+
+type itemCF struct {
+	rec *itemcf.Recommender
+	// dirty marks the model stale. It is cleared BEFORE a rebuild
+	// starts reading the store, so a write landing mid-build re-dirties
+	// and the next call rebuilds again — the model can lag a racing
+	// write but never misses one.
+	dirty   atomic.Bool
+	buildMu sync.Mutex
+}
+
+func newItemCF(d Deps) Provider {
+	p := &itemCF{rec: &itemcf.Recommender{Store: d.Ratings, MinOverlap: d.MinOverlap}}
+	p.dirty.Store(true)
+	return p
+}
+
+func (p *itemCF) Name() string { return NameItemCF }
+
+// model returns the recommender with a fresh neighbor build when a
+// write dirtied it. Every caller passes through buildMu — there is no
+// lock-free fast path, because a reader overlapping a rebuild would
+// otherwise see dirty==false (cleared when the build STARTED) and
+// serve the old model: its assembly would carry a fence sequence
+// captured after the write's eviction, so the stale result would be
+// admitted to the group memo and served warm until the next write.
+// Outside a rebuild the critical section is a load and a pointer
+// return; during one, queueing readers behind the build is exactly
+// the freshness the fence requires.
+func (p *itemCF) model() (*itemcf.Recommender, error) {
+	p.buildMu.Lock()
+	defer p.buildMu.Unlock()
+	if p.dirty.Load() {
+		p.dirty.Store(false)
+		if err := p.rec.Build(); err != nil {
+			p.dirty.Store(true)
+			return nil, err
+		}
+	}
+	return p.rec, nil
+}
+
+func (p *itemCF) Relevances(u model.UserID) (map[model.ItemID]float64, error) {
+	rec, err := p.model()
+	if err != nil {
+		return nil, err
+	}
+	return rec.AllRelevances(u)
+}
+
+func (p *itemCF) Relevance(u model.UserID, i model.ItemID) (float64, bool, error) {
+	rec, err := p.model()
+	if err != nil {
+		return 0, false, err
+	}
+	return rec.Relevance(u, i)
+}
+
+func (p *itemCF) InvalidateUsers([]model.UserID) { p.dirty.Store(true) }
+func (p *itemCF) InvalidateAll()                 { p.dirty.Store(true) }
+func (p *itemCF) Close()                         {}
+
+// ---------------------------------------------------------------------------
+// profile — user-user CF with peers selected by profile-cosine
+// similarity. The provider owns its similarity memo and peer cache
+// (internal/cache instantiations via the simfn/cf adapters) because
+// the owner's shared layers are built for the configured measure.
+// Rating writes leave the similarity memo warm (profile cosine is a
+// function of profiles only) but evict the touched users' peer sets —
+// the peer-scan candidate universe is the set of RATED users, which a
+// first or last rating changes. Profile writes rebuild the corpus and
+// flush the peer sets.
+
+type profileCF struct {
+	deps  Deps
+	peers *cf.PeerCache
+
+	mu    sync.Mutex
+	sim   *simfn.Cached
+	dirty bool
+}
+
+func newProfileCF(d Deps) Provider {
+	return &profileCF{
+		deps: d,
+		peers: cf.NewPeerCacheWith(cf.PeerCacheOptions{
+			TTL:        d.CacheTTL,
+			MaxEntries: d.CacheMaxEntries,
+		}),
+		dirty: true,
+	}
+}
+
+func (p *profileCF) Name() string { return NameProfile }
+
+// recommender snapshots the similarity under a peer-cache fence — the
+// same capture order as the owner's user-cf factory: the fence comes
+// first, so a corpus rebuild between the two steps can only fence off
+// (never admit) peer sets computed from the older snapshot.
+func (p *profileCF) recommender() (*cf.Recommender, error) {
+	gen, seq := p.peers.Fence()
+	p.mu.Lock()
+	if p.dirty {
+		pc, err := simfn.BuildProfileCosine(p.deps.Profiles, p.deps.Ontology, nil)
+		if err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		if p.sim != nil {
+			p.sim.Close()
+		}
+		p.sim = simfn.NewCachedWith(pc, simfn.CacheOptions{
+			TTL:        p.deps.CacheTTL,
+			MaxEntries: p.deps.CacheMaxEntries,
+		})
+		p.dirty = false
+	}
+	sim := p.sim
+	p.mu.Unlock()
+	return &cf.Recommender{
+		Store:           p.deps.Ratings,
+		Sim:             sim,
+		Delta:           p.deps.Delta,
+		RequirePositive: true,
+		Cache:           p.peers,
+		CacheGen:        gen,
+		CacheSeq:        seq,
+	}, nil
+}
+
+func (p *profileCF) Relevances(u model.UserID) (map[model.ItemID]float64, error) {
+	rec, err := p.recommender()
+	if err != nil {
+		return nil, err
+	}
+	return rec.AllRelevances(u)
+}
+
+func (p *profileCF) Relevance(u model.UserID, i model.ItemID) (float64, bool, error) {
+	rec, err := p.recommender()
+	if err != nil {
+		return 0, false, err
+	}
+	return rec.Relevance(u, i)
+}
+
+// InvalidateUsers evicts the touched users from the peer cache. The
+// SIMILARITY memo stays warm — profile cosine really is a function of
+// profiles only — but peer sets are not ratings-independent: the
+// candidate universe a peer scan ranges over is Store.Users(), so a
+// user's first-ever rating pulls them INTO profile-similar users'
+// peer sets (and removing their last rating drops them out). Without
+// the eviction, warm peer sets would permanently miss the newcomer
+// and warm serves would diverge from a cold rebuild.
+func (p *profileCF) InvalidateUsers(users []model.UserID) {
+	p.peers.EvictUsers(users)
+}
+
+func (p *profileCF) InvalidateAll() {
+	// Mark the corpus dirty before bumping the peer generation, so a
+	// post-bump recommender always snapshots a fresh similarity
+	// (mirrors the owner's invalidateAll ordering).
+	p.mu.Lock()
+	p.dirty = true
+	p.mu.Unlock()
+	p.peers.Invalidate()
+}
+
+func (p *profileCF) Close() {
+	p.mu.Lock()
+	if p.sim != nil {
+		p.sim.Close()
+	}
+	p.mu.Unlock()
+	p.peers.Close()
+}

@@ -99,6 +99,18 @@ func (p Pearson) Similarity(a, b model.UserID) (float64, bool) {
 // corpus.
 type ProfileCosine struct {
 	corpus *textindex.Corpus
+	// vecs precomputes each profile's TF-IDF vector together with its
+	// sorted term list and norm — invariants of the frozen corpus
+	// snapshot. Peer discovery evaluates O(users²) pairs on a cold
+	// scan, so re-deriving (and re-sorting) both vectors per pair
+	// would repeat work the snapshot fixed at build time.
+	vecs map[model.UserID]profileVec
+}
+
+type profileVec struct {
+	vec   textindex.Vector
+	terms []string // ascending — the deterministic accumulation order
+	norm  float64
 }
 
 // BuildProfileCosine renders every profile in store to a document
@@ -106,7 +118,8 @@ type ProfileCosine struct {
 // tok selects the tokenizer; nil uses the textindex default.
 func BuildProfileCosine(store *phr.Store, ont *ontology.Ontology, tok textindex.Tokenizer) (*ProfileCosine, error) {
 	corpus := textindex.NewCorpus(tok)
-	for _, id := range store.IDs() {
+	ids := store.IDs()
+	for _, id := range ids {
 		p, err := store.Get(id)
 		if err != nil {
 			return nil, fmt.Errorf("simfn: profile %s: %w", id, err)
@@ -115,13 +128,50 @@ func BuildProfileCosine(store *phr.Store, ont *ontology.Ontology, tok textindex.
 			return nil, fmt.Errorf("simfn: index %s: %w", id, err)
 		}
 	}
-	return &ProfileCosine{corpus: corpus}, nil
+	// The corpus is complete (idf is final); freeze every vector with
+	// its sorted terms and norm. Accumulation order matches
+	// textindex.Vector.Norm, so the values are bit-identical to the
+	// unfrozen path.
+	vecs := make(map[model.UserID]profileVec, len(ids))
+	for _, id := range ids {
+		v, err := corpus.TFIDFVector(textindex.DocID(id))
+		if err != nil {
+			return nil, fmt.Errorf("simfn: vector %s: %w", id, err)
+		}
+		terms := v.Terms()
+		var sum float64
+		for _, t := range terms {
+			x := v[t]
+			sum += x * x
+		}
+		vecs[id] = profileVec{vec: v, terms: terms, norm: math.Sqrt(sum)}
+	}
+	return &ProfileCosine{corpus: corpus, vecs: vecs}, nil
 }
 
 // Similarity implements UserSimilarity. ok is false when either user
-// has no indexed profile or a zero-weight vector.
+// has no indexed profile or a zero-weight vector. The dot product
+// iterates the smaller vector's frozen sorted terms, so only the
+// intersection contributes, in ascending-term order — the same
+// accumulation textindex.Vector.Cosine performs, without re-sorting
+// either vector per pair.
 func (pc *ProfileCosine) Similarity(a, b model.UserID) (float64, bool) {
-	return pc.corpus.Similarity(textindex.DocID(a), textindex.DocID(b))
+	va, okA := pc.vecs[a]
+	vb, okB := pc.vecs[b]
+	if !okA || !okB || va.norm == 0 || vb.norm == 0 {
+		return 0, false
+	}
+	small, other := va, vb
+	if len(vb.terms) < len(va.terms) {
+		small, other = vb, va
+	}
+	var dot float64
+	for _, t := range small.terms {
+		if y, ok := other.vec[t]; ok {
+			dot += small.vec[t] * y
+		}
+	}
+	return dot / (va.norm * vb.norm), true
 }
 
 // Corpus exposes the underlying index (read-mostly; used by examples
@@ -328,6 +378,14 @@ func (c *Cached) Similarity(a, b model.UserID) (float64, bool) {
 
 // Len returns the number of cached pairs.
 func (c *Cached) Len() int { return c.table.Len() }
+
+// AgeHistogram buckets the stored memoized pairs by age at the given
+// ascending upper bounds (the result is len(bounds)+1 long; the final
+// element counts entries older than every bound) — the TTL-tuning feed
+// surfaced on GET /v1/stats.
+func (c *Cached) AgeHistogram(bounds []time.Duration) []int {
+	return c.table.AgeHistogram(bounds)
+}
 
 // EvictRows drops every cached pair with an endpoint in users and
 // fences off in-flight computations involving them, keeping the rest of

@@ -7,11 +7,13 @@ import (
 	"sync"
 	"testing"
 
+	"fairhealth/internal/dataset"
 	"fairhealth/internal/model"
 	"fairhealth/internal/ontology"
 	"fairhealth/internal/phr"
 	"fairhealth/internal/ratings"
 	"fairhealth/internal/snomed"
+	"fairhealth/internal/textindex"
 )
 
 func storeWith(t *testing.T, triples ...model.Triple) *ratings.Store {
@@ -356,5 +358,43 @@ func TestHybridEndToEnd(t *testing.T) {
 	}
 	if s13 < 0 || s13 > 1 || s12 < 0 || s12 > 1 {
 		t.Errorf("hybrid out of [0,1]: %v %v", s13, s12)
+	}
+}
+
+// TestProfileCosineFrozenMatchesCorpus: the frozen per-profile vectors
+// (sorted terms + norms precomputed at build) must reproduce the
+// corpus-level cosine bit for bit, symmetrically, for every pair.
+func TestProfileCosineFrozenMatchesCorpus(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 19, Users: 20, Items: 30, RatingsPerUser: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := BuildProfileCosine(ds.Profiles, snomed.Load(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ds.Profiles.IDs()
+	checked := 0
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			got, gotOK := pc.Similarity(a, b)
+			want, wantOK := pc.Corpus().Similarity(textindex.DocID(a), textindex.DocID(b))
+			if gotOK != wantOK || got != want {
+				t.Fatalf("Similarity(%s,%s) = (%v,%v), corpus says (%v,%v)", a, b, got, gotOK, want, wantOK)
+			}
+			rev, revOK := pc.Similarity(b, a)
+			if revOK != gotOK || rev != got {
+				t.Fatalf("Similarity(%s,%s) asymmetric: %v vs %v", a, b, got, rev)
+			}
+			if gotOK {
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no defined pairs exercised")
+	}
+	if _, ok := pc.Similarity("ghost", ids[0]); ok {
+		t.Error("unknown profile reported a similarity")
 	}
 }

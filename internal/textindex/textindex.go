@@ -84,24 +84,38 @@ func NewDefaultTokenizer(minLen int, stopwords map[string]struct{}) Tokenizer {
 // Vector is a sparse term-weight vector.
 type Vector map[string]float64
 
-// Dot returns the inner product of v and w.
+// Dot returns the inner product of v and w. Terms are accumulated in
+// ascending order, not map order, so the floating-point sum is
+// bit-reproducible across calls and corpus rebuilds — profile-cosine
+// similarities feed serving paths whose warm answers must equal cold
+// rebuilds exactly.
 func (v Vector) Dot(w Vector) float64 {
 	if len(w) < len(v) {
 		v, w = w, v
 	}
+	return dotSorted(v, v.Terms(), w)
+}
+
+// dotSorted accumulates Σ v[t]·w[t] over terms (the caller supplies
+// v's terms pre-sorted, so repeated callers share one sort).
+func dotSorted(v Vector, terms []string, w Vector) float64 {
 	var sum float64
-	for t, x := range v {
+	for _, t := range terms {
 		if y, ok := w[t]; ok {
-			sum += x * y
+			sum += v[t] * y
 		}
 	}
 	return sum
 }
 
-// Norm returns the Euclidean norm of v.
-func (v Vector) Norm() float64 {
+// Norm returns the Euclidean norm of v, accumulated in ascending term
+// order for bit-reproducibility (see Dot).
+func (v Vector) Norm() float64 { return normSorted(v, v.Terms()) }
+
+func normSorted(v Vector, terms []string) float64 {
 	var sum float64
-	for _, x := range v {
+	for _, t := range terms {
+		x := v[t]
 		sum += x * x
 	}
 	return math.Sqrt(sum)
@@ -109,13 +123,22 @@ func (v Vector) Norm() float64 {
 
 // Cosine returns the cosine similarity between v and w (Eq. 3 of the
 // paper). ok is false when either vector has zero norm, in which case
-// similarity is undefined.
+// similarity is undefined. Each vector's term list is sorted once and
+// reused for both the norm and the dot product; callers on the
+// serving path additionally ride the pair-level similarity memo, so
+// the sort cost is paid per distinct pair, not per lookup.
 func (v Vector) Cosine(w Vector) (sim float64, ok bool) {
-	nv, nw := v.Norm(), w.Norm()
+	vt, wt := v.Terms(), w.Terms()
+	nv, nw := normSorted(v, vt), normSorted(w, wt)
 	if nv == 0 || nw == 0 {
 		return 0, false
 	}
-	return v.Dot(w) / (nv * nw), true
+	// Iterate the smaller vector's (already sorted) terms for the dot.
+	small, st, other := v, vt, w
+	if len(wt) < len(vt) {
+		small, st, other = w, wt, v
+	}
+	return dotSorted(small, st, other) / (nv * nw), true
 }
 
 // Terms returns the vector's terms in ascending order.

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"fairhealth/internal/core"
@@ -19,6 +20,7 @@ import (
 	"fairhealth/internal/model"
 	"fairhealth/internal/mrpipeline"
 	"fairhealth/internal/pool"
+	"fairhealth/internal/scoring"
 )
 
 // ErrBadQuery reports a GroupQuery that fails validation (negative Z
@@ -75,6 +77,14 @@ type GroupQuery struct {
 	// "consensus". Empty uses the System's configured aggregation. The
 	// mapreduce method supports only avg and min.
 	Aggregation string
+	// Scorer selects the relevance backend assembling the per-member
+	// candidate scores: "user-cf" (the paper's §III.A model, the
+	// default), "item-cf" (item-based CF), "profile" (peers by
+	// profile-cosine), or any in-tree backend registered with
+	// internal/scoring. Empty uses the System's configured default.
+	// The mapreduce method supports only user-cf — the §IV pipeline
+	// IS the user-based model as map/reduce jobs.
+	Scorer string
 	// K overrides the size of each member's personal top-k list A_u
 	// (fairness Def. 3) for this query. Zero uses the System's
 	// configured K; negative is invalid.
@@ -107,6 +117,10 @@ func (q GroupQuery) Validate() error {
 		default:
 			return fmt.Errorf("%w: mapreduce supports avg|min aggregation, not %q", ErrBadQuery, q.Aggregation)
 		}
+		if q.Scorer != "" && q.Scorer != scoring.DefaultName {
+			return fmt.Errorf("%w: mapreduce supports only the %s scorer, not %q",
+				ErrBadQuery, scoring.DefaultName, q.Scorer)
+		}
 	default:
 		return fmt.Errorf("%w: unknown method %q (want %s|%s|%s)",
 			ErrBadQuery, q.Method, MethodGreedy, MethodBrute, MethodMapReduce)
@@ -115,6 +129,10 @@ func (q GroupQuery) Validate() error {
 		if _, err := group.ParseAggregator(q.Aggregation); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadQuery, err)
 		}
+	}
+	if q.Scorer != "" && !scoring.Registered(q.Scorer) {
+		return fmt.Errorf("%w: unknown scorer %q (want one of %s)",
+			ErrBadQuery, q.Scorer, strings.Join(scoring.Names(), "|"))
 	}
 	return nil
 }
@@ -139,6 +157,13 @@ func (q GroupQuery) normalize(cfg Config) (GroupQuery, error) {
 		if q.Method == MethodMapReduce && q.Aggregation != "avg" && q.Aggregation != "min" {
 			return q, fmt.Errorf("%w: mapreduce supports avg|min aggregation, not the configured %q",
 				ErrBadQuery, q.Aggregation)
+		}
+	}
+	if q.Scorer == "" {
+		q.Scorer = cfg.Scorer
+		if q.Method == MethodMapReduce && q.Scorer != scoring.DefaultName {
+			return q, fmt.Errorf("%w: mapreduce supports only the %s scorer, not the configured %q",
+				ErrBadQuery, scoring.DefaultName, q.Scorer)
 		}
 	}
 	return q, nil
@@ -166,6 +191,15 @@ func memberGroup(members []string) (model.Group, error) {
 // over no members, ErrUnknownPatient naming the first member the
 // system has never seen, the context error on cancellation.
 func (s *System) Serve(ctx context.Context, q GroupQuery) (*GroupResult, error) {
+	return s.serve(ctx, q, s.workers())
+}
+
+// serve is Serve with an explicit bound on per-member assembly
+// parallelism. Single-shot serving fans the group's member scoring
+// out across the full Config.Workers budget; the batch path passes 1,
+// because its queries already occupy that budget and nested pools
+// would oversubscribe the documented bound.
+func (s *System) serve(ctx context.Context, q GroupQuery, assemblyWorkers int) (*GroupResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -205,13 +239,16 @@ func (s *System) Serve(ctx context.Context, q GroupQuery) (*GroupResult, error) 
 		if aerr != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadQuery, aerr) // unreachable: normalize validated
 		}
-		in, err = s.groupProblem(g, aggr, nq.K)
-		if err != nil {
-			return nil, err
+		gin, perr := s.groupProblem(nq.Scorer, g, aggr, nq.K, assemblyWorkers)
+		if perr != nil {
+			return nil, perr
 		}
+		in = gin.coreInput()
 		switch nq.Method {
 		case MethodBrute:
 			if nq.BruteM > 0 {
+				// TopCandidates returns a fresh map, so restricting the
+				// pool never mutates the memoized input.
 				in.GroupRel = core.TopCandidates(in.GroupRel, nq.BruteM)
 			}
 			res, err = core.BruteForce(in, nq.Z, nq.BruteMaxCombos)
@@ -311,15 +348,23 @@ func (s *System) ServeStream(ctx context.Context, queries []GroupQuery, fn func(
 		return BatchGroupResult{Index: k, Group: append([]string(nil), queries[k].Members...)}
 	}
 
-	sim, err := s.similarity()
-	if err != nil {
-		return err
-	}
-
-	// Warm the rows of the batch's member union against all raters.
+	// Warm the similarity rows of the member union of the USER-CF
+	// queries against all raters (other scorers don't read the
+	// pairwise user-similarity memo, so their members need no rows —
+	// and a batch with no user-cf entry skips the similarity build
+	// entirely).
 	seen := make(map[model.UserID]struct{})
 	var rows []model.UserID
 	for _, q := range queries {
+		if q.Method == MethodMapReduce {
+			continue // the §IV pipeline scores over raw triples, not the memo
+		}
+		if q.Scorer != "" && q.Scorer != scoring.NameUserCF {
+			continue
+		}
+		if q.Scorer == "" && s.cfg.Scorer != scoring.NameUserCF {
+			continue
+		}
 		for _, u := range q.Members {
 			id := model.UserID(u)
 			if _, dup := seen[id]; dup || id == "" {
@@ -329,16 +374,22 @@ func (s *System) ServeStream(ctx context.Context, queries []GroupQuery, fn func(
 			rows = append(rows, id)
 		}
 	}
-	if _, err := sim.WarmRows(ctx, rows, s.ratings.Users(), s.workers()); err != nil {
-		for k := range queries {
-			e := entry(k)
-			e.Err = err
-			emit(e)
+	if len(rows) > 0 {
+		sim, err := s.similarity()
+		if err != nil {
+			return err
 		}
-		if fnErr != nil {
-			return fnErr
+		if _, err := sim.WarmRows(ctx, rows, s.ratings.Users(), s.workers()); err != nil {
+			for k := range queries {
+				e := entry(k)
+				e.Err = err
+				emit(e)
+			}
+			if fnErr != nil {
+				return fnErr
+			}
+			return err
 		}
-		return err
 	}
 
 	pool.Each(len(queries), s.workers(), func(k int) {
@@ -351,7 +402,9 @@ func (s *System) ServeStream(ctx context.Context, queries []GroupQuery, fn func(
 			emit(e)
 			return
 		}
-		e.Result, e.Err = s.Serve(cctx, queries[k])
+		// Assembly runs serial inside each query: the batch fan-out
+		// already holds the Config.Workers budget.
+		e.Result, e.Err = s.serve(cctx, queries[k], 1)
 		emit(e)
 	})
 	if fnErr != nil {

@@ -330,12 +330,26 @@ func TestCacheStatsCounters(t *testing.T) {
 	if cold.Peers.Misses == 0 || cold.Peers.Entries == 0 {
 		t.Errorf("cold serve left no peer-cache activity: %+v", cold.Peers)
 	}
+	if cold.Groups.Misses == 0 || cold.Groups.Entries == 0 {
+		t.Errorf("cold serve left no group-memo activity: %+v", cold.Groups)
+	}
 	if _, err := sys.Serve(context.Background(), GroupQuery{Members: groups[0], Z: 4}); err != nil {
 		t.Fatal(err)
 	}
+	// The repeat query is answered from the group-input memo — the
+	// layer above the peer cache — so warmth shows up there.
 	warm := sys.CacheStats()
-	if warm.Peers.Hits <= cold.Peers.Hits {
-		t.Errorf("warm serve did not hit the peer cache: cold %+v warm %+v", cold.Peers, warm.Peers)
+	if warm.Groups.Hits <= cold.Groups.Hits {
+		t.Errorf("warm serve did not hit the group memo: cold %+v warm %+v", cold.Groups, warm.Groups)
+	}
+	// The peer cache still answers when the memo is cold for a key:
+	// the same members under a different aggregation reassemble from
+	// warm peer sets.
+	if _, err := sys.Serve(context.Background(), GroupQuery{Members: groups[0], Z: 4, Aggregation: "min"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.CacheStats(); st.Peers.Hits <= cold.Peers.Hits {
+		t.Errorf("reassembly did not hit the peer cache: cold %+v now %+v", cold.Peers, st.Peers)
 	}
 	// A full invalidation clears entries but keeps lifetime counters.
 	sys.InvalidateCaches()

@@ -7,11 +7,14 @@
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration each
 #   BENCH=GroupBatch scripts/bench.sh  # filter by benchmark regex
 #
-# The perf trajectory lives in three families included in every run:
+# The perf trajectory lives in four families included in every run:
 # BenchmarkScopedInvalidation (warm scoped eviction vs cold full-flush
 # serving), BenchmarkRatingsWriteThroughput (sharded vs single-lock
-# store under concurrent writers), and BenchmarkWarmCacheTTL (serving
-# inside vs past the internal/cache warm-cache TTL).
+# store under concurrent writers), BenchmarkWarmCacheTTL (serving
+# inside vs past the internal/cache warm-cache TTL), and
+# BenchmarkScorerServe (group serving per relevance backend — user-cf
+# vs item-cf vs profile — warm group-relevance cache vs cold after a
+# write).
 #
 # The script exits non-zero — without writing the output file — when
 # the benchmark run itself fails or parses to zero results, so a broken
