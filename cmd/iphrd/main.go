@@ -9,11 +9,18 @@
 //
 // Every request passes the middleware chain (request IDs, structured
 // logs, panic recovery, bounded in-flight limiter, per-request
-// timeout); -max-inflight and -timeout tune the bounds. The warm
-// caches under the scoring path are tuned with -cache-ttl (entries age
-// out across requests) and -cache-max-entries (LRU bound per layer);
-// GET /v1/stats reports their hit/miss/eviction/expiration counters
-// and per-layer entry-age histograms. -scorer sets the default
+// timeout); -max-inflight and -timeout tune the bounds, and
+// -adaptive-target-p95 switches the limiter to AIMD mode (the
+// admission bound tracks observed p95 latency against the target,
+// never dropping below -min-inflight). The warm caches under the
+// scoring path are tuned with -cache-ttl (entries age out across
+// requests), -cache-max-entries (LRU bound per layer), and
+// -cache-max-cost (size-aware budget per layer); -cache-ttl-min/-max
+// turn on TTL adaptation (the lease retargets every
+// -cache-adapt-every from observed hit/expiry/age signals). GET
+// /v1/stats reports the cache hit/miss/eviction/expiration counters,
+// per-layer entry-age histograms, live TTLs, and the limiter's
+// current bound. -scorer sets the default
 // relevance backend (user-cf | item-cf | profile) for queries that
 // name none. SIGINT/SIGTERM shut down gracefully: the listener closes,
 // in-flight requests drain for up to -drain-timeout, then the system
@@ -48,16 +55,23 @@ func main() {
 	scorer := flag.String("scorer", "", "default relevance scorer for queries that name none: user-cf | item-cf | profile (empty = user-cf)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "lifetime of warm similarity rows and peer sets across requests (0 = never expire)")
 	cacheMaxEntries := flag.Int("cache-max-entries", 0, "LRU bound per cache layer (0 = unbounded)")
+	cacheMaxCost := flag.Int64("cache-max-cost", 0, "size-aware cost budget per cache layer (0 = unbounded)")
+	cacheTTLMin := flag.Duration("cache-ttl-min", 0, "adaptive TTL lower bound (set with -cache-ttl-max and -cache-ttl to enable adaptation)")
+	cacheTTLMax := flag.Duration("cache-ttl-max", 0, "adaptive TTL upper bound")
+	cacheAdaptEvery := flag.Duration("cache-adapt-every", 0, "cache TTL adaptation period (0 = 10s default when adaptation is enabled)")
 	state := flag.String("state", "", "state directory for durable storage (empty = in-memory)")
 	timeout := flag.Duration("timeout", httpapi.DefaultTimeout, "per-request timeout (negative disables)")
 	maxInFlight := flag.Int("max-inflight", httpapi.DefaultMaxInFlight, "max concurrently served requests, 429 beyond (negative disables)")
+	targetP95 := flag.Duration("adaptive-target-p95", 0, "p95 latency target enabling AIMD adaptation of the in-flight limit (0 = fixed limit)")
+	minInFlight := flag.Int("min-inflight", httpapi.DefaultMinInFlight, "floor for the adaptive in-flight limit")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGINT/SIGTERM shutdown waits for in-flight requests to finish")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "iphrd ", log.LstdFlags)
 	cfg := fairhealth.Config{
 		Delta: *delta, K: *k, Aggregation: *aggr, Scorer: *scorer,
-		CacheTTL: *cacheTTL, CacheMaxEntries: *cacheMaxEntries,
+		CacheTTL: *cacheTTL, CacheMaxEntries: *cacheMaxEntries, CacheMaxCost: *cacheMaxCost,
+		CacheTTLMin: *cacheTTLMin, CacheTTLMax: *cacheTTLMax, CacheAdaptEvery: *cacheAdaptEvery,
 	}
 	var sys *fairhealth.System
 	var err error
@@ -122,6 +136,8 @@ func main() {
 			Logger:      logger,
 			Timeout:     *timeout,
 			MaxInFlight: *maxInFlight,
+			TargetP95:   *targetP95,
+			MinInFlight: *minInFlight,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

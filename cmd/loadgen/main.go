@@ -1,0 +1,242 @@
+// Command loadgen replays a sustained, mixed read/write workload
+// against the recommender and reports per-operation-class latency
+// (RPS, p50/p95/p99/max) — the CLI over internal/loadtest.
+//
+// Two targets:
+//
+//	loadgen -requests 2000                          # in-process System
+//	loadgen -target http://localhost:8080 -duration 30s
+//
+// The in-process mode builds a System, seeds it with the synthetic
+// dataset (same generator as iphrd -demo), and drives it directly —
+// the CI load-smoke configuration. The HTTP mode drives a live iphrd
+// over the v1 API; point it at a server started with -demo and
+// matching -dataset-seed/-users/-items so the generated user and item
+// IDs exist there.
+//
+// The workload is deterministic per -seed in -requests mode: the same
+// flags replay the identical request stream, which is what makes load
+// numbers comparable across commits. The report prints as JSON on
+// stdout; -out merges it as the "load" section of a BENCH_<date>.json
+// trajectory file next to the "benchmarks" section scripts/bench.sh
+// writes (see docs/ops.md).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"fairhealth"
+	"fairhealth/internal/dataset"
+	"fairhealth/internal/loadtest"
+)
+
+func main() {
+	target := flag.String("target", "inproc", `"inproc" or a live iphrd base URL (http://host:port)`)
+	requests := flag.Int("requests", 0, "total operation budget (deterministic mode; exactly one of -requests/-duration)")
+	duration := flag.Duration("duration", 0, "wall-clock bound (exactly one of -requests/-duration)")
+	workers := flag.Int("workers", 4, "concurrent workers")
+	seed := flag.Int64("seed", 1, "workload seed")
+	mixSpec := flag.String("mix", "", `operation mix weights, e.g. "single=60,batch=10,stream=5,rate=24,profile=1" (empty = default mix)`)
+	groupSize := flag.Int("group-size", 3, "members per group query")
+	batchGroups := flag.Int("batch-groups", 4, "queries per batch/stream operation")
+	z := flag.Int("z", 6, "recommendations per group")
+	k := flag.Int("k", 0, "fairness list size override (0 = server default)")
+	scorers := flag.String("scorers", "", `comma-separated scorers to cycle (e.g. "user-cf,item-cf,profile"; empty = server default)`)
+	aggs := flag.String("aggs", "", `comma-separated aggregations to cycle (e.g. "avg,min"; empty = server default)`)
+	out := flag.String("out", "", "BENCH_<date>.json file to merge the load section into (empty = stdout only)")
+
+	datasetSeed := flag.Int64("dataset-seed", 1, "synthetic dataset seed (must match the server's -demo-seed for HTTP targets)")
+	users := flag.Int("users", 60, "synthetic dataset patients")
+	items := flag.Int("items", 120, "synthetic dataset documents")
+	ratingsPerUser := flag.Int("ratings-per-user", 25, "synthetic dataset ratings per patient (inproc seeding only)")
+
+	delta := flag.Float64("delta", 0.5, "inproc: peer threshold δ")
+	scorer := flag.String("scorer", "", "inproc: default relevance scorer")
+	cacheTTL := flag.Duration("cache-ttl", 0, "inproc: cache lease (0 = never expire)")
+	cacheMaxEntries := flag.Int("cache-max-entries", 0, "inproc: LRU bound per cache layer (0 = unbounded)")
+	cacheMaxCost := flag.Int64("cache-max-cost", 0, "inproc: cost budget per cache layer (0 = unbounded)")
+	cacheTTLMin := flag.Duration("cache-ttl-min", 0, "inproc: adaptive TTL lower bound (with -cache-ttl-max enables adaptation)")
+	cacheTTLMax := flag.Duration("cache-ttl-max", 0, "inproc: adaptive TTL upper bound")
+	cacheAdaptEvery := flag.Duration("cache-adapt-every", 0, "inproc: adaptation period (0 = 10s default when enabled)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "loadgen ", log.LstdFlags)
+
+	ds, err := dataset.Generate(dataset.Config{
+		Seed: *datasetSeed, Users: *users, Items: *items, RatingsPerUser: *ratingsPerUser,
+	})
+	if err != nil {
+		logger.Fatalf("dataset: %v", err)
+	}
+	cfg := loadtest.Config{
+		Workers:     *workers,
+		Requests:    *requests,
+		Duration:    *duration,
+		Seed:        *seed,
+		GroupSize:   *groupSize,
+		BatchGroups: *batchGroups,
+		Z:           *z,
+		K:           *k,
+	}
+	if *mixSpec != "" {
+		mix, err := parseMix(*mixSpec)
+		if err != nil {
+			logger.Fatalf("mix: %v", err)
+		}
+		cfg.Mix = mix
+	}
+	if *scorers != "" {
+		cfg.Scorers = strings.Split(*scorers, ",")
+	}
+	if *aggs != "" {
+		cfg.Aggregations = strings.Split(*aggs, ",")
+	}
+	for _, id := range ds.Profiles.IDs() {
+		cfg.Users = append(cfg.Users, string(id))
+	}
+	for _, d := range ds.Documents {
+		cfg.Items = append(cfg.Items, string(d.ID))
+	}
+	// Profile writes re-use each patient's real coded problems, so the
+	// generated profiles always validate against the ontology.
+	problems := map[string]bool{}
+	for _, id := range ds.Profiles.IDs() {
+		prof, err := ds.Profiles.Get(id)
+		if err != nil {
+			continue
+		}
+		for _, c := range prof.Problems {
+			problems[string(c)] = true
+		}
+	}
+	for c := range problems {
+		cfg.Problems = append(cfg.Problems, c)
+	}
+
+	tgt, err := loadtest.ParseTarget(*target, nil)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if tgt == nil { // inproc
+		sys, err := fairhealth.New(fairhealth.Config{
+			Delta: *delta, Scorer: *scorer,
+			CacheTTL: *cacheTTL, CacheMaxEntries: *cacheMaxEntries, CacheMaxCost: *cacheMaxCost,
+			CacheTTLMin: *cacheTTLMin, CacheTTLMax: *cacheTTLMax, CacheAdaptEvery: *cacheAdaptEvery,
+		})
+		if err != nil {
+			logger.Fatalf("system: %v", err)
+		}
+		defer sys.Close()
+		start := time.Now()
+		for _, tr := range ds.Ratings.Triples() {
+			if err := sys.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
+				logger.Fatalf("seed rating: %v", err)
+			}
+		}
+		for _, id := range ds.Profiles.IDs() {
+			prof, err := ds.Profiles.Get(id)
+			if err != nil {
+				logger.Fatalf("seed profile: %v", err)
+			}
+			probs := make([]string, len(prof.Problems))
+			for i, c := range prof.Problems {
+				probs[i] = string(c)
+			}
+			p := fairhealth.Patient{ID: string(prof.ID), Age: prof.Age, Gender: string(prof.Gender),
+				Problems: probs, Medications: prof.Medications}
+			if err := sys.AddPatient(p); err != nil {
+				logger.Fatalf("seed patient: %v", err)
+			}
+		}
+		st := sys.Stats()
+		logger.Printf("in-process system seeded in %v: %d patients, %d items, %d ratings",
+			time.Since(start).Round(time.Millisecond), st.Patients, st.Items, st.Ratings)
+		tgt = loadtest.InProc{Sys: sys}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("running against %s: workers=%d requests=%d duration=%v seed=%d",
+		*target, cfg.Workers, cfg.Requests, cfg.Duration, cfg.Seed)
+	rep, err := loadtest.Run(ctx, tgt, cfg)
+	if err != nil {
+		logger.Fatalf("run: %v", err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		logger.Fatal(err)
+	}
+	for _, cl := range loadtest.Classes {
+		c, ok := rep.Classes[string(cl)]
+		if !ok {
+			continue
+		}
+		logger.Printf("%-14s %7d ops %8.1f rps  p50 %s  p95 %s  p99 %s  max %s  errors %d",
+			cl, c.Count, c.RPS, ms(c.P50Ns), ms(c.P95Ns), ms(c.P99Ns), ms(c.MaxNs), c.Errors)
+	}
+	if rep.TotalErrors > 0 {
+		logger.Printf("WARNING: %d/%d operations failed", rep.TotalErrors, rep.TotalOps)
+	}
+
+	if *out != "" {
+		meta := map[string]any{"date": time.Now().Format("2006-01-02")}
+		if err := loadtest.MergeBenchFile(*out, rep, meta); err != nil {
+			logger.Fatalf("merge %s: %v", *out, err)
+		}
+		logger.Printf("load section merged into %s", *out)
+	}
+	if rep.TotalErrors > 0 {
+		os.Exit(1)
+	}
+}
+
+// ms renders nanoseconds as short human milliseconds for the summary.
+func ms(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e6, 'f', 2, 64) + "ms"
+}
+
+// parseMix parses "single=60,batch=10,stream=5,rate=24,profile=1";
+// omitted classes weigh 0.
+func parseMix(spec string) (loadtest.Mix, error) {
+	var m loadtest.Mix
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix element %q (want class=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch key {
+		case "single":
+			m.Single = w
+		case "batch":
+			m.Batch = w
+		case "stream":
+			m.Stream = w
+		case "rate":
+			m.Rate = w
+		case "profile":
+			m.Profile = w
+		default:
+			return m, fmt.Errorf("unknown mix class %q (single|batch|stream|rate|profile)", key)
+		}
+	}
+	if m.Single+m.Batch+m.Stream+m.Rate+m.Profile == 0 {
+		return m, fmt.Errorf("mix %q has zero total weight", spec)
+	}
+	return m, nil
+}

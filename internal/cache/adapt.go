@@ -1,0 +1,84 @@
+package cache
+
+// TTL adaptation. The engine exposes the raw feeds — hit/miss/expiry
+// counters (Stats) and the entry-age histogram (AgeHistogram) — and
+// AdviseTTL turns a window of them into a lease recommendation. The
+// decision function is pure and deterministic so the policy is
+// unit-testable without a cache or a clock; callers (the System's
+// adaptation loop, ops tooling) apply the advice with SetTTL.
+//
+// Adaptation can only change WHEN entries die: expiry removes entries,
+// and a recomputation after expiry reads the same underlying data, so
+// a warm hit stays bit-identical to a cold rebuild under every lease
+// the advisor picks (the same argument as for the static TTL).
+
+import "time"
+
+// TTLSignal is one observation window of a cache layer's behavior —
+// counter DELTAS since the previous advice, plus an age snapshot.
+type TTLSignal struct {
+	// Hits, Misses, and Expirations are the counter deltas over the
+	// window (Stats() now minus Stats() at the previous tick).
+	Hits, Misses, Expirations uint64
+	// AgeCounts is AgeHistogram([ttl/8, ttl/4, ttl/2, ttl]) at advice
+	// time: five buckets, the last two (older than half the lease,
+	// plus the overflow past the lease) form the "old mass" the
+	// shrink rule reads. A histogram taken at other bounds degrades
+	// the advice but cannot make it wrong — the advisor only compares
+	// relative mass.
+	AgeCounts []int
+}
+
+// ttlSignalMinEntries is the minimum population (summed AgeCounts)
+// before the shrink rule acts — age mass over a near-empty table says
+// nothing about traffic.
+const ttlSignalMinEntries = 16
+
+// AdviseTTL recommends the next lease for a cache currently running at
+// cur, clamped into [min, max]. The policy, in priority order:
+//
+//   - Grow (cur×2) when expiry is driving misses: at least a quarter
+//     of the window's misses coincide with expirations, so entries die
+//     before their next use and the lease is starving the hit rate.
+//   - Shrink (cur×3/4) when the table is all young: nothing expired
+//     this window and less than a tenth of the stored entries have
+//     lived past half the lease, so the lease is far longer than the
+//     reuse distance and can tighten without costing hits.
+//   - Otherwise hold.
+//
+// cur ≤ 0 (expiry disabled) is returned unchanged — adaptation needs a
+// running lease. min and max are the operator's guardrails; min must
+// be > 0 to keep the lease alive.
+func AdviseTTL(cur, min, max time.Duration, s TTLSignal) time.Duration {
+	if cur <= 0 {
+		return cur
+	}
+	next := cur
+	total := 0
+	for _, n := range s.AgeCounts {
+		total += n
+	}
+	old := 0
+	if len(s.AgeCounts) >= 2 {
+		old = s.AgeCounts[len(s.AgeCounts)-1] + s.AgeCounts[len(s.AgeCounts)-2]
+	}
+	switch {
+	case s.Misses > 0 && s.Expirations*4 >= s.Misses:
+		next = cur * 2
+	case s.Expirations == 0 && total >= ttlSignalMinEntries && old*10 <= total:
+		next = cur * 3 / 4
+	}
+	if min > 0 && next < min {
+		next = min
+	}
+	if max > 0 && next > max {
+		next = max
+	}
+	return next
+}
+
+// AdviceBounds returns the age-histogram bucket bounds AdviseTTL
+// expects for a lease of ttl: [ttl/8, ttl/4, ttl/2, ttl].
+func AdviceBounds(ttl time.Duration) []time.Duration {
+	return []time.Duration{ttl / 8, ttl / 4, ttl / 2, ttl}
+}

@@ -1,0 +1,183 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdviseTTLGrowsWhenExpiryDrivesMisses(t *testing.T) {
+	cur := 10 * time.Second
+	s := TTLSignal{Hits: 50, Misses: 40, Expirations: 10}
+	got := AdviseTTL(cur, time.Second, time.Hour, s)
+	if got != 20*time.Second {
+		t.Fatalf("AdviseTTL = %v, want 20s (grow ×2)", got)
+	}
+}
+
+func TestAdviseTTLShrinksWhenTableAllYoung(t *testing.T) {
+	cur := 40 * time.Second
+	// 20 entries, all in the youngest bucket: no expiry pressure and no
+	// old mass, so the lease can tighten.
+	s := TTLSignal{Hits: 100, Misses: 5, AgeCounts: []int{20, 0, 0, 0, 0}}
+	got := AdviseTTL(cur, time.Second, time.Hour, s)
+	if got != 30*time.Second {
+		t.Fatalf("AdviseTTL = %v, want 30s (shrink ×3/4)", got)
+	}
+}
+
+func TestAdviseTTLHolds(t *testing.T) {
+	cur := 10 * time.Second
+	cases := []struct {
+		name string
+		s    TTLSignal
+	}{
+		{"expiry share below quarter", TTLSignal{Misses: 100, Expirations: 10, AgeCounts: []int{5, 5, 5, 5, 5}}},
+		{"old mass present", TTLSignal{Hits: 100, AgeCounts: []int{10, 2, 2, 1, 2}}},
+		{"too few entries to judge", TTLSignal{Hits: 100, AgeCounts: []int{5, 0, 0, 0, 0}}},
+		{"idle window", TTLSignal{}},
+	}
+	for _, tc := range cases {
+		if got := AdviseTTL(cur, time.Second, time.Hour, tc.s); got != cur {
+			t.Errorf("%s: AdviseTTL = %v, want hold at %v", tc.name, got, cur)
+		}
+	}
+}
+
+func TestAdviseTTLClampsToBounds(t *testing.T) {
+	grow := TTLSignal{Misses: 10, Expirations: 10}
+	if got := AdviseTTL(10*time.Second, time.Second, 15*time.Second, grow); got != 15*time.Second {
+		t.Fatalf("grow clamp = %v, want 15s", got)
+	}
+	shrink := TTLSignal{AgeCounts: []int{20, 0, 0, 0, 0}}
+	if got := AdviseTTL(10*time.Second, 9*time.Second, time.Hour, shrink); got != 9*time.Second {
+		t.Fatalf("shrink clamp = %v, want 9s", got)
+	}
+}
+
+func TestAdviseTTLDisabledLease(t *testing.T) {
+	s := TTLSignal{Misses: 10, Expirations: 10}
+	if got := AdviseTTL(0, time.Second, time.Hour, s); got != 0 {
+		t.Fatalf("AdviseTTL(0) = %v, want 0 (expiry disabled)", got)
+	}
+}
+
+func TestAdviceBounds(t *testing.T) {
+	b := AdviceBounds(80 * time.Second)
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 40 * time.Second, 80 * time.Second}
+	if len(b) != len(want) {
+		t.Fatalf("AdviceBounds len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("AdviceBounds[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestSetTTLAppliesToLiveEntries(t *testing.T) {
+	c, clk := newTest(10*time.Second, 0)
+	defer c.Close()
+	c.PutChecked("k", "v", scopesOf("s"), c.Seq())
+	clk.advance(5 * time.Second)
+	if _, _, ok := c.Get("k"); !ok {
+		t.Fatal("entry expired before its lease")
+	}
+	// Shrinking the lease below the entry's age kills it retroactively.
+	c.SetTTL(2 * time.Second)
+	if c.TTL() != 2*time.Second {
+		t.Fatalf("TTL() = %v, want 2s", c.TTL())
+	}
+	if _, _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived a lease shrunk below its age")
+	}
+	// And a fresh store under the new lease behaves normally.
+	c.PutChecked("k2", "v2", scopesOf("s"), c.Seq())
+	clk.advance(time.Second)
+	if _, _, ok := c.Get("k2"); !ok {
+		t.Fatal("fresh entry expired early under new lease")
+	}
+	// Growing the lease resurrects nothing (k was removed on expiry
+	// read) but extends live entries.
+	c.SetTTL(time.Hour)
+	clk.advance(10 * time.Second)
+	if _, _, ok := c.Get("k2"); !ok {
+		t.Fatal("entry expired despite grown lease")
+	}
+}
+
+func TestCostBoundEvictsLRU(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New[string, string, string](Config[string, string]{
+		Shards:          1,
+		Hash:            func(k string) uint32 { return FNV1a(k) },
+		MaxCost:         10,
+		Cost:            func(_ string, v string) int64 { return int64(len(v)) },
+		Now:             clk.Now,
+		JanitorInterval: -1,
+	})
+	defer c.Close()
+	c.PutChecked("a", "xxxx", scopesOf("s"), c.Seq()) // cost 4
+	c.PutChecked("b", "xxxx", scopesOf("s"), c.Seq()) // cost 4
+	if st := c.Stats(); st.Cost != 8 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want cost=8 entries=2", st)
+	}
+	// +4 overflows the budget of 10: LRU entry "a" must go.
+	c.PutChecked("c", "xxxx", scopesOf("s"), c.Seq())
+	if _, _, ok := c.Get("a"); ok {
+		t.Fatal("LRU entry survived cost eviction")
+	}
+	if _, _, ok := c.Get("b"); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	st := c.Stats()
+	if st.Cost != 8 || st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want cost=8 entries=2 evictions=1", st)
+	}
+}
+
+func TestCostBoundAdmitsOversizedEntryAlone(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New[string, string, string](Config[string, string]{
+		Shards:          1,
+		Hash:            func(k string) uint32 { return FNV1a(k) },
+		MaxCost:         5,
+		Cost:            func(_ string, v string) int64 { return int64(len(v)) },
+		Now:             clk.Now,
+		JanitorInterval: -1,
+	})
+	defer c.Close()
+	c.PutChecked("small", "x", scopesOf("s"), c.Seq())
+	c.PutChecked("huge", "xxxxxxxxxx", scopesOf("s"), c.Seq()) // cost 10 > budget 5
+	if _, _, ok := c.Get("huge"); !ok {
+		t.Fatal("over-budget entry not admitted")
+	}
+	if _, _, ok := c.Get("small"); ok {
+		t.Fatal("small entry survived; should have been evicted to make room")
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Cost != 10 {
+		t.Fatalf("stats = %+v, want the oversized entry alone", st)
+	}
+}
+
+func TestCostAccountingOnInvalidateAndEvict(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New[string, string, string](Config[string, string]{
+		Shards:          1,
+		Hash:            func(k string) uint32 { return FNV1a(k) },
+		MaxCost:         100,
+		Cost:            func(_ string, v string) int64 { return int64(len(v)) },
+		Now:             clk.Now,
+		JanitorInterval: -1,
+	})
+	defer c.Close()
+	c.PutChecked("a", "xx", scopesOf("s1"), c.Seq())
+	c.PutChecked("b", "xxx", scopesOf("s2"), c.Seq())
+	c.EvictScopes([]string{"s1"})
+	if st := c.Stats(); st.Cost != 3 || st.Entries != 1 {
+		t.Fatalf("after EvictScopes: stats = %+v, want cost=3 entries=1", st)
+	}
+	c.Invalidate()
+	if st := c.Stats(); st.Cost != 0 || st.Entries != 0 {
+		t.Fatalf("after Invalidate: stats = %+v, want cost=0 entries=0", st)
+	}
+}

@@ -9,11 +9,20 @@
 //     shards by a caller-supplied hash, each with its own lock, so
 //     concurrent lookups and stores of different keys do not serialize
 //     on one global mutex.
-//   - Per-entry TTL: entries written more than Config.TTL ago answer as
-//     misses and are reaped — lazily on lookup and periodically by a
-//     background janitor goroutine (Close stops it) — so long-idle
-//     entries age out instead of living forever.
-//   - LRU capacity bounds: Config.MaxEntries caps the table; inserting
+//   - Per-entry TTL: entries written more than the current TTL ago
+//     answer as misses and are reaped — lazily on lookup and
+//     periodically by a background janitor goroutine (Close stops it) —
+//     so long-idle entries age out instead of living forever. The TTL
+//     is dynamic: SetTTL retunes it at runtime (AdviseTTL derives a
+//     recommendation from hit/expiry counters and the age histogram),
+//     and expiry is always evaluated against the CURRENT TTL, so a
+//     lease change applies to live entries too. Adaptation changes
+//     when entries die, never what a hit returns: a recomputation
+//     after expiry reads the same underlying data.
+//   - LRU capacity bounds: Config.MaxEntries caps the table by entry
+//     count and Config.MaxCost by total entry cost (a caller-supplied
+//     per-entry cost function — peers in a set, scores in an assembled
+//     input — so big entries count for what they hold); inserting
 //     beyond a shard's share evicts its least-recently-used entries.
 //   - Singleflight loading: GetOrCompute deduplicates concurrent misses
 //     of one key so the underlying value is computed once.
@@ -82,13 +91,15 @@ const minJanitorInterval = time.Second
 
 // Config tunes a Cache. The zero value of every field is usable when a
 // Hash is supplied; without one the cache degrades to a single shard.
-type Config[K comparable] struct {
+type Config[K comparable, V any] struct {
 	// Hash places keys on shards. nil forces a single shard.
 	Hash func(K) uint32
 	// Shards is the shard count, rounded up to a power of two.
 	// 0 means DefaultShards (or 1 when Hash is nil).
 	Shards int
-	// TTL bounds each entry's lifetime; 0 disables expiry.
+	// TTL bounds each entry's lifetime; 0 disables expiry. It is the
+	// INITIAL lease — SetTTL retunes it at runtime and expiry is
+	// always checked against the current value.
 	TTL time.Duration
 	// MaxEntries caps the table size; inserts beyond a shard's share
 	// evict least-recently-used entries. The bound is enforced per
@@ -96,12 +107,25 @@ type Config[K comparable] struct {
 	// multiple of the (possibly clamped) shard count — never more than
 	// MaxEntries. 0 means unbounded.
 	MaxEntries int
+	// MaxCost caps the table by total entry cost as measured by Cost;
+	// inserts beyond a shard's share (MaxCost / shard count) evict its
+	// least-recently-used entries until the shard fits again. An entry
+	// costlier than a whole shard's budget is admitted alone. 0 means
+	// no cost bound.
+	MaxCost int64
+	// Cost prices one entry for the MaxCost bound — e.g. the number of
+	// peers in a cached set, so a few huge sets cannot hide behind a
+	// small entry count. nil (or with MaxCost 0) prices every entry at
+	// 1, degrading the cost bound to an entry-count bound. Negative
+	// returns are clamped to 0.
+	Cost func(K, V) int64
 	// Now is the clock (tests inject a fake one); nil means time.Now.
 	Now func() time.Time
 	// JanitorInterval is the period of the background expiry sweep.
 	// 0 derives it from the TTL (floored at minJanitorInterval),
 	// negative disables the janitor (lazy expiry still applies). The
-	// janitor only runs when TTL > 0.
+	// janitor runs when TTL > 0 or when a positive interval is given
+	// explicitly (for caches built lease-less and retuned by SetTTL).
 	JanitorInterval time.Duration
 }
 
@@ -118,18 +142,21 @@ type Stats struct {
 	Expirations uint64
 	// Entries is the number of entries currently stored.
 	Entries int
+	// Cost is the total cost of the stored entries under the
+	// configured Cost function (equals Entries when none is set).
+	Cost int64
 }
 
 // entry is one stored value with its fencing and lifetime metadata.
 // prev/next thread the shard's LRU list (only maintained under a
-// capacity bound).
+// capacity or cost bound).
 type entry[K comparable, S comparable, V any] struct {
 	key      K
 	val      V
 	seq      uint64 // fence sequence the value is valid for
 	scopes   []S
-	storedAt int64 // unix nanos; feeds the entry-age histogram
-	expireAt int64 // unix nanos; 0 = never
+	storedAt int64 // unix nanos; expiry is storedAt + the CURRENT TTL
+	cost     int64 // price under Config.Cost; feeds the MaxCost bound
 	prev     *entry[K, S, V]
 	next     *entry[K, S, V]
 }
@@ -150,8 +177,11 @@ type shard[K comparable, S comparable, V any] struct {
 	// O(affected entries), not a table scan.
 	byScope map[S]map[K]struct{}
 	flights map[K]*flight[V]
+	// cost totals the stored entries' prices (guarded by mu); feeds
+	// the per-shard MaxCost budget.
+	cost int64
 	// head/tail are the LRU sentinels (most recent at head.next); only
-	// linked when the cache has a capacity bound.
+	// linked when the cache has a capacity or cost bound.
 	head, tail *entry[K, S, V]
 }
 
@@ -167,9 +197,15 @@ type Cache[K comparable, S comparable, V any] struct {
 	mask   uint32
 	hash   func(K) uint32
 
-	ttl      time.Duration
-	shardCap int // per-shard entry bound; 0 = unbounded
-	now      func() time.Time
+	// ttlNanos is the current lease in nanoseconds (0 = never expire).
+	// Atomic because SetTTL retunes it at runtime while lookups and
+	// sweeps read it; every expiry decision loads the current value.
+	ttlNanos  atomic.Int64
+	shardCap  int   // per-shard entry bound; 0 = unbounded
+	shardCost int64 // per-shard cost budget; 0 = unbounded
+	costFn    func(K, V) int64
+	bounded   bool // shardCap > 0 || shardCost > 0: LRU list maintained
+	now       func() time.Time
 
 	// fence state (see the package comment).
 	fmu      sync.RWMutex
@@ -180,6 +216,7 @@ type Cache[K comparable, S comparable, V any] struct {
 	touched  map[S]uint64
 
 	count       atomic.Int64
+	totalCost   atomic.Int64
 	hits        atomic.Uint64
 	misses      atomic.Uint64
 	evictions   atomic.Uint64
@@ -190,7 +227,7 @@ type Cache[K comparable, S comparable, V any] struct {
 }
 
 // New builds a Cache for cfg.
-func New[K comparable, S comparable, V any](cfg Config[K]) *Cache[K, S, V] {
+func New[K comparable, S comparable, V any](cfg Config[K, V]) *Cache[K, S, V] {
 	shards := cfg.Shards
 	if cfg.Hash == nil {
 		shards = 1
@@ -221,31 +258,47 @@ func New[K comparable, S comparable, V any](cfg Config[K]) *Cache[K, S, V] {
 	if now == nil {
 		now = time.Now
 	}
-	c := &Cache[K, S, V]{
-		shards:   make([]shard[K, S, V], n),
-		mask:     uint32(n - 1),
-		hash:     hash,
-		ttl:      cfg.TTL,
-		shardCap: shardCap,
-		now:      now,
-		touched:  make(map[S]uint64),
+	var shardCost int64
+	if cfg.MaxCost > 0 {
+		// The cost budget is enforced per shard like the entry bound;
+		// a budget smaller than the shard count still leaves each shard
+		// one unit so inserts always make progress.
+		shardCost = cfg.MaxCost / int64(n)
+		if shardCost == 0 {
+			shardCost = 1
+		}
 	}
+	c := &Cache[K, S, V]{
+		shards:    make([]shard[K, S, V], n),
+		mask:      uint32(n - 1),
+		hash:      hash,
+		shardCap:  shardCap,
+		shardCost: shardCost,
+		costFn:    cfg.Cost,
+		bounded:   shardCap > 0 || shardCost > 0,
+		now:       now,
+		touched:   make(map[S]uint64),
+	}
+	c.ttlNanos.Store(int64(cfg.TTL))
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.entries = make(map[K]*entry[K, S, V])
 		sh.byScope = make(map[S]map[K]struct{})
 		sh.flights = make(map[K]*flight[V])
-		if shardCap > 0 {
+		if c.bounded {
 			sh.head = &entry[K, S, V]{}
 			sh.tail = &entry[K, S, V]{}
 			sh.head.next = sh.tail
 			sh.tail.prev = sh.head
 		}
 	}
-	if c.ttl > 0 && cfg.JanitorInterval >= 0 {
+	// The janitor also starts on an explicit positive JanitorInterval
+	// with TTL 0, so a cache built lease-less but retuned later by
+	// SetTTL still gets swept.
+	if (cfg.TTL > 0 || cfg.JanitorInterval > 0) && cfg.JanitorInterval >= 0 {
 		interval := cfg.JanitorInterval
 		if interval == 0 {
-			interval = c.ttl
+			interval = cfg.TTL
 			if interval < minJanitorInterval {
 				interval = minJanitorInterval
 			}
@@ -254,6 +307,25 @@ func New[K comparable, S comparable, V any](cfg Config[K]) *Cache[K, S, V] {
 		go c.janitor(interval)
 	}
 	return c
+}
+
+// SetTTL retunes the lease at runtime (0 disables expiry, negative is
+// clamped to 0). The new value applies to live entries too: expiry is
+// evaluated as storedAt + current TTL, so shrinking the lease ages
+// entries out sooner and growing it extends them — changing only WHEN
+// entries die, never what a hit returns. Sweeping relies on the
+// janitor started at New (an explicit JanitorInterval starts one even
+// with TTL 0); lazy expiry on lookup always applies.
+func (c *Cache[K, S, V]) SetTTL(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.ttlNanos.Store(int64(d))
+}
+
+// TTL returns the current lease (0 = never expire).
+func (c *Cache[K, S, V]) TTL() time.Duration {
+	return time.Duration(c.ttlNanos.Load())
 }
 
 // Close stops the background janitor (if any). The cache remains
@@ -271,14 +343,21 @@ func (c *Cache[K, S, V]) shard(k K) *shard[K, S, V] {
 	return &c.shards[c.hash(k)&c.mask]
 }
 
-// expiredAt reports whether e is past its TTL at now (unix nanos).
-func expiredAt[K comparable, S comparable, V any](e *entry[K, S, V], now int64) bool {
-	return e.expireAt != 0 && now > e.expireAt
+// expiredAt reports whether e is past the CURRENT TTL at now (unix
+// nanos). now == 0 means the caller skipped the clock because no TTL
+// was set at read time; a concurrent SetTTL after that read at worst
+// delays one entry's expiry to its next lookup.
+func (c *Cache[K, S, V]) expiredAt(e *entry[K, S, V], now int64) bool {
+	if now == 0 {
+		return false
+	}
+	ttl := c.ttlNanos.Load()
+	return ttl > 0 && now > e.storedAt+ttl
 }
 
 // nowNano returns the clock reading only when TTL checks need one.
 func (c *Cache[K, S, V]) nowNano() int64 {
-	if c.ttl <= 0 {
+	if c.ttlNanos.Load() <= 0 {
 		return 0
 	}
 	return c.now().UnixNano()
@@ -296,10 +375,10 @@ func (c *Cache[K, S, V]) nowNano() int64 {
 func (c *Cache[K, S, V]) Lookup(k K) (v V, seq uint64, ok bool) {
 	sh := c.shard(k)
 	now := c.nowNano()
-	if c.shardCap == 0 {
+	if !c.bounded {
 		sh.mu.RLock()
 		e, found := sh.entries[k]
-		if found && !expiredAt(e, now) {
+		if found && !c.expiredAt(e, now) {
 			v, seq = e.val, e.seq
 			sh.mu.RUnlock()
 			return v, seq, true
@@ -309,7 +388,7 @@ func (c *Cache[K, S, V]) Lookup(k K) (v V, seq uint64, ok bool) {
 			// Expired: upgrade to the write lock and reap, so the entry
 			// count and expiration counter stay exact.
 			sh.mu.Lock()
-			if e2, still := sh.entries[k]; still && expiredAt(e2, now) {
+			if e2, still := sh.entries[k]; still && c.expiredAt(e2, now) {
 				c.removeLocked(sh, e2)
 				c.expirations.Add(1)
 			}
@@ -324,7 +403,7 @@ func (c *Cache[K, S, V]) Lookup(k K) (v V, seq uint64, ok bool) {
 		sh.mu.Unlock()
 		return v, 0, false
 	}
-	if expiredAt(e, now) {
+	if c.expiredAt(e, now) {
 		c.removeLocked(sh, e)
 		c.expirations.Add(1)
 		sh.mu.Unlock()
@@ -374,8 +453,8 @@ func (c *Cache[K, S, V]) GetOrCompute(k K, scopes []S, compute func() V) V {
 	sh.mu.Lock()
 	// Re-check under the lock: a flight may have landed since Lookup —
 	// that is a cache-served answer, so it counts as a hit.
-	if e, found := sh.entries[k]; found && !expiredAt(e, c.nowNano()) {
-		if c.shardCap > 0 {
+	if e, found := sh.entries[k]; found && !c.expiredAt(e, c.nowNano()) {
+		if c.bounded {
 			c.bumpLocked(sh, e)
 		}
 		v := e.val
@@ -497,11 +576,12 @@ func (c *Cache[K, S, V]) PutFenced(k K, v V, scopes []S, gen, seq uint64) bool {
 // storeEntry inserts (or replaces) the entry. Caller holds c.fmu.RLock.
 func (c *Cache[K, S, V]) storeEntry(k K, v V, scopes []S, seq uint64) {
 	sh := c.shard(k)
-	t := c.now()
-	nowNano := t.UnixNano()
-	var expireAt int64
-	if c.ttl > 0 {
-		expireAt = t.Add(c.ttl).UnixNano()
+	nowNano := c.now().UnixNano()
+	var cost int64 = 1
+	if c.costFn != nil {
+		if cost = c.costFn(k, v); cost < 0 {
+			cost = 0
+		}
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -509,12 +589,12 @@ func (c *Cache[K, S, V]) storeEntry(k K, v V, scopes []S, seq uint64) {
 		// Replacing a live entry is not an eviction; replacing one whose
 		// lease already lapsed records the expiration (the warm-up paths
 		// refresh expired entries in place without a lookup).
-		if expiredAt(old, nowNano) {
+		if c.expiredAt(old, nowNano) {
 			c.expirations.Add(1)
 		}
 		c.removeLocked(sh, old)
 	}
-	e := &entry[K, S, V]{key: k, val: v, seq: seq, scopes: append([]S(nil), scopes...), storedAt: nowNano, expireAt: expireAt}
+	e := &entry[K, S, V]{key: k, val: v, seq: seq, scopes: append([]S(nil), scopes...), storedAt: nowNano, cost: cost}
 	sh.entries[k] = e
 	for _, s := range e.scopes {
 		m := sh.byScope[s]
@@ -525,12 +605,21 @@ func (c *Cache[K, S, V]) storeEntry(k K, v V, scopes []S, seq uint64) {
 		m[k] = struct{}{}
 	}
 	c.count.Add(1)
-	if c.shardCap > 0 {
+	sh.cost += cost
+	c.totalCost.Add(cost)
+	if c.bounded {
 		e.prev = sh.head
 		e.next = sh.head.next
 		sh.head.next.prev = e
 		sh.head.next = e
-		for len(sh.entries) > c.shardCap {
+		for c.shardCap > 0 && len(sh.entries) > c.shardCap {
+			c.removeLocked(sh, sh.tail.prev)
+			c.evictions.Add(1)
+		}
+		// The cost bound never evicts the last remaining entry: a
+		// single entry pricier than the whole budget is admitted alone
+		// (evicting it would just thrash the shard empty).
+		for c.shardCost > 0 && sh.cost > c.shardCost && len(sh.entries) > 1 {
 			c.removeLocked(sh, sh.tail.prev)
 			c.evictions.Add(1)
 		}
@@ -566,6 +655,8 @@ func (c *Cache[K, S, V]) removeLocked(sh *shard[K, S, V], e *entry[K, S, V]) {
 		e.prev, e.next = nil, nil
 	}
 	c.count.Add(-1)
+	sh.cost -= e.cost
+	c.totalCost.Add(-e.cost)
 }
 
 // ---------------------------------------------------------------------------
@@ -682,19 +773,23 @@ func (c *Cache[K, S, V]) Invalidate() {
 	c.touched = make(map[S]uint64)
 	c.fmu.Unlock()
 	removed := 0
+	var removedCost int64
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		removed += len(sh.entries)
+		removedCost += sh.cost
+		sh.cost = 0
 		sh.entries = make(map[K]*entry[K, S, V])
 		sh.byScope = make(map[S]map[K]struct{})
-		if c.shardCap > 0 {
+		if c.bounded {
 			sh.head.next = sh.tail
 			sh.tail.prev = sh.head
 		}
 		sh.mu.Unlock()
 	}
 	c.count.Add(int64(-removed))
+	c.totalCost.Add(-removedCost)
 	c.evictions.Add(uint64(removed))
 }
 
@@ -718,7 +813,7 @@ func (c *Cache[K, S, V]) janitor(interval time.Duration) {
 // exported so tests with an injected clock can trigger it
 // deterministically.
 func (c *Cache[K, S, V]) Sweep() {
-	if c.ttl <= 0 {
+	if c.ttlNanos.Load() <= 0 {
 		return
 	}
 	now := c.now().UnixNano()
@@ -727,7 +822,7 @@ func (c *Cache[K, S, V]) Sweep() {
 		sh.mu.Lock()
 		var doomed []*entry[K, S, V]
 		for _, e := range sh.entries {
-			if expiredAt(e, now) {
+			if c.expiredAt(e, now) {
 				doomed = append(doomed, e)
 			}
 		}
@@ -753,6 +848,7 @@ func (c *Cache[K, S, V]) Stats() Stats {
 		Evictions:   c.evictions.Load(),
 		Expirations: c.expirations.Load(),
 		Entries:     c.Len(),
+		Cost:        c.totalCost.Load(),
 	}
 }
 
@@ -800,7 +896,7 @@ func (c *Cache[K, S, V]) Keys() map[K]struct{} {
 		sh := &c.shards[i]
 		sh.mu.RLock()
 		for k, e := range sh.entries {
-			if !expiredAt(e, now) {
+			if !c.expiredAt(e, now) {
 				out[k] = struct{}{}
 			}
 		}
@@ -821,7 +917,7 @@ func (c *Cache[K, S, V]) Range(fn func(K, V) bool) {
 		keys := make([]K, 0, len(sh.entries))
 		vals := make([]V, 0, len(sh.entries))
 		for k, e := range sh.entries {
-			if expiredAt(e, now) {
+			if c.expiredAt(e, now) {
 				continue
 			}
 			keys = append(keys, k)

@@ -13,7 +13,7 @@ import (
 // Sweep directly.
 func newTest(ttl time.Duration, maxEntries int) (*Cache[string, string, string], *fakeClock) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	c := New[string, string, string](Config[string]{
+	c := New[string, string, string](Config[string, string]{
 		Hash:            func(k string) uint32 { return FNV1a(k) },
 		TTL:             ttl,
 		MaxEntries:      maxEntries,
@@ -176,7 +176,7 @@ func TestTTLExpiryLazyAndSweep(t *testing.T) {
 func TestLRUCapacityBound(t *testing.T) {
 	// Single shard so the bound is exact.
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	c := New[string, string, string](Config[string]{
+	c := New[string, string, string](Config[string, string]{
 		Hash: nil, MaxEntries: 3, Now: clk.Now, JanitorInterval: -1,
 	})
 	for i := 0; i < 3; i++ {
@@ -289,7 +289,7 @@ func TestTouchedMapPruned(t *testing.T) {
 }
 
 func TestJanitorRunsAndCloseStopsIt(t *testing.T) {
-	c := New[string, string, string](Config[string]{
+	c := New[string, string, string](Config[string, string]{
 		Hash:            func(k string) uint32 { return FNV1a(k) },
 		TTL:             5 * time.Millisecond,
 		JanitorInterval: time.Millisecond,

@@ -90,6 +90,10 @@ type PeerCacheOptions struct {
 	// MaxEntries caps the number of cached sets (LRU eviction beyond);
 	// 0 is unbounded.
 	MaxEntries int
+	// MaxCost caps the table by summed set size (each cached set costs
+	// len(peers)+1, so big fan-out sets consume proportionally more of
+	// the budget than empty ones); 0 is unbounded.
+	MaxCost int64
 	// Clock injects a fake clock for TTL tests; nil means time.Now.
 	Clock func() time.Time
 	// JanitorInterval tunes the background expiry sweep: 0 derives it
@@ -135,6 +139,9 @@ type CacheStats struct {
 	Evictions, Expirations uint64
 	// Entries is the number of peer sets currently cached.
 	Entries int
+	// Cost is the summed cost of the cached sets (len(peers)+1 each),
+	// the quantity MaxCost bounds.
+	Cost int64
 }
 
 // Stats returns the current counters.
@@ -146,6 +153,7 @@ func (c *PeerCache) Stats() CacheStats {
 		Evictions:   st.Evictions,
 		Expirations: st.Expirations,
 		Entries:     st.Entries,
+		Cost:        st.Cost,
 	}
 }
 
@@ -157,15 +165,26 @@ func NewPeerCache() *PeerCache {
 // NewPeerCacheWith returns an empty cache tuned by opts.
 func NewPeerCacheWith(opts PeerCacheOptions) *PeerCache {
 	return &PeerCache{
-		c: cache.New[model.UserID, model.UserID, []Peer](cache.Config[model.UserID]{
+		c: cache.New[model.UserID, model.UserID, []Peer](cache.Config[model.UserID, []Peer]{
 			Hash:            func(u model.UserID) uint32 { return cache.FNV1a(string(u)) },
 			TTL:             opts.TTL,
 			MaxEntries:      opts.MaxEntries,
+			MaxCost:         opts.MaxCost,
+			Cost:            func(_ model.UserID, peers []Peer) int64 { return int64(len(peers)) + 1 },
 			Now:             opts.Clock,
 			JanitorInterval: opts.JanitorInterval,
 		}),
 	}
 }
+
+// SetTTL retargets the cache's lease; live sets are re-judged against
+// the new value on their next lookup or sweep. Expiry only removes
+// sets — the next Peers call rebuilds from current data — so
+// adaptation never changes what a hit returns.
+func (c *PeerCache) SetTTL(d time.Duration) { c.c.SetTTL(d) }
+
+// TTL reports the current lease.
+func (c *PeerCache) TTL() time.Duration { return c.c.TTL() }
 
 // Close stops the cache's background janitor (a no-op without a TTL).
 // The cache remains usable afterwards.

@@ -1,0 +1,139 @@
+// Package hdr is a fixed-size log-linear histogram for latency
+// recording — the HDR-histogram layout specialized to non-negative
+// int64 nanosecond values. Values land in buckets whose width doubles
+// every power of two but is subdivided into 32 linear sub-buckets, so
+// any recorded value is off by at most 1/32 (~3%) of itself — accurate
+// enough for p50/p95/p99 over raw nanoseconds without storing samples.
+//
+// Record is a single array increment (no allocation, no sorting), so
+// per-worker histograms can run on the hot path and be Merged after
+// the fact — the intended concurrency model; a single Histogram is NOT
+// safe for concurrent use.
+package hdr
+
+import "math/bits"
+
+// subBits sets the linear subdivision: 1<<subBits sub-buckets per
+// power of two, bounding relative error at 1/(1<<subBits).
+const subBits = 5
+
+const subCount = 1 << subBits // 32
+
+// numBuckets covers every int64: values below subCount map 1:1; above,
+// each of the 63-subBits-1 remaining exponents contributes subCount
+// sub-buckets, plus the initial linear range.
+const numBuckets = (64 - subBits) * subCount // 1888
+
+// Histogram counts non-negative int64 observations in log-linear
+// buckets. The zero value is NOT ready — use New (the bucket array is
+// shared-nothing per instance).
+type Histogram struct {
+	counts [numBuckets]uint64
+	total  uint64
+	sum    int64
+	max    int64
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	// exp positions the top subBits+1 bits of v at [subCount, 2*subCount):
+	// bits.Len64 ≥ subBits+2 here, so exp ≥ 0.
+	exp := bits.Len64(uint64(v)) - subBits - 1
+	return (exp+1)*subCount + int(v>>uint(exp)) - subCount
+}
+
+// bucketMid is the representative value reported for a bucket: its
+// midpoint, so quantile error is centered instead of biased low.
+func bucketMid(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	exp := idx/subCount - 1
+	lo := int64(idx%subCount+subCount) << uint(exp)
+	return lo + int64(1)<<uint(exp)/2
+}
+
+// Record adds one observation. Negative values clamp to 0.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded value, exactly (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns the value at quantile q ∈ [0,1] — the smallest
+// bucket such that at least q·Count observations are ≤ it, reported at
+// the bucket midpoint (≤ ~3% relative error). q ≥ 1 returns Max
+// exactly; an empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			// The top bucket's midpoint can overshoot the true maximum;
+			// clamp so quantiles never exceed Max.
+			if v := bucketMid(i); v < h.max {
+				return v
+			}
+			return h.max
+		}
+	}
+	return h.max // unreachable: total > 0 guarantees the loop returns
+}
+
+// Merge adds o's observations into h (o unchanged). Merging histograms
+// recorded on separate workers is exact — bucket counts are additive.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset clears all counts for reuse.
+func (h *Histogram) Reset() { *h = Histogram{} }

@@ -1,0 +1,126 @@
+package hdr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBucketIndexMonotoneAndBounded(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 1000, 1 << 20, 1 << 40, math.MaxInt64}
+	prev := -1
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	for _, v := range []int64{1, 31, 32, 100, 12345, 987654321, 1 << 40} {
+		mid := bucketMid(bucketIndex(v))
+		if err := math.Abs(float64(mid-v)) / float64(v); err > 1.0/subCount {
+			t.Errorf("value %d reported as %d: relative error %.4f > %.4f", v, mid, err, 1.0/subCount)
+		}
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// 1..10000 uniformly: quantiles are known exactly.
+	h := New()
+	for v := int64(1); v <= 10000; v++ {
+		h.Record(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 5000}, {0.95, 9500}, {0.99, 9900}} {
+		got := h.Quantile(tc.q)
+		if err := math.Abs(float64(got)-tc.want) / tc.want; err > 0.05 {
+			t.Errorf("Quantile(%v) = %d, want ~%v (err %.4f)", tc.q, got, tc.want, err)
+		}
+	}
+	if h.Quantile(1) != 10000 {
+		t.Errorf("Quantile(1) = %d, want exact max 10000", h.Quantile(1))
+	}
+	if h.Count() != 10000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if mean := h.Mean(); math.Abs(mean-5000.5) > 0.01 {
+		t.Errorf("Mean = %v, want 5000.5", mean)
+	}
+}
+
+func TestQuantileMatchesSortedSamples(t *testing.T) {
+	// Log-normal-ish samples (latency-shaped): compare against the
+	// exact empirical quantiles from the sorted sample set.
+	rng := rand.New(rand.NewSource(7))
+	const n = 50000
+	samples := make([]int64, n)
+	h := New()
+	for i := range samples {
+		v := int64(math.Exp(rng.NormFloat64()+12)) + 1
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := samples[int(q*float64(n))]
+		got := h.Quantile(q)
+		if err := math.Abs(float64(got-exact)) / float64(exact); err > 1.0/subCount {
+			t.Errorf("Quantile(%v) = %d, exact %d: relative error %.4f", q, got, exact, err)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := New()
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamps to 0
+	h.Record(42)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0 (smallest recorded)", got)
+	}
+	if got := h.Quantile(1.5); got != 42 {
+		t.Errorf("Quantile(>1) = %d, want max 42", got)
+	}
+}
+
+func TestMergeEqualsCombinedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b, both := New(), New(), New()
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 30)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() || a.Max() != both.Max() || a.Mean() != both.Mean() {
+		t.Fatal("merged summary stats differ from combined recording")
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %d ≠ combined %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	a.Merge(nil) // harmless
+	a.Reset()
+	if a.Count() != 0 || a.Quantile(0.5) != 0 {
+		t.Error("Reset did not clear")
+	}
+}

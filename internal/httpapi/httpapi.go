@@ -80,8 +80,8 @@ type Server struct {
 	opts    Options
 	handler http.Handler  // mux behind the middleware chain
 	reqSeq  atomic.Uint64 // request-ID counter
-	// inflight is the limiter semaphore (nil = unlimited).
-	inflight chan struct{}
+	// lim is the in-flight limiter (nil = unlimited).
+	lim *limiter
 }
 
 // New builds a Server with default Options. logger may be nil.
@@ -100,9 +100,15 @@ func NewWithOptions(sys *fairhealth.System, opts Options) *Server {
 	if opts.MaxInFlight == 0 {
 		opts.MaxInFlight = DefaultMaxInFlight
 	}
+	if opts.MinInFlight == 0 {
+		opts.MinInFlight = DefaultMinInFlight
+	}
+	if opts.MinInFlight > opts.MaxInFlight {
+		opts.MinInFlight = opts.MaxInFlight
+	}
 	s := &Server{sys: sys, mux: http.NewServeMux(), log: opts.Logger, opts: opts}
 	if opts.MaxInFlight > 0 {
-		s.inflight = make(chan struct{}, opts.MaxInFlight)
+		s.lim = newLimiter(opts.MaxInFlight, opts.MinInFlight, opts.TargetP95)
 	}
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -179,11 +185,14 @@ type DocumentBody struct {
 	Body  string `json:"body,omitempty"`
 }
 
-// StatsResponse is the GET /v1/stats payload: the corpus statistics
-// plus the cache observability counters.
+// StatsResponse is the GET /v1/stats payload: the corpus statistics,
+// the cache observability counters, and the in-flight limiter state.
 type StatsResponse struct {
 	fairhealth.Stats
 	Caches fairhealth.CacheStats `json:"caches"`
+	// Server is the limiter section; absent when the in-flight
+	// limiter is disabled.
+	Server *ServerStats `json:"server,omitempty"`
 }
 
 // GroupQueryBody mirrors fairhealth.GroupQuery on the wire — the body
@@ -379,7 +388,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, StatsResponse{Stats: s.sys.Stats(), Caches: s.sys.CacheStats()})
+	resp := StatsResponse{Stats: s.sys.Stats(), Caches: s.sys.CacheStats()}
+	if s.lim != nil {
+		resp.Server = s.lim.snapshot()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePutPatient(w http.ResponseWriter, r *http.Request) {

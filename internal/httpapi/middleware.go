@@ -45,6 +45,16 @@ type Options struct {
 	// DefaultMaxInFlight, < 0 = unlimited). /healthz bypasses the cap
 	// so liveness probes still answer under overload.
 	MaxInFlight int
+	// TargetP95 switches the limiter to adaptive mode: when > 0, the
+	// admission bound AIMD-tracks the observed p95 service time
+	// against this target — halving when a window of requests runs
+	// hot, creeping back up by one when it runs cool — within
+	// [MinInFlight, MaxInFlight]. Zero keeps the fixed MaxInFlight
+	// bound.
+	TargetP95 time.Duration
+	// MinInFlight floors the adaptive limit so backoff can never shed
+	// all capacity (0 = DefaultMinInFlight; ignored in fixed mode).
+	MinInFlight int
 }
 
 // statusWriter records the status and size written through it, and
@@ -148,10 +158,12 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 	})
 }
 
-// withLimit bounds in-flight requests with a semaphore; a full server
-// answers 429/overloaded immediately. /healthz bypasses the limit.
+// withLimit bounds in-flight requests; a full server answers
+// 429/overloaded immediately. In adaptive mode each admitted
+// request's service time feeds the AIMD window that retargets the
+// bound (see limiter.go). /healthz bypasses the limit.
 func (s *Server) withLimit(next http.Handler) http.Handler {
-	if s.inflight == nil {
+	if s.lim == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -159,14 +171,14 @@ func (s *Server) withLimit(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
-		select {
-		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
-			next.ServeHTTP(w, r)
-		default:
+		if !s.lim.acquire() {
 			s.writeError(w, r, coded(CodeOverloaded,
-				fmt.Errorf("server at capacity (%d requests in flight)", cap(s.inflight))))
+				fmt.Errorf("server at capacity (%d requests in flight)", s.lim.limit.Load())))
+			return
 		}
+		start := time.Now()
+		defer func() { s.lim.release(time.Since(start)) }()
+		next.ServeHTTP(w, r)
 	})
 }
 

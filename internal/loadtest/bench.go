@@ -1,0 +1,55 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// MergeBenchFile writes rep as the "load" section of the
+// BENCH_<date>.json trajectory file at path, preserving everything
+// scripts/bench.sh put there (a load run and a bench run on the same
+// day share one trajectory entry). meta entries are added only where
+// the file does not already have the key, so a bench-stamped "commit"
+// or "date" is never clobbered. The file is created if absent and
+// replaced atomically.
+func MergeBenchFile(path string, rep Report, meta map[string]any) error {
+	doc := map[string]any{}
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("loadtest: %s is not a JSON object: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+	default:
+		return err
+	}
+	for k, v := range meta {
+		if _, ok := doc[k]; !ok {
+			doc[k] = v
+		}
+	}
+	doc["load"] = rep
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,356 @@
+// Package loadtest drives a sustained, mixed read/write workload
+// against the recommender — the embeddable core of cmd/loadgen and the
+// harness behind the CI load-smoke job.
+//
+// A run replays a configurable traffic mix — single, batch, and
+// streaming group recommendations across scorers and aggregations,
+// interleaved with rating and profile writes — against a Target (an
+// in-process fairhealth.System or a live iphrd URL) for a fixed
+// request budget or wall-clock duration, from a bounded worker pool.
+//
+// The workload is generated deterministically: worker w's operation
+// sequence is a pure function of (Config, w), so two budget-mode runs
+// with the same Config replay the identical request stream — the
+// property that makes load numbers comparable across commits. Each
+// worker records latencies into its own per-class hdr.Histogram (no
+// shared state on the hot path); the histograms merge exactly into the
+// final Report of RPS + p50/p95/p99/max per operation class.
+package loadtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fairhealth"
+	"fairhealth/internal/hdr"
+)
+
+// Class labels one operation kind; every latency is recorded and
+// reported under its class.
+type Class string
+
+const (
+	// ClassSingle is one POST /v1/groups/recommend-shaped query.
+	ClassSingle Class = "group_single"
+	// ClassBatch is a buffered multi-query batch.
+	ClassBatch Class = "group_batch"
+	// ClassStream is a streamed (NDJSON-shaped) multi-query batch.
+	ClassStream Class = "group_stream"
+	// ClassRate is one rating write (scoped cache invalidation).
+	ClassRate Class = "rating_write"
+	// ClassProfile is one profile write (full cache flush).
+	ClassProfile Class = "profile_write"
+)
+
+// Classes lists every operation class in reporting order.
+var Classes = []Class{ClassSingle, ClassBatch, ClassStream, ClassRate, ClassProfile}
+
+// Op is one generated operation. Exactly the fields for its Class are
+// set: Queries for the group classes (one element for ClassSingle),
+// User/Item/Value for ClassRate, Patient for ClassProfile.
+type Op struct {
+	Class   Class
+	Queries []fairhealth.GroupQuery
+	User    string
+	Item    string
+	Value   float64
+	Patient fairhealth.Patient
+}
+
+// Target executes operations. Implementations must be safe for
+// concurrent use — all workers share one Target.
+type Target interface {
+	Do(ctx context.Context, op Op) error
+}
+
+// Mix weights the operation classes; a class is drawn with probability
+// weight/total. Zero total is replaced by DefaultMix.
+type Mix struct {
+	Single, Batch, Stream, Rate, Profile int
+}
+
+// DefaultMix is a read-heavy caregiver workload with enough writes to
+// keep the invalidation paths hot: profile writes are rare because
+// each one flushes every cache layer.
+var DefaultMix = Mix{Single: 60, Batch: 10, Stream: 5, Rate: 24, Profile: 1}
+
+func (m Mix) total() int { return m.Single + m.Batch + m.Stream + m.Rate + m.Profile }
+
+// Config parameterizes a run. Users is required; exactly one of
+// Requests and Duration must be set (Requests gives the deterministic
+// fixed-budget mode, Duration the wall-clock mode).
+type Config struct {
+	// Workers is the concurrent worker count; 0 means 4.
+	Workers int
+	// Requests is the total operation budget, split evenly across
+	// workers (earlier workers take the remainder).
+	Requests int
+	// Duration bounds the run by wall clock instead.
+	Duration time.Duration
+	// Seed makes the workload reproducible; worker w draws from a
+	// stream derived from (Seed, w).
+	Seed int64
+	// Mix weights the operation classes; zero value → DefaultMix.
+	Mix Mix
+	// Users is the population queried and written to.
+	Users []string
+	// Items is the pool for rating writes; required when Mix.Rate > 0.
+	Items []string
+	// Problems optionally gives valid ontology codes for generated
+	// profile writes (empty → bare profiles).
+	Problems []string
+	// GroupSize is members per group query; 0 means 3.
+	GroupSize int
+	// BatchGroups is queries per batch/stream op; 0 means 4.
+	BatchGroups int
+	// Z is recommendations per group; 0 means 6.
+	Z int
+	// K overrides the fairness list size; 0 keeps the server default.
+	K int
+	// Scorers cycle across generated queries; empty means the server
+	// default only.
+	Scorers []string
+	// Aggregations cycle across generated queries; empty means the
+	// server default only.
+	Aggregations []string
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Users) == 0 {
+		return c, errors.New("loadtest: Users required")
+	}
+	if (c.Requests > 0) == (c.Duration > 0) {
+		return c, errors.New("loadtest: set exactly one of Requests and Duration")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = DefaultMix
+	}
+	if c.Mix.Rate > 0 && len(c.Items) == 0 {
+		return c, errors.New("loadtest: Items required for rating writes in the mix")
+	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = 3
+	}
+	if c.GroupSize > len(c.Users) {
+		c.GroupSize = len(c.Users)
+	}
+	if c.BatchGroups <= 0 {
+		c.BatchGroups = 4
+	}
+	if c.Z <= 0 {
+		c.Z = 6
+	}
+	return c, nil
+}
+
+// Generator produces one worker's deterministic operation stream.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	n   uint64 // ops generated, cycles the scorer/aggregation lists
+}
+
+// NewGenerator returns worker w's generator for cfg (cfg must already
+// be valid — Run applies defaults; for standalone use, mirror them).
+// The stream is a pure function of (cfg, w).
+func NewGenerator(cfg Config, worker int) *Generator {
+	// Spread worker streams far apart in seed space; adjacent seeds in
+	// math/rand produce correlated prefixes.
+	const spread = 0x9E3779B97F4A7C15 // 64-bit golden ratio, wraps on multiply
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(worker+1)*spread)))}
+}
+
+// Next returns the next operation in the stream.
+func (g *Generator) Next() Op {
+	g.n++
+	m := g.cfg.Mix
+	pick := g.rng.Intn(m.total())
+	switch {
+	case pick < m.Single:
+		return Op{Class: ClassSingle, Queries: []fairhealth.GroupQuery{g.query()}}
+	case pick < m.Single+m.Batch:
+		return Op{Class: ClassBatch, Queries: g.queries()}
+	case pick < m.Single+m.Batch+m.Stream:
+		return Op{Class: ClassStream, Queries: g.queries()}
+	case pick < m.Single+m.Batch+m.Stream+m.Rate:
+		return Op{
+			Class: ClassRate,
+			User:  g.cfg.Users[g.rng.Intn(len(g.cfg.Users))],
+			Item:  g.cfg.Items[g.rng.Intn(len(g.cfg.Items))],
+			Value: float64(1 + g.rng.Intn(5)),
+		}
+	default:
+		p := fairhealth.Patient{ID: g.cfg.Users[g.rng.Intn(len(g.cfg.Users))]}
+		if len(g.cfg.Problems) > 0 {
+			p.Problems = []string{g.cfg.Problems[g.rng.Intn(len(g.cfg.Problems))]}
+		}
+		return Op{Class: ClassProfile, Patient: p}
+	}
+}
+
+func (g *Generator) query() fairhealth.GroupQuery {
+	members := make([]string, 0, g.cfg.GroupSize)
+	for _, idx := range g.rng.Perm(len(g.cfg.Users))[:g.cfg.GroupSize] {
+		members = append(members, g.cfg.Users[idx])
+	}
+	q := fairhealth.GroupQuery{Members: members, Z: g.cfg.Z, K: g.cfg.K}
+	if len(g.cfg.Scorers) > 0 {
+		q.Scorer = g.cfg.Scorers[int(g.n)%len(g.cfg.Scorers)]
+	}
+	if len(g.cfg.Aggregations) > 0 {
+		q.Aggregation = g.cfg.Aggregations[int(g.n)%len(g.cfg.Aggregations)]
+	}
+	return q
+}
+
+func (g *Generator) queries() []fairhealth.GroupQuery {
+	qs := make([]fairhealth.GroupQuery, g.cfg.BatchGroups)
+	for i := range qs {
+		qs[i] = g.query()
+	}
+	return qs
+}
+
+// ClassReport is one operation class's latency summary.
+type ClassReport struct {
+	// Count and Errors tally completed operations and failures.
+	Count  uint64 `json:"count"`
+	Errors uint64 `json:"errors"`
+	// RPS is Count over the run's elapsed wall clock.
+	RPS float64 `json:"rps"`
+	// Latency quantiles in nanoseconds (log-linear histogram, ≤ ~3%
+	// relative error; max is exact).
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+	MeanNs float64 `json:"mean_ns"`
+}
+
+// Report is a whole run's outcome — the payload of the BENCH
+// trajectory's "load" section.
+type Report struct {
+	Seed           int64                  `json:"seed"`
+	Workers        int                    `json:"workers"`
+	Requests       int                    `json:"requests,omitempty"`
+	ElapsedSeconds float64                `json:"elapsed_seconds"`
+	TotalOps       uint64                 `json:"total_ops"`
+	TotalErrors    uint64                 `json:"total_errors"`
+	RPS            float64                `json:"rps"`
+	Classes        map[string]ClassReport `json:"classes"`
+}
+
+// workerStats is one worker's private tallies, merged after the run.
+type workerStats struct {
+	hists  map[Class]*hdr.Histogram
+	errors map[Class]uint64
+}
+
+func newWorkerStats() *workerStats {
+	ws := &workerStats{hists: make(map[Class]*hdr.Histogram), errors: make(map[Class]uint64)}
+	for _, cl := range Classes {
+		ws.hists[cl] = hdr.New()
+	}
+	return ws
+}
+
+// Run executes the workload and reports per-class latency summaries.
+// The context cancels the run early (already-completed operations are
+// still reported). An operation error counts toward Errors but does
+// not stop the run — sustained load must survive individual failures.
+func Run(ctx context.Context, tgt Target, cfg Config) (Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	runCtx := ctx
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	stats := make([]*workerStats, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		budget := -1 // duration mode: unbounded count
+		if cfg.Requests > 0 {
+			budget = cfg.Requests / cfg.Workers
+			if w < cfg.Requests%cfg.Workers {
+				budget++
+			}
+		}
+		ws := newWorkerStats()
+		stats[w] = ws
+		wg.Add(1)
+		go func(w, budget int, ws *workerStats) {
+			defer wg.Done()
+			gen := NewGenerator(cfg, w)
+			for i := 0; budget < 0 || i < budget; i++ {
+				if runCtx.Err() != nil {
+					return
+				}
+				op := gen.Next()
+				t0 := time.Now()
+				err := tgt.Do(runCtx, op)
+				if runCtx.Err() != nil {
+					// The deadline (or caller cancel) fired mid-operation;
+					// its latency measures the cutoff, not the system.
+					return
+				}
+				ws.hists[op.Class].Record(time.Since(t0).Nanoseconds())
+				if err != nil {
+					ws.errors[op.Class]++
+				}
+			}
+		}(w, budget, ws)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := newWorkerStats()
+	for _, ws := range stats {
+		for _, cl := range Classes {
+			merged.hists[cl].Merge(ws.hists[cl])
+			merged.errors[cl] += ws.errors[cl]
+		}
+	}
+	rep := Report{
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+		Requests:       cfg.Requests,
+		ElapsedSeconds: elapsed.Seconds(),
+		Classes:        make(map[string]ClassReport),
+	}
+	for _, cl := range Classes {
+		h := merged.hists[cl]
+		if h.Count() == 0 && merged.errors[cl] == 0 {
+			continue // class not in the mix
+		}
+		rep.Classes[string(cl)] = ClassReport{
+			Count:  h.Count(),
+			Errors: merged.errors[cl],
+			RPS:    float64(h.Count()) / elapsed.Seconds(),
+			P50Ns:  h.Quantile(0.50),
+			P95Ns:  h.Quantile(0.95),
+			P99Ns:  h.Quantile(0.99),
+			MaxNs:  h.Max(),
+			MeanNs: h.Mean(),
+		}
+		rep.TotalOps += h.Count()
+		rep.TotalErrors += merged.errors[cl]
+	}
+	rep.RPS = float64(rep.TotalOps) / elapsed.Seconds()
+	if rep.TotalOps == 0 {
+		return rep, fmt.Errorf("loadtest: no operations completed in %v", elapsed)
+	}
+	return rep, nil
+}

@@ -1,0 +1,174 @@
+package loadtest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"fairhealth"
+)
+
+// InProc drives a fairhealth.System directly — no HTTP stack, so the
+// numbers isolate the recommender (scoring, caching, invalidation)
+// from transport cost. This is the CI load-smoke target.
+type InProc struct {
+	Sys *fairhealth.System
+}
+
+// Do implements Target.
+func (t InProc) Do(ctx context.Context, op Op) error {
+	switch op.Class {
+	case ClassSingle:
+		_, err := t.Sys.Serve(ctx, op.Queries[0])
+		return err
+	case ClassBatch:
+		results, err := t.Sys.ServeBatch(ctx, op.Queries)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+		return nil
+	case ClassStream:
+		return t.Sys.ServeStream(ctx, op.Queries, func(e fairhealth.BatchGroupResult) error {
+			return e.Err
+		})
+	case ClassRate:
+		return t.Sys.AddRating(op.User, op.Item, op.Value)
+	case ClassProfile:
+		return t.Sys.AddPatient(op.Patient)
+	default:
+		return fmt.Errorf("loadtest: unknown op class %q", op.Class)
+	}
+}
+
+// HTTP drives a live iphrd server over its v1 API, measuring the full
+// serving stack (middleware, limiter, JSON) as a client sees it.
+type HTTP struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+// wireQuery mirrors httpapi.GroupQueryBody without importing the
+// server package (the harness stays a pure client).
+type wireQuery struct {
+	Members     []string `json:"members"`
+	Z           int      `json:"z,omitempty"`
+	Aggregation string   `json:"aggregation,omitempty"`
+	Scorer      string   `json:"scorer,omitempty"`
+	K           int      `json:"k,omitempty"`
+}
+
+func toWire(q fairhealth.GroupQuery) wireQuery {
+	return wireQuery{Members: q.Members, Z: q.Z, Aggregation: q.Aggregation, Scorer: q.Scorer, K: q.K}
+}
+
+// Do implements Target.
+func (t HTTP) Do(ctx context.Context, op Op) error {
+	switch op.Class {
+	case ClassSingle:
+		return t.post(ctx, "/v1/groups/recommend", toWire(op.Queries[0]), false)
+	case ClassBatch, ClassStream:
+		body := struct {
+			Queries []wireQuery `json:"queries"`
+		}{Queries: make([]wireQuery, len(op.Queries))}
+		for i, q := range op.Queries {
+			body.Queries[i] = toWire(q)
+		}
+		path := "/v1/groups/recommend:batch"
+		if op.Class == ClassStream {
+			path += "?stream=true"
+		}
+		return t.post(ctx, path, body, op.Class == ClassStream)
+	case ClassRate:
+		return t.post(ctx, "/v1/ratings", struct {
+			User  string  `json:"user"`
+			Item  string  `json:"item"`
+			Value float64 `json:"value"`
+		}{op.User, op.Item, op.Value}, false)
+	case ClassProfile:
+		p := op.Patient
+		return t.post(ctx, "/v1/patients", struct {
+			ID       string   `json:"id"`
+			Problems []string `json:"problems,omitempty"`
+		}{p.ID, p.Problems}, false)
+	default:
+		return fmt.Errorf("loadtest: unknown op class %q", op.Class)
+	}
+}
+
+// post sends one JSON request and fully consumes the response — a
+// latency sample must include reading the payload (for NDJSON streams,
+// every line), not just the status.
+func (t HTTP) post(ctx context.Context, path string, body any, ndjson bool) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("loadtest: %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(snippet)))
+	}
+	if !ndjson {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	// Stream mode: scan line by line so per-entry errors surface.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var entry struct {
+			Error *struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &entry); err != nil {
+			return err
+		}
+		if entry.Error != nil {
+			return fmt.Errorf("loadtest: stream entry error %s: %s", entry.Error.Code, entry.Error.Message)
+		}
+	}
+	return sc.Err()
+}
+
+// ParseTarget resolves a -target flag value: "inproc" is reserved for
+// the caller (returns nil), anything else must be an absolute http(s)
+// URL and yields an HTTP target.
+func ParseTarget(spec string, client *http.Client) (Target, error) {
+	if spec == "" || spec == "inproc" {
+		return nil, nil
+	}
+	u, err := url.Parse(spec)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("loadtest: target %q is neither \"inproc\" nor an http(s) URL", spec)
+	}
+	return HTTP{BaseURL: strings.TrimSuffix(spec, "/"), Client: client}, nil
+}

@@ -138,6 +138,7 @@ func newProfileCF(d Deps) Provider {
 		peers: cf.NewPeerCacheWith(cf.PeerCacheOptions{
 			TTL:        d.CacheTTL,
 			MaxEntries: d.CacheMaxEntries,
+			MaxCost:    d.CacheMaxCost,
 		}),
 		dirty: true,
 	}
@@ -164,6 +165,7 @@ func (p *profileCF) recommender() (*cf.Recommender, error) {
 		p.sim = simfn.NewCachedWith(pc, simfn.CacheOptions{
 			TTL:        p.deps.CacheTTL,
 			MaxEntries: p.deps.CacheMaxEntries,
+			MaxCost:    p.deps.CacheMaxCost,
 		})
 		p.dirty = false
 	}

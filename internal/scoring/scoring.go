@@ -123,10 +123,12 @@ type Deps struct {
 	// MinOverlap is the minimum co-rated items for rating-derived
 	// similarities (the item-cf model reuses it for co-raters).
 	MinOverlap int
-	// CacheTTL and CacheMaxEntries tune any internal/cache
-	// instantiations a provider owns, mirroring the system's layers.
+	// CacheTTL, CacheMaxEntries, and CacheMaxCost tune any
+	// internal/cache instantiations a provider owns, mirroring the
+	// system's layers.
 	CacheTTL        time.Duration
 	CacheMaxEntries int
+	CacheMaxCost    int64
 }
 
 // Factory builds a provider over the system's stores.

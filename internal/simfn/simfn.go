@@ -284,6 +284,11 @@ type CacheOptions struct {
 	TTL time.Duration
 	// MaxEntries caps the table (LRU eviction beyond); 0 is unbounded.
 	MaxEntries int
+	// MaxCost caps the table by total entry cost (each memoized pair
+	// costs 1, so for this table it is an alternative spelling of
+	// MaxEntries that shares one budget unit with the other cache
+	// layers); 0 is unbounded.
+	MaxCost int64
 	// Clock injects a fake clock for TTL tests; nil means time.Now.
 	Clock func() time.Time
 	// JanitorInterval tunes the background expiry sweep: 0 derives it
@@ -329,6 +334,9 @@ type CacheStats struct {
 	Evictions, Expirations uint64
 	// Entries is the number of pairs currently memoized.
 	Entries int
+	// Cost is the summed cost of the memoized pairs (1 each), the
+	// quantity MaxCost bounds.
+	Cost int64
 }
 
 // Stats returns the current counters.
@@ -340,6 +348,7 @@ func (c *Cached) Stats() CacheStats {
 		Evictions:   st.Evictions,
 		Expirations: st.Expirations,
 		Entries:     st.Entries,
+		Cost:        st.Cost,
 	}
 }
 
@@ -352,15 +361,26 @@ func NewCached(inner UserSimilarity) *Cached {
 func NewCachedWith(inner UserSimilarity, opts CacheOptions) *Cached {
 	return &Cached{
 		inner: inner,
-		table: cache.New[pairKey, model.UserID, cacheEntry](cache.Config[pairKey]{
+		table: cache.New[pairKey, model.UserID, cacheEntry](cache.Config[pairKey, cacheEntry]{
 			Hash:            func(k pairKey) uint32 { return cache.FNV1a(string(k.a), string(k.b)) },
 			TTL:             opts.TTL,
 			MaxEntries:      opts.MaxEntries,
+			MaxCost:         opts.MaxCost,
+			Cost:            func(pairKey, cacheEntry) int64 { return 1 },
 			Now:             opts.Clock,
 			JanitorInterval: opts.JanitorInterval,
 		}),
 	}
 }
+
+// SetTTL retargets the memo table's lease; live entries are re-judged
+// against the new value on their next lookup or sweep. Expiry only
+// removes entries — a recomputation reads the same underlying data —
+// so adaptation never changes what a hit returns.
+func (c *Cached) SetTTL(d time.Duration) { c.table.SetTTL(d) }
+
+// TTL reports the current lease.
+func (c *Cached) TTL() time.Duration { return c.table.TTL() }
 
 // Close stops the memo table's background janitor (a no-op without a
 // TTL). The table remains usable afterwards.

@@ -19,13 +19,34 @@
 # The script exits non-zero — without writing the output file — when
 # the benchmark run itself fails or parses to zero results, so a broken
 # build can never leave a partial BENCH_<date>.json in the trajectory.
+#
+# Every snapshot is stamped with the commit it measured and the CPU
+# count it ran on, so trajectory entries stay comparable. A same-day
+# re-run never silently overwrites a baseline that is already committed
+# to git: the default output name gains a _r2/_r3/... suffix instead
+# (an explicit OUT= is honoured as given).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BENCH="${BENCH:-.}"
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+default_out="BENCH_$(date +%Y-%m-%d).json"
+OUT="${OUT:-}"
+if [ -z "$OUT" ]; then
+    OUT="$default_out"
+    # Committed baselines are immutable history: re-running on the
+    # same day writes a suffixed sibling instead of rewriting it.
+    if git ls-files --error-unmatch "$OUT" >/dev/null 2>&1; then
+        n=2
+        while git ls-files --error-unmatch "${OUT%.json}_r$n.json" >/dev/null 2>&1 \
+              || [ -e "${OUT%.json}_r$n.json" ]; do
+            n=$((n + 1))
+        done
+        OUT="${OUT%.json}_r$n.json"
+        echo "scripts/bench.sh: $default_out is committed; writing $OUT instead" >&2
+    fi
+fi
 raw="$(mktemp)"
 out_tmp="$(mktemp)"
 trap 'rm -f "$raw" "$out_tmp"' EXIT
@@ -40,7 +61,9 @@ fi
 #   BenchmarkName-P   N   T ns/op   B B/op   A allocs/op
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go version | awk '{print $3}')" \
-    -v benchtime="$BENCHTIME" '
+    -v benchtime="$BENCHTIME" \
+    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
 BEGIN { n = 0 }
 /^Benchmark/ && / ns\/op/ {
     name = $1
@@ -61,7 +84,9 @@ BEGIN { n = 0 }
 END {
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
+    printf "  \"commit\": \"%s\",\n", commit
     printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpus\": %d,\n", cpus
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++)

@@ -1,0 +1,108 @@
+// Package scripts unit-tests the shell tooling against fixture
+// trajectory files — most importantly that bench_compare.sh actually
+// fails on a synthetic slowdown, since a perf gate that never fires
+// is indistinguishable from a working one in CI.
+package scripts
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runCompare invokes bench_compare.sh and returns its exit code and
+// combined output.
+func runCompare(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skip("bash not available")
+	}
+	cmd := exec.Command("bash", append([]string{"bench_compare.sh"}, args...)...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if exit, ok := err.(*exec.ExitError); ok {
+		code = exit.ExitCode()
+	} else if err != nil {
+		t.Fatalf("bench_compare.sh did not run: %v", err)
+	}
+	return code, buf.String()
+}
+
+// TestCompareFailsOnSyntheticSlowdown: the slow fixture doubles the
+// BenchmarkScorerServe family's ns/op — the gate must exit 1 and name
+// the regressed benchmarks.
+func TestCompareFailsOnSyntheticSlowdown(t *testing.T) {
+	code, out := runCompare(t, "testdata/bench_baseline.json", "testdata/bench_slow.json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (regression)\n%s", code, out)
+	}
+	for _, want := range []string{
+		"REGRESSED",
+		"BenchmarkScorerServe/user-cf/warm",
+		"BenchmarkScorerServe/item-cf/warm",
+		"2 regression(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The within-threshold families did not fire.
+	if strings.Contains(out, "REGRESSED  BenchmarkScopedInvalidation") {
+		t.Errorf("within-threshold family reported as regressed:\n%s", out)
+	}
+}
+
+// TestComparePassesWithinThreshold: drift under 25% — including a key
+// order matching alphabetical re-serialization ("name" before
+// "ns_per_op" but after "iterations") — passes the gate.
+func TestComparePassesWithinThreshold(t *testing.T) {
+	code, out := runCompare(t, "testdata/bench_baseline.json", "testdata/bench_ok.json")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "within 25%") {
+		t.Errorf("missing pass summary:\n%s", out)
+	}
+	// A fresh-only benchmark is reported, not failed.
+	if !strings.Contains(out, "BenchmarkScorerServe/profile/warm") {
+		t.Errorf("new benchmark not reported:\n%s", out)
+	}
+}
+
+// TestCompareIgnoresUngatedFamilies: bench_ok.json slows the ungated
+// BenchmarkTable2 entry 10× — the gate must not fire on it.
+func TestCompareIgnoresUngatedFamilies(t *testing.T) {
+	code, out := runCompare(t, "testdata/bench_baseline.json", "testdata/bench_ok.json")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (ungated family must not gate)\n%s", code, out)
+	}
+	if strings.Contains(out, "BenchmarkTable2") {
+		t.Errorf("ungated family appeared in gate output:\n%s", out)
+	}
+}
+
+// TestCompareThresholdArgument: a generous threshold lets the
+// synthetic slowdown pass; a strict one trips on benign drift.
+func TestCompareThresholdArgument(t *testing.T) {
+	if code, out := runCompare(t, "testdata/bench_baseline.json", "testdata/bench_slow.json", "150"); code != 0 {
+		t.Errorf("exit = %d with 150%% threshold, want 0\n%s", code, out)
+	}
+	if code, out := runCompare(t, "testdata/bench_baseline.json", "testdata/bench_ok.json", "1"); code != 1 {
+		t.Errorf("exit = %d with 1%% threshold, want 1\n%s", code, out)
+	}
+}
+
+// TestCompareUsageErrors: bad invocations exit 2, distinct from a
+// regression's 1.
+func TestCompareUsageErrors(t *testing.T) {
+	if code, _ := runCompare(t, "testdata/bench_baseline.json"); code != 2 {
+		t.Errorf("missing arg: exit = %d, want 2", code)
+	}
+	if code, _ := runCompare(t, "testdata/bench_baseline.json", "testdata/nonexistent.json"); code != 2 {
+		t.Errorf("unreadable file: exit = %d, want 2", code)
+	}
+}
