@@ -12,6 +12,8 @@
 //	BenchmarkSearch/*           Fig. 1 — document search engine
 //	BenchmarkWAL/*              storage substrate — append/replay
 //	BenchmarkClustering/*       [17] — full-scan vs clustered peer discovery
+//	BenchmarkCandidateIndex/*   internal/candidates — fullscan vs exact-prefilter vs approx
+//	                            peer discovery, cold and post-write
 //	BenchmarkRatingsWriteThroughput/*  sharded vs single-lock store under concurrent writers
 //	BenchmarkScopedInvalidation/*      serving after a write: scoped eviction vs full cache rebuild
 //	BenchmarkWarmCacheTTL/*            serving inside vs past the warm-cache TTL (internal/cache)
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"fairhealth"
+	"fairhealth/internal/candidates"
 	"fairhealth/internal/cf"
 	"fairhealth/internal/clustering"
 	"fairhealth/internal/core"
@@ -761,6 +764,99 @@ func BenchmarkClustering(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCandidateIndex measures peer discovery under the live
+// cluster candidate index (internal/candidates): the full Def. 1 scan
+// vs the bit-identical exact overlap prefilter vs opt-in approx
+// cluster-neighborhood search — cold (fresh similarity cache, the
+// cost the first query after a deploy or eviction pays) and
+// post-write (a rating lands and the index reassigns before each
+// discovery).
+func BenchmarkCandidateIndex(b *testing.B) {
+	// Sparse matrix (~1% fill): most user pairs share fewer than
+	// MinOverlap co-rated items, so the overlap prefilter prunes most
+	// of the scan — the regime the index exists for.
+	gen := func(b *testing.B) *ratings.Store {
+		ds, err := dataset.Generate(dataset.Config{Seed: 29, Users: 300, Items: 1500, RatingsPerUser: 15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ds.Ratings
+	}
+	const minOverlap = 3
+	newRec := func(st *ratings.Store, cand func(model.UserID) []model.UserID) *cf.Recommender {
+		return &cf.Recommender{
+			Store:      st,
+			Sim:        simfn.NewCached(simfn.Normalized{S: simfn.Pearson{Store: st, MinOverlap: minOverlap}}),
+			Delta:      0.3,
+			Candidates: cand,
+		}
+	}
+	modes := []struct {
+		name   string
+		useIdx bool
+		cand   func(idx *candidates.Index) func(model.UserID) []model.UserID
+	}{
+		{"fullscan", false, func(*candidates.Index) func(model.UserID) []model.UserID { return nil }},
+		{"exact-prefilter", true, func(idx *candidates.Index) func(model.UserID) []model.UserID {
+			return func(u model.UserID) []model.UserID { return idx.ExactPrefilter(u, minOverlap) }
+		}},
+		{"approx", true, func(idx *candidates.Index) func(model.UserID) []model.UserID { return idx.Approx }},
+	}
+	for _, m := range modes {
+		b.Run("cold/"+m.name, func(b *testing.B) {
+			st := gen(b)
+			users := st.Users()
+			var cand func(model.UserID) []model.UserID
+			if m.useIdx {
+				idx := candidates.NewRatings(st, candidates.Config{Seed: 1})
+				defer idx.Close()
+				if err := idx.EnsureBuilt(); err != nil {
+					b.Fatal(err)
+				}
+				cand = m.cand(idx)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fresh similarity cache every iteration: the cost of
+				// discovering peers nobody has asked about yet.
+				if _, err := newRec(st, cand).Peers(users[i%len(users)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, m := range modes {
+		b.Run("post-write/"+m.name, func(b *testing.B) {
+			st := gen(b)
+			users := st.Users()
+			items := st.Items()
+			var idx *candidates.Index
+			var cand func(model.UserID) []model.UserID
+			if m.useIdx {
+				idx = candidates.NewRatings(st, candidates.Config{Seed: 1})
+				defer idx.Close()
+				if err := idx.EnsureBuilt(); err != nil {
+					b.Fatal(err)
+				}
+				cand = m.cand(idx)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := users[i%len(users)]
+				if err := st.Add(u, items[i%len(items)], 4); err != nil {
+					b.Fatal(err)
+				}
+				if idx != nil {
+					idx.OnWrite(u)
+				}
+				if _, err := newRec(st, cand).Peers(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkDiversity measures MMR re-ranking cost ([18]-style peer and

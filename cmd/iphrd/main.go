@@ -22,9 +22,14 @@
 // per-layer entry-age histograms, live TTLs, and the limiter's
 // current bound. -scorer sets the default
 // relevance backend (user-cf | item-cf | profile) for queries that
-// name none. SIGINT/SIGTERM shut down gracefully: the listener closes,
-// in-flight requests drain for up to -drain-timeout, then the system
-// is closed cleanly.
+// name none. -candidate-index turns on the cluster peer-candidate
+// index (-candidate-k sizes it, 0 = √n): exact queries get a
+// bit-identical prefiltered peer scan, queries with "approx":true
+// restrict peer discovery to the query user's cluster neighborhood,
+// and /v1/stats gains an "index" section (clusters, inertia,
+// reassignments, rebuilds, last-rebuild age). SIGINT/SIGTERM shut
+// down gracefully: the listener closes, in-flight requests drain for
+// up to -drain-timeout, then the system is closed cleanly.
 package main
 
 import (
@@ -59,6 +64,8 @@ func main() {
 	cacheTTLMin := flag.Duration("cache-ttl-min", 0, "adaptive TTL lower bound (set with -cache-ttl-max and -cache-ttl to enable adaptation)")
 	cacheTTLMax := flag.Duration("cache-ttl-max", 0, "adaptive TTL upper bound")
 	cacheAdaptEvery := flag.Duration("cache-adapt-every", 0, "cache TTL adaptation period (0 = 10s default when adaptation is enabled)")
+	candidateIndex := flag.Bool("candidate-index", false, "enable the cluster peer-candidate index (exact-mode prefilter + opt-in approx queries)")
+	candidateK := flag.Int("candidate-k", 0, "cluster count for the candidate index (0 = √n; needs -candidate-index)")
 	state := flag.String("state", "", "state directory for durable storage (empty = in-memory)")
 	timeout := flag.Duration("timeout", httpapi.DefaultTimeout, "per-request timeout (negative disables)")
 	maxInFlight := flag.Int("max-inflight", httpapi.DefaultMaxInFlight, "max concurrently served requests, 429 beyond (negative disables)")
@@ -72,6 +79,7 @@ func main() {
 		Delta: *delta, K: *k, Aggregation: *aggr, Scorer: *scorer,
 		CacheTTL: *cacheTTL, CacheMaxEntries: *cacheMaxEntries, CacheMaxCost: *cacheMaxCost,
 		CacheTTLMin: *cacheTTLMin, CacheTTLMax: *cacheTTLMax, CacheAdaptEvery: *cacheAdaptEvery,
+		CandidateIndex: *candidateIndex, CandidateK: *candidateK,
 	}
 	var sys *fairhealth.System
 	var err error

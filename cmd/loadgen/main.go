@@ -16,7 +16,11 @@
 //
 // The workload is deterministic per -seed in -requests mode: the same
 // flags replay the identical request stream, which is what makes load
-// numbers comparable across commits. The report prints as JSON on
+// numbers comparable across commits. -approx-every N marks every Nth
+// group query approx, exercising the cluster candidate index under
+// concurrent writes (inproc needs -candidate-index; HTTP targets need
+// an iphrd started with it); when the in-process index is on, the
+// report gains an "index" stats section mirroring /v1/stats. The report prints as JSON on
 // stdout; -out merges it as the "load" section of a BENCH_<date>.json
 // trajectory file next to the "benchmarks" section scripts/bench.sh
 // writes (see docs/ops.md).
@@ -53,6 +57,7 @@ func main() {
 	k := flag.Int("k", 0, "fairness list size override (0 = server default)")
 	scorers := flag.String("scorers", "", `comma-separated scorers to cycle (e.g. "user-cf,item-cf,profile"; empty = server default)`)
 	aggs := flag.String("aggs", "", `comma-separated aggregations to cycle (e.g. "avg,min"; empty = server default)`)
+	approxEvery := flag.Int("approx-every", 0, "mark every Nth group query approx (0 = exact only; the target needs its candidate index on)")
 	out := flag.String("out", "", "BENCH_<date>.json file to merge the load section into (empty = stdout only)")
 
 	datasetSeed := flag.Int64("dataset-seed", 1, "synthetic dataset seed (must match the server's -demo-seed for HTTP targets)")
@@ -68,6 +73,8 @@ func main() {
 	cacheTTLMin := flag.Duration("cache-ttl-min", 0, "inproc: adaptive TTL lower bound (with -cache-ttl-max enables adaptation)")
 	cacheTTLMax := flag.Duration("cache-ttl-max", 0, "inproc: adaptive TTL upper bound")
 	cacheAdaptEvery := flag.Duration("cache-adapt-every", 0, "inproc: adaptation period (0 = 10s default when enabled)")
+	candidateIndex := flag.Bool("candidate-index", false, "inproc: enable the cluster peer-candidate index")
+	candidateK := flag.Int("candidate-k", 0, "inproc: cluster count for the candidate index (0 = √n; needs -candidate-index)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "loadgen ", log.LstdFlags)
@@ -87,6 +94,7 @@ func main() {
 		BatchGroups: *batchGroups,
 		Z:           *z,
 		K:           *k,
+		ApproxEvery: *approxEvery,
 	}
 	if *mixSpec != "" {
 		mix, err := parseMix(*mixSpec)
@@ -127,11 +135,16 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
+	var sys *fairhealth.System
 	if tgt == nil { // inproc
-		sys, err := fairhealth.New(fairhealth.Config{
+		if *approxEvery > 0 && !*candidateIndex {
+			logger.Fatal("-approx-every needs -candidate-index for the in-process target")
+		}
+		sys, err = fairhealth.New(fairhealth.Config{
 			Delta: *delta, Scorer: *scorer,
 			CacheTTL: *cacheTTL, CacheMaxEntries: *cacheMaxEntries, CacheMaxCost: *cacheMaxCost,
 			CacheTTLMin: *cacheTTLMin, CacheTTLMax: *cacheTTLMax, CacheAdaptEvery: *cacheAdaptEvery,
+			CandidateIndex: *candidateIndex, CandidateK: *candidateK,
 		})
 		if err != nil {
 			logger.Fatalf("system: %v", err)
@@ -171,6 +184,13 @@ func main() {
 	rep, err := loadtest.Run(ctx, tgt, cfg)
 	if err != nil {
 		logger.Fatalf("run: %v", err)
+	}
+	if sys != nil {
+		if st, ok := sys.CandidateIndexStats(); ok {
+			rep.Index = st
+			logger.Printf("candidate index: built=%v clusters=%d rebuilds=%d reassignments=%d writes-since=%d",
+				st.Built, st.Clusters, st.Rebuilds, st.Reassignments, st.WritesSinceRebuild)
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -115,6 +115,7 @@ import (
 	"time"
 
 	"fairhealth/internal/cache"
+	"fairhealth/internal/candidates"
 	"fairhealth/internal/cf"
 	"fairhealth/internal/core"
 	"fairhealth/internal/group"
@@ -234,6 +235,20 @@ type Config struct {
 	// adaptation is enabled, negative is ErrBadConfig. Ignored without
 	// CacheTTLMin/CacheTTLMax.
 	CacheAdaptEvery time.Duration
+	// CandidateIndex enables the cluster peer-candidate index
+	// (internal/candidates): exact-mode queries prefilter the peer
+	// scan to users who can actually qualify under MinOverlap
+	// (bit-identical to a full scan, but sublinear in the user count
+	// for sparse data), and queries may opt into approx mode
+	// (GroupQuery.Approx) restricting peer discovery to the query
+	// user's cluster neighborhood. The index is maintained
+	// incrementally from rating writes and rebuilt in the background
+	// past a write-count or drift threshold. Off by default.
+	CandidateIndex bool
+	// CandidateK is the cluster count for the candidate index; 0 picks
+	// ⌈√n⌉ at build time. Negative, or non-zero without
+	// CandidateIndex, is ErrBadConfig.
+	CandidateK int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -302,6 +317,12 @@ func (c Config) withDefaults() (Config, error) {
 		}
 	} else if c.CacheAdaptEvery > 0 {
 		return c, fmt.Errorf("%w: cache adapt period set without CacheTTLMin/CacheTTLMax bounds", ErrBadConfig)
+	}
+	if c.CandidateK < 0 {
+		return c, fmt.Errorf("%w: candidate k %d must be ≥ 0 (0 picks √n)", ErrBadConfig, c.CandidateK)
+	}
+	if c.CandidateK > 0 && !c.CandidateIndex {
+		return c, fmt.Errorf("%w: candidate k set without CandidateIndex", ErrBadConfig)
 	}
 	return c, nil
 }
@@ -400,6 +421,13 @@ type System struct {
 	provMu    sync.Mutex
 	providers map[string]scoring.Provider
 
+	// candIdx is the cluster peer-candidate index over mean-centered
+	// rating vectors (nil unless Config.CandidateIndex). Exact-mode
+	// recommenders consult its posting-list prefilter; approx-mode
+	// recommenders scan its cluster neighborhoods. Rating writes flow
+	// to it through invalidateUsers.
+	candIdx *candidates.Index
+
 	// groupCache memoizes assembled group-relevance inputs per
 	// (scorer, members, aggregation, K) over the shared cache engine.
 	// Every entry is scoped under the single ratings scope: a member's
@@ -480,6 +508,9 @@ func NewWithOntology(cfg Config, ont *ontology.Ontology) (*System, error) {
 			MaxCost:    c.CacheMaxCost,
 			Cost:       groupInputCost,
 		}),
+	}
+	if c.CandidateIndex {
+		sys.candIdx = candidates.NewRatings(sys.ratings, candidates.Config{K: c.CandidateK, Seed: 1})
 	}
 	// Every rating write — direct, CSV bulk load, or WAL replay —
 	// reports its touched user here, and the scoped invalidation routes
@@ -578,6 +609,9 @@ func (s *System) Close() error {
 		p.Close()
 	}
 	s.provMu.Unlock()
+	if s.candIdx != nil {
+		s.candIdx.Close()
+	}
 	if s.walLog == nil {
 		return nil
 	}
@@ -941,6 +975,18 @@ func counterDelta(now, prev uint64) uint64 {
 	return now - prev
 }
 
+// CandidateIndexStats snapshots the cluster peer-candidate index
+// counters (the /v1/stats "index" section); ok is false when
+// Config.CandidateIndex is off. The clustering builds lazily on the
+// first approx query, so Built may be false under exact-only traffic
+// — the exact prefilter reads item postings, not the clustering.
+func (s *System) CandidateIndexStats() (candidates.Stats, bool) {
+	if s.candIdx == nil {
+		return candidates.Stats{}, false
+	}
+	return s.candIdx.Stats(), true
+}
+
 // Stats reports system contents.
 func (s *System) Stats() Stats {
 	return Stats{
@@ -1095,6 +1141,13 @@ func (s *System) invalidateUsers(users ...model.UserID) {
 	}
 	s.provMu.Unlock()
 	s.groupCache.EvictScopes([]string{groupScopeRatings})
+	if s.candIdx != nil {
+		// After the cache layers: the index is never consulted for
+		// bit-identity (exact prefilter reads live postings), so the
+		// only requirement is that the write is counted toward the
+		// reassignment/rebuild triggers.
+		s.candIdx.OnWrite(users...)
+	}
 }
 
 // invalidateAll flushes every cache layer — the route for profile
@@ -1115,6 +1168,9 @@ func (s *System) invalidateAll() {
 	// Flushed last, so anything assembled from pre-flush upstream
 	// state is generation-fenced out of the memo.
 	s.groupCache.Invalidate()
+	if s.candIdx != nil {
+		s.candIdx.InvalidateAll()
+	}
 }
 
 // InvalidateCaches drops all memoized state (similarity matrix,
@@ -1220,7 +1276,7 @@ func (s *System) recommender() (*cf.Recommender, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &cf.Recommender{
+	rec := &cf.Recommender{
 		Store:           s.ratings,
 		Sim:             sim,
 		Delta:           s.cfg.Delta,
@@ -1228,6 +1284,42 @@ func (s *System) recommender() (*cf.Recommender, error) {
 		Cache:           s.peerCache,
 		CacheGen:        gen,
 		CacheSeq:        seq,
+	}
+	if s.candIdx != nil && s.cfg.Similarity == SimilarityRatings {
+		// Exact-mode prefilter: restrict the peer scan to users who
+		// share ≥ MinOverlap co-rated items with the query user — the
+		// only users the Pearson measure can ever report a defined
+		// similarity for, so the restricted scan is bit-identical to
+		// the full one (pinned by the equivalence tests). The set is
+		// computed from the live item postings on every scan; cluster
+		// staleness cannot leak into exact answers. Other similarity
+		// kinds have no sound prefilter and keep the full scan.
+		minOverlap := s.cfg.MinOverlap
+		rec.Candidates = func(u model.UserID) []model.UserID {
+			return s.candIdx.ExactPrefilter(u, minOverlap)
+		}
+	}
+	return rec, nil
+}
+
+// recommenderApprox is the approx-mode factory: the peer scan ranges
+// over the query user's cluster neighborhood in the candidate index
+// instead of the exact candidate universe. No peer cache — an approx
+// peer set must never be served to a later exact query — and hence no
+// fence; the similarity snapshot alone decides the scores. Only
+// reachable when Config.CandidateIndex is set (query normalization
+// rejects Approx otherwise).
+func (s *System) recommenderApprox() (*cf.Recommender, error) {
+	sim, err := s.similarity()
+	if err != nil {
+		return nil, err
+	}
+	return &cf.Recommender{
+		Store:           s.ratings,
+		Sim:             sim,
+		Delta:           s.cfg.Delta,
+		RequirePositive: true,
+		Candidates:      s.candIdx.Approx,
 	}, nil
 }
 
@@ -1338,17 +1430,23 @@ func (s *System) scorerProvider(name string) (scoring.Provider, error) {
 	if p, ok := s.providers[name]; ok {
 		return p, nil
 	}
-	p, err := scoring.New(name, scoring.Deps{
+	deps := scoring.Deps{
 		Ratings:         s.ratings,
 		Profiles:        s.profiles,
 		Ontology:        s.ont,
 		UserCF:          s.recommender,
+		CandidateIndex:  s.cfg.CandidateIndex,
+		CandidateK:      s.cfg.CandidateK,
 		Delta:           s.cfg.Delta,
 		MinOverlap:      s.cfg.MinOverlap,
 		CacheTTL:        s.cfg.CacheTTL,
 		CacheMaxEntries: s.cfg.CacheMaxEntries,
 		CacheMaxCost:    s.cfg.CacheMaxCost,
-	})
+	}
+	if s.candIdx != nil {
+		deps.UserCFApprox = s.recommenderApprox
+	}
+	p, err := scoring.New(name, deps)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
@@ -1363,7 +1461,7 @@ func (s *System) scorerProvider(name string) (scoring.Provider, error) {
 // length-prefixed, so the encoding is injective no matter what bytes
 // appear in user IDs — a member named "a<sep>b" can never collide
 // with the two-member group ["a","b"].
-func groupKey(scorer string, g model.Group, aggr string, k int) string {
+func groupKey(scorer string, g model.Group, aggr string, k int, approx bool) string {
 	var b strings.Builder
 	field := func(s string) {
 		b.WriteString(strconv.Itoa(len(s)))
@@ -1373,6 +1471,10 @@ func groupKey(scorer string, g model.Group, aggr string, k int) string {
 	field(scorer)
 	field(aggr)
 	field(strconv.Itoa(k))
+	// Approx inputs and exact inputs must never share a memo entry —
+	// an approx assembly served warm to an exact query would break the
+	// bit-identity contract.
+	field(strconv.FormatBool(approx))
 	for _, u := range g {
 		field(string(u))
 	}
@@ -1391,8 +1493,8 @@ func groupKey(scorer string, g model.Group, aggr string, k int) string {
 // before any upstream state is read, so a write racing the assembly
 // keeps the result out of the memo (the caller still gets its answer
 // — a read overlapping a write may see either side of it).
-func (s *System) groupProblem(scorer string, g model.Group, aggr group.Aggregator, k, workers int) (groupInput, error) {
-	key := groupKey(scorer, g, aggr.Name(), k)
+func (s *System) groupProblem(scorer string, g model.Group, aggr group.Aggregator, k, workers int, approx bool) (groupInput, error) {
+	key := groupKey(scorer, g, aggr.Name(), k, approx)
 	if in, _, ok := s.groupCache.Get(key); ok {
 		return in, nil
 	}
@@ -1401,7 +1503,11 @@ func (s *System) groupProblem(scorer string, g model.Group, aggr group.Aggregato
 	if err != nil {
 		return groupInput{}, err
 	}
-	cands, err := scoring.Assemble(prov, g, workers)
+	assembleFn := scoring.Assemble
+	if approx {
+		assembleFn = scoring.AssembleApprox
+	}
+	cands, err := assembleFn(prov, g, workers)
 	if err != nil {
 		if errors.Is(err, scoring.ErrEmptyGroup) {
 			return groupInput{}, ErrEmptyGroup
@@ -1472,7 +1578,7 @@ func (s *System) GroupTopZ(users []string, z int) ([]Recommendation, error) {
 	if err != nil {
 		return nil, err
 	}
-	in, err := s.groupProblem(s.cfg.Scorer, g, s.aggregator(), s.cfg.K, s.workers())
+	in, err := s.groupProblem(s.cfg.Scorer, g, s.aggregator(), s.cfg.K, s.workers(), false)
 	if err != nil {
 		return nil, err
 	}

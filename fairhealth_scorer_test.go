@@ -429,18 +429,19 @@ func TestGroupKeyInjective(t *testing.T) {
 		{model.Group{"2:a"}, model.Group{"a"}},
 	}
 	for _, c := range cases {
-		if groupKey("user-cf", c[0], "avg", 8) == groupKey("user-cf", c[1], "avg", 8) {
+		if groupKey("user-cf", c[0], "avg", 8, false) == groupKey("user-cf", c[1], "avg", 8, false) {
 			t.Errorf("groups %q and %q collide", c[0], c[1])
 		}
 	}
 	// Same group, different knobs: all distinct.
 	g := model.Group{"a", "b"}
 	keys := map[string]string{
-		"scorer": groupKey("item-cf", g, "avg", 8),
-		"aggr":   groupKey("user-cf", g, "min", 8),
-		"k":      groupKey("user-cf", g, "avg", 9),
+		"scorer": groupKey("item-cf", g, "avg", 8, false),
+		"aggr":   groupKey("user-cf", g, "min", 8, false),
+		"k":      groupKey("user-cf", g, "avg", 9, false),
+		"approx": groupKey("user-cf", g, "avg", 8, true),
 	}
-	base := groupKey("user-cf", g, "avg", 8)
+	base := groupKey("user-cf", g, "avg", 8, false)
 	for knob, k := range keys {
 		if k == base {
 			t.Errorf("changing %s did not change the key", knob)

@@ -51,6 +51,34 @@ type Result struct {
 	// Inertia is the final total within-cluster dissimilarity
 	// Σ (1 − cos(u, centroid)).
 	Inertia float64
+
+	// centroids are retained so single users can be reassigned
+	// incrementally (Reassign) and nearest-neighbor clusters ranked
+	// (NearestClusters) without a full re-run.
+	centroids []vector
+}
+
+// VectorFunc produces the sparse feature vector a user is clustered
+// by, as a map from feature key to weight. Rating instantiations key
+// by item; profile instantiations key terms by casting to ItemID.
+// A nil or empty map is a zero vector (cosine 0 to everything).
+type VectorFunc func(model.UserID) map[model.ItemID]float64
+
+// RatingVectors adapts a ratings store into a VectorFunc over
+// mean-centered rating vectors — the adjusted-cosine signal Pearson
+// similarity measures.
+func RatingVectors(store *ratings.Store) VectorFunc {
+	return func(u model.UserID) map[model.ItemID]float64 {
+		mean, _ := store.MeanRating(u)
+		w := make(map[model.ItemID]float64)
+		store.VisitUserRatings(u, func(i model.ItemID, r model.Rating) bool {
+			if v := float64(r) - mean; v != 0 {
+				w[i] = v
+			}
+			return true
+		})
+		return w
+	}
 }
 
 // vector is a sparse mean-centered rating vector stored as parallel
@@ -78,18 +106,6 @@ func vectorFromMap(w map[model.ItemID]float64) vector {
 	return vector{items: items, vals: vals, norm: math.Sqrt(sq)}
 }
 
-func newVector(store *ratings.Store, u model.UserID) vector {
-	mean, _ := store.MeanRating(u)
-	w := make(map[model.ItemID]float64)
-	store.VisitUserRatings(u, func(i model.ItemID, r model.Rating) bool {
-		if v := float64(r) - mean; v != 0 {
-			w[i] = v
-		}
-		return true
-	})
-	return vectorFromMap(w)
-}
-
 func (v vector) cosine(c vector) float64 {
 	if v.norm == 0 || c.norm == 0 {
 		return 0
@@ -111,9 +127,16 @@ func (v vector) cosine(c vector) float64 {
 	return dot / (v.norm * c.norm)
 }
 
-// KMeans clusters every user in the store.
+// KMeans clusters every user in the store over mean-centered rating
+// vectors. It is a thin wrapper over KMeansVectors with RatingVectors.
 func KMeans(store *ratings.Store, cfg Config) (*Result, error) {
-	users := store.Users()
+	return KMeansVectors(store.Users(), RatingVectors(store), cfg)
+}
+
+// KMeansVectors clusters the given users by the vectors vf produces.
+// The user list is processed in the given order; callers that want
+// run-to-run determinism pass a sorted list (Store.Users is ascending).
+func KMeansVectors(users []model.UserID, vf VectorFunc, cfg Config) (*Result, error) {
 	if len(users) == 0 {
 		return nil, ErrEmptyStore
 	}
@@ -132,7 +155,7 @@ func KMeans(store *ratings.Store, cfg Config) (*Result, error) {
 
 	vecs := make([]vector, len(users))
 	for idx, u := range users {
-		vecs[idx] = newVector(store, u)
+		vecs[idx] = vectorFromMap(vf(u))
 	}
 
 	// k-means++-style seeding: first centroid uniform, then farthest-
@@ -241,6 +264,7 @@ func KMeans(store *ratings.Store, cfg Config) (*Result, error) {
 		Assignment: make(map[model.UserID]int, len(users)),
 		Members:    make([][]model.UserID, k),
 		Iterations: iterations,
+		centroids:  centroids,
 	}
 	for i, u := range users {
 		c := assign[i]
@@ -285,6 +309,90 @@ func (r *Result) CandidateSource() func(model.UserID) []model.UserID {
 		}
 		return r.Members[c]
 	}
+}
+
+// Reassign recomputes one user's cluster from the retained centroids
+// — the cheap incremental-maintenance step after a write touches that
+// user's vector. Centroids themselves are not moved (full rebuilds
+// handle drift); ties break deterministically to the lower cluster
+// index, matching the Lloyd loop. It returns true when the user moved
+// (or was newly added). Membership lists stay sorted ascending.
+func (r *Result) Reassign(u model.UserID, vf VectorFunc) bool {
+	if len(r.centroids) == 0 {
+		return false
+	}
+	v := vectorFromMap(vf(u))
+	best, bestScore := 0, math.Inf(-1)
+	for c, cent := range r.centroids {
+		if s := v.cosine(cent); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	prev, known := r.Assignment[u]
+	if known && prev == best {
+		return false
+	}
+	if known {
+		r.Members[prev] = removeSorted(r.Members[prev], u)
+	}
+	r.Assignment[u] = best
+	r.Members[best] = insertSorted(r.Members[best], u)
+	return true
+}
+
+// NearestClusters ranks the n clusters nearest to cluster c by
+// centroid cosine, descending (c itself excluded). Ties break to the
+// lower cluster index. Used by approx mode to widen the candidate set
+// beyond the query user's own cluster.
+func (r *Result) NearestClusters(c, n int) []int {
+	if c < 0 || c >= len(r.centroids) || n <= 0 {
+		return nil
+	}
+	type scored struct {
+		c   int
+		sim float64
+	}
+	others := make([]scored, 0, len(r.centroids)-1)
+	for i, cent := range r.centroids {
+		if i == c {
+			continue
+		}
+		others = append(others, scored{c: i, sim: r.centroids[c].cosine(cent)})
+	}
+	sort.SliceStable(others, func(a, b int) bool {
+		if others[a].sim != others[b].sim {
+			return others[a].sim > others[b].sim
+		}
+		return others[a].c < others[b].c
+	})
+	if n > len(others) {
+		n = len(others)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = others[i].c
+	}
+	return out
+}
+
+func removeSorted(s []model.UserID, u model.UserID) []model.UserID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= u })
+	if i < len(s) && s[i] == u {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+func insertSorted(s []model.UserID, u model.UserID) []model.UserID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= u })
+	if i < len(s) && s[i] == u {
+		return s
+	}
+	var zero model.UserID
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = u
+	return s
 }
 
 // Purity scores the clustering against ground-truth labels: the

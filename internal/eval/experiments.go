@@ -9,8 +9,8 @@ import (
 	"io"
 	"time"
 
+	"fairhealth/internal/candidates"
 	"fairhealth/internal/cf"
-	"fairhealth/internal/clustering"
 	"fairhealth/internal/metrics"
 	"fairhealth/internal/model"
 	"fairhealth/internal/ratings"
@@ -146,28 +146,28 @@ func RunClusteringAblation(store *ratings.Store, ks []int, delta float64, minOve
 
 	for _, k := range ks {
 		buildStart := time.Now()
-		res, err := clustering.KMeans(store, clustering.Config{K: k, Seed: 1})
+		src, err := clusterSource(store, k)
 		if err != nil {
-			return nil, fmt.Errorf("eval: kmeans k=%d: %w", k, err)
+			return nil, fmt.Errorf("eval: cluster index k=%d: %w", k, err)
 		}
 		buildTime := time.Since(buildStart)
 		clustered := &cf.Recommender{
 			Store: store, Sim: newSim(store), Delta: delta,
-			Candidates: res.CandidateSource(),
+			Candidates: src,
 		}
 		qt, err := queryTime(clustered)
 		if err != nil {
 			return nil, err
 		}
 		factory := func(train *ratings.Store) (metrics.Predictor, error) {
-			trainClusters, err := clustering.KMeans(train, clustering.Config{K: k, Seed: 1})
+			trainSrc, err := clusterSource(train, k)
 			if err != nil {
 				return nil, err
 			}
 			return clusteredPredictor{rec: &cf.Recommender{
 				Store: train, Sim: newSim(train), Delta: delta,
 				RequirePositive: true,
-				Candidates:      trainClusters.CandidateSource(),
+				Candidates:      trainSrc,
 			}}, nil
 		}
 		rep, err := metrics.EvaluateHoldout(store, factory, holdout)
@@ -183,6 +183,19 @@ func RunClusteringAblation(store *ratings.Store, ks []int, delta float64, minOve
 		})
 	}
 	return rows, nil
+}
+
+// clusterSource builds a candidates.Index over st and returns its
+// cluster-restricted candidate source (own cluster only, matching the
+// historical CandidateSource semantics) — the same index layer
+// serving's approx mode consults, so eval and serving share one code
+// path.
+func clusterSource(st *ratings.Store, k int) (func(model.UserID) []model.UserID, error) {
+	idx := candidates.NewRatings(st, candidates.Config{K: k, Seed: 1, Neighbors: -1})
+	if err := idx.EnsureBuilt(); err != nil {
+		return nil, err
+	}
+	return idx.Source(), nil
 }
 
 // clusteredPredictor adapts a clustered cf.Recommender to

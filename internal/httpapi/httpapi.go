@@ -70,6 +70,7 @@ import (
 	"sync/atomic"
 
 	"fairhealth"
+	"fairhealth/internal/candidates"
 )
 
 // Server wires a fairhealth.System to an http.Handler.
@@ -186,10 +187,14 @@ type DocumentBody struct {
 }
 
 // StatsResponse is the GET /v1/stats payload: the corpus statistics,
-// the cache observability counters, and the in-flight limiter state.
+// the cache observability counters, the candidate-index counters, and
+// the in-flight limiter state.
 type StatsResponse struct {
 	fairhealth.Stats
 	Caches fairhealth.CacheStats `json:"caches"`
+	// Index is the cluster peer-candidate index section; absent when
+	// Config.CandidateIndex is off.
+	Index *candidates.Stats `json:"index,omitempty"`
 	// Server is the limiter section; absent when the in-flight
 	// limiter is disabled.
 	Server *ServerStats `json:"server,omitempty"`
@@ -219,6 +224,11 @@ type GroupQueryBody struct {
 	K int `json:"k,omitempty"`
 	// Explain requests the per_member evidence lists.
 	Explain bool `json:"explain,omitempty"`
+	// Approx restricts peer discovery to the candidate index's
+	// cluster neighborhood (recall traded for throughput). Requires
+	// the server to run with the candidate index enabled; rejected
+	// for the mapreduce method.
+	Approx bool `json:"approx,omitempty"`
 }
 
 // DefaultBruteM is the brute-force candidate pool applied when a query
@@ -260,6 +270,7 @@ func (b GroupQueryBody) toQuery() (fairhealth.GroupQuery, error) {
 		Scorer:         b.Scorer,
 		K:              b.K,
 		Explain:        b.Explain,
+		Approx:         b.Approx,
 	}, nil
 }
 
@@ -389,6 +400,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := StatsResponse{Stats: s.sys.Stats(), Caches: s.sys.CacheStats()}
+	if ix, ok := s.sys.CandidateIndexStats(); ok {
+		resp.Index = &ix
+	}
 	if s.lim != nil {
 		resp.Server = s.lim.snapshot()
 	}

@@ -117,6 +117,12 @@ type Config struct {
 	// Aggregations cycle across generated queries; empty means the
 	// server default only.
 	Aggregations []string
+	// ApproxEvery marks every Nth generated group query approx
+	// (cluster-restricted peer discovery), exercising the candidate
+	// index under the concurrent write stream. 0 generates exact
+	// queries only; the target system must enable its candidate index
+	// when this is set, or the approx queries fail validation.
+	ApproxEvery int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -146,6 +152,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Z <= 0 {
 		c.Z = 6
+	}
+	if c.ApproxEvery < 0 {
+		return c, errors.New("loadtest: ApproxEvery must be ≥ 0")
 	}
 	return c, nil
 }
@@ -207,6 +216,9 @@ func (g *Generator) query() fairhealth.GroupQuery {
 	if len(g.cfg.Aggregations) > 0 {
 		q.Aggregation = g.cfg.Aggregations[int(g.n)%len(g.cfg.Aggregations)]
 	}
+	if g.cfg.ApproxEvery > 0 && int(g.n)%g.cfg.ApproxEvery == 0 {
+		q.Approx = true
+	}
 	return q
 }
 
@@ -245,6 +257,10 @@ type Report struct {
 	TotalErrors    uint64                 `json:"total_errors"`
 	RPS            float64                `json:"rps"`
 	Classes        map[string]ClassReport `json:"classes"`
+	// Index is a post-run candidate-index stats snapshot, attached by
+	// the caller when the target system exposes one (loadgen inproc
+	// with -candidate-index); absent otherwise.
+	Index any `json:"index,omitempty"`
 }
 
 // workerStats is one worker's private tallies, merged after the run.

@@ -68,10 +68,11 @@ type wireQuery struct {
 	Aggregation string   `json:"aggregation,omitempty"`
 	Scorer      string   `json:"scorer,omitempty"`
 	K           int      `json:"k,omitempty"`
+	Approx      bool     `json:"approx,omitempty"`
 }
 
 func toWire(q fairhealth.GroupQuery) wireQuery {
-	return wireQuery{Members: q.Members, Z: q.Z, Aggregation: q.Aggregation, Scorer: q.Scorer, K: q.K}
+	return wireQuery{Members: q.Members, Z: q.Z, Aggregation: q.Aggregation, Scorer: q.Scorer, K: q.K, Approx: q.Approx}
 }
 
 // Do implements Target.

@@ -4,7 +4,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fairhealth/internal/candidates"
 	"fairhealth/internal/cf"
+	"fairhealth/internal/clustering"
 	"fairhealth/internal/itemcf"
 	"fairhealth/internal/model"
 	"fairhealth/internal/simfn"
@@ -37,6 +39,21 @@ func (p *userCF) Relevance(u model.UserID, i model.ItemID) (float64, bool, error
 		return 0, false, err
 	}
 	return rec.Relevance(u, i)
+}
+
+// RelevancesApprox implements ApproxRelevancer over the owner's
+// approx recommender factory (cluster-restricted peer scan, no shared
+// peer cache). Falls back to the exact path when the owner has no
+// candidate index.
+func (p *userCF) RelevancesApprox(u model.UserID) (map[model.ItemID]float64, error) {
+	if p.deps.UserCFApprox == nil {
+		return p.Relevances(u)
+	}
+	rec, err := p.deps.UserCFApprox()
+	if err != nil {
+		return nil, err
+	}
+	return rec.AllRelevances(u)
 }
 
 func (p *userCF) InvalidateUsers([]model.UserID) {}
@@ -126,14 +143,21 @@ func (p *itemCF) Close()                         {}
 type profileCF struct {
 	deps  Deps
 	peers *cf.PeerCache
+	// idx clusters the profiled users over their frozen TF-IDF term
+	// vectors for approx-mode peer search; nil when the candidate
+	// index is disabled. Rating writes don't touch it (term vectors
+	// are a function of profiles only); a corpus rebuild invalidates
+	// it wholesale.
+	idx *candidates.Index
 
 	mu    sync.Mutex
 	sim   *simfn.Cached
+	pc    *simfn.ProfileCosine
 	dirty bool
 }
 
 func newProfileCF(d Deps) Provider {
-	return &profileCF{
+	p := &profileCF{
 		deps: d,
 		peers: cf.NewPeerCacheWith(cf.PeerCacheOptions{
 			TTL:        d.CacheTTL,
@@ -142,22 +166,23 @@ func newProfileCF(d Deps) Provider {
 		}),
 		dirty: true,
 	}
+	if d.CandidateIndex {
+		p.idx = candidates.New(p.termSnapshot, candidates.Config{K: d.CandidateK, Seed: 1})
+	}
+	return p
 }
 
 func (p *profileCF) Name() string { return NameProfile }
 
-// recommender snapshots the similarity under a peer-cache fence — the
-// same capture order as the owner's user-cf factory: the fence comes
-// first, so a corpus rebuild between the two steps can only fence off
-// (never admit) peer sets computed from the older snapshot.
-func (p *profileCF) recommender() (*cf.Recommender, error) {
-	gen, seq := p.peers.Fence()
+// cosine returns the current frozen similarity, rebuilding the corpus
+// when a profile write dirtied it.
+func (p *profileCF) cosine() (*simfn.Cached, *simfn.ProfileCosine, error) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.dirty {
 		pc, err := simfn.BuildProfileCosine(p.deps.Profiles, p.deps.Ontology, nil)
 		if err != nil {
-			p.mu.Unlock()
-			return nil, err
+			return nil, nil, err
 		}
 		if p.sim != nil {
 			p.sim.Close()
@@ -167,10 +192,44 @@ func (p *profileCF) recommender() (*cf.Recommender, error) {
 			MaxEntries: p.deps.CacheMaxEntries,
 			MaxCost:    p.deps.CacheMaxCost,
 		})
+		p.pc = pc
 		p.dirty = false
 	}
-	sim := p.sim
-	p.mu.Unlock()
+	return p.sim, p.pc, nil
+}
+
+// termSnapshot feeds the candidate index: the profiled users and
+// their frozen TF-IDF term vectors (terms cast to the clustering
+// feature-key type). Called by the index at (re)build time.
+func (p *profileCF) termSnapshot() ([]model.UserID, clustering.VectorFunc, error) {
+	_, pc, err := p.cosine()
+	if err != nil {
+		return nil, nil, err
+	}
+	vf := func(u model.UserID) map[model.ItemID]float64 {
+		tv := pc.TermVector(u)
+		if tv == nil {
+			return nil
+		}
+		w := make(map[model.ItemID]float64, len(tv))
+		for t, x := range tv {
+			w[model.ItemID(t)] = x
+		}
+		return w
+	}
+	return pc.IndexedUsers(), vf, nil
+}
+
+// recommender snapshots the similarity under a peer-cache fence — the
+// same capture order as the owner's user-cf factory: the fence comes
+// first, so a corpus rebuild between the two steps can only fence off
+// (never admit) peer sets computed from the older snapshot.
+func (p *profileCF) recommender() (*cf.Recommender, error) {
+	gen, seq := p.peers.Fence()
+	sim, _, err := p.cosine()
+	if err != nil {
+		return nil, err
+	}
 	return &cf.Recommender{
 		Store:           p.deps.Ratings,
 		Sim:             sim,
@@ -180,6 +239,30 @@ func (p *profileCF) recommender() (*cf.Recommender, error) {
 		CacheGen:        gen,
 		CacheSeq:        seq,
 	}, nil
+}
+
+// RelevancesApprox implements ApproxRelevancer: the peer scan ranges
+// over the query user's term-vector cluster neighborhood instead of
+// every rated user. No shared peer cache — an approx peer set must
+// never be served to a later exact query. Cluster members who have
+// no ratings contribute nothing to Eq. 1 (they rate no items), so
+// they are harmless in the candidate list.
+func (p *profileCF) RelevancesApprox(u model.UserID) (map[model.ItemID]float64, error) {
+	if p.idx == nil {
+		return p.Relevances(u)
+	}
+	sim, _, err := p.cosine()
+	if err != nil {
+		return nil, err
+	}
+	rec := &cf.Recommender{
+		Store:           p.deps.Ratings,
+		Sim:             sim,
+		Delta:           p.deps.Delta,
+		RequirePositive: true,
+		Candidates:      p.idx.Approx,
+	}
+	return rec.AllRelevances(u)
 }
 
 func (p *profileCF) Relevances(u model.UserID) (map[model.ItemID]float64, error) {
@@ -218,6 +301,10 @@ func (p *profileCF) InvalidateAll() {
 	p.dirty = true
 	p.mu.Unlock()
 	p.peers.Invalidate()
+	if p.idx != nil {
+		// Every term vector changed wholesale with the corpus.
+		p.idx.InvalidateAll()
+	}
 }
 
 func (p *profileCF) Close() {
@@ -227,4 +314,7 @@ func (p *profileCF) Close() {
 	}
 	p.mu.Unlock()
 	p.peers.Close()
+	if p.idx != nil {
+		p.idx.Close()
+	}
 }

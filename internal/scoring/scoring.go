@@ -118,6 +118,18 @@ type Deps struct {
 	// default path's engine, shared so the user-cf scorer rides the
 	// system's similarity memo and peer cache bit-identically.
 	UserCF func() (*cf.Recommender, error)
+	// UserCFApprox returns the approx-mode recommender — peer scan
+	// restricted to the query user's cluster neighborhood in the
+	// owner's candidate index, no shared peer cache (an approx peer
+	// set must never be served to a later exact query). Nil when the
+	// candidate index is disabled; the user-cf approx path then falls
+	// back to exact Relevances.
+	UserCFApprox func() (*cf.Recommender, error)
+	// CandidateIndex enables the profile provider's own term-vector
+	// candidate index for approx-mode peer search; CandidateK sizes
+	// it (0 → ⌈√n⌉ at build time).
+	CandidateIndex bool
+	CandidateK     int
 	// Delta is the peer threshold δ (Def. 1) for CF-style providers.
 	Delta float64
 	// MinOverlap is the minimum co-rated items for rating-derived
@@ -211,19 +223,44 @@ type Candidates struct {
 	Items map[model.ItemID][]float64
 }
 
+// ApproxRelevancer is the optional Provider extension for approx-mode
+// peer search: RelevancesApprox follows the Relevances contract except
+// that the peer scan may be restricted to the candidate index's
+// cluster neighborhood — recall traded for throughput, so the
+// bit-identity requirement is waived for it (every returned score must
+// still be the exact Eq.-1 value over the restricted peer set).
+// Providers without a peer scan simply don't implement it and approx
+// queries assemble through their exact path.
+type ApproxRelevancer interface {
+	RelevancesApprox(u model.UserID) (map[model.ItemID]float64, error)
+}
+
 // Assemble scores every member of g through p — in parallel across at
 // most workers goroutines, balanced by internal/pool — and intersects
 // the predictions into the group's candidate set. Members' maps are
 // computed independently, so the fan-out cannot change any score: the
 // result is bit-identical to a serial member-by-member loop.
 func Assemble(p Provider, g model.Group, workers int) (Candidates, error) {
+	return assemble(p.Relevances, g, workers)
+}
+
+// AssembleApprox is Assemble through the provider's approx path when
+// it has one (ApproxRelevancer), and identical to Assemble otherwise.
+func AssembleApprox(p Provider, g model.Group, workers int) (Candidates, error) {
+	if ap, ok := p.(ApproxRelevancer); ok {
+		return assemble(ap.RelevancesApprox, g, workers)
+	}
+	return assemble(p.Relevances, g, workers)
+}
+
+func assemble(rel func(model.UserID) (map[model.ItemID]float64, error), g model.Group, workers int) (Candidates, error) {
 	if len(g) == 0 {
 		return Candidates{}, ErrEmptyGroup
 	}
 	maps := make([]map[model.ItemID]float64, len(g))
 	errs := make([]error, len(g))
 	pool.Each(len(g), workers, func(k int) {
-		maps[k], errs[k] = p.Relevances(g[k])
+		maps[k], errs[k] = rel(g[k])
 	})
 	for k, err := range errs {
 		if err != nil {

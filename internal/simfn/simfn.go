@@ -12,6 +12,7 @@ package simfn
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"fairhealth/internal/cache"
@@ -177,6 +178,31 @@ func (pc *ProfileCosine) Similarity(a, b model.UserID) (float64, bool) {
 // Corpus exposes the underlying index (read-mostly; used by examples
 // to inspect top terms).
 func (pc *ProfileCosine) Corpus() *textindex.Corpus { return pc.corpus }
+
+// TermVector returns a copy of u's frozen TF-IDF term weights, or nil
+// when the user has no indexed profile. Candidate indexing clusters
+// over these so profile-space locality matches the scorer's cosine.
+func (pc *ProfileCosine) TermVector(u model.UserID) map[string]float64 {
+	pv, ok := pc.vecs[u]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]float64, len(pv.terms))
+	for _, t := range pv.terms {
+		out[t] = pv.vec[t]
+	}
+	return out
+}
+
+// IndexedUsers lists every user with an indexed profile, ascending.
+func (pc *ProfileCosine) IndexedUsers() []model.UserID {
+	out := make([]model.UserID, 0, len(pc.vecs))
+	for u := range pc.vecs {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
 
 // ---------------------------------------------------------------------------
 // Semantic similarity (Eq. 4)

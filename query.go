@@ -93,6 +93,15 @@ type GroupQuery struct {
 	// map (each member's personal list A_u). Off by default — the
 	// lists are sizeable and most callers only need the selection.
 	Explain bool
+	// Approx restricts peer discovery to the candidate index's cluster
+	// neighborhood (the query user's cluster plus its nearest
+	// neighbors) instead of the exact candidate universe, trading
+	// recall for throughput. Requires Config.CandidateIndex; rejected
+	// for the mapreduce method (the §IV pipeline scores raw triples,
+	// not indexed peers). Scorers without peer scans (item-cf) ignore
+	// it. Default off: exact mode, bit-identical with the index on or
+	// off.
+	Approx bool
 }
 
 // Validate checks the query's shape without a System: field ranges,
@@ -112,6 +121,9 @@ func (q GroupQuery) Validate() error {
 	switch q.Method {
 	case "", MethodGreedy, MethodBrute:
 	case MethodMapReduce:
+		if q.Approx {
+			return fmt.Errorf("%w: mapreduce does not support approx peer search", ErrBadQuery)
+		}
 		switch q.Aggregation {
 		case "", "avg", "min":
 		default:
@@ -165,6 +177,9 @@ func (q GroupQuery) normalize(cfg Config) (GroupQuery, error) {
 			return q, fmt.Errorf("%w: mapreduce supports only the %s scorer, not the configured %q",
 				ErrBadQuery, scoring.DefaultName, q.Scorer)
 		}
+	}
+	if q.Approx && !cfg.CandidateIndex {
+		return q, fmt.Errorf("%w: approx peer search requires Config.CandidateIndex", ErrBadQuery)
 	}
 	return q, nil
 }
@@ -239,7 +254,7 @@ func (s *System) serve(ctx context.Context, q GroupQuery, assemblyWorkers int) (
 		if aerr != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadQuery, aerr) // unreachable: normalize validated
 		}
-		gin, perr := s.groupProblem(nq.Scorer, g, aggr, nq.K, assemblyWorkers)
+		gin, perr := s.groupProblem(nq.Scorer, g, aggr, nq.K, assemblyWorkers, nq.Approx)
 		if perr != nil {
 			return nil, perr
 		}

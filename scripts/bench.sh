@@ -7,14 +7,17 @@
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration each
 #   BENCH=GroupBatch scripts/bench.sh  # filter by benchmark regex
 #
-# The perf trajectory lives in four families included in every run:
+# The perf trajectory lives in six families included in every run:
 # BenchmarkScopedInvalidation (warm scoped eviction vs cold full-flush
 # serving), BenchmarkRatingsWriteThroughput (sharded vs single-lock
 # store under concurrent writers), BenchmarkWarmCacheTTL (serving
-# inside vs past the internal/cache warm-cache TTL), and
+# inside vs past the internal/cache warm-cache TTL),
 # BenchmarkScorerServe (group serving per relevance backend — user-cf
 # vs item-cf vs profile — warm group-relevance cache vs cold after a
-# write).
+# write), BenchmarkClustering (k-means build cost plus full-scan vs
+# clustered peer discovery), and BenchmarkCandidateIndex (peer
+# discovery under the live candidate index — fullscan vs
+# exact-prefilter vs approx, cold and post-write).
 #
 # The script exits non-zero — without writing the output file — when
 # the benchmark run itself fails or parses to zero results, so a broken

@@ -6,7 +6,7 @@
 #   scripts/bench_compare.sh BASELINE.json FRESH.json [THRESHOLD_PCT]
 #
 # A benchmark regresses when its fresh ns/op exceeds the baseline by
-# more than THRESHOLD_PCT (default 25). Only the four trajectory
+# more than THRESHOLD_PCT (default 25). Only the six trajectory
 # families are gated — the rest of the suite is informational, and
 # single-iteration CI noise on micro-benchmarks would make a
 # whole-suite gate flap:
@@ -15,6 +15,8 @@
 #   BenchmarkRatingsWriteThroughput
 #   BenchmarkWarmCacheTTL
 #   BenchmarkScorerServe
+#   BenchmarkClustering
+#   BenchmarkCandidateIndex
 #
 # Override the gated set with FAMILIES="PrefixA PrefixB". Benchmarks
 # present in only one file are reported but never fail the gate (new
@@ -29,7 +31,7 @@ fi
 base="$1"
 fresh="$2"
 threshold="${3:-25}"
-families="${FAMILIES:-BenchmarkScopedInvalidation BenchmarkRatingsWriteThroughput BenchmarkWarmCacheTTL BenchmarkScorerServe}"
+families="${FAMILIES:-BenchmarkScopedInvalidation BenchmarkRatingsWriteThroughput BenchmarkWarmCacheTTL BenchmarkScorerServe BenchmarkClustering BenchmarkCandidateIndex}"
 
 for f in "$base" "$fresh"; do
     if [ ! -r "$f" ]; then
