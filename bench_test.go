@@ -19,6 +19,8 @@
 //	BenchmarkWarmCacheTTL/*            serving inside vs past the warm-cache TTL (internal/cache)
 //	BenchmarkScorerServe/*             group serving per relevance backend (user-cf vs item-cf vs
 //	                                   profile), warm group-relevance cache vs cold after a write
+//	BenchmarkPartitionedServe/*        group serving through the consistent-hash fan-out
+//	                                   coordinator at 1/2/4 partitions, warm and cold-after-write
 //
 // Run: go test -bench=. -benchmem
 package fairhealth_test
@@ -48,6 +50,7 @@ import (
 	"fairhealth/internal/httpapi"
 	"fairhealth/internal/model"
 	"fairhealth/internal/mrpipeline"
+	"fairhealth/internal/partition"
 	"fairhealth/internal/phr"
 	"fairhealth/internal/ratings"
 	"fairhealth/internal/search"
@@ -568,6 +571,82 @@ func BenchmarkScorerServe(b *testing.B) {
 					b.Fatal(err)
 				}
 				if _, err := coldSys.Serve(context.Background(), cq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned serving — fan-out/merge coordinator vs partition counts
+
+// BenchmarkPartitionedServe measures group serving through the
+// consistent-hash coordinator at 1, 2, and 4 partitions, in the same
+// three regimes BenchmarkScorerServe pins for a single system: warm
+// group caches, and cold after a write (replicated apply + owner-scoped
+// invalidation). partitions=1 vs BenchmarkScorerServe isolates the
+// coordinator's routing overhead; 2 vs 4 shows the fan-out scaling.
+func BenchmarkPartitionedServe(b *testing.B) {
+	build := func(b *testing.B, n int) (*partition.Coordinator, []string, string) {
+		coord, err := partition.New(fairhealth.Config{Delta: 0.3, MinOverlap: 3, K: 8}, partition.Options{Partitions: n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { coord.Close() })
+		ds, err := dataset.Generate(dataset.Config{Seed: 37, Users: 80, Items: 150, RatingsPerUser: 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range ds.Profiles.IDs() {
+			prof, err := ds.Profiles.Get(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			problems := make([]string, len(prof.Problems))
+			for i, c := range prof.Problems {
+				problems[i] = string(c)
+			}
+			err = coord.AddPatient(fairhealth.Patient{
+				ID: string(prof.ID), Age: prof.Age, Gender: string(prof.Gender),
+				Problems: problems, Medications: prof.Medications,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, tr := range ds.Ratings.Triples() {
+			if err := coord.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		users := coord.Patients()
+		return coord, users[:4], users[len(users)-1]
+	}
+	for _, n := range []int{1, 2, 4} {
+		warm, group, _ := build(b, n)
+		q := fairhealth.GroupQuery{Members: group, Z: 6}
+		if _, err := warm.Serve(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("partitions=%d/warm-group-cache", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := warm.Serve(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cold, coldGroup, writer := build(b, n)
+		cq := fairhealth.GroupQuery{Members: coldGroup, Z: 6}
+		if _, err := cold.Serve(context.Background(), cq); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("partitions=%d/cold-after-write", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := cold.AddRating(writer, fmt.Sprintf("doc%04d", i%50), float64(1+i%5)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cold.Serve(context.Background(), cq); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -27,7 +27,12 @@
 // bit-identical prefiltered peer scan, queries with "approx":true
 // restrict peer discovery to the query user's cluster neighborhood,
 // and /v1/stats gains an "index" section (clusters, inertia,
-// reassignments, rebuilds, last-rebuild age). SIGINT/SIGTERM shut
+// reassignments, rebuilds, last-rebuild age). -partitions=N serves
+// from N consistent-hash partitions behind a fan-out/merge coordinator
+// (answers stay bit-identical to unpartitioned serving; /v1/stats
+// gains a "partitions" section with per-partition ownership, replay
+// lag, and fan-out counters; composes with -state, where the shared
+// WAL bootstraps every partition by snapshot+replay). SIGINT/SIGTERM shut
 // down gracefully: the listener closes, in-flight requests drain for
 // up to -drain-timeout, then the system is closed cleanly.
 package main
@@ -47,7 +52,16 @@ import (
 	"fairhealth"
 	"fairhealth/internal/dataset"
 	"fairhealth/internal/httpapi"
+	"fairhealth/internal/partition"
 )
+
+// backend is what main needs from the serving engine: the HTTP surface
+// plus a clean shutdown. Both fairhealth.System and the partitioned
+// Coordinator satisfy it.
+type backend interface {
+	httpapi.Backend
+	Close() error
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -66,6 +80,7 @@ func main() {
 	cacheAdaptEvery := flag.Duration("cache-adapt-every", 0, "cache TTL adaptation period (0 = 10s default when adaptation is enabled)")
 	candidateIndex := flag.Bool("candidate-index", false, "enable the cluster peer-candidate index (exact-mode prefilter + opt-in approx queries)")
 	candidateK := flag.Int("candidate-k", 0, "cluster count for the candidate index (0 = √n; needs -candidate-index)")
+	partitions := flag.Int("partitions", 0, "serve from N consistent-hash partitions behind a fan-out/merge coordinator (0 or 1 = unpartitioned)")
 	state := flag.String("state", "", "state directory for durable storage (empty = in-memory)")
 	timeout := flag.Duration("timeout", httpapi.DefaultTimeout, "per-request timeout (negative disables)")
 	maxInFlight := flag.Int("max-inflight", httpapi.DefaultMaxInFlight, "max concurrently served requests, 429 beyond (negative disables)")
@@ -81,15 +96,31 @@ func main() {
 		CacheTTLMin: *cacheTTLMin, CacheTTLMax: *cacheTTLMax, CacheAdaptEvery: *cacheAdaptEvery,
 		CandidateIndex: *candidateIndex, CandidateK: *candidateK,
 	}
-	var sys *fairhealth.System
+	var sys backend
 	var err error
-	if *state != "" {
-		sys, err = fairhealth.NewPersistent(cfg, *state)
+	switch {
+	case *partitions > 1:
+		cfg.Partitions = *partitions
+		var coord *partition.Coordinator
+		if *state != "" {
+			coord, err = partition.NewPersistent(cfg, partition.Options{}, *state)
+		} else {
+			coord, err = partition.New(cfg, partition.Options{})
+		}
 		if err == nil {
-			st := sys.Stats()
+			st := coord.Stats()
+			logger.Printf("partitioned serving: %d partitions; %d ratings, %d patients", coord.PartitionCount(), st.Ratings, st.Patients)
+		}
+		sys = coord
+	case *state != "":
+		var s *fairhealth.System
+		s, err = fairhealth.NewPersistent(cfg, *state)
+		if err == nil {
+			st := s.Stats()
 			logger.Printf("restored state from %s: %d ratings, %d patients", *state, st.Ratings, st.Patients)
 		}
-	} else {
+		sys = s
+	default:
 		sys, err = fairhealth.New(cfg)
 	}
 	if err != nil {

@@ -34,15 +34,27 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"fairhealth"
+	"fairhealth/internal/candidates"
 	"fairhealth/internal/dataset"
 	"fairhealth/internal/loadtest"
+	"fairhealth/internal/partition"
 )
+
+// engine is what loadgen needs from the in-process target beyond the
+// loadtest surface: seeding, stats, and shutdown.
+type engine interface {
+	loadtest.Engine
+	Stats() fairhealth.Stats
+	CandidateIndexStats() (candidates.Stats, bool)
+	Close() error
+}
 
 func main() {
 	target := flag.String("target", "inproc", `"inproc" or a live iphrd base URL (http://host:port)`)
@@ -75,6 +87,7 @@ func main() {
 	cacheAdaptEvery := flag.Duration("cache-adapt-every", 0, "inproc: adaptation period (0 = 10s default when enabled)")
 	candidateIndex := flag.Bool("candidate-index", false, "inproc: enable the cluster peer-candidate index")
 	candidateK := flag.Int("candidate-k", 0, "inproc: cluster count for the candidate index (0 = √n; needs -candidate-index)")
+	partitions := flag.Int("partitions", 0, "inproc: serve from N consistent-hash partitions behind the fan-out coordinator; the report gains a per-partition latency section (0 or 1 = unpartitioned)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "loadgen ", log.LstdFlags)
@@ -135,19 +148,31 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	var sys *fairhealth.System
+	var sys engine
 	if tgt == nil { // inproc
 		if *approxEvery > 0 && !*candidateIndex {
 			logger.Fatal("-approx-every needs -candidate-index for the in-process target")
 		}
-		sys, err = fairhealth.New(fairhealth.Config{
+		sysCfg := fairhealth.Config{
 			Delta: *delta, Scorer: *scorer,
 			CacheTTL: *cacheTTL, CacheMaxEntries: *cacheMaxEntries, CacheMaxCost: *cacheMaxCost,
 			CacheTTLMin: *cacheTTLMin, CacheTTLMax: *cacheTTLMax, CacheAdaptEvery: *cacheAdaptEvery,
 			CandidateIndex: *candidateIndex, CandidateK: *candidateK,
-		})
-		if err != nil {
-			logger.Fatalf("system: %v", err)
+		}
+		if *partitions > 1 {
+			sysCfg.Partitions = *partitions
+			coord, cerr := partition.New(sysCfg, partition.Options{})
+			if cerr != nil {
+				logger.Fatalf("coordinator: %v", cerr)
+			}
+			cfg.PartitionOf = coord.Owner
+			logger.Printf("partitioned serving: %d partitions", coord.PartitionCount())
+			sys = coord
+		} else {
+			sys, err = fairhealth.New(sysCfg)
+			if err != nil {
+				logger.Fatalf("system: %v", err)
+			}
 		}
 		defer sys.Close()
 		start := time.Now()
@@ -205,6 +230,23 @@ func main() {
 		}
 		logger.Printf("%-14s %7d ops %8.1f rps  p50 %s  p95 %s  p99 %s  max %s  errors %d",
 			cl, c.Count, c.RPS, ms(c.P50Ns), ms(c.P95Ns), ms(c.P99Ns), ms(c.MaxNs), c.Errors)
+	}
+	if len(rep.Partitions) > 0 {
+		ids := make([]string, 0, len(rep.Partitions))
+		for id := range rep.Partitions {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			for _, cl := range loadtest.Classes {
+				c, ok := rep.Partitions[id][string(cl)]
+				if !ok {
+					continue
+				}
+				logger.Printf("p%-2s %-10s %7d ops %8.1f rps  p50 %s  p95 %s  p99 %s  errors %d",
+					id, cl, c.Count, c.RPS, ms(c.P50Ns), ms(c.P95Ns), ms(c.P99Ns), c.Errors)
+			}
+		}
 	}
 	if rep.TotalErrors > 0 {
 		logger.Printf("WARNING: %d/%d operations failed", rep.TotalErrors, rep.TotalOps)

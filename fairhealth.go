@@ -249,6 +249,14 @@ type Config struct {
 	// ⌈√n⌉ at build time. Negative, or non-zero without
 	// CandidateIndex, is ErrBadConfig.
 	CandidateK int
+	// Partitions requests partitioned serving: users are consistent-
+	// hashed across this many in-process partitions behind a fan-out /
+	// merge coordinator (internal/partition, surfaced as iphrd
+	// -partitions). The System itself ignores the field — a single
+	// System IS one partition — it lives here so one Config describes a
+	// deployment end to end. 0 or 1 means unpartitioned; negative is
+	// ErrBadConfig.
+	Partitions int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -323,6 +331,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.CandidateK > 0 && !c.CandidateIndex {
 		return c, fmt.Errorf("%w: candidate k set without CandidateIndex", ErrBadConfig)
+	}
+	if c.Partitions < 0 {
+		return c, fmt.Errorf("%w: partitions %d must be ≥ 0 (0 means unpartitioned)", ErrBadConfig, c.Partitions)
 	}
 	return c, nil
 }
@@ -445,10 +456,12 @@ type System struct {
 	// the adapted similarity lease across full invalidations (the memo
 	// table is rebuilt on profile writes, and a rebuild must not reset
 	// the lease the advisor converged on). adaptStop ends the
-	// background loop; Close fires it once.
+	// background loop; Close fires it once and waits on adaptDone so
+	// no adaptation tick can race the cache teardown that follows.
 	adaptMu   sync.Mutex
 	adaptPrev [3]ttlWindow
 	adaptStop chan struct{}
+	adaptDone chan struct{}
 	stopAdapt sync.Once
 	simTTL    atomic.Int64
 }
@@ -518,6 +531,7 @@ func NewWithOntology(cfg Config, ont *ontology.Ontology) (*System, error) {
 	sys.ratings.OnWrite(func(u model.UserID) { sys.invalidateUsers(u) })
 	if c.CacheTTLMin > 0 && c.CacheTTLMax > 0 {
 		sys.adaptStop = make(chan struct{})
+		sys.adaptDone = make(chan struct{})
 		go sys.adaptLoop(c.CacheAdaptEvery)
 	}
 	return sys, nil
@@ -567,6 +581,25 @@ func NewPersistent(cfg Config, dir string) (*System, error) {
 	return sys, nil
 }
 
+// ApplyRecord applies one WAL record to the in-memory state — the
+// replication seam partitioned serving uses to keep every replica a
+// deterministic function of the shared log. Rating records route their
+// touched user down the cache layers through the store's write
+// observer; patient records flush globally, exactly like AddPatient.
+// The record is applied verbatim (no WAL append): the caller owns the
+// log.
+func (s *System) ApplyRecord(rec wal.Record) error {
+	if err := s.applyRecord(rec); err != nil {
+		return err
+	}
+	if rec.Op == wal.OpPatient {
+		// Profile text and problem codes feed every pairwise measure —
+		// the same global blast radius as AddPatient.
+		s.invalidateAll()
+	}
+	return nil
+}
+
 func (s *System) applyRecord(rec wal.Record) error {
 	switch rec.Op {
 	case wal.OpRate:
@@ -589,13 +622,26 @@ func (s *System) applyRecord(rec wal.Record) error {
 	}
 }
 
-// Close stops the cache janitor goroutines and releases the
-// persistence log (the latter a no-op for in-memory systems). The
-// caches themselves remain usable — only their background expiry
-// sweeps stop. Required for TTL'd systems; harmless otherwise.
+// Close stops the background loops and cache janitor goroutines and
+// releases the persistence log (the latter a no-op for in-memory
+// systems). The caches themselves remain usable — only their
+// background work stops. Required for TTL'd systems; harmless
+// otherwise, and safe to call more than once.
+//
+// Teardown order matters: the loops that MUTATE caches stop first —
+// the TTL-adaptation loop is signalled and awaited (a mid-tick SetTTL
+// racing teardown was possible when Close only signalled it), and the
+// candidate index waits out any background rebuild — and only then are
+// the cache layers and providers closed. Partitioned serving closes N
+// systems concurrently, which is exactly the schedule that surfaced
+// the old ordering.
 func (s *System) Close() error {
 	if s.adaptStop != nil {
 		s.stopAdapt.Do(func() { close(s.adaptStop) })
+		<-s.adaptDone
+	}
+	if s.candIdx != nil {
+		s.candIdx.Close()
 	}
 	s.mu.Lock()
 	if s.simCache != nil {
@@ -609,9 +655,6 @@ func (s *System) Close() error {
 		p.Close()
 	}
 	s.provMu.Unlock()
-	if s.candIdx != nil {
-		s.candIdx.Close()
-	}
 	if s.walLog == nil {
 		return nil
 	}
@@ -661,6 +704,11 @@ func (s *System) AddRating(user, item string, value float64) error {
 	// The store's write observer routes the touched user down the cache
 	// layers — no global invalidation.
 	return s.ratings.Add(u, i, v)
+}
+
+// HasRating reports whether user has rated item.
+func (s *System) HasRating(user, item string) bool {
+	return s.ratings.HasRated(model.UserID(user), model.ItemID(item))
 }
 
 // RemoveRating deletes a rating.
@@ -716,6 +764,18 @@ func (s *System) AddPatient(p Patient) error {
 	// semantic measures for every pair, so the blast radius is global.
 	s.invalidateAll()
 	return nil
+}
+
+// PatientProfile converts and validates a Patient into its stored
+// profile form without registering it — the write-path seam a
+// partition coordinator uses to validate a profile once, append it to
+// the shared WAL, and then replicate the record to every partition.
+func (s *System) PatientProfile(p Patient) (*phr.Profile, error) {
+	prof := toProfile(p)
+	if err := prof.Validate(s.ont); err != nil {
+		return nil, err
+	}
+	return prof, nil
 }
 
 // Patient returns the stored profile for id.
@@ -880,8 +940,10 @@ func (s *System) simLease() time.Duration {
 	return s.cfg.CacheTTL
 }
 
-// adaptLoop drives TTL adaptation until Close.
+// adaptLoop drives TTL adaptation until Close. adaptDone signals loop
+// exit so Close can sequence cache teardown after the final tick.
 func (s *System) adaptLoop(every time.Duration) {
+	defer close(s.adaptDone)
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -1371,6 +1433,38 @@ func (s *System) SimilarityBetween(a, b string) (sim float64, ok bool, err error
 // least one rating or a registered profile.
 func (s *System) knownUser(u model.UserID) bool {
 	return s.ratings.NumRatedBy(u) > 0 || s.profiles.Has(u)
+}
+
+// KnownUser reports whether the system has ever seen the user (at
+// least one rating or a registered profile) — the membership check a
+// partition coordinator runs on each member's owning partition before
+// fanning a group query out.
+func (s *System) KnownUser(user string) bool {
+	return s.knownUser(model.UserID(user))
+}
+
+// MemberRelevances computes one member's candidate relevance scores
+// under the named scorer ("" uses the configured default) — exactly
+// the per-member unit of work scoring.Assemble fans out, exposed so a
+// partition coordinator can route each member's assembly to the
+// partition that owns (and caches for) that user. approx follows the
+// AssembleApprox contract: providers without an approx path answer
+// through their exact one. Scores are bit-identical to the ones an
+// unpartitioned Serve would assemble.
+func (s *System) MemberRelevances(scorer, user string, approx bool) (map[model.ItemID]float64, error) {
+	if scorer == "" {
+		scorer = s.cfg.Scorer
+	}
+	prov, err := s.scorerProvider(scorer)
+	if err != nil {
+		return nil, err
+	}
+	if approx {
+		if ap, ok := prov.(scoring.ApproxRelevancer); ok {
+			return ap.RelevancesApprox(model.UserID(user))
+		}
+	}
+	return prov.Relevances(model.UserID(user))
 }
 
 // Peers returns the user's peer set P_u (Def. 1), best-first. A user

@@ -60,6 +60,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -71,11 +72,49 @@ import (
 
 	"fairhealth"
 	"fairhealth/internal/candidates"
+	"fairhealth/internal/partition"
 )
 
-// Server wires a fairhealth.System to an http.Handler.
+// Backend is the serving surface the HTTP layer runs against — exactly
+// the methods the handlers call. *fairhealth.System implements it, and
+// so does *partition.Coordinator, so one Server binary serves either an
+// unpartitioned system or a partitioned deployment unchanged.
+type Backend interface {
+	Stats() fairhealth.Stats
+	CacheStats() fairhealth.CacheStats
+	CandidateIndexStats() (candidates.Stats, bool)
+	AddPatient(p fairhealth.Patient) error
+	Patients() []string
+	Patient(id string) (fairhealth.Patient, error)
+	AddRating(user, item string, value float64) error
+	AddDocument(id, title, body string) error
+	SearchPersonalized(user, query string, k int, boost float64) ([]fairhealth.SearchResult, error)
+	SearchDocuments(query string, k int) []fairhealth.SearchResult
+	ProfileCorrespondences(a, b string) ([]fairhealth.Correspondence, error)
+	Recommend(user string, k int) ([]fairhealth.Recommendation, error)
+	Peers(user string) ([]fairhealth.Peer, error)
+	Serve(ctx context.Context, q fairhealth.GroupQuery) (*fairhealth.GroupResult, error)
+	ServeBatch(ctx context.Context, queries []fairhealth.GroupQuery) ([]fairhealth.BatchGroupResult, error)
+	ServeStream(ctx context.Context, queries []fairhealth.GroupQuery, fn func(fairhealth.BatchGroupResult) error) error
+}
+
+// partitionStatser is the optional Backend extension a partitioned
+// deployment implements; when present, /v1/stats grows a partitions
+// section.
+type partitionStatser interface {
+	PartitionStats() []partition.Stats
+}
+
+var (
+	_ Backend          = (*fairhealth.System)(nil)
+	_ Backend          = (*partition.Coordinator)(nil)
+	_ partitionStatser = (*partition.Coordinator)(nil)
+)
+
+// Server wires a Backend (a fairhealth.System or a partition
+// Coordinator) to an http.Handler.
 type Server struct {
-	sys     *fairhealth.System
+	sys     Backend
 	mux     *http.ServeMux
 	log     *log.Logger
 	opts    Options
@@ -86,12 +125,12 @@ type Server struct {
 }
 
 // New builds a Server with default Options. logger may be nil.
-func New(sys *fairhealth.System, logger *log.Logger) *Server {
+func New(sys Backend, logger *log.Logger) *Server {
 	return NewWithOptions(sys, Options{Logger: logger})
 }
 
 // NewWithOptions builds a Server with explicit middleware options.
-func NewWithOptions(sys *fairhealth.System, opts Options) *Server {
+func NewWithOptions(sys Backend, opts Options) *Server {
 	if opts.Logger == nil {
 		opts.Logger = log.Default()
 	}
@@ -198,6 +237,10 @@ type StatsResponse struct {
 	// Server is the limiter section; absent when the in-flight
 	// limiter is disabled.
 	Server *ServerStats `json:"server,omitempty"`
+	// Partitions is the per-partition section (owned users, ring
+	// share, replay lag, fan-out counts); absent when the backend is
+	// an unpartitioned System.
+	Partitions []partition.Stats `json:"partitions,omitempty"`
 }
 
 // GroupQueryBody mirrors fairhealth.GroupQuery on the wire — the body
@@ -405,6 +448,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.lim != nil {
 		resp.Server = s.lim.snapshot()
+	}
+	if ps, ok := s.sys.(partitionStatser); ok {
+		resp.Partitions = ps.PartitionStats()
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

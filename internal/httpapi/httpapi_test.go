@@ -24,7 +24,7 @@ func newTestServer(t *testing.T) (*Server, *fairhealth.System) {
 	return NewWithOptions(sys, Options{Logger: log.New(io.Discard, "", 0)}), sys
 }
 
-func seed(t *testing.T, sys *fairhealth.System) {
+func seed(t *testing.T, sys Backend) {
 	t.Helper()
 	for _, r := range []struct {
 		u, i string

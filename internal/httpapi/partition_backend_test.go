@@ -1,0 +1,76 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"testing"
+
+	"fairhealth"
+	"fairhealth/internal/partition"
+)
+
+// newPartitionedServer serves a partition.Coordinator through the same
+// HTTP surface an unpartitioned System uses.
+func newPartitionedServer(t *testing.T, n int) (*Server, *partition.Coordinator) {
+	t.Helper()
+	coord, err := partition.New(fairhealth.Config{MinOverlap: 1, K: 5}, partition.Options{Partitions: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	return NewWithOptions(coord, Options{Logger: log.New(io.Discard, "", 0)}), coord
+}
+
+func TestPartitionedBackendServes(t *testing.T) {
+	srv, coord := newPartitionedServer(t, 3)
+	seed(t, coord)
+
+	// The group endpoint works unchanged over the fan-out path.
+	rec := do(t, srv, http.MethodPost, "/v1/groups/recommend", map[string]any{
+		"members": []string{"p1", "p2"}, "z": 2,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recommend over coordinator: %d %s", rec.Code, rec.Body)
+	}
+
+	// /v1/stats grows the partitions section.
+	rec = do(t, srv, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", rec.Code, rec.Body)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Partitions) != 3 {
+		t.Fatalf("stats partitions section has %d rows, want 3: %s", len(resp.Partitions), rec.Body)
+	}
+	var owned int
+	var share float64
+	for _, p := range resp.Partitions {
+		if !p.Live {
+			t.Fatalf("partition %d reported dead", p.ID)
+		}
+		owned += p.OwnedUsers
+		share += p.RingShare
+	}
+	if owned != 4 { // the fixture's raters: g1, g2, p1, p2
+		t.Fatalf("owned users sum %d, want 4", owned)
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("ring shares sum to %v", share)
+	}
+
+	// An unpartitioned System must NOT emit the section.
+	plain, _ := newTestServer(t)
+	rec = do(t, plain, http.MethodGet, "/v1/stats", nil)
+	var plainResp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &plainResp); err != nil {
+		t.Fatal(err)
+	}
+	if plainResp.Partitions != nil {
+		t.Fatalf("unpartitioned stats grew a partitions section: %s", rec.Body)
+	}
+}

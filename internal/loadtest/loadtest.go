@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -123,6 +124,13 @@ type Config struct {
 	// queries only; the target system must enable its candidate index
 	// when this is set, or the approx queries fail validation.
 	ApproxEvery int
+	// PartitionOf, when set, labels routable operations with the
+	// partition owning their routing user (a single group query's first
+	// member, a rating write's user) and the report gains a
+	// per-partition latency-class section. Batch/stream queries span
+	// partitions and profile writes broadcast, so those classes are not
+	// labeled. Must be safe for concurrent use (a pure ring lookup is).
+	PartitionOf func(user string) int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -261,20 +269,58 @@ type Report struct {
 	// the caller when the target system exposes one (loadgen inproc
 	// with -candidate-index); absent otherwise.
 	Index any `json:"index,omitempty"`
+	// Partitions maps partition id → class → latency summary for the
+	// routable classes (group_single, rating_write); present only when
+	// Config.PartitionOf is set.
+	Partitions map[string]map[string]ClassReport `json:"partitions,omitempty"`
+}
+
+// routingUser returns the user whose partition owns op, or "" for
+// classes that span partitions (batch/stream) or broadcast (profile).
+func (op Op) routingUser() string {
+	switch op.Class {
+	case ClassSingle:
+		if len(op.Queries) > 0 && len(op.Queries[0].Members) > 0 {
+			return op.Queries[0].Members[0]
+		}
+	case ClassRate:
+		return op.User
+	}
+	return ""
+}
+
+// partClass keys one partition's per-class tallies.
+type partClass struct {
+	part int
+	cl   Class
 }
 
 // workerStats is one worker's private tallies, merged after the run.
 type workerStats struct {
-	hists  map[Class]*hdr.Histogram
-	errors map[Class]uint64
+	hists    map[Class]*hdr.Histogram
+	errors   map[Class]uint64
+	parts    map[partClass]*hdr.Histogram
+	partErrs map[partClass]uint64
 }
 
 func newWorkerStats() *workerStats {
-	ws := &workerStats{hists: make(map[Class]*hdr.Histogram), errors: make(map[Class]uint64)}
+	ws := &workerStats{
+		hists: make(map[Class]*hdr.Histogram), errors: make(map[Class]uint64),
+		parts: make(map[partClass]*hdr.Histogram), partErrs: make(map[partClass]uint64),
+	}
 	for _, cl := range Classes {
 		ws.hists[cl] = hdr.New()
 	}
 	return ws
+}
+
+func (ws *workerStats) partHist(key partClass) *hdr.Histogram {
+	h, ok := ws.parts[key]
+	if !ok {
+		h = hdr.New()
+		ws.parts[key] = h
+	}
+	return h
 }
 
 // Run executes the workload and reports per-class latency summaries.
@@ -322,9 +368,19 @@ func Run(ctx context.Context, tgt Target, cfg Config) (Report, error) {
 					// its latency measures the cutoff, not the system.
 					return
 				}
-				ws.hists[op.Class].Record(time.Since(t0).Nanoseconds())
+				elapsed := time.Since(t0).Nanoseconds()
+				ws.hists[op.Class].Record(elapsed)
 				if err != nil {
 					ws.errors[op.Class]++
+				}
+				if cfg.PartitionOf != nil {
+					if u := op.routingUser(); u != "" {
+						key := partClass{part: cfg.PartitionOf(u), cl: op.Class}
+						ws.partHist(key).Record(elapsed)
+						if err != nil {
+							ws.partErrs[key]++
+						}
+					}
 				}
 			}
 		}(w, budget, ws)
@@ -337,6 +393,10 @@ func Run(ctx context.Context, tgt Target, cfg Config) (Report, error) {
 		for _, cl := range Classes {
 			merged.hists[cl].Merge(ws.hists[cl])
 			merged.errors[cl] += ws.errors[cl]
+		}
+		for key, h := range ws.parts {
+			merged.partHist(key).Merge(h)
+			merged.partErrs[key] += ws.partErrs[key]
 		}
 	}
 	rep := Report{
@@ -363,6 +423,28 @@ func Run(ctx context.Context, tgt Target, cfg Config) (Report, error) {
 		}
 		rep.TotalOps += h.Count()
 		rep.TotalErrors += merged.errors[cl]
+	}
+	if len(merged.parts) > 0 {
+		rep.Partitions = make(map[string]map[string]ClassReport)
+		for key, h := range merged.parts {
+			if h.Count() == 0 && merged.partErrs[key] == 0 {
+				continue
+			}
+			id := strconv.Itoa(key.part)
+			if rep.Partitions[id] == nil {
+				rep.Partitions[id] = make(map[string]ClassReport)
+			}
+			rep.Partitions[id][string(key.cl)] = ClassReport{
+				Count:  h.Count(),
+				Errors: merged.partErrs[key],
+				RPS:    float64(h.Count()) / elapsed.Seconds(),
+				P50Ns:  h.Quantile(0.50),
+				P95Ns:  h.Quantile(0.95),
+				P99Ns:  h.Quantile(0.99),
+				MaxNs:  h.Max(),
+				MeanNs: h.Mean(),
+			}
+		}
 	}
 	rep.RPS = float64(rep.TotalOps) / elapsed.Seconds()
 	if rep.TotalOps == 0 {

@@ -14,11 +14,22 @@ import (
 	"fairhealth"
 )
 
-// InProc drives a fairhealth.System directly — no HTTP stack, so the
+// Engine is the serving surface InProc drives. *fairhealth.System and
+// *partition.Coordinator both implement it, so the same harness loads
+// an unpartitioned system or a partitioned deployment.
+type Engine interface {
+	Serve(ctx context.Context, q fairhealth.GroupQuery) (*fairhealth.GroupResult, error)
+	ServeBatch(ctx context.Context, queries []fairhealth.GroupQuery) ([]fairhealth.BatchGroupResult, error)
+	ServeStream(ctx context.Context, queries []fairhealth.GroupQuery, fn func(fairhealth.BatchGroupResult) error) error
+	AddRating(user, item string, value float64) error
+	AddPatient(p fairhealth.Patient) error
+}
+
+// InProc drives an Engine directly — no HTTP stack, so the
 // numbers isolate the recommender (scoring, caching, invalidation)
 // from transport cost. This is the CI load-smoke target.
 type InProc struct {
-	Sys *fairhealth.System
+	Sys Engine
 }
 
 // Do implements Target.

@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"sync"
+
+	"fairhealth/internal/wal"
+)
+
+// Journal is the in-memory WAL tail the coordinator ships to lagging
+// partitions: every applied record is appended, and a detached
+// partition that rejoins catches up by replaying Since(appliedSeq)
+// instead of rebuilding from the full log. Retention is bounded
+// (oldest records are dropped past Retain); a partition whose gap has
+// been dropped falls back to a filtered replay of the on-disk log —
+// or, for in-memory coordinators with unbounded retention, never
+// falls behind the journal at all.
+type Journal struct {
+	mu     sync.Mutex
+	recs   []wal.Record
+	retain int // 0 = unbounded
+	// base is the sequence number the journal's coverage starts AFTER:
+	// Since(seq) can only vouch for seq ≥ base when nothing is
+	// retained. A coordinator restored from an existing log rebases to
+	// the log's last seq — the journal never saw the records below it.
+	base uint64
+}
+
+// NewJournal builds a journal retaining at most retain records
+// (0 = unbounded).
+func NewJournal(retain int) *Journal {
+	return &Journal{retain: retain}
+}
+
+// Append records one applied WAL record, evicting the oldest entries
+// beyond the retention bound.
+func (j *Journal) Append(rec wal.Record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs = append(j.recs, rec)
+	if j.retain > 0 && len(j.recs) > j.retain {
+		drop := len(j.recs) - j.retain
+		// Copy down rather than re-slicing so dropped records are
+		// actually released.
+		j.recs = append(j.recs[:0], j.recs[drop:]...)
+	}
+}
+
+// Since returns copies of the retained records with Seq > seq, in log
+// order. ok is false when the journal no longer retains the full gap
+// (the oldest retained record is beyond seq+1), in which case the
+// caller must catch up from the log file instead.
+func (j *Journal) Since(seq uint64) (recs []wal.Record, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.recs) == 0 {
+		// Nothing retained: the journal can vouch only for callers
+		// already at or past its base.
+		return nil, seq >= j.base
+	}
+	if j.recs[0].Seq > seq+1 {
+		return nil, false
+	}
+	for _, r := range j.recs {
+		if r.Seq > seq {
+			recs = append(recs, r)
+		}
+	}
+	return recs, true
+}
+
+// Len returns the number of retained records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// OldestSeq returns the sequence number of the oldest retained record
+// (0 when empty).
+func (j *Journal) OldestSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.recs) == 0 {
+		return 0
+	}
+	return j.recs[0].Seq
+}
+
+// Rebase drops every retained record and restarts coverage after seq
+// — called when the coordinator opens an existing log (the journal
+// never saw its records) and after compaction (which renumbers
+// sequences and invalidates the tail).
+func (j *Journal) Rebase(seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs = nil
+	j.base = seq
+}

@@ -1,0 +1,72 @@
+package partition_test
+
+import (
+	"testing"
+
+	"fairhealth/internal/partition"
+	"fairhealth/internal/wal"
+)
+
+func rec(seq uint64) wal.Record {
+	return wal.Record{Seq: seq, Op: wal.OpRate, User: "u", Item: "i", Value: 3}
+}
+
+func TestJournalSinceCoversTail(t *testing.T) {
+	j := partition.NewJournal(0)
+	for s := uint64(1); s <= 10; s++ {
+		j.Append(rec(s))
+	}
+	got, ok := j.Since(7)
+	if !ok || len(got) != 3 || got[0].Seq != 8 || got[2].Seq != 10 {
+		t.Fatalf("Since(7) = %v records, ok=%v", len(got), ok)
+	}
+	got, ok = j.Since(10)
+	if !ok || len(got) != 0 {
+		t.Fatalf("Since(10) = %v records, ok=%v; want empty and covered", len(got), ok)
+	}
+	got, ok = j.Since(0)
+	if !ok || len(got) != 10 {
+		t.Fatalf("Since(0) = %v records, ok=%v; want all 10", len(got), ok)
+	}
+}
+
+func TestJournalRetentionDropsFront(t *testing.T) {
+	j := partition.NewJournal(4)
+	for s := uint64(1); s <= 10; s++ {
+		j.Append(rec(s))
+	}
+	if j.Len() != 4 || j.OldestSeq() != 7 {
+		t.Fatalf("len=%d oldest=%d, want 4 and 7", j.Len(), j.OldestSeq())
+	}
+	// The gap below the retained window is not covered…
+	if _, ok := j.Since(3); ok {
+		t.Fatal("Since(3) claimed coverage past the retention bound")
+	}
+	// …but the boundary (seq+1 == oldest retained) still is.
+	got, ok := j.Since(6)
+	if !ok || len(got) != 4 {
+		t.Fatalf("Since(6) = %v records, ok=%v; want the 4 retained", len(got), ok)
+	}
+}
+
+func TestJournalEmptyCoversNothingBelowBase(t *testing.T) {
+	j := partition.NewJournal(0)
+	// A fresh journal at base 0 covers seq 0 (nothing was ever written).
+	if _, ok := j.Since(0); !ok {
+		t.Fatal("fresh journal should cover seq 0")
+	}
+	// After rebasing to a restored log's last seq, an empty journal
+	// must NOT vouch for partitions below that seq.
+	j.Rebase(42)
+	if _, ok := j.Since(10); ok {
+		t.Fatal("rebased empty journal claimed coverage below its base")
+	}
+	if _, ok := j.Since(42); !ok {
+		t.Fatal("rebased journal should cover its own base")
+	}
+	j.Append(rec(43))
+	got, ok := j.Since(42)
+	if !ok || len(got) != 1 {
+		t.Fatalf("Since(42) after append = %v records, ok=%v", len(got), ok)
+	}
+}

@@ -15,6 +15,14 @@ func FuzzReplay(f *testing.F) {
 	f.Add(`{"seq":1,"op":"rate"}` + "\n" + `{"torn`)
 	f.Add("")
 	f.Add("\n\n\n")
+	// ReplayIf seeds: filtered replay must agree with Replay on the
+	// same bytes, so seed the corpus with header edge cases too — seq
+	// gaps, zero seqs, big patient payloads worth skipping, and a
+	// header that parses while the full record is the torn tail.
+	f.Add(`{"seq":7,"op":"rate","user":"a","item":"d","value":1}` + "\n" +
+		`{"seq":9,"op":"rate","user":"b","item":"d","value":2}` + "\n")
+	f.Add(`{"seq":0,"op":"patient","patient":{"id":"p","problems":["38341003","73211009"],"medications":["m1","m2"]}}` + "\n")
+	f.Add(`{"seq":2,"op":"unrate","user":"u","item":"d"}` + "\n" + `{"seq":3,"op":"patient","patient":{"id"`)
 	f.Fuzz(func(t *testing.T, input string) {
 		n, err := Replay(strings.NewReader(input), func(rec Record) error {
 			_ = rec.Op
@@ -26,6 +34,35 @@ func FuzzReplay(f *testing.F) {
 		})
 		if err == nil && n < 0 {
 			t.Fatal("negative record count")
+		}
+
+		// ReplayIf with a keep-everything predicate must behave exactly
+		// like Replay on the same input.
+		all, skippedAll, errAll := ReplayIf(strings.NewReader(input),
+			func(RecordHeader) bool { return true },
+			func(rec Record) error {
+				_ = rec.Op
+				return nil
+			})
+		if all != n || skippedAll != 0 {
+			t.Fatalf("ReplayIf(keep all) applied %d skipped %d; Replay applied %d", all, skippedAll, n)
+		}
+		if (err == nil) != (errAll == nil) {
+			t.Fatalf("ReplayIf error %v disagrees with Replay error %v", errAll, err)
+		}
+
+		// A filtering predicate partitions the same record set: applied
+		// + skipped must equal the unfiltered count, and every record
+		// that reaches apply must satisfy the predicate.
+		keep := func(h RecordHeader) bool { return h.Seq%2 == 1 }
+		applied, skipped, errOdd := ReplayIf(strings.NewReader(input), keep, func(rec Record) error {
+			if rec.Seq%2 != 1 {
+				t.Fatalf("record seq %d leaked through the predicate", rec.Seq)
+			}
+			return nil
+		})
+		if errOdd == nil && err == nil && applied+skipped != n {
+			t.Fatalf("filtered replay saw %d+%d records, unfiltered saw %d", applied, skipped, n)
 		}
 	})
 }

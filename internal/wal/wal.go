@@ -214,6 +214,75 @@ func Replay(r io.Reader, apply func(Record) error) (int, error) {
 	return applied, nil
 }
 
+// RecordHeader is the cheap routing prefix of a Record: enough to
+// decide whether a bootstrap or catch-up pass wants the record at all,
+// without decoding the payload (patient records carry a full PHR
+// profile, which dominates unmarshal cost).
+type RecordHeader struct {
+	Seq  uint64       `json:"seq"`
+	Op   string       `json:"op"`
+	User model.UserID `json:"user,omitempty"`
+}
+
+// ReplayIf streams records from r in order, decoding only the header
+// of each line first and calling apply only for records where
+// keep(header) is true — skipped records are never fully parsed. Torn
+// and corrupt records follow the same rules as Replay: a torn final
+// line is ignored, malformed records before the end return
+// ErrBadRecord. It returns the number of applied and skipped records.
+func ReplayIf(r io.Reader, keep func(RecordHeader) bool, apply func(Record) error) (applied, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			return applied, skipped, pendingErr
+		}
+		// json.Unmarshal validates the whole value even when decoding
+		// into the thin header struct, so torn-tail detection is as
+		// strict as a full parse.
+		var hdr RecordHeader
+		if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+			pendingErr = fmt.Errorf("%w: line %d: %v", ErrBadRecord, applied+skipped+1, err)
+			continue
+		}
+		if !keep(hdr) {
+			skipped++
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			pendingErr = fmt.Errorf("%w: line %d: %v", ErrBadRecord, applied+skipped+1, err)
+			continue
+		}
+		if err := apply(rec); err != nil {
+			return applied, skipped, fmt.Errorf("wal: apply seq %d: %w", rec.Seq, err)
+		}
+		applied++
+	}
+	if err := sc.Err(); err != nil {
+		return applied, skipped, fmt.Errorf("wal: replay scan: %w", err)
+	}
+	return applied, skipped, nil
+}
+
+// ReplayFileIf is ReplayIf over the log at path.
+func ReplayFileIf(path string, keep func(RecordHeader) bool, apply func(Record) error) (applied, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open for replay: %w", err)
+	}
+	defer f.Close()
+	return ReplayIf(f, keep, apply)
+}
+
+// SeqAfter returns a ReplayIf predicate keeping records with a
+// sequence number strictly greater than seq — the tail a lagging
+// replica still needs.
+func SeqAfter(seq uint64) func(RecordHeader) bool {
+	return func(h RecordHeader) bool { return h.Seq > seq }
+}
+
 // ReplayFile replays the log at path.
 func ReplayFile(path string, apply func(Record) error) (int, error) {
 	f, err := os.Open(path)

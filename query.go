@@ -149,6 +149,16 @@ func (q GroupQuery) Validate() error {
 	return nil
 }
 
+// Normalized validates q and resolves every defaulted field against
+// the effective configuration (System.Config), returning the query
+// Serve would actually execute. Exported for serving layers that make
+// routing decisions from the resolved method and scorer — the
+// partition coordinator must see the same effective query its
+// partitions will — without duplicating the defaulting rules.
+func (q GroupQuery) Normalized(cfg Config) (GroupQuery, error) {
+	return q.normalize(cfg)
+}
+
 // normalize validates q and resolves every defaulted field against the
 // system configuration, returning the effective query.
 func (q GroupQuery) normalize(cfg Config) (GroupQuery, error) {

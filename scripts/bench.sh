@@ -7,7 +7,7 @@
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration each
 #   BENCH=GroupBatch scripts/bench.sh  # filter by benchmark regex
 #
-# The perf trajectory lives in six families included in every run:
+# The perf trajectory lives in seven families included in every run:
 # BenchmarkScopedInvalidation (warm scoped eviction vs cold full-flush
 # serving), BenchmarkRatingsWriteThroughput (sharded vs single-lock
 # store under concurrent writers), BenchmarkWarmCacheTTL (serving
@@ -15,9 +15,11 @@
 # BenchmarkScorerServe (group serving per relevance backend — user-cf
 # vs item-cf vs profile — warm group-relevance cache vs cold after a
 # write), BenchmarkClustering (k-means build cost plus full-scan vs
-# clustered peer discovery), and BenchmarkCandidateIndex (peer
+# clustered peer discovery), BenchmarkCandidateIndex (peer
 # discovery under the live candidate index — fullscan vs
-# exact-prefilter vs approx, cold and post-write).
+# exact-prefilter vs approx, cold and post-write), and
+# BenchmarkPartitionedServe (group serving through the consistent-hash
+# fan-out coordinator at 1/2/4 partitions, warm and cold-after-write).
 #
 # The script exits non-zero — without writing the output file — when
 # the benchmark run itself fails or parses to zero results, so a broken

@@ -6,7 +6,7 @@
 #   scripts/bench_compare.sh BASELINE.json FRESH.json [THRESHOLD_PCT]
 #
 # A benchmark regresses when its fresh ns/op exceeds the baseline by
-# more than THRESHOLD_PCT (default 25). Only the six trajectory
+# more than THRESHOLD_PCT (default 25). Only the seven trajectory
 # families are gated — the rest of the suite is informational, and
 # single-iteration CI noise on micro-benchmarks would make a
 # whole-suite gate flap:
@@ -17,6 +17,7 @@
 #   BenchmarkScorerServe
 #   BenchmarkClustering
 #   BenchmarkCandidateIndex
+#   BenchmarkPartitionedServe
 #
 # Override the gated set with FAMILIES="PrefixA PrefixB". Benchmarks
 # present in only one file are reported but never fail the gate (new
@@ -31,7 +32,7 @@ fi
 base="$1"
 fresh="$2"
 threshold="${3:-25}"
-families="${FAMILIES:-BenchmarkScopedInvalidation BenchmarkRatingsWriteThroughput BenchmarkWarmCacheTTL BenchmarkScorerServe BenchmarkClustering BenchmarkCandidateIndex}"
+families="${FAMILIES:-BenchmarkScopedInvalidation BenchmarkRatingsWriteThroughput BenchmarkWarmCacheTTL BenchmarkScorerServe BenchmarkClustering BenchmarkCandidateIndex BenchmarkPartitionedServe}"
 
 for f in "$base" "$fresh"; do
     if [ ! -r "$f" ]; then
