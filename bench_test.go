@@ -21,6 +21,10 @@
 //	                                   profile), warm group-relevance cache vs cold after a write
 //	BenchmarkPartitionedServe/*        group serving through the consistent-hash fan-out
 //	                                   coordinator at 1/2/4 partitions, warm and cold-after-write
+//	BenchmarkFlatKernels/*             flat scoring kernels vs the retained map-based references:
+//	                                   CSR merge-join Pearson, matrix build, cold user-cf
+//	                                   relevance, rank-order greedy, branch-and-bound brute force
+//	                                   (gated on both ns/op and allocs/op)
 //
 // Run: go test -bench=. -benchmem
 package fairhealth_test
@@ -936,6 +940,120 @@ func BenchmarkCandidateIndex(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Flat scoring kernels — every arm pairs the CSR/flat-array kernel with
+// the retained map-based reference it must match bit for bit (the
+// equivalence suites in internal/simfn and internal/core pin the
+// outputs; this family prices the layouts). Gated on ns/op AND
+// allocs/op by scripts/bench_compare.sh.
+
+func BenchmarkFlatKernels(b *testing.B) {
+	ds, err := dataset.Generate(dataset.Config{Seed: 3, Users: 200, Items: 300, RatingsPerUser: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := ds.Ratings.Users()
+	flat := simfn.Pearson{Store: ds.Ratings, MinOverlap: 2}
+	ref := simfn.PearsonReference{Store: ds.Ratings, MinOverlap: 2}
+
+	// Single-pair Eq. 2: merge-join over snapshot rows vs the CoRated
+	// copy + per-item map lookups of the reference.
+	b.Run("pearson/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flat.Similarity(users[i%len(users)], users[(i+7)%len(users)])
+		}
+	})
+	b.Run("pearson/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ref.Similarity(users[i%len(users)], users[(i+7)%len(users)])
+		}
+	})
+
+	// Full pairwise matrix build through the single-worker warm path
+	// (the snapshot is shared across all pairs of one build).
+	b.Run("matrix-build/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := simfn.NewCached(simfn.Normalized{S: flat})
+			if _, err := c.WarmAll(context.Background(), users, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("matrix-build/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := simfn.NewCached(simfn.Normalized{S: ref})
+			if _, err := c.WarmAll(context.Background(), users, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Cold user-CF serve: the similarity measure is consulted directly
+	// (no memo table — a cold serve misses on every pair anyway), so
+	// each op prices peer discovery plus Eq. 1 over every peer row with
+	// nothing but the kernel under test in the loop.
+	coldServe := func(s simfn.UserSimilarity) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec := &cf.Recommender{
+					Store: ds.Ratings,
+					Sim:   simfn.Normalized{S: s},
+					Delta: 0.55,
+				}
+				if _, err := rec.AllRelevances(users[i%len(users)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("usercf-cold/flat", coldServe(flat))
+	b.Run("usercf-cold/reference", coldServe(ref))
+
+	// Algorithm 1: rank-order cursors vs the per-round rescan.
+	problem := eval.SyntheticProblem(1, 4, 30, 10)
+	b.Run("greedy/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Greedy(problem.Input, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("greedy/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.GreedyReference(problem.Input, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Exhaustive solver: branch-and-bound vs naive full enumeration on
+	// a cell small enough to run the naive arm (C(20,8) ≈ 1.3·10⁵).
+	bfProblem := eval.SyntheticProblem(1, 4, 20, 10)
+	b.Run("bruteforce/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BruteForce(bfProblem.Input, 8, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bruteforce/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BruteForceReference(bfProblem.Input, 8, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDiversity measures MMR re-ranking cost ([18]-style peer and

@@ -32,7 +32,10 @@
 // (answers stay bit-identical to unpartitioned serving; /v1/stats
 // gains a "partitions" section with per-partition ownership, replay
 // lag, and fan-out counters; composes with -state, where the shared
-// WAL bootstraps every partition by snapshot+replay). SIGINT/SIGTERM shut
+// WAL bootstraps every partition by snapshot+replay). -pprof ADDR
+// serves net/http/pprof on its own listener and mux, fully separate
+// from the API address (off by default; see docs/ops.md for the
+// profiling workflow). SIGINT/SIGTERM shut
 // down gracefully: the listener closes, in-flight requests drain for
 // up to -drain-timeout, then the system is closed cleanly.
 package main
@@ -44,6 +47,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -87,6 +91,7 @@ func main() {
 	targetP95 := flag.Duration("adaptive-target-p95", 0, "p95 latency target enabling AIMD adaptation of the in-flight limit (0 = fixed limit)")
 	minInFlight := flag.Int("min-inflight", httpapi.DefaultMinInFlight, "floor for the adaptive in-flight limit")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGINT/SIGTERM shutdown waits for in-flight requests to finish")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address, e.g. localhost:6060 (empty = disabled; never exposed on the API listener)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "iphrd ", log.LstdFlags)
@@ -167,6 +172,28 @@ func main() {
 		st := sys.Stats()
 		logger.Printf("demo data loaded in %v: %d patients, %d items, %d ratings, %d documents",
 			time.Since(start).Round(time.Millisecond), st.Patients, st.Items, st.Ratings, st.Documents)
+	}
+
+	// The profiler gets its own mux on its own listener: the handlers
+	// are registered explicitly (not via the net/http/pprof import's
+	// DefaultServeMux side effect, which the API server never serves
+	// anyway), so /debug/pprof cannot leak onto the /v1 address no
+	// matter how the main handler chain evolves. Off by default —
+	// profiling is an operator action, not a standing endpoint.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+		logger.Printf("pprof listening on %s (debug only; keep off public interfaces)", *pprofAddr)
 	}
 
 	srv := &http.Server{

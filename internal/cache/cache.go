@@ -149,16 +149,43 @@ type Stats struct {
 
 // entry is one stored value with its fencing and lifetime metadata.
 // prev/next thread the shard's LRU list (only maintained under a
-// capacity or cost bound).
+// capacity or cost bound). Entries are recycled through the shard's
+// free list and slab (see newEntryLocked): no pointer to an entry may
+// be retained past the shard lock that looked it up.
 type entry[K comparable, S comparable, V any] struct {
-	key      K
-	val      V
-	seq      uint64 // fence sequence the value is valid for
-	scopes   []S
+	key    K
+	val    V
+	seq    uint64 // fence sequence the value is valid for
+	scopes []S
+	// scopesInline backs scopes for the common ≤2-scope case (a
+	// similarity pair's two endpoints), so a store allocates no scope
+	// slice of its own.
+	scopesInline [2]S
+	// chained marks an entry indexed through the intrusive per-scope
+	// chains (links) instead of the byScope map sets — the ≤2-scope
+	// fast path that makes scope indexing allocation-free.
+	chained bool
+	// links[i] threads this entry into the chain of scopes[i] when
+	// chained (scopes then aliases scopesInline, so i < 2).
+	links    [2]scopeLink[K, S, V]
 	storedAt int64 // unix nanos; expiry is storedAt + the CURRENT TTL
 	cost     int64 // price under Config.Cost; feeds the MaxCost bound
 	prev     *entry[K, S, V]
 	next     *entry[K, S, V]
+}
+
+// scopeLink is one entry's position in one scope's doubly-linked chain.
+type scopeLink[K comparable, S comparable, V any] struct {
+	prev, next *entry[K, S, V]
+}
+
+// slot returns which of e's (≤2, deduplicated) inline scopes is s.
+// Caller guarantees e is chained under s.
+func (e *entry[K, S, V]) slot(s S) int {
+	if e.scopes[0] == s {
+		return 0
+	}
+	return 1
 }
 
 // flight is one in-progress singleflight computation. stored is
@@ -174,8 +201,14 @@ type shard[K comparable, S comparable, V any] struct {
 	mu      sync.RWMutex
 	entries map[K]*entry[K, S, V]
 	// byScope indexes this shard's keys by scope so scoped eviction is
-	// O(affected entries), not a table scan.
+	// O(affected entries), not a table scan. Only entries with MORE
+	// than two scopes land here; the common ≤2-scope entries are
+	// threaded through the intrusive chains rooted in byChain instead,
+	// which costs no allocation per store.
 	byScope map[S]map[K]struct{}
+	// byChain holds, per scope, the head of the doubly-linked chain of
+	// the shard's chained (≤2-scope) entries under that scope.
+	byChain map[S]*entry[K, S, V]
 	flights map[K]*flight[V]
 	// cost totals the stored entries' prices (guarded by mu); feeds
 	// the per-shard MaxCost budget.
@@ -183,6 +216,72 @@ type shard[K comparable, S comparable, V any] struct {
 	// head/tail are the LRU sentinels (most recent at head.next); only
 	// linked when the cache has a capacity or cost bound.
 	head, tail *entry[K, S, V]
+	// free chains removed entries (through next) for reuse, and slab is
+	// the current allocation chunk new entries are carved from — churn
+	// recycles entries and cold warms amortize one allocation over many
+	// stores instead of paying one per entry.
+	free     *entry[K, S, V]
+	slab     []entry[K, S, V]
+	slabUsed int
+}
+
+// slabMax caps the doubling slab chunk size (entries per allocation).
+const slabMax = 256
+
+// newEntryLocked returns a zeroed entry: recycled from the free list
+// when churn has returned one, otherwise carved from the slab chunk
+// (grown by doubling up to slabMax). Caller holds sh.mu.
+func (sh *shard[K, S, V]) newEntryLocked() *entry[K, S, V] {
+	if e := sh.free; e != nil {
+		sh.free = e.next
+		e.next = nil
+		return e
+	}
+	if sh.slabUsed == len(sh.slab) {
+		n := len(sh.slab) * 2
+		if n < 8 {
+			n = 8
+		}
+		if n > slabMax {
+			n = slabMax
+		}
+		sh.slab = make([]entry[K, S, V], n)
+		sh.slabUsed = 0
+	}
+	e := &sh.slab[sh.slabUsed]
+	sh.slabUsed++
+	return e
+}
+
+// linkScope threads e (at scope slot i) onto the front of s's chain.
+// Caller holds sh.mu.
+func (sh *shard[K, S, V]) linkScope(e *entry[K, S, V], i int, s S) {
+	head := sh.byChain[s]
+	e.links[i].prev = nil
+	e.links[i].next = head
+	if head != nil {
+		head.links[head.slot(s)].prev = e
+	}
+	sh.byChain[s] = e
+}
+
+// unlinkScope removes e (at scope slot i) from s's chain. Caller holds
+// sh.mu.
+func (sh *shard[K, S, V]) unlinkScope(e *entry[K, S, V], i int, s S) {
+	p, n := e.links[i].prev, e.links[i].next
+	if p == nil {
+		if n == nil {
+			delete(sh.byChain, s)
+		} else {
+			sh.byChain[s] = n
+		}
+	} else {
+		p.links[p.slot(s)].next = n
+	}
+	if n != nil {
+		n.links[n.slot(s)].prev = p
+	}
+	e.links[i] = scopeLink[K, S, V]{}
 }
 
 // Cache is the engine. Create it with New; it is safe for concurrent
@@ -284,6 +383,7 @@ func New[K comparable, S comparable, V any](cfg Config[K, V]) *Cache[K, S, V] {
 		sh := &c.shards[i]
 		sh.entries = make(map[K]*entry[K, S, V])
 		sh.byScope = make(map[S]map[K]struct{})
+		sh.byChain = make(map[S]*entry[K, S, V])
 		sh.flights = make(map[K]*flight[V])
 		if c.bounded {
 			sh.head = &entry[K, S, V]{}
@@ -594,15 +694,35 @@ func (c *Cache[K, S, V]) storeEntry(k K, v V, scopes []S, seq uint64) {
 		}
 		c.removeLocked(sh, old)
 	}
-	e := &entry[K, S, V]{key: k, val: v, seq: seq, scopes: append([]S(nil), scopes...), storedAt: nowNano, cost: cost}
-	sh.entries[k] = e
-	for _, s := range e.scopes {
-		m := sh.byScope[s]
-		if m == nil {
-			m = make(map[K]struct{})
-			sh.byScope[s] = m
+	e := sh.newEntryLocked()
+	e.key, e.val, e.seq, e.storedAt, e.cost = k, v, seq, nowNano, cost
+	if n := copy(e.scopesInline[:], scopes); n == len(scopes) {
+		if n == 2 && e.scopesInline[0] == e.scopesInline[1] {
+			// Deduplicate (a self-pair's two endpoints): the chains
+			// require an entry to appear at most once per scope, and
+			// eviction semantics are identical either way.
+			n = 1
 		}
-		m[k] = struct{}{}
+		e.scopes = e.scopesInline[:n:n]
+		e.chained = true
+	} else {
+		e.scopes = append([]S(nil), scopes...)
+		e.chained = false
+	}
+	sh.entries[k] = e
+	if e.chained {
+		for i, s := range e.scopes {
+			sh.linkScope(e, i, s)
+		}
+	} else {
+		for _, s := range e.scopes {
+			m := sh.byScope[s]
+			if m == nil {
+				m = make(map[K]struct{})
+				sh.byScope[s] = m
+			}
+			m[k] = struct{}{}
+		}
 	}
 	c.count.Add(1)
 	sh.cost += cost
@@ -638,25 +758,46 @@ func (c *Cache[K, S, V]) bumpLocked(sh *shard[K, S, V], e *entry[K, S, V]) {
 }
 
 // removeLocked deletes e from the shard's table, scope index, and LRU
-// list, and decrements the entry count. Caller holds sh.mu.
+// list, decrements the entry count, and returns the zeroed entry to
+// the shard's free list. Caller holds sh.mu and must not touch e
+// afterwards.
 func (c *Cache[K, S, V]) removeLocked(sh *shard[K, S, V], e *entry[K, S, V]) {
 	delete(sh.entries, e.key)
-	for _, s := range e.scopes {
-		if m := sh.byScope[s]; m != nil {
-			delete(m, e.key)
-			if len(m) == 0 {
-				delete(sh.byScope, s)
+	if e.chained {
+		for i, s := range e.scopes {
+			sh.unlinkScope(e, i, s)
+		}
+	} else {
+		for _, s := range e.scopes {
+			if m := sh.byScope[s]; m != nil {
+				delete(m, e.key)
+				if len(m) == 0 {
+					delete(sh.byScope, s)
+				}
 			}
 		}
 	}
 	if e.prev != nil {
 		e.prev.next = e.next
 		e.next.prev = e.prev
-		e.prev, e.next = nil, nil
 	}
 	c.count.Add(-1)
 	sh.cost -= e.cost
 	c.totalCost.Add(-e.cost)
+	// Zero the slot (dropping key/value/scope references) and chain it
+	// for reuse by the next store.
+	var zk K
+	var zv V
+	var zs S
+	e.key, e.val, e.seq, e.storedAt, e.cost = zk, zv, 0, 0, 0
+	e.scopes = nil
+	e.scopesInline[0], e.scopesInline[1] = zs, zs
+	e.chained = false
+	e.links[0] = scopeLink[K, S, V]{}
+	e.links[1] = scopeLink[K, S, V]{}
+	e.prev = nil
+	e.next = sh.free
+	sh.free = e
 }
 
 // ---------------------------------------------------------------------------
@@ -687,6 +828,15 @@ func (c *Cache[K, S, V]) EvictScopes(scopes []S) int {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		for _, s := range scopes {
+			// Chained (≤2-scope) entries: walk the intrusive chain,
+			// capturing next before removal (removeLocked unlinks and
+			// recycles the entry).
+			for e := sh.byChain[s]; e != nil; {
+				next := e.links[e.slot(s)].next
+				c.removeLocked(sh, e)
+				n++
+				e = next
+			}
 			keys := sh.byScope[s]
 			if len(keys) == 0 {
 				continue
@@ -782,6 +932,13 @@ func (c *Cache[K, S, V]) Invalidate() {
 		sh.cost = 0
 		sh.entries = make(map[K]*entry[K, S, V])
 		sh.byScope = make(map[S]map[K]struct{})
+		sh.byChain = make(map[S]*entry[K, S, V])
+		// The dropped entries are garbage wholesale, so the free list
+		// and current slab chunk are reset with them — recycled slots
+		// must never alias a discarded-but-reachable entry.
+		sh.free = nil
+		sh.slab = nil
+		sh.slabUsed = 0
 		if c.bounded {
 			sh.head.next = sh.tail
 			sh.tail.prev = sh.head

@@ -342,8 +342,17 @@ func (x *Index) ExactPrefilter(u model.UserID, minOverlap int) []model.UserID {
 	if minOverlap < 1 {
 		minOverlap = 1 // Pearson treats MinOverlap < 1 as 1
 	}
+	// Posting-list support count: walk u's items (the CSR row — already
+	// sorted, no copy) and count each co-rater once per shared item.
+	// This touches only users with ≥1 shared item, which on sparse data
+	// is far smaller than the user universe — a per-candidate merge-join
+	// over all users costs more than the counting map saves.
+	ru, ok := x.store.Snapshot().Row(u)
+	if !ok {
+		return []model.UserID{}
+	}
 	counts := make(map[model.UserID]int)
-	for _, it := range x.store.ItemsRatedBy(u) {
+	for _, it := range ru.Items {
 		x.store.VisitItemRatings(it, func(v model.UserID, _ model.Rating) bool {
 			counts[v]++
 			return true

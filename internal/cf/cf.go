@@ -468,25 +468,34 @@ func (r *Recommender) AllRelevances(u model.UserID) (map[model.ItemID]float64, e
 		return nil, err
 	}
 	// Accumulate numerator/denominator per item over peers' ratings —
-	// O(Σ|I(peer)|) instead of O(|I|·|peers|).
+	// O(Σ|I(peer)|) instead of O(|I|·|peers|) — reading each peer's CSR
+	// snapshot row. Per item the accumulation order is the peer order
+	// (the outer loop), exactly as before, so scores are bit-identical;
+	// value-typed accumulators avoid the per-item heap allocation of the
+	// old pointer map.
 	type acc struct{ num, den float64 }
-	accs := make(map[model.ItemID]*acc)
+	sn := r.Store.Snapshot()
+	accs := make(map[model.ItemID]acc)
 	for _, p := range peers {
 		sim := p.Sim
-		r.Store.VisitUserRatings(p.User, func(i model.ItemID, rating model.Rating) bool {
-			a, ok := accs[i]
-			if !ok {
-				a = &acc{}
-				accs[i] = a
-			}
-			a.num += sim * float64(rating)
+		row, ok := sn.Row(p.User)
+		if !ok {
+			continue
+		}
+		for j, i := range row.Items {
+			a := accs[i]
+			a.num += sim * float64(row.Ratings[j])
 			a.den += sim
-			return true
-		})
+			accs[i] = a
+		}
 	}
+	rowU, _ := sn.Row(u)
 	out := make(map[model.ItemID]float64, len(accs))
 	for i, a := range accs {
-		if r.Store.HasRated(u, i) || a.den == 0 {
+		if a.den == 0 {
+			continue
+		}
+		if _, rated := rowU.Rating(i); rated {
 			continue
 		}
 		out[i] = a.num / a.den

@@ -295,8 +295,17 @@ func TestBruteForceTradesRelevanceForFairness(t *testing.T) {
 	if res.Fairness != 1 || math.Abs(res.Value-5.1) > 1e-12 {
 		t.Errorf("fairness=%v value=%v, want 1, 5.1", res.Fairness, res.Value)
 	}
-	if res.Combinations != 3 { // C(3,2)
-		t.Errorf("combinations = %d, want 3", res.Combinations)
+	// Combinations counts subsets actually scored: pruning keeps it in
+	// [1, C(3,2)], and the reference scores all three.
+	if res.Combinations < 1 || res.Combinations > 3 {
+		t.Errorf("combinations = %d, want within [1, 3]", res.Combinations)
+	}
+	ref, err := BruteForceReference(in, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Combinations != 3 { // C(3,2) — the naive reference prunes nothing
+		t.Errorf("reference combinations = %d, want 3", ref.Combinations)
 	}
 	if err := res.Verify(); err != nil {
 		t.Error(err)
@@ -317,9 +326,34 @@ func TestBruteForceCombinationCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := CountCombinations(10, 4); res.Combinations != want {
-		t.Errorf("combinations = %d, want %d", res.Combinations, want)
+	// Branch-and-bound scores only the subsets it cannot prune; the
+	// count must stay positive and bounded by C(10,4), which the naive
+	// reference scores in full.
+	if want := CountCombinations(10, 4); res.Combinations < 1 || res.Combinations > want {
+		t.Errorf("combinations = %d, want within [1, %d]", res.Combinations, want)
 	}
+	ref, err := BruteForceReference(in, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := CountCombinations(10, 4); ref.Combinations != want {
+		t.Errorf("reference combinations = %d, want %d", ref.Combinations, want)
+	}
+	if res.Value != ref.Value || !equalItems(res.Items, ref.Items) {
+		t.Errorf("B&B result %v (value %v) != reference %v (value %v)", res.Items, res.Value, ref.Items, ref.Value)
+	}
+}
+
+func equalItems(a, b []model.ItemID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestBruteForceZGeqM(t *testing.T) {

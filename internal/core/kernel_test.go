@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fairhealth/internal/model"
+)
+
+// TestGreedyMatchesReference pins the rank-order Greedy to the
+// per-round rescan reference: identical selection (order included) and
+// identical scores across random groups, list shapes, and z values.
+func TestGreedyMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInput(rng, 1+rng.Intn(6), 5+rng.Intn(30))
+		z := 1 + rng.Intn(12)
+		got, err := Greedy(in, z)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := GreedyReference(in, z)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d z=%d: rank-order %+v != reference %+v", seed, z, got, want)
+		}
+	}
+}
+
+// TestGreedyScratchReuse reruns the same problem many times: the
+// pooled scratch must never leak state between calls.
+func TestGreedyScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randomInput(rng, 4, 20)
+	first, err := Greedy(in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		r, err := Greedy(in, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r, first) {
+			t.Fatalf("run %d diverged: %+v != %+v", k, r, first)
+		}
+	}
+}
+
+// TestGreedyNoRelFn covers the in.Rel == nil path (all relevances
+// undefined → pure item-ID order) against the reference.
+func TestGreedyNoRelFn(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for seed := 0; seed < 10; seed++ {
+		in := randomInput(rng, 2+rng.Intn(4), 10)
+		in.Rel = nil
+		got, err := Greedy(in, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := GreedyReference(in, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: %+v != %+v", seed, got, want)
+		}
+	}
+}
+
+// sweepInput builds a brute-force problem with exactly m candidates: a
+// group of 8 members, per-member top-5 lists drawn from the candidate
+// pool, and group relevances that are non-negative on even seeds and
+// mixed-sign on odd seeds (exercising the negative-sum branch of the
+// branch-and-bound bound).
+func sweepInput(seed int64, m int) Input {
+	rng := rand.New(rand.NewSource(seed))
+	g := make(model.Group, 8)
+	for k := range g {
+		g[k] = model.UserID(fmt.Sprintf("u%d", k))
+	}
+	perUser := make(map[model.UserID]map[model.ItemID]float64, len(g))
+	for _, u := range g {
+		scores := make(map[model.ItemID]float64)
+		for i := 0; i < m; i++ {
+			if rng.Float64() < 0.6 {
+				scores[model.ItemID(fmt.Sprintf("d%02d", i))] = 1 + 4*rng.Float64()
+			}
+		}
+		perUser[u] = scores
+	}
+	groupRel := make(map[model.ItemID]float64, m)
+	for i := 0; i < m; i++ {
+		s := 5 * rng.Float64()
+		if seed%2 == 1 {
+			s -= 2.5 // mixed sign
+		}
+		groupRel[model.ItemID(fmt.Sprintf("d%02d", i))] = s
+	}
+	return Input{
+		Group:    g,
+		Lists:    ListsFromRelevances(perUser, 5),
+		GroupRel: groupRel,
+		Rel: func(u model.UserID, i model.ItemID) (float64, bool) {
+			s, ok := perUser[u][i]
+			return s, ok
+		},
+	}
+}
+
+// TestBruteForceBBSweepMatchesNaive is the satellite regression: the
+// branch-and-bound solver returns the identical subset — same items,
+// same order, bit-identical scores, so the first-found lexicographic
+// tie-break survives pruning — as the naive full enumeration across a
+// seeded sweep of m∈{10,20,30} × z∈{4,8,12}. The most expensive naive
+// cell (m=30, z=12 ≈ 8.6·10⁷ subsets) is skipped under -short.
+func TestBruteForceBBSweepMatchesNaive(t *testing.T) {
+	for _, m := range []int{10, 20, 30} {
+		for _, z := range []int{4, 8, 12} {
+			if testing.Short() && m == 30 && z == 12 {
+				continue
+			}
+			for seed := int64(0); seed < 2; seed++ {
+				in := sweepInput(seed, m)
+				got, err := BruteForce(in, z, 0)
+				if err != nil {
+					t.Fatalf("m=%d z=%d seed=%d: %v", m, z, seed, err)
+				}
+				want, err := BruteForceReference(in, z, 0)
+				if err != nil {
+					t.Fatalf("m=%d z=%d seed=%d: reference: %v", m, z, seed, err)
+				}
+				if !equalItems(got.Items, want.Items) ||
+					got.Fairness != want.Fairness ||
+					got.SumRelevance != want.SumRelevance ||
+					got.Value != want.Value {
+					t.Errorf("m=%d z=%d seed=%d: B&B %+v != naive %+v", m, z, seed, got, want)
+				}
+				if got.Combinations < 1 || (want.Combinations > 0 && got.Combinations > want.Combinations) {
+					t.Errorf("m=%d z=%d seed=%d: scored %d subsets, naive scored %d",
+						m, z, seed, got.Combinations, want.Combinations)
+				}
+				if err := got.Verify(); err != nil {
+					t.Errorf("m=%d z=%d seed=%d: %v", m, z, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestBruteForceBBRespectsMaxCombos: the feasibility gate still fires
+// on the up-front C(m,z), before any pruning could shrink the count —
+// the API contract (infeasible → 400 through /v1) depends on it.
+func TestBruteForceBBRespectsMaxCombos(t *testing.T) {
+	in := sweepInput(1, 30)
+	if _, err := BruteForce(in, 12, 1000); err == nil {
+		t.Fatal("C(30,12) under maxCombos=1000 did not error")
+	} else if !errors.Is(err, ErrTooManyCombinations) {
+		t.Fatalf("error = %v, want %v", err, ErrTooManyCombinations)
+	}
+	// The same budget is accepted when C(m,z) fits it.
+	if _, err := BruteForce(in, 1, 1000); err != nil {
+		t.Fatalf("C(30,1)=30 under maxCombos=1000: %v", err)
+	}
+}

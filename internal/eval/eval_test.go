@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"fairhealth/internal/core"
 )
@@ -100,22 +101,25 @@ func TestRunTable2SmallGrid(t *testing.T) {
 }
 
 func TestBruteForceSlowerOnLargeCells(t *testing.T) {
-	// the Table II shape: brute force cost explodes with m while the
-	// heuristic stays flat
-	rows, err := RunTable2(Table2Config{
-		Ms:          []int{18},
-		Zs:          []int{8},
-		GroupSize:   4,
-		Seed:        3,
-		Repetitions: 1,
-	})
-	if err != nil {
+	// The Table II shape — exhaustive enumeration cost explodes with m
+	// while the heuristic stays flat — is pinned against the retained
+	// naive reference: the paper's brute force scores every C(m,z)
+	// subset. The serving solver (core.BruteForce) is branch-and-bound
+	// now and routinely beats the heuristic on these cells, which is
+	// the point of the optimization, so it carries no such guarantee.
+	problem := SyntheticProblem(3, 4, 18, 10)
+	start := time.Now()
+	if _, err := core.BruteForceReference(problem.Input, 8, 0); err != nil {
 		t.Fatal(err)
 	}
-	r := rows[0]
-	if r.BruteTime < r.HeurTime {
-		t.Errorf("expected brute force (C(18,8)=%d subsets) to be slower: bf=%v heur=%v",
-			r.Combinations, r.BruteTime, r.HeurTime)
+	naive := time.Since(start)
+	start = time.Now()
+	if _, err := core.Greedy(problem.Input, 8); err != nil {
+		t.Fatal(err)
+	}
+	heur := time.Since(start)
+	if naive < heur {
+		t.Errorf("expected naive enumeration (C(18,8)=43758 subsets) to be slower: naive=%v heur=%v", naive, heur)
 	}
 }
 

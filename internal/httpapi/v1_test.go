@@ -728,3 +728,41 @@ func TestStatsAgeHistogram(t *testing.T) {
 		t.Errorf("stats payload missing age_histogram field:\n%s", raw)
 	}
 }
+
+// TestBruteForceInfeasibleComboGate: a request whose candidate pool
+// makes C(m,z) exceed its own brute_max_combos budget must be rejected
+// by the ENGINE's up-front feasibility gate — not merely the HTTP-layer
+// server-cap check — and surface as 400 invalid_query. Pins that the
+// branch-and-bound solver still counts combinations before pruning.
+func TestBruteForceInfeasibleComboGate(t *testing.T) {
+	srv, sys := newTestServer(t)
+	seed(t, sys)
+	// Widen the group's candidate pool beyond 2 items so that z=2 < m
+	// and C(m,2) ≥ 3 exceeds a budget of 1.
+	for _, r := range []struct {
+		u, i string
+		v    float64
+	}{
+		{"p1", "dC", 4}, {"p2", "dC", 3},
+		{"p1", "dD", 3}, {"p2", "dD", 5},
+	} {
+		if err := sys.AddRating(r.u, r.i, r.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2, Method: "brute", BruteMaxCombos: 1,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("infeasible C(m,z) status = %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	if e := decode[ErrorBody](t, rec); e.Error.Code != CodeInvalidQuery {
+		t.Errorf("infeasible C(m,z) code = %q, want %q", e.Error.Code, CodeInvalidQuery)
+	}
+	// The identical query with an adequate budget succeeds.
+	if rec := do(t, srv, "POST", "/v1/groups/recommend", GroupQueryBody{
+		Members: []string{"g1", "g2"}, Z: 2, Method: "brute", BruteMaxCombos: 100,
+	}); rec.Code != http.StatusOK {
+		t.Fatalf("feasible budget status = %d: %s", rec.Code, rec.Body.String())
+	}
+}

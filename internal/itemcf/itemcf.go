@@ -84,17 +84,25 @@ func (r *Recommender) Build() error {
 	type pairKey struct{ a, b model.ItemID }
 	pairs := make(map[pairKey]*pairAcc)
 
-	users := r.Store.Users()
-	for _, u := range users {
-		mean, ok := r.Store.MeanRating(u)
+	// One CSR snapshot serves the whole build: each row carries the
+	// ascending item array, the parallel ratings and μ_u (bit-identical
+	// to MeanRating), replacing the per-user ItemsRatedBy copy and the
+	// per-item map lookups of the map-based path.
+	sn := r.Store.Snapshot()
+	var centered []float64
+	for _, u := range sn.Users() {
+		row, ok := sn.Row(u)
 		if !ok {
 			continue
 		}
-		items := r.Store.ItemsRatedBy(u) // ascending
-		centered := make([]float64, len(items))
-		for k, i := range items {
-			v, _ := r.Store.Rating(u, i)
-			centered[k] = float64(v) - mean
+		mean := row.Mean
+		items := row.Items // ascending
+		if cap(centered) < len(items) {
+			centered = make([]float64, len(items))
+		}
+		centered = centered[:len(items)]
+		for k := range items {
+			centered[k] = float64(row.Ratings[k]) - mean
 		}
 		for a := 0; a < len(items); a++ {
 			for b := a + 1; b < len(items); b++ {
@@ -214,29 +222,31 @@ func (r *Recommender) AllRelevances(u model.UserID) (map[model.ItemID]float64, e
 		r.mu.RUnlock()
 		return nil, ErrNotBuilt
 	}
-	// Score candidates reachable from the user's rated items.
+	// Score candidates reachable from the user's rated items. The CSR
+	// row is the user's ratings in ascending item order — the same
+	// deterministic accumulation order as before — and value-typed
+	// accumulators avoid the per-item heap allocation.
 	type acc struct{ num, den float64 }
-	accs := make(map[model.ItemID]*acc)
-	for _, j := range r.Store.ItemsRatedBy(u) { // ascending → deterministic
-		v, ok := r.Store.Rating(u, j)
-		if !ok {
-			continue // write raced the snapshot; skip the vanished rating
-		}
+	sn := r.Store.Snapshot()
+	row, _ := sn.Row(u)
+	accs := make(map[model.ItemID]acc)
+	for k, j := range row.Items { // ascending → deterministic
+		v := row.Ratings[k]
 		for _, n := range r.neighbors[j] {
-			a, ok := accs[n.Item]
-			if !ok {
-				a = &acc{}
-				accs[n.Item] = a
-			}
+			a := accs[n.Item]
 			a.num += n.Score * float64(v)
 			a.den += n.Score
+			accs[n.Item] = a
 		}
 	}
 	r.mu.RUnlock()
 
 	out := make(map[model.ItemID]float64, len(accs))
 	for i, a := range accs {
-		if r.Store.HasRated(u, i) || a.den == 0 {
+		if a.den == 0 {
+			continue
+		}
+		if _, rated := row.Rating(i); rated {
 			continue
 		}
 		out[i] = a.num / a.den

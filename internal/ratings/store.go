@@ -82,6 +82,27 @@ type Store struct {
 	// successful mutation (outside shard locks). See OnWrite.
 	onWrite func(model.UserID)
 
+	// writeVer counts successful mutations; Snapshot uses it to decide
+	// whether the cached flat view in snap is still current. It is
+	// bumped on the same reportWrite path that feeds the OnWrite
+	// observer chain, so the snapshot is re-dirtied exactly when the
+	// downstream caches are.
+	writeVer atomic.Uint64
+	snap     atomic.Pointer[Snapshot]
+
+	// Dirty-user tracking for incremental snapshot rebuilds. Until the
+	// first Snapshot call snapTracking is false and writes stay on the
+	// lock-free fast path; afterwards each write records its user under
+	// snapMu in the same critical section as the version bump, so a
+	// builder can never observe the bump without the marker (or vice
+	// versa). snapDirty holds exactly the users written since the last
+	// successfully cached snapshot; the builder consumes only the
+	// markers it actually re-read, so a marker added mid-build survives
+	// for the next one.
+	snapMu       sync.Mutex
+	snapDirty    map[model.UserID]struct{}
+	snapTracking atomic.Bool
+
 	// meanComputes counts mean recomputations (test instrumentation for
 	// the MeanRating double-checked lock).
 	meanComputes atomic.Int64
@@ -149,6 +170,21 @@ func (s *Store) itemShard(i model.ItemID) *itemShard {
 }
 
 func (s *Store) reportWrite(u model.UserID) {
+	// Bump before notifying: by the time an observer reacts (and possibly
+	// rebuilds derived state through Snapshot) the cached flat view is
+	// already marked stale. Once snapshot tracking is on, the dirty
+	// marker and the bump form one atomic step under snapMu (see the
+	// field comment); before that, writes skip the lock entirely.
+	if s.snapTracking.Load() {
+		s.snapMu.Lock()
+		if s.snapDirty != nil {
+			s.snapDirty[u] = struct{}{}
+		}
+		s.writeVer.Add(1)
+		s.snapMu.Unlock()
+	} else {
+		s.writeVer.Add(1)
+	}
 	if s.onWrite != nil {
 		s.onWrite(u)
 	}

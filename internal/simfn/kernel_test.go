@@ -1,0 +1,177 @@
+package simfn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ratings"
+)
+
+func randomRatings(tb testing.TB, seed int64, users, items, perUser int) *ratings.Store {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := ratings.New()
+	for u := 0; u < users; u++ {
+		uid := model.UserID(fmt.Sprintf("u%03d", u))
+		n := 1 + rng.Intn(perUser)
+		for _, k := range rng.Perm(items)[:n] {
+			iid := model.ItemID(fmt.Sprintf("i%03d", k))
+			// Quarter-star ratings: fractional values make accumulation
+			// order observable at the ULP level, which is exactly what
+			// the bit-identity assertion must cover.
+			r := model.Rating(1 + float64(rng.Intn(17))*0.25)
+			if err := s.Add(uid, iid, r); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// TestPearsonMergeJoinMatchesReference pins the flat merge-join kernel
+// to the retained map-based implementation bit for bit over random
+// stores, every pair, and MinOverlap settings spanning the boundary.
+func TestPearsonMergeJoinMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		s := randomRatings(t, seed, 35, 50, 20)
+		users := s.Users()
+		for _, minOverlap := range []int{0, 1, 2, 5, 50} {
+			flat := Pearson{Store: s, MinOverlap: minOverlap}
+			ref := PearsonReference{Store: s, MinOverlap: minOverlap}
+			for i, a := range users {
+				for _, b := range users[i:] {
+					got, gotOK := flat.Similarity(a, b)
+					want, wantOK := ref.Similarity(a, b)
+					if got != want || gotOK != wantOK {
+						t.Fatalf("seed %d minOverlap %d pair (%s,%s): flat %v,%v != ref %v,%v",
+							seed, minOverlap, a, b, got, gotOK, want, wantOK)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPearsonMergeJoinAfterWrites re-checks equivalence after a burst
+// of mixed writes (the snapshot must re-dirty through the OnWrite
+// path, not serve the pre-write view).
+func TestPearsonMergeJoinAfterWrites(t *testing.T) {
+	s := randomRatings(t, 9, 20, 30, 15)
+	users := s.Users()
+	rng := rand.New(rand.NewSource(42))
+	for k := 0; k < 50; k++ {
+		u := users[rng.Intn(len(users))]
+		i := model.ItemID(fmt.Sprintf("i%03d", rng.Intn(30)))
+		if rng.Intn(3) == 0 {
+			_ = s.Remove(u, i)
+		} else {
+			_ = s.Add(u, i, model.Rating(1+float64(rng.Intn(17))*0.25))
+		}
+		a, b := users[rng.Intn(len(users))], users[rng.Intn(len(users))]
+		got, gotOK := Pearson{Store: s, MinOverlap: 2}.Similarity(a, b)
+		want, wantOK := PearsonReference{Store: s, MinOverlap: 2}.Similarity(a, b)
+		if got != want || gotOK != wantOK {
+			t.Fatalf("write %d pair (%s,%s): flat %v,%v != ref %v,%v", k, a, b, got, gotOK, want, wantOK)
+		}
+	}
+}
+
+// FuzzPearsonKernelEquivalence drives random store shapes and write
+// bursts through both Pearson implementations and the snapshot/map
+// read paths, asserting bit-identical results — including the
+// MinOverlap boundary and the mean-centering terms — while a
+// background writer races the snapshot reads to shake out torn views.
+func FuzzPearsonKernelEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(10), uint8(5), uint8(10), uint8(2))
+	f.Add(int64(2), uint8(3), uint8(4), uint8(4), uint8(0), uint8(1))
+	f.Add(int64(3), uint8(20), uint8(15), uint8(8), uint8(40), uint8(3))
+	f.Add(int64(4), uint8(1), uint8(1), uint8(1), uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nu, ni, per, writes, minOverlap uint8) {
+		users := 1 + int(nu)%24
+		items := 1 + int(ni)%24
+		perUser := 1 + int(per)%items
+		s := randomRatings(t, seed, users, items, perUser)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		uid := func() model.UserID { return model.UserID(fmt.Sprintf("u%03d", rng.Intn(users))) }
+		iid := func() model.ItemID { return model.ItemID(fmt.Sprintf("i%03d", rng.Intn(items))) }
+		for k := 0; k < int(writes); k++ {
+			if rng.Intn(4) == 0 {
+				_ = s.Remove(uid(), iid())
+			} else {
+				_ = s.Add(uid(), iid(), model.Rating(1+float64(rng.Intn(17))*0.25))
+			}
+		}
+
+		// Race a writer against the equivalence reads: each assertion
+		// below takes its own snapshot, so rows observed mid-burst must
+		// still be internally consistent and agree with the reference
+		// (both sides read the same coherent row or the same live maps).
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed ^ 0x7ace))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					u := model.UserID(fmt.Sprintf("w%03d", wrng.Intn(4)))
+					_ = s.Add(u, model.ItemID(fmt.Sprintf("i%03d", wrng.Intn(items))), 3)
+				}
+			}
+		}()
+		sn := s.Snapshot()
+		for _, u := range sn.Users() {
+			row, ok := sn.Row(u)
+			if !ok || len(row.Items) != len(row.Ratings) {
+				t.Fatalf("torn row %s", u)
+			}
+			var sum float64
+			for j := range row.Items {
+				if j > 0 && row.Items[j-1] >= row.Items[j] {
+					t.Fatalf("row %s not strictly ascending", u)
+				}
+				sum += float64(row.Ratings[j])
+			}
+			if len(row.Items) > 0 && sum/float64(len(row.Items)) != row.Mean {
+				t.Fatalf("row %s mean torn", u)
+			}
+		}
+		close(stop)
+		wg.Wait()
+
+		// Quiescent now: reads must be bit-identical across kernels.
+		mo := int(minOverlap) % 6
+		flat := Pearson{Store: s, MinOverlap: mo}
+		ref := PearsonReference{Store: s, MinOverlap: mo}
+		all := s.Users()
+		sn = s.Snapshot()
+		for i, a := range all {
+			row, ok := sn.Row(a)
+			if !ok {
+				t.Fatalf("user %s missing from snapshot", a)
+			}
+			if mean, okM := s.MeanRating(a); !okM || mean != row.Mean {
+				t.Fatalf("user %s snapshot mean %v != MeanRating %v", a, row.Mean, mean)
+			}
+			for _, it := range s.ItemsRatedBy(a) {
+				want, _ := s.Rating(a, it)
+				if got, okR := row.Rating(it); !okR || got != want {
+					t.Fatalf("user %s item %s snapshot rating %v != %v", a, it, got, want)
+				}
+			}
+			for _, b := range all[i:] {
+				got, gotOK := flat.Similarity(a, b)
+				want, wantOK := ref.Similarity(a, b)
+				if got != want || gotOK != wantOK {
+					t.Fatalf("pair (%s,%s) minOverlap %d: flat %v,%v != ref %v,%v", a, b, mo, got, gotOK, want, wantOK)
+				}
+			}
+		}
+	})
+}

@@ -12,7 +12,9 @@ package simfn
 
 import (
 	"context"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"fairhealth/internal/model"
@@ -94,6 +96,18 @@ func (c *Cached) warm(ctx context.Context, rows, cols []model.UserID, workers in
 	// fence more conservative, never less.
 	startSeq := c.table.Seq()
 	existing := c.table.Keys()
+	if len(existing) == 0 {
+		// Cold warm: Keys returned an unsized empty map, but the dedup
+		// set will hold every visited pair — pre-size it so its growth
+		// doesn't dominate the warm's allocation profile.
+		total := 0
+		if cols == nil {
+			total = len(rows) * (len(rows) - 1) / 2
+		} else {
+			total = len(rows) * len(cols)
+		}
+		existing = make(map[pairKey]struct{}, total)
+	}
 
 	var rowPos map[model.UserID]int
 	if cols != nil {
@@ -103,9 +117,52 @@ func (c *Cached) warm(ctx context.Context, rows, cols []model.UserID, workers in
 		}
 	}
 
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers == 1 {
+		// Single-worker warm: no pool dispatch and no staging maps —
+		// entries go straight into the table through the same seq fence,
+		// and `existing` doubles as the intra-run dedup set. A serial
+		// warm observes finished entries only, trivially.
+		added := 0
+		for r := range rows {
+			if ctx.Err() != nil {
+				break
+			}
+			a := rows[r]
+			others := cols
+			if others == nil {
+				others = rows[r+1:]
+			}
+			for _, b := range others {
+				if a == b {
+					continue
+				}
+				if p, isRow := rowPos[b]; isRow && p < r {
+					continue // the earlier row owns this pair
+				}
+				k := canonical(a, b)
+				if _, done := existing[k]; done {
+					continue
+				}
+				existing[k] = struct{}{}
+				sim, ok := c.inner.Similarity(a, b)
+				if c.table.PutChecked(k, cacheEntry{sim, ok}, k.scopes(), startSeq) {
+					added++
+				}
+			}
+		}
+		return added, ctx.Err()
+	}
+
 	// Row-at-a-time work stealing (rows have uneven pair counts,
 	// triangular mode especially): each row is computed into a private
-	// map and merged under the cache lock once complete, so concurrent
+	// map — pooled across rows to keep the warm loop allocation-light —
+	// and merged under the cache lock once complete, so concurrent
 	// readers only ever observe finished entries.
 	var added atomic.Int64
 	pool.Each(len(rows), workers, func(r int) {
@@ -117,7 +174,7 @@ func (c *Cached) warm(ctx context.Context, rows, cols []model.UserID, workers in
 		if others == nil {
 			others = rows[r+1:]
 		}
-		local := make(map[pairKey]cacheEntry, len(others))
+		local := warmScratch.Get().(map[pairKey]cacheEntry)
 		for _, b := range others {
 			if a == b {
 				continue
@@ -135,9 +192,6 @@ func (c *Cached) warm(ctx context.Context, rows, cols []model.UserID, workers in
 			sim, ok := c.inner.Similarity(a, b)
 			local[k] = cacheEntry{sim, ok}
 		}
-		if len(local) == 0 {
-			return
-		}
 		merged := 0
 		for k, e := range local {
 			// PutChecked drops entries whose endpoints were evicted after
@@ -145,8 +199,18 @@ func (c *Cached) warm(ctx context.Context, rows, cols []model.UserID, workers in
 			if c.table.PutChecked(k, e, k.scopes(), startSeq) {
 				merged++
 			}
+			delete(local, k)
 		}
-		added.Add(int64(merged))
+		warmScratch.Put(local)
+		if merged != 0 {
+			added.Add(int64(merged))
+		}
 	})
 	return int(added.Load()), ctx.Err()
+}
+
+// warmScratch pools the per-row staging maps of the multi-worker warm
+// path. Maps are returned empty (the merge loop deletes as it drains).
+var warmScratch = sync.Pool{
+	New: func() any { return make(map[pairKey]cacheEntry, 64) },
 }

@@ -53,8 +53,71 @@ type Pearson struct {
 	MinOverlap int
 }
 
-// Similarity implements UserSimilarity.
+// Similarity implements UserSimilarity. It is a merge-join over the
+// two users' CSR snapshot rows: one pass over the sorted item arrays,
+// zero map operations and zero allocations on the hot path. The
+// accumulation order is ascending item ID — the same order the
+// map-based reference pins — and the means come from the snapshot rows
+// (bit-identical to Store.MeanRating), so results match
+// PearsonReference bit for bit.
 func (p Pearson) Similarity(a, b model.UserID) (float64, bool) {
+	minOverlap := p.MinOverlap
+	if minOverlap < 1 {
+		minOverlap = 1
+	}
+	sn := p.Store.Snapshot()
+	ra, okA := sn.Row(a)
+	rb, okB := sn.Row(b)
+	if !okA || !okB {
+		return 0, false
+	}
+	var num, da, db float64
+	shared := 0
+	i, j := 0, 0
+	for i < len(ra.Items) && j < len(rb.Items) {
+		switch {
+		case ra.Items[i] < rb.Items[j]:
+			i++
+		case ra.Items[i] > rb.Items[j]:
+			j++
+		default:
+			xa := float64(ra.Ratings[i]) - ra.Mean
+			xb := float64(rb.Ratings[j]) - rb.Mean
+			num += xa * xb
+			da += xa * xa
+			db += xb * xb
+			shared++
+			i++
+			j++
+		}
+	}
+	if shared < minOverlap {
+		return 0, false
+	}
+	if da == 0 || db == 0 {
+		return 0, false
+	}
+	r := num / (math.Sqrt(da) * math.Sqrt(db))
+	// guard against floating point drift outside [-1, 1]
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r, true
+}
+
+// PearsonReference is the retained map-based implementation of Eq. 2 —
+// CoRated intersection plus per-item map lookups. It exists as the
+// equivalence oracle for the merge-join kernel (and its benchmark
+// baseline); serving paths should use Pearson.
+type PearsonReference struct {
+	Store      *ratings.Store
+	MinOverlap int
+}
+
+// Similarity implements UserSimilarity.
+func (p PearsonReference) Similarity(a, b model.UserID) (float64, bool) {
 	minOverlap := p.MinOverlap
 	if minOverlap < 1 {
 		minOverlap = 1

@@ -7,7 +7,7 @@
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration each
 #   BENCH=GroupBatch scripts/bench.sh  # filter by benchmark regex
 #
-# The perf trajectory lives in seven families included in every run:
+# The perf trajectory lives in eight families included in every run:
 # BenchmarkScopedInvalidation (warm scoped eviction vs cold full-flush
 # serving), BenchmarkRatingsWriteThroughput (sharded vs single-lock
 # store under concurrent writers), BenchmarkWarmCacheTTL (serving
@@ -17,9 +17,13 @@
 # write), BenchmarkClustering (k-means build cost plus full-scan vs
 # clustered peer discovery), BenchmarkCandidateIndex (peer
 # discovery under the live candidate index — fullscan vs
-# exact-prefilter vs approx, cold and post-write), and
+# exact-prefilter vs approx, cold and post-write),
 # BenchmarkPartitionedServe (group serving through the consistent-hash
-# fan-out coordinator at 1/2/4 partitions, warm and cold-after-write).
+# fan-out coordinator at 1/2/4 partitions, warm and cold-after-write),
+# and BenchmarkFlatKernels (the CSR/merge-join scoring kernels vs the
+# retained map-based references: single-pair Pearson, full matrix
+# build, cold user-cf serve, greedy, and branch-and-bound brute force —
+# tracked on ns/op AND allocs/op).
 #
 # The script exits non-zero — without writing the output file — when
 # the benchmark run itself fails or parses to zero results, so a broken

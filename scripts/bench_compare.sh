@@ -5,11 +5,14 @@
 # Usage:
 #   scripts/bench_compare.sh BASELINE.json FRESH.json [THRESHOLD_PCT]
 #
-# A benchmark regresses when its fresh ns/op exceeds the baseline by
-# more than THRESHOLD_PCT (default 25). Only the seven trajectory
-# families are gated — the rest of the suite is informational, and
-# single-iteration CI noise on micro-benchmarks would make a
-# whole-suite gate flap:
+# A benchmark regresses when its fresh ns/op — or its fresh allocs/op,
+# when both files record allocations for it — exceeds the baseline by
+# more than THRESHOLD_PCT (default 25). The allocation gate keeps the
+# flat-kernel work honest: an alloc-count regression reproduces
+# deterministically even when wall-clock noise would hide it. Only the
+# eight trajectory families are gated — the rest of the suite is
+# informational, and single-iteration CI noise on micro-benchmarks
+# would make a whole-suite gate flap:
 #
 #   BenchmarkScopedInvalidation
 #   BenchmarkRatingsWriteThroughput
@@ -18,6 +21,7 @@
 #   BenchmarkClustering
 #   BenchmarkCandidateIndex
 #   BenchmarkPartitionedServe
+#   BenchmarkFlatKernels
 #
 # Override the gated set with FAMILIES="PrefixA PrefixB". Benchmarks
 # present in only one file are reported but never fail the gate (new
@@ -32,7 +36,7 @@ fi
 base="$1"
 fresh="$2"
 threshold="${3:-25}"
-families="${FAMILIES:-BenchmarkScopedInvalidation BenchmarkRatingsWriteThroughput BenchmarkWarmCacheTTL BenchmarkScorerServe BenchmarkClustering BenchmarkCandidateIndex BenchmarkPartitionedServe}"
+families="${FAMILIES:-BenchmarkScopedInvalidation BenchmarkRatingsWriteThroughput BenchmarkWarmCacheTTL BenchmarkScorerServe BenchmarkClustering BenchmarkCandidateIndex BenchmarkPartitionedServe BenchmarkFlatKernels}"
 
 for f in "$base" "$fresh"; do
     if [ ! -r "$f" ]; then
@@ -41,14 +45,17 @@ for f in "$base" "$fresh"; do
     fi
 done
 
-# extract emits "name<TAB>ns_per_op" for every benchmark entry in a
-# trajectory JSON. It tokenizes rather than fully parsing: a "name"
-# key remembers its string value, an "ns_per_op" key pairs its number
-# with the most recent name. That holds for bench.sh's field order and
-# for any JSON re-serialization that keeps keys alphabetical ("name"
-# sorts before "ns_per_op"), without needing a JSON parser in CI.
-# Duplicate names (the suite runs some packages twice) keep the last
-# observation.
+# extract emits "name<TAB>ns_per_op<TAB>allocs_per_op" for every
+# benchmark entry in a trajectory JSON (allocs_per_op is the literal
+# "NA" when the entry records none — older snapshots predate
+# -benchmem). It tokenizes rather than fully parsing: after tr splits
+# the document on '{' and ',', every field of one entry lands on its
+# own line and the entry's closing '}' survives on its last field's
+# line, so fields accumulate until a '}' flushes the record. That makes
+# the field order irrelevant — bench.sh's name→ns→allocs layout and an
+# alphabetical re-serialization (allocs_per_op sorts before name) parse
+# identically — without needing a JSON parser in CI. Duplicate names
+# (the suite runs some packages twice) keep the last observation.
 extract() {
     tr '{,' '\n\n' < "$1" | awk '
         /"name"[[:space:]]*:/ {
@@ -61,10 +68,20 @@ extract() {
             line = $0
             sub(/.*"ns_per_op"[[:space:]]*:[[:space:]]*/, "", line)
             sub(/[^0-9.].*/, "", line)
-            if (name != "" && line != "") {
-                print name "\t" line
-                name = ""
+            ns = line
+        }
+        /"allocs_per_op"[[:space:]]*:/ {
+            line = $0
+            sub(/.*"allocs_per_op"[[:space:]]*:[[:space:]]*/, "", line)
+            sub(/[^0-9.].*/, "", line)
+            allocs = line
+        }
+        /}/ {
+            if (name != "" && ns != "") {
+                if (allocs == "") allocs = "NA"
+                print name "\t" ns "\t" allocs
             }
+            name = ""; ns = ""; allocs = ""
         }'
 }
 
@@ -86,8 +103,8 @@ fi
 awk -F'\t' -v threshold="$threshold" -v families="$families" \
     -v basefile="$base" -v freshfile="$fresh" '
 FNR == 1 { file++ }
-file == 1 { base[$1] = $2; next }
-         { fresh[$1] = $2 }
+file == 1 { base[$1] = $2; basealloc[$1] = $3; next }
+         { fresh[$1] = $2; freshalloc[$1] = $3 }
 END {
     nfam = split(families, fam, /[[:space:]]+/)
     regressions = 0
@@ -103,16 +120,27 @@ END {
             continue
         }
         gated++
-        if (base[name] <= 0)
-            continue
-        delta = (fresh[name] - base[name]) / base[name] * 100
-        if (delta > threshold) {
-            printf "REGRESSED  %-60s %12.0f -> %12.0f ns/op (%+.1f%% > %s%%)\n", \
-                name, base[name], fresh[name], delta, threshold
-            regressions++
-        } else {
-            printf "  ok       %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", \
-                name, base[name], fresh[name], delta
+        if (base[name] > 0) {
+            delta = (fresh[name] - base[name]) / base[name] * 100
+            if (delta > threshold) {
+                printf "REGRESSED  %-60s %12.0f -> %12.0f ns/op (%+.1f%% > %s%%)\n", \
+                    name, base[name], fresh[name], delta, threshold
+                regressions++
+            } else {
+                printf "  ok       %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", \
+                    name, base[name], fresh[name], delta
+            }
+        }
+        # Allocation gate: only when both snapshots record allocs for
+        # this benchmark (older baselines carry "NA" and are skipped).
+        if (basealloc[name] != "NA" && basealloc[name] != "" && \
+            freshalloc[name] != "NA" && freshalloc[name] != "" && basealloc[name] > 0) {
+            adelta = (freshalloc[name] - basealloc[name]) / basealloc[name] * 100
+            if (adelta > threshold) {
+                printf "REGRESSED  %-60s %12.0f -> %12.0f allocs/op (%+.1f%% > %s%%)\n", \
+                    name, basealloc[name], freshalloc[name], adelta, threshold
+                regressions++
+            }
         }
     }
     for (name in base) {

@@ -85,6 +85,45 @@ func TestCompareIgnoresUngatedFamilies(t *testing.T) {
 	}
 }
 
+// TestCompareFailsOnAllocRegression: the allocs fixture keeps every
+// ns/op within threshold but quintuples one gated benchmark's
+// allocs/op — the allocation gate must exit 1 on its own. The fixture
+// is serialized with alphabetical key order (allocs_per_op before
+// name), pinning the extractor's field-order independence.
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	code, out := runCompare(t, "testdata/bench_baseline.json", "testdata/bench_allocs_regress.json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (alloc regression)\n%s", code, out)
+	}
+	for _, want := range []string{
+		"REGRESSED",
+		"BenchmarkScorerServe/user-cf/warm",
+		"allocs/op",
+		"1 regression(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The ns/op side of the same benchmark stayed within threshold.
+	if strings.Contains(out, "ns/op (+1.2% > 25%)") {
+		t.Errorf("ns gate fired unexpectedly:\n%s", out)
+	}
+}
+
+// TestCompareAllocsMissingInOneFile: a fresh file without allocs
+// fields (the bench_ok fixture) must never trip the allocation gate —
+// "NA" entries are skipped, keeping old snapshots comparable.
+func TestCompareAllocsMissingInOneFile(t *testing.T) {
+	code, out := runCompare(t, "testdata/bench_baseline.json", "testdata/bench_ok.json")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if strings.Contains(out, "allocs/op") {
+		t.Errorf("alloc gate produced output with allocs missing from fresh file:\n%s", out)
+	}
+}
+
 // TestCompareThresholdArgument: a generous threshold lets the
 // synthetic slowdown pass; a strict one trips on benign drift.
 func TestCompareThresholdArgument(t *testing.T) {
