@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -55,6 +56,7 @@ import (
 	"fairhealth/internal/model"
 	"fairhealth/internal/mrpipeline"
 	"fairhealth/internal/partition"
+	"fairhealth/internal/partition/transport"
 	"fairhealth/internal/phr"
 	"fairhealth/internal/ratings"
 	"fairhealth/internal/search"
@@ -232,6 +234,32 @@ func BenchmarkFig1EndToEnd(b *testing.B) {
 				b.Fatal(err)
 			}
 			resp.Body.Close()
+		}
+	})
+	// The NDJSON streaming batch path — each entry renders through the
+	// pooled encoder (internal/httpapi/ndjson.go).
+	b.Run("batch-stream", func(b *testing.B) {
+		groups := make([][]string, 0, 3)
+		for _, g := range []model.Group{grp, ds.SampleGroup(2, 3, 0), ds.SampleGroup(3, 2, 0)} {
+			members := make([]string, len(g))
+			for j, u := range g {
+				members[j] = string(u)
+			}
+			groups = append(groups, members)
+		}
+		payload, _ := json.Marshal(httpapi.BatchGroupsBody{Groups: groups, Z: 6})
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(srv.URL+"/v1/groups/recommend:batch?stream=true", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
 		}
 	})
 }
@@ -656,6 +684,115 @@ func BenchmarkPartitionedServe(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Networked partitioned serving — coalesced binary fan-out over TCP
+
+// BenchmarkNetworkedServe measures group serving through the
+// networked coordinator against three worker "processes" on loopback
+// (full System + transport server each — the same wire as separate
+// iphrd -partition-listen processes, minus process isolation). The
+// regimes mirror BenchmarkPartitionedServe so the in-process vs
+// networked gap is one file apart in the BENCH trajectory. Custom
+// metrics pin the coalescing contract: rpcs/serve must stay at or
+// below the live worker count regardless of group size, and
+// members/rpc is the batching win.
+func BenchmarkNetworkedServe(b *testing.B) {
+	const workers = 3
+	build := func(b *testing.B) (*partition.Networked, []string, string) {
+		cfg := fairhealth.Config{Delta: 0.3, MinOverlap: 3, K: 8}
+		addrs := make([]string, workers)
+		for i := range addrs {
+			sys, err := fairhealth.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := transport.NewServer(sys, partition.ConfigFingerprint(sys.Config()))
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+			addrs[i] = ln.Addr().String()
+			b.Cleanup(func() { srv.Close(); sys.Close() })
+		}
+		coord, err := partition.NewNetworked(cfg, addrs, partition.NetOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { coord.Close() })
+		ds, err := dataset.Generate(dataset.Config{Seed: 37, Users: 80, Items: 150, RatingsPerUser: 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range ds.Profiles.IDs() {
+			prof, err := ds.Profiles.Get(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			problems := make([]string, len(prof.Problems))
+			for i, c := range prof.Problems {
+				problems[i] = string(c)
+			}
+			err = coord.AddPatient(fairhealth.Patient{
+				ID: string(prof.ID), Age: prof.Age, Gender: string(prof.Gender),
+				Problems: problems, Medications: prof.Medications,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, tr := range ds.Ratings.Triples() {
+			if err := coord.AddRating(string(tr.User), string(tr.Item), float64(tr.Value)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		users := coord.Patients()
+		return coord, users[:4], users[len(users)-1]
+	}
+	reportWire := func(b *testing.B, coord *partition.Networked, before transport.Snapshot) {
+		after := coord.TransportStats()
+		rpcs := after.RelevancesRPCs - before.RelevancesRPCs
+		members := after.CoalescedMembers - before.CoalescedMembers
+		if rpcs > 0 {
+			b.ReportMetric(float64(members)/float64(rpcs), "members/rpc")
+			b.ReportMetric(float64(rpcs)/float64(b.N), "rpcs/serve")
+		}
+	}
+
+	warm, group, _ := build(b)
+	q := fairhealth.GroupQuery{Members: group, Z: 6}
+	if _, err := warm.Serve(context.Background(), q); err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("workers=%d/warm-group-cache", workers), func(b *testing.B) {
+		before := warm.TransportStats()
+		for i := 0; i < b.N; i++ {
+			if _, err := warm.Serve(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportWire(b, warm, before)
+	})
+
+	cold, coldGroup, writer := build(b)
+	cq := fairhealth.GroupQuery{Members: coldGroup, Z: 6}
+	if _, err := cold.Serve(context.Background(), cq); err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("workers=%d/cold-after-write", workers), func(b *testing.B) {
+		before := cold.TransportStats()
+		for i := 0; i < b.N; i++ {
+			if err := cold.AddRating(writer, fmt.Sprintf("doc%04d", i%50), float64(1+i%5)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cold.Serve(context.Background(), cq); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportWire(b, cold, before)
+	})
 }
 
 // ---------------------------------------------------------------------------

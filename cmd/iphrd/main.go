@@ -46,10 +46,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +59,7 @@ import (
 	"fairhealth/internal/dataset"
 	"fairhealth/internal/httpapi"
 	"fairhealth/internal/partition"
+	"fairhealth/internal/partition/transport"
 )
 
 // backend is what main needs from the serving engine: the HTTP surface
@@ -85,6 +88,8 @@ func main() {
 	candidateIndex := flag.Bool("candidate-index", false, "enable the cluster peer-candidate index (exact-mode prefilter + opt-in approx queries)")
 	candidateK := flag.Int("candidate-k", 0, "cluster count for the candidate index (0 = √n; needs -candidate-index)")
 	partitions := flag.Int("partitions", 0, "serve from N consistent-hash partitions behind a fan-out/merge coordinator (0 or 1 = unpartitioned)")
+	partitionListen := flag.String("partition-listen", "", "worker mode: serve the binary partition transport on this address instead of HTTP (pair with a coordinator started with -partition-peers)")
+	partitionPeers := flag.String("partition-peers", "", "coordinator mode: comma-separated worker transport addresses; group serving fans out to them over coalesced binary RPCs")
 	state := flag.String("state", "", "state directory for durable storage (empty = in-memory)")
 	timeout := flag.Duration("timeout", httpapi.DefaultTimeout, "per-request timeout (negative disables)")
 	maxInFlight := flag.Int("max-inflight", httpapi.DefaultMaxInFlight, "max concurrently served requests, 429 beyond (negative disables)")
@@ -101,9 +106,28 @@ func main() {
 		CacheTTLMin: *cacheTTLMin, CacheTTLMax: *cacheTTLMax, CacheAdaptEvery: *cacheAdaptEvery,
 		CandidateIndex: *candidateIndex, CandidateK: *candidateK,
 	}
+	if *partitionListen != "" {
+		if *partitions > 1 || *partitionPeers != "" || *state != "" || *demo {
+			logger.Fatalf("config: -partition-listen (worker mode) is exclusive with -partitions, -partition-peers, -state, and -demo — workers receive all state from their coordinator")
+		}
+		runWorker(logger, cfg, *partitionListen, *pprofAddr)
+		return
+	}
+
 	var sys backend
 	var err error
 	switch {
+	case *partitionPeers != "":
+		if *partitions > 1 || *state != "" {
+			logger.Fatalf("config: -partition-peers (networked coordinator) is exclusive with -partitions and -state (networked state lives in the workers plus the coordinator's journal)")
+		}
+		var coord *partition.Networked
+		coord, err = partition.NewNetworked(cfg, splitPeers(*partitionPeers), partition.NetOptions{})
+		if err == nil {
+			snap := coord.TransportStats()
+			logger.Printf("networked partitioned serving: %d/%d peers live (%s)", snap.PeersLive, snap.PeersTotal, *partitionPeers)
+		}
+		sys = coord
 	case *partitions > 1:
 		cfg.Partitions = *partitions
 		var coord *partition.Coordinator
@@ -233,6 +257,68 @@ func main() {
 			logger.Printf("drain incomplete: %v", err)
 		}
 		<-serveErr // ListenAndServe has returned ErrServerClosed by now
+	}
+	if err := sys.Close(); err != nil {
+		logger.Printf("close: %v", err)
+	}
+	fmt.Println("bye")
+}
+
+// splitPeers parses the -partition-peers list, dropping empty
+// segments so a trailing comma is not a phantom worker.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runWorker is -partition-listen mode: one full replica serving the
+// binary partition transport instead of HTTP. All state arrives from
+// the coordinator (replicated writes, compressed journal catch-up),
+// so the worker starts empty and converges. The scoring flags must
+// match the coordinator's — the Hello handshake enforces it via the
+// config fingerprint.
+func runWorker(logger *log.Logger, cfg fairhealth.Config, addr, pprofAddr string) {
+	sys, err := fairhealth.New(cfg)
+	if err != nil {
+		logger.Fatalf("config: %v", err)
+	}
+	if pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		psrv := &http.Server{Addr: pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+	}
+	srv := transport.NewServer(sys, partition.ConfigFingerprint(sys.Config()))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Fatalf("listen %s: %v", addr, err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	logger.Printf("partition worker listening on %s (fingerprint %s)", addr, partition.ConfigFingerprint(sys.Config()))
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			sys.Close()
+			logger.Fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Printf("shutdown signal received")
+		srv.Close()
+		<-serveErr
 	}
 	if err := sys.Close(); err != nil {
 		logger.Printf("close: %v", err)

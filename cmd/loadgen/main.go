@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -88,6 +89,7 @@ func main() {
 	candidateIndex := flag.Bool("candidate-index", false, "inproc: enable the cluster peer-candidate index")
 	candidateK := flag.Int("candidate-k", 0, "inproc: cluster count for the candidate index (0 = √n; needs -candidate-index)")
 	partitions := flag.Int("partitions", 0, "inproc: serve from N consistent-hash partitions behind the fan-out coordinator; the report gains a per-partition latency section (0 or 1 = unpartitioned)")
+	partitionPeers := flag.String("partition-peers", "", `inproc: comma-separated worker addresses ("host:port,host:port") for the networked partition coordinator; the report gains a transport stats section (mutually exclusive with -partitions)`)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "loadgen ", log.LstdFlags)
@@ -149,6 +151,8 @@ func main() {
 		logger.Fatal(err)
 	}
 	var sys engine
+	var netCoord *partition.Networked
+	httpTarget := tgt != nil
 	if tgt == nil { // inproc
 		if *approxEvery > 0 && !*candidateIndex {
 			logger.Fatal("-approx-every needs -candidate-index for the in-process target")
@@ -159,7 +163,21 @@ func main() {
 			CacheTTLMin: *cacheTTLMin, CacheTTLMax: *cacheTTLMax, CacheAdaptEvery: *cacheAdaptEvery,
 			CandidateIndex: *candidateIndex, CandidateK: *candidateK,
 		}
-		if *partitions > 1 {
+		if *partitionPeers != "" {
+			if *partitions > 1 {
+				logger.Fatal("-partition-peers and -partitions are mutually exclusive")
+			}
+			peers := splitPeers(*partitionPeers)
+			coord, cerr := partition.NewNetworked(sysCfg, peers, partition.NetOptions{})
+			if cerr != nil {
+				logger.Fatalf("networked coordinator: %v", cerr)
+			}
+			cfg.PartitionOf = coord.Owner
+			logger.Printf("networked partitioned serving: %d/%d peers live",
+				coord.LiveCount(), coord.PartitionCount())
+			netCoord = coord
+			sys = coord
+		} else if *partitions > 1 {
 			sysCfg.Partitions = *partitions
 			coord, cerr := partition.New(sysCfg, partition.Options{})
 			if cerr != nil {
@@ -209,6 +227,18 @@ func main() {
 	rep, err := loadtest.Run(ctx, tgt, cfg)
 	if err != nil {
 		logger.Fatalf("run: %v", err)
+	}
+	if netCoord != nil {
+		snap := netCoord.TransportStats()
+		rep.Transport = snap
+		logger.Printf("transport: rpcs=%d coalesced %.1f members/rpc  out=%dB in=%dB  retries=%d errors=%d  peers %d/%d live",
+			snap.RPCs, snap.MembersPerRPC, snap.BytesOut, snap.BytesIn, snap.Retries, snap.Errors, snap.PeersLive, snap.PeersTotal)
+	} else if httpTarget {
+		// HTTP target: if the server runs the networked coordinator,
+		// mirror its /v1/stats transport section into the report.
+		if raw := fetchTransport(*target); raw != nil {
+			rep.Transport = raw
+		}
 	}
 	if sys != nil {
 		if st, ok := sys.CandidateIndexStats(); ok {
@@ -262,6 +292,40 @@ func main() {
 	if rep.TotalErrors > 0 {
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses a comma-separated peer address list, trimming
+// whitespace and dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// fetchTransport pulls the transport section out of an HTTP target's
+// /v1/stats report; nil when the server is not a networked
+// coordinator (or the fetch fails — the report just omits the
+// section).
+func fetchTransport(base string) any {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/v1/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Transport json.RawMessage `json:"transport"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	if len(body.Transport) == 0 || string(body.Transport) == "null" {
+		return nil
+	}
+	return body.Transport
 }
 
 // ms renders nanoseconds as short human milliseconds for the summary.

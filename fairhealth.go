@@ -1587,7 +1587,7 @@ func groupKey(scorer string, g model.Group, aggr string, k int, approx bool) str
 // before any upstream state is read, so a write racing the assembly
 // keeps the result out of the memo (the caller still gets its answer
 // — a read overlapping a write may see either side of it).
-func (s *System) groupProblem(scorer string, g model.Group, aggr group.Aggregator, k, workers int, approx bool) (groupInput, error) {
+func (s *System) groupProblem(ctx context.Context, scorer string, g model.Group, aggr group.Aggregator, k, workers int, approx bool) (groupInput, error) {
 	key := groupKey(scorer, g, aggr.Name(), k, approx)
 	if in, _, ok := s.groupCache.Get(key); ok {
 		return in, nil
@@ -1597,11 +1597,11 @@ func (s *System) groupProblem(scorer string, g model.Group, aggr group.Aggregato
 	if err != nil {
 		return groupInput{}, err
 	}
-	assembleFn := scoring.Assemble
+	assembleFn := scoring.AssembleContext
 	if approx {
-		assembleFn = scoring.AssembleApprox
+		assembleFn = scoring.AssembleApproxContext
 	}
-	cands, err := assembleFn(prov, g, workers)
+	cands, err := assembleFn(ctx, prov, g, workers)
 	if err != nil {
 		if errors.Is(err, scoring.ErrEmptyGroup) {
 			return groupInput{}, ErrEmptyGroup
@@ -1672,7 +1672,7 @@ func (s *System) GroupTopZ(users []string, z int) ([]Recommendation, error) {
 	if err != nil {
 		return nil, err
 	}
-	in, err := s.groupProblem(s.cfg.Scorer, g, s.aggregator(), s.cfg.K, s.workers(), false)
+	in, err := s.groupProblem(context.Background(), s.cfg.Scorer, g, s.aggregator(), s.cfg.K, s.workers(), false)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,82 @@
+package fairhealth
+
+// Regression suite for context-deadline propagation through the
+// serving fan-out: member assembly on an artificially slow scorer
+// must return the context error when the query deadline passes, not
+// block the merge until every member finishes.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/scoring"
+)
+
+// parkedProvider blocks every Relevances call until the current gate
+// closes (the gate is re-made per test run so -count=N reruns work).
+type parkedProvider struct{}
+
+var (
+	parkedMu   sync.Mutex
+	parkedGate chan struct{}
+)
+
+func parkedPark() {
+	parkedMu.Lock()
+	gate := parkedGate
+	parkedMu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+}
+
+func (p *parkedProvider) Name() string { return "parked-test" }
+
+func (p *parkedProvider) Relevances(u model.UserID) (map[model.ItemID]float64, error) {
+	parkedPark()
+	return map[model.ItemID]float64{"doc0001": 1}, nil
+}
+
+func (p *parkedProvider) Relevance(u model.UserID, i model.ItemID) (float64, bool, error) {
+	return 0, false, nil
+}
+
+func (p *parkedProvider) InvalidateUsers(users []model.UserID) {}
+func (p *parkedProvider) InvalidateAll()                       {}
+func (p *parkedProvider) Close()                               {}
+
+func init() {
+	scoring.Register("parked-test", func(d scoring.Deps) scoring.Provider {
+		return &parkedProvider{}
+	})
+}
+
+func TestServeHonorsDeadlineDuringAssembly(t *testing.T) {
+	sys, groups := scorerSystem(t)
+	gate := make(chan struct{})
+	parkedMu.Lock()
+	parkedGate = gate
+	parkedMu.Unlock()
+	defer close(gate) // release background stragglers
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := sys.Serve(ctx, GroupQuery{Members: groups[0], Z: 4, Scorer: "parked-test"})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("serve past deadline: %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("serve blocked %v on a parked scorer instead of honoring the deadline", elapsed)
+	}
+
+	// The system still serves normally afterwards on a healthy scorer.
+	if _, err := sys.Serve(context.Background(), GroupQuery{Members: groups[0], Z: 4}); err != nil {
+		t.Fatalf("serve after abandoned assembly: %v", err)
+	}
+}

@@ -73,6 +73,7 @@ import (
 	"fairhealth"
 	"fairhealth/internal/candidates"
 	"fairhealth/internal/partition"
+	"fairhealth/internal/partition/transport"
 )
 
 // Backend is the serving surface the HTTP layer runs against — exactly
@@ -105,10 +106,20 @@ type partitionStatser interface {
 	PartitionStats() []partition.Stats
 }
 
+// transportStatser is the optional Backend extension a networked
+// partitioned deployment implements; when present, /v1/stats grows a
+// transport section (wire counters, coalescing ratio, pool gauges).
+type transportStatser interface {
+	TransportStats() transport.Snapshot
+}
+
 var (
 	_ Backend          = (*fairhealth.System)(nil)
 	_ Backend          = (*partition.Coordinator)(nil)
 	_ partitionStatser = (*partition.Coordinator)(nil)
+	_ Backend          = (*partition.Networked)(nil)
+	_ partitionStatser = (*partition.Networked)(nil)
+	_ transportStatser = (*partition.Networked)(nil)
 )
 
 // Server wires a Backend (a fairhealth.System or a partition
@@ -241,6 +252,10 @@ type StatsResponse struct {
 	// share, replay lag, fan-out counts); absent when the backend is
 	// an unpartitioned System.
 	Partitions []partition.Stats `json:"partitions,omitempty"`
+	// Transport is the networked-partition wire section (RPC and byte
+	// counters, coalescing ratio, pool size, peer liveness); absent
+	// unless the backend serves over partition/transport.
+	Transport *transport.Snapshot `json:"transport,omitempty"`
 }
 
 // GroupQueryBody mirrors fairhealth.GroupQuery on the wire — the body
@@ -451,6 +466,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if ps, ok := s.sys.(partitionStatser); ok {
 		resp.Partitions = ps.PartitionStats()
+	}
+	if ts, ok := s.sys.(transportStatser); ok {
+		snap := ts.TransportStats()
+		resp.Transport = &snap
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -782,7 +801,6 @@ func (s *Server) handleGroupRecommendBatch(w http.ResponseWriter, r *http.Reques
 // stream.
 func (s *Server) streamGroupRecommendBatch(w http.ResponseWriter, r *http.Request, queries []fairhealth.GroupQuery) {
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
 	started := false
 	err := s.sys.ServeStream(r.Context(), queries, func(e fairhealth.BatchGroupResult) error {
 		if !started {
@@ -790,7 +808,7 @@ func (s *Server) streamGroupRecommendBatch(w http.ResponseWriter, r *http.Reques
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.WriteHeader(http.StatusOK)
 		}
-		if err := enc.Encode(batchEntry(e)); err != nil {
+		if err := encodeNDJSON(w, batchEntry(e)); err != nil {
 			return err // client gone; abandon the remaining queries
 		}
 		if flusher != nil {

@@ -1,0 +1,50 @@
+// ndjson.go pools the per-entry encoder machinery on the streaming
+// batch path. The old path built a json.Encoder per request and let
+// it write straight to the ResponseWriter; hot streaming traffic pays
+// for that in per-entry allocations. Here each entry renders into a
+// pooled buffer through a pooled encoder bound to it (the pair
+// recycles together, so the encoder's internal state is always
+// writing into its own buffer) and reaches the wire as one Write —
+// which also means a serialization error can never leave half an
+// NDJSON line on the stream.
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// streamEnc is a reusable buffer + encoder pair; enc writes into buf.
+type streamEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var streamEncPool = sync.Pool{
+	New: func() any {
+		se := &streamEnc{}
+		se.enc = json.NewEncoder(&se.buf)
+		return se
+	},
+}
+
+// maxPooledEntry keeps pathological entries (huge explain payloads)
+// from pinning their buffers in the pool forever.
+const maxPooledEntry = 1 << 20
+
+// encodeNDJSON writes v to w as one NDJSON line (json.Encoder appends
+// the newline) through pooled scratch.
+func encodeNDJSON(w io.Writer, v any) error {
+	se := streamEncPool.Get().(*streamEnc)
+	se.buf.Reset()
+	err := se.enc.Encode(v)
+	if err == nil {
+		_, err = w.Write(se.buf.Bytes())
+	}
+	if se.buf.Cap() <= maxPooledEntry {
+		streamEncPool.Put(se)
+	}
+	return err
+}

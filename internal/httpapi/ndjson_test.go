@@ -1,0 +1,86 @@
+package httpapi
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+type ndjsonEntry struct {
+	Index int      `json:"index"`
+	Group []string `json:"group"`
+	Items []struct {
+		Item  string  `json:"item"`
+		Score float64 `json:"score"`
+	} `json:"items,omitempty"`
+}
+
+func sampleEntry() ndjsonEntry {
+	e := ndjsonEntry{Index: 3, Group: []string{"p1", "p2", "p3"}}
+	for i := 0; i < 6; i++ {
+		e.Items = append(e.Items, struct {
+			Item  string  `json:"item"`
+			Score float64 `json:"score"`
+		}{Item: "doc0001", Score: 4.2})
+	}
+	return e
+}
+
+func TestEncodeNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := encodeNDJSON(&buf, sampleEntry()); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("entry is not one NDJSON line: %q", line)
+	}
+}
+
+// A value that cannot serialize must leave the stream clean — no
+// partial line reaches the writer.
+func TestEncodeNDJSONErrorWritesNothing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := encodeNDJSON(&buf, map[string]any{"bad": make(chan int)}); err == nil {
+		t.Fatal("encoding a channel succeeded")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed encode leaked %d bytes onto the stream", buf.Len())
+	}
+}
+
+// TestEncodeNDJSONAllocs pins the pooling win on the streaming batch
+// path: once the pool is warm, a streamed entry costs only the
+// encoder's own marshaling allocations — no per-entry buffer or
+// json.Encoder construction.
+func TestEncodeNDJSONAllocs(t *testing.T) {
+	entry := sampleEntry()
+	// Warm the pool.
+	for i := 0; i < 8; i++ {
+		if err := encodeNDJSON(io.Discard, entry); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := encodeNDJSON(io.Discard, entry); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// json.Marshal-style encoding of the entry costs a handful of
+	// allocations; the pre-pooling path added a buffer + encoder per
+	// entry on top. Anything beyond 8 means the pool stopped working.
+	if avg > 8 {
+		t.Fatalf("encodeNDJSON allocates %.1f objects per entry, want <= 8", avg)
+	}
+}
+
+func BenchmarkEncodeNDJSON(b *testing.B) {
+	entry := sampleEntry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := encodeNDJSON(io.Discard, entry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -269,6 +269,11 @@ type Report struct {
 	// the caller when the target system exposes one (loadgen inproc
 	// with -candidate-index); absent otherwise.
 	Index any `json:"index,omitempty"`
+	// Transport is a post-run networked-transport stats snapshot,
+	// attached by the caller when the target serves across the wire
+	// (loadgen -partition-peers, or an HTTP target whose /v1/stats
+	// report carries a transport section); absent otherwise.
+	Transport any `json:"transport,omitempty"`
 	// Partitions maps partition id → class → latency summary for the
 	// routable classes (group_single, rating_write); present only when
 	// Config.PartitionOf is set.

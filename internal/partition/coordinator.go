@@ -765,11 +765,11 @@ func (c *Coordinator) serve(ctx context.Context, q fairhealth.GroupQuery, assemb
 		return nil, fmt.Errorf("%w: %v", fairhealth.ErrBadQuery, aerr) // unreachable: Normalized validated
 	}
 	prov := &routedProvider{scorer: nq.Scorer, owners: owners}
-	assembleFn := scoring.Assemble
+	assembleFn := scoring.AssembleContext
 	if nq.Approx {
-		assembleFn = scoring.AssembleApprox
+		assembleFn = scoring.AssembleApproxContext
 	}
-	cands, err := assembleFn(prov, g, assemblyWorkers)
+	cands, err := assembleFn(ctx, prov, g, assemblyWorkers)
 	if err != nil {
 		if errors.Is(err, scoring.ErrEmptyGroup) {
 			return nil, fairhealth.ErrEmptyGroup

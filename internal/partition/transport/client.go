@@ -1,0 +1,301 @@
+// client.go is the coordinator side of the wire: a small pool of
+// persistent connections per peer, each pipelined — requests carry
+// IDs, a single reader goroutine per connection demultiplexes
+// responses to waiting callers, and callers never block each other
+// beyond the serialized frame write. A context that ends mid-call
+// returns immediately; the late response is dropped by the reader
+// when it arrives (the pending entry is gone), so an abandoned call
+// costs nothing but the bytes.
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClientClosed reports a call on a closed client.
+var ErrClientClosed = errors.New("transport: client closed")
+
+// ClientOptions tunes one peer client.
+type ClientOptions struct {
+	// PoolSize is the number of persistent connections kept to the
+	// peer (default 2). Calls round-robin across them; each
+	// connection pipelines any number of in-flight requests.
+	PoolSize int
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// Stats receives byte/RPC counters; one Stats is shared across
+	// every peer client a coordinator owns. Nil uses a private one.
+	Stats *Stats
+}
+
+// Client talks to one peer over the pool. Safe for concurrent use.
+type Client struct {
+	addr  string
+	opts  ClientOptions
+	stats *Stats
+
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	conns  []*pconn // fixed-size slots; nil or dead slots redial lazily
+	rr     uint64
+	closed bool
+}
+
+// NewClient builds a client for addr. No connection is made until the
+// first call.
+func NewClient(addr string, opts ClientOptions) *Client {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 2
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 2 * time.Second
+	}
+	st := opts.Stats
+	if st == nil {
+		st = &Stats{}
+	}
+	return &Client{addr: addr, opts: opts, stats: st, conns: make([]*pconn, opts.PoolSize)}
+}
+
+// Conns reports the live connections currently pooled.
+func (c *Client) Conns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, pc := range c.conns {
+		if pc != nil && !pc.dead() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close tears down every pooled connection. In-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conns := append([]*pconn(nil), c.conns...)
+	c.mu.Unlock()
+	for _, pc := range conns {
+		if pc != nil {
+			pc.fail(ErrClientClosed)
+		}
+	}
+	return nil
+}
+
+// Call runs one round-trip: frame the request, await the matching
+// response, surface remote failures as *WireError. Transport-level
+// failures (dial, connection loss, local timeout) come back as plain
+// errors — the caller treats those as "peer down".
+func (c *Client) Call(ctx context.Context, op byte, payload []byte) ([]byte, error) {
+	pc, err := c.conn(ctx)
+	if err != nil {
+		c.stats.Errors.Add(1)
+		return nil, err
+	}
+	resp, err := pc.roundTrip(ctx, c.nextID.Add(1), op, payload)
+	if err != nil {
+		var we *WireError
+		if errors.As(err, &we) {
+			c.stats.RPCs.Add(1) // completed round-trip carrying an application error
+		} else {
+			c.stats.Errors.Add(1)
+		}
+		return nil, err
+	}
+	c.stats.RPCs.Add(1)
+	return resp, nil
+}
+
+// conn picks the next pooled connection, dialing a replacement for a
+// dead or empty slot.
+func (c *Client) conn(ctx context.Context) (*pconn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	slot := int(c.rr % uint64(len(c.conns)))
+	c.rr++
+	if pc := c.conns[slot]; pc != nil && !pc.dead() {
+		c.mu.Unlock()
+		return pc, nil
+	}
+	c.mu.Unlock()
+
+	// Dial outside the pool lock: a slow peer must not stall calls
+	// that can ride other live slots.
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		c.stats.DialsErr.Add(1)
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // frames are small; coalescing adds latency, not value
+	}
+	c.stats.DialsOK.Add(1)
+	pc := &pconn{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(map[uint64]chan rpcResult),
+		closed:  make(chan struct{}),
+		stats:   c.stats,
+	}
+	go pc.readLoop()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		pc.fail(ErrClientClosed)
+		return nil, ErrClientClosed
+	}
+	if cur := c.conns[slot]; cur != nil && !cur.dead() {
+		// Another caller repaired the slot first; use theirs and keep
+		// ours as a short-lived extra rather than racing teardown.
+		c.mu.Unlock()
+		pc.fail(ErrClientClosed)
+		return cur, nil
+	}
+	c.conns[slot] = pc
+	c.mu.Unlock()
+	return pc, nil
+}
+
+// pconn is one pipelined connection.
+type pconn struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	wmu  sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	pending map[uint64]chan rpcResult
+	err     error
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	stats     *Stats
+}
+
+type rpcResult struct {
+	status  byte
+	payload []byte
+}
+
+func (p *pconn) dead() bool {
+	select {
+	case <-p.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail tears the connection down and unblocks every waiter with err.
+func (p *pconn) fail(err error) {
+	p.closeOnce.Do(func() {
+		p.pmu.Lock()
+		p.err = err
+		pending := p.pending
+		p.pending = nil
+		p.pmu.Unlock()
+		close(p.closed)
+		p.conn.Close()
+		for _, ch := range pending {
+			close(ch) // closed channel = transport failure; p.err has the cause
+		}
+	})
+}
+
+func (p *pconn) readLoop() {
+	br := bufio.NewReader(p.conn)
+	for {
+		f, n, err := readFrame(br)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		p.stats.BytesIn.Add(uint64(n))
+		if f.kind != kindResponse {
+			p.fail(errors.New("transport: server pushed a request frame"))
+			return
+		}
+		p.pmu.Lock()
+		ch := p.pending[f.reqID]
+		delete(p.pending, f.reqID)
+		p.pmu.Unlock()
+		if ch != nil {
+			ch <- rpcResult{status: f.op, payload: f.payload}
+		}
+		// No waiter: the caller's context ended first; drop the late
+		// response on the floor.
+	}
+}
+
+func (p *pconn) roundTrip(ctx context.Context, reqID uint64, op byte, payload []byte) ([]byte, error) {
+	ch := make(chan rpcResult, 1)
+	p.pmu.Lock()
+	if p.pending == nil {
+		err := p.err
+		p.pmu.Unlock()
+		if err == nil {
+			err = errors.New("transport: connection closed")
+		}
+		return nil, err
+	}
+	p.pending[reqID] = ch
+	p.pmu.Unlock()
+
+	var deadlineMicros int64
+	if dl, ok := ctx.Deadline(); ok {
+		deadlineMicros = dl.UnixMicro()
+	}
+	p.wmu.Lock()
+	err := writeFrame(p.bw, reqID, kindRequest, op, deadlineMicros, payload)
+	if err == nil {
+		err = p.bw.Flush()
+	}
+	p.wmu.Unlock()
+	if err != nil {
+		p.forget(reqID)
+		p.fail(err)
+		return nil, err
+	}
+	p.stats.BytesOut.Add(uint64(frameHeaderLen + len(payload)))
+
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			p.pmu.Lock()
+			err := p.err
+			p.pmu.Unlock()
+			if err == nil {
+				err = errors.New("transport: connection closed")
+			}
+			return nil, err
+		}
+		if res.status != statusOK {
+			return nil, &WireError{Code: res.status, Msg: string(res.payload)}
+		}
+		return res.payload, nil
+	case <-ctx.Done():
+		p.forget(reqID)
+		return nil, ctx.Err()
+	}
+}
+
+func (p *pconn) forget(reqID uint64) {
+	p.pmu.Lock()
+	if p.pending != nil {
+		delete(p.pending, reqID)
+	}
+	p.pmu.Unlock()
+}

@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fairhealth/internal/model"
+	"fairhealth/internal/ontology"
+	"fairhealth/internal/phr"
+	"fairhealth/internal/wal"
+)
+
+func TestHelloCodec(t *testing.T) {
+	req := appendHelloReq(nil, "v1|delta=0.5")
+	fp, err := readHelloReq(req)
+	if err != nil || fp != "v1|delta=0.5" {
+		t.Fatalf("hello req round-trip: %q, %v", fp, err)
+	}
+	resp := appendHelloResp(nil, 42, 7)
+	seq, docs, err := readHelloResp(resp)
+	if err != nil || seq != 42 || docs != 7 {
+		t.Fatalf("hello resp round-trip: seq=%d docs=%d err=%v", seq, docs, err)
+	}
+}
+
+func TestRecordCodec(t *testing.T) {
+	recs := []wal.Record{
+		{Seq: 1, Op: wal.OpRate, User: "u1", Item: "d9", Value: 4.5},
+		{Seq: 2, Op: wal.OpUnrate, User: "u1", Item: "d9"},
+		{Seq: 3, Op: wal.OpPatient, User: "u2", Patient: &phr.Profile{
+			ID: "u2", Age: 40, Gender: "f",
+			Problems: []ontology.ConceptID{"C01", "C02"}, Medications: []string{"m1"},
+		}},
+		// A value that is not exactly representable in decimal: the
+		// wire must carry its bit pattern, not a rounded rendering.
+		{Seq: 4, Op: wal.OpRate, User: "u3", Item: "d1", Value: model.Rating(0.1 + 0.2)},
+	}
+	for _, rec := range recs {
+		b, err := appendRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("appendRecord(%+v): %v", rec, err)
+		}
+		c := cursor{b: b}
+		got, err := readRecord(&c)
+		if err != nil {
+			t.Fatalf("readRecord(%+v): %v", rec, err)
+		}
+		if len(c.b) != 0 {
+			t.Fatalf("readRecord left %d trailing bytes", len(c.b))
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("record round-trip:\n got %+v\nwant %+v", got, rec)
+		}
+		if math.Float64bits(float64(got.Value)) != math.Float64bits(float64(rec.Value)) {
+			t.Fatalf("record value bits changed: %x != %x",
+				math.Float64bits(float64(got.Value)), math.Float64bits(float64(rec.Value)))
+		}
+	}
+	if _, err := appendRecord(nil, wal.Record{Op: "bogus"}); err == nil {
+		t.Fatal("appendRecord accepted unknown op")
+	}
+}
+
+func TestCatchupCodec(t *testing.T) {
+	var recs []wal.Record
+	for i := 1; i <= 200; i++ {
+		recs = append(recs, wal.Record{
+			Seq: uint64(i), Op: wal.OpRate,
+			User:  model.UserID("patient-" + string(rune('a'+i%5))),
+			Item:  model.ItemID("doc-" + string(rune('a'+i%7))),
+			Value: model.Rating(float64(i%5) + 0.5),
+		})
+	}
+	b, rawLen, err := appendCatchup(nil, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawLen <= 0 {
+		t.Fatalf("rawLen = %d", rawLen)
+	}
+	if len(b) >= rawLen {
+		t.Fatalf("repetitive catch-up block did not compress: %d wire vs %d raw", len(b), rawLen)
+	}
+	got, err := readCatchup(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("catch-up round-trip: %d records, want %d", len(got), len(recs))
+	}
+	// Truncated block must error, not panic or short-read.
+	if _, err := readCatchup(b[:len(b)/2]); err == nil {
+		t.Fatal("readCatchup accepted truncated block")
+	}
+	// Empty block round-trips.
+	eb, _, err := appendCatchup(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := readCatchup(eb)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty catch-up: %v, %v", empty, err)
+	}
+}
+
+func TestDocumentCodec(t *testing.T) {
+	b := appendDocument(nil, "d1", "Hypertension", "body text with spaces")
+	id, title, body, err := readDocument(b)
+	if err != nil || id != "d1" || title != "Hypertension" || body != "body text with spaces" {
+		t.Fatalf("document round-trip: %q %q %q %v", id, title, body, err)
+	}
+	if _, _, _, err := readDocument(b[:3]); err == nil {
+		t.Fatal("readDocument accepted truncated payload")
+	}
+}
+
+func TestRelevancesCodec(t *testing.T) {
+	members := []model.UserID{"u1", "u2", "u3"}
+	req := appendRelevancesReq(nil, "user-cf", true, members)
+	scorer, approx, got, err := readRelevancesReq(req)
+	if err != nil || scorer != "user-cf" || !approx || len(got) != 3 || got[0] != "u1" || got[2] != "u3" {
+		t.Fatalf("relevances req round-trip: %q %v %v %v", scorer, approx, got, err)
+	}
+
+	maps := []map[model.ItemID]float64{
+		{"d1": 0.1 + 0.2, "d2": math.Nextafter(1, 2)},
+		{},
+		{"d3": -0.0},
+	}
+	resp := appendRelevancesResp(nil, maps)
+	out := make([]map[model.ItemID]float64, len(maps))
+	if err := readRelevancesResp(resp, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range maps {
+		if len(out[i]) != len(maps[i]) {
+			t.Fatalf("member %d: %d items, want %d", i, len(out[i]), len(maps[i]))
+		}
+		for item, score := range maps[i] {
+			if math.Float64bits(out[i][item]) != math.Float64bits(score) {
+				t.Fatalf("member %d item %s: bits %x, want %x",
+					i, item, math.Float64bits(out[i][item]), math.Float64bits(score))
+			}
+		}
+	}
+
+	// Mismatched member count is an error, not a silent partial fill.
+	short := make([]map[model.ItemID]float64, 2)
+	if err := readRelevancesResp(resp, short); err == nil {
+		t.Fatal("readRelevancesResp accepted wrong member count")
+	}
+	// Trailing bytes are an error.
+	if err := readRelevancesResp(append(resp, 0), out); err == nil {
+		t.Fatal("readRelevancesResp accepted trailing bytes")
+	}
+	if err := readRelevancesResp(resp[:len(resp)-2], out); err == nil {
+		t.Fatal("readRelevancesResp accepted truncated payload")
+	}
+}
+
+func TestUserOpCodec(t *testing.T) {
+	b := appendUserOpReq(nil, userOpSearch, "u9", "chest pain", 12, 0.35)
+	kind, user, query, k, boost, err := readUserOpReq(b)
+	if err != nil || kind != userOpSearch || user != "u9" || query != "chest pain" || k != 12 || boost != 0.35 {
+		t.Fatalf("user op round-trip: %d %q %q %d %v %v", kind, user, query, k, boost, err)
+	}
+	if _, _, _, _, _, err := readUserOpReq(b[:4]); err == nil {
+		t.Fatal("readUserOpReq accepted truncated payload")
+	}
+}
+
+func TestCursorPoisons(t *testing.T) {
+	c := cursor{b: []byte{5}} // claims a 5-byte string but has none
+	_ = c.str()
+	if c.err == nil {
+		t.Fatal("cursor did not poison on underflow")
+	}
+	// Every later read keeps failing without panicking.
+	_ = c.u64()
+	_ = c.byte()
+	if c.err == nil {
+		t.Fatal("cursor recovered after poisoning")
+	}
+}

@@ -1,0 +1,81 @@
+// stats.go is the transport observability surface: lock-free counters
+// bumped on the hot path, snapshotted into the JSON shape /v1/stats
+// serves under "transport" and loadgen embeds in its report.
+package transport
+
+import "sync/atomic"
+
+// Stats aggregates transport counters across every peer client a
+// coordinator owns (one Stats is shared by all of them).
+type Stats struct {
+	// RPCs counts completed round-trips (any opcode, success or
+	// error); Retries counts fan-out legs rerouted to another live
+	// peer after a transport failure; Errors counts transport-level
+	// failures (connection loss, timeouts — not application errors,
+	// which are successful RPCs carrying a status).
+	RPCs    atomic.Uint64
+	Retries atomic.Uint64
+	Errors  atomic.Uint64
+	// BytesOut / BytesIn count framed bytes written and read.
+	BytesOut atomic.Uint64
+	BytesIn  atomic.Uint64
+	// RelevancesRPCs counts coalesced fan-out requests and
+	// CoalescedMembers the group members they carried — the ratio is
+	// the wire-efficiency number the bench trajectory records
+	// (members per RPC ≥ 1; higher = better coalescing).
+	RelevancesRPCs   atomic.Uint64
+	CoalescedMembers atomic.Uint64
+	// Catch-up volume: blocks shipped, raw record bytes in them, and
+	// compressed bytes on the wire.
+	CatchupBlocks     atomic.Uint64
+	CatchupRawBytes   atomic.Uint64
+	CatchupWireBytes  atomic.Uint64
+	CatchupRecords    atomic.Uint64
+	DialsOK, DialsErr atomic.Uint64
+}
+
+// Snapshot is the JSON form of Stats plus pool/liveness gauges filled
+// in by the coordinator.
+type Snapshot struct {
+	RPCs             uint64  `json:"rpcs"`
+	Retries          uint64  `json:"retries"`
+	Errors           uint64  `json:"errors"`
+	BytesOut         uint64  `json:"bytes_out"`
+	BytesIn          uint64  `json:"bytes_in"`
+	RelevancesRPCs   uint64  `json:"relevances_rpcs"`
+	CoalescedMembers uint64  `json:"coalesced_members"`
+	MembersPerRPC    float64 `json:"members_per_rpc"`
+	CatchupBlocks    uint64  `json:"catchup_blocks"`
+	CatchupRawBytes  uint64  `json:"catchup_raw_bytes"`
+	CatchupWireBytes uint64  `json:"catchup_wire_bytes"`
+	CatchupRecords   uint64  `json:"catchup_records"`
+	Dials            uint64  `json:"dials"`
+	DialErrors       uint64  `json:"dial_errors"`
+	PoolConns        int     `json:"pool_conns"`
+	PeersLive        int     `json:"peers_live"`
+	PeersTotal       int     `json:"peers_total"`
+}
+
+// Snapshot captures the counters. Pool/peer gauges are zero here; the
+// coordinator overlays them.
+func (s *Stats) Snapshot() Snapshot {
+	out := Snapshot{
+		RPCs:             s.RPCs.Load(),
+		Retries:          s.Retries.Load(),
+		Errors:           s.Errors.Load(),
+		BytesOut:         s.BytesOut.Load(),
+		BytesIn:          s.BytesIn.Load(),
+		RelevancesRPCs:   s.RelevancesRPCs.Load(),
+		CoalescedMembers: s.CoalescedMembers.Load(),
+		CatchupBlocks:    s.CatchupBlocks.Load(),
+		CatchupRawBytes:  s.CatchupRawBytes.Load(),
+		CatchupWireBytes: s.CatchupWireBytes.Load(),
+		CatchupRecords:   s.CatchupRecords.Load(),
+		Dials:            s.DialsOK.Load(),
+		DialErrors:       s.DialsErr.Load(),
+	}
+	if out.RelevancesRPCs > 0 {
+		out.MembersPerRPC = float64(out.CoalescedMembers) / float64(out.RelevancesRPCs)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package scoring
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fairhealth/internal/model"
+)
+
+// slowTestProvider parks every Relevances call on gate — an
+// artificially slow backend for deadline-propagation tests.
+type slowTestProvider struct {
+	gate  chan struct{}
+	calls atomic.Int32
+}
+
+func (p *slowTestProvider) Name() string { return "slow-test" }
+
+func (p *slowTestProvider) Relevances(u model.UserID) (map[model.ItemID]float64, error) {
+	p.calls.Add(1)
+	<-p.gate
+	return map[model.ItemID]float64{"d1": 1}, nil
+}
+
+func (p *slowTestProvider) Relevance(u model.UserID, i model.ItemID) (float64, bool, error) {
+	return 0, false, nil
+}
+
+func (p *slowTestProvider) InvalidateUsers(users []model.UserID) {}
+func (p *slowTestProvider) InvalidateAll()                       {}
+func (p *slowTestProvider) Close()                               {}
+
+// TestAssembleContextDeadline is the regression test for member
+// assembly outliving the query deadline: a provider that parks
+// mid-computation must not block the merge — the call returns
+// ctx.Err() as soon as the deadline passes, and the stragglers finish
+// in the background with their results discarded.
+func TestAssembleContextDeadline(t *testing.T) {
+	p := &slowTestProvider{gate: make(chan struct{})}
+	defer close(p.gate) // release background stragglers at test end
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := AssembleContext(ctx, p, model.Group{"u1", "u2", "u3"}, 2)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("assembly past deadline: %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("assembly blocked %v on a parked provider instead of honoring the deadline", elapsed)
+	}
+}
+
+// Cancellation behaves the same as a deadline, and members whose
+// scoring has not started are skipped (never handed to the provider).
+func TestAssembleContextCancel(t *testing.T) {
+	p := &slowTestProvider{gate: make(chan struct{})}
+	defer close(p.gate)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := AssembleContext(ctx, p, model.Group{"u1", "u2", "u3", "u4"}, 1)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("provider never called")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled assembly: %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled assembly did not return")
+	}
+	// workers=1 and the first member parked: later members must not
+	// have reached the provider after cancellation (ctx is checked
+	// before each member).
+	if got := p.calls.Load(); got > 2 {
+		t.Fatalf("%d members scored after cancellation, want at most 2", got)
+	}
+}
+
+// A background context (the default path) still assembles normally.
+func TestAssembleContextBackgroundMatchesAssemble(t *testing.T) {
+	deps := testDeps(t)
+	p, err := New(NameUserCF, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	users := deps.Ratings.Users()
+	g := model.Group{users[0], users[1]}
+	want, werr := Assemble(p, g, 2)
+	got, gerr := AssembleContext(context.Background(), p, g, 2)
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("error mismatch: %v vs %v", werr, gerr)
+	}
+	if werr == nil && !reflect.DeepEqual(want, got) {
+		t.Fatal("AssembleContext diverged from Assemble")
+	}
+}

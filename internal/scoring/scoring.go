@@ -42,6 +42,7 @@
 package scoring
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -241,32 +242,74 @@ type ApproxRelevancer interface {
 // computed independently, so the fan-out cannot change any score: the
 // result is bit-identical to a serial member-by-member loop.
 func Assemble(p Provider, g model.Group, workers int) (Candidates, error) {
-	return assemble(p.Relevances, g, workers)
+	return assemble(context.Background(), p.Relevances, g, workers)
 }
 
 // AssembleApprox is Assemble through the provider's approx path when
 // it has one (ApproxRelevancer), and identical to Assemble otherwise.
 func AssembleApprox(p Provider, g model.Group, workers int) (Candidates, error) {
-	if ap, ok := p.(ApproxRelevancer); ok {
-		return assemble(ap.RelevancesApprox, g, workers)
-	}
-	return assemble(p.Relevances, g, workers)
+	return assemble(context.Background(), approxRel(p), g, workers)
 }
 
-func assemble(rel func(model.UserID) (map[model.ItemID]float64, error), g model.Group, workers int) (Candidates, error) {
+// AssembleContext is Assemble honoring ctx: members whose scoring has
+// not started when the context ends are skipped, and once the deadline
+// passes the call returns ctx.Err() immediately instead of blocking on
+// in-flight member computations (stragglers finish in the background
+// and their results are discarded — provider calls are read-only, so
+// abandonment cannot corrupt state).
+func AssembleContext(ctx context.Context, p Provider, g model.Group, workers int) (Candidates, error) {
+	return assemble(ctx, p.Relevances, g, workers)
+}
+
+// AssembleApproxContext is AssembleContext through the provider's
+// approx path when it has one.
+func AssembleApproxContext(ctx context.Context, p Provider, g model.Group, workers int) (Candidates, error) {
+	return assemble(ctx, approxRel(p), g, workers)
+}
+
+func approxRel(p Provider) func(model.UserID) (map[model.ItemID]float64, error) {
+	if ap, ok := p.(ApproxRelevancer); ok {
+		return ap.RelevancesApprox
+	}
+	return p.Relevances
+}
+
+func assemble(ctx context.Context, rel func(model.UserID) (map[model.ItemID]float64, error), g model.Group, workers int) (Candidates, error) {
 	if len(g) == 0 {
 		return Candidates{}, ErrEmptyGroup
 	}
 	maps := make([]map[model.ItemID]float64, len(g))
 	errs := make([]error, len(g))
-	pool.Each(len(g), workers, func(k int) {
-		maps[k], errs[k] = rel(g[k])
-	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pool.Each(len(g), workers, func(k int) {
+			if err := ctx.Err(); err != nil {
+				errs[k] = err
+				return
+			}
+			maps[k], errs[k] = rel(g[k])
+		})
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return Candidates{}, ctx.Err()
+	}
 	for k, err := range errs {
 		if err != nil {
 			return Candidates{}, fmt.Errorf("scoring: member %s: %w", g[k], err)
 		}
 	}
+	return Combine(g, maps), nil
+}
+
+// Combine intersects per-member prediction maps (in group order, one
+// map per member of g) into the group's candidate set — Def. 2's
+// domain: only items every member has a defined prediction for
+// survive. Factored out of assemble so a coordinator that gathers the
+// member maps remotely merges them with exactly the local semantics.
+func Combine(g model.Group, maps []map[model.ItemID]float64) Candidates {
 	items := make(map[model.ItemID][]float64)
 	for item, s0 := range maps[0] {
 		scores := make([]float64, 0, len(g))
@@ -293,5 +336,5 @@ func assemble(rel func(model.UserID) (map[model.ItemID]float64, error), g model.
 			perUser[u][item] = scores[k]
 		}
 	}
-	return Candidates{PerUser: perUser, Items: items}, nil
+	return Candidates{PerUser: perUser, Items: items}
 }

@@ -264,7 +264,7 @@ func (s *System) serve(ctx context.Context, q GroupQuery, assemblyWorkers int) (
 		if aerr != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadQuery, aerr) // unreachable: normalize validated
 		}
-		gin, perr := s.groupProblem(nq.Scorer, g, aggr, nq.K, assemblyWorkers, nq.Approx)
+		gin, perr := s.groupProblem(ctx, nq.Scorer, g, aggr, nq.K, assemblyWorkers, nq.Approx)
 		if perr != nil {
 			return nil, perr
 		}

@@ -7,7 +7,7 @@
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration each
 #   BENCH=GroupBatch scripts/bench.sh  # filter by benchmark regex
 #
-# The perf trajectory lives in eight families included in every run:
+# The perf trajectory lives in nine families included in every run:
 # BenchmarkScopedInvalidation (warm scoped eviction vs cold full-flush
 # serving), BenchmarkRatingsWriteThroughput (sharded vs single-lock
 # store under concurrent writers), BenchmarkWarmCacheTTL (serving
@@ -20,10 +20,15 @@
 # exact-prefilter vs approx, cold and post-write),
 # BenchmarkPartitionedServe (group serving through the consistent-hash
 # fan-out coordinator at 1/2/4 partitions, warm and cold-after-write),
-# and BenchmarkFlatKernels (the CSR/merge-join scoring kernels vs the
+# BenchmarkFlatKernels (the CSR/merge-join scoring kernels vs the
 # retained map-based references: single-pair Pearson, full matrix
 # build, cold user-cf serve, greedy, and branch-and-bound brute force —
-# tracked on ns/op AND allocs/op).
+# tracked on ns/op AND allocs/op), and BenchmarkNetworkedServe (group
+# serving through the networked coordinator over the binary transport
+# against three loopback workers, warm and cold-after-write; its
+# members/rpc and rpcs/serve counters land in the snapshot as
+# members_per_rpc / rpcs_per_serve so the fan-out coalescing ratio is
+# part of the trajectory, not just latency).
 #
 # The script exits non-zero — without writing the output file — when
 # the benchmark run itself fails or parses to zero results, so a broken
@@ -68,6 +73,9 @@ fi
 # Convert `go test -bench` text output into a JSON document. With
 # -benchmem each result line is:
 #   BenchmarkName-P   N   T ns/op   B B/op   A allocs/op
+# Custom b.ReportMetric units (members/rpc, rpcs/serve on the
+# networked-serving family) appear as extra "V unit" pairs on the same
+# line and are captured into dedicated JSON fields.
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go version | awk '{print $3}')" \
     -v benchtime="$BENCHTIME" \
@@ -79,14 +87,18 @@ BEGIN { n = 0 }
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
     iters = $2
     ns = $3
-    bytes = ""; allocs = ""
+    bytes = ""; allocs = ""; members = ""; rpcs = ""
     for (i = 4; i <= NF; i++) {
-        if ($i == "B/op")      bytes = $(i - 1)
-        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "B/op")        bytes = $(i - 1)
+        if ($i == "allocs/op")   allocs = $(i - 1)
+        if ($i == "members/rpc") members = $(i - 1)
+        if ($i == "rpcs/serve")  rpcs = $(i - 1)
     }
     line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
-    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
-    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    if (bytes != "")   line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "")  line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    if (members != "") line = line sprintf(", \"members_per_rpc\": %s", members)
+    if (rpcs != "")    line = line sprintf(", \"rpcs_per_serve\": %s", rpcs)
     line = line "}"
     lines[n++] = line
 }

@@ -10,7 +10,7 @@
 # more than THRESHOLD_PCT (default 25). The allocation gate keeps the
 # flat-kernel work honest: an alloc-count regression reproduces
 # deterministically even when wall-clock noise would hide it. Only the
-# eight trajectory families are gated — the rest of the suite is
+# nine trajectory families are gated — the rest of the suite is
 # informational, and single-iteration CI noise on micro-benchmarks
 # would make a whole-suite gate flap:
 #
@@ -22,6 +22,7 @@
 #   BenchmarkCandidateIndex
 #   BenchmarkPartitionedServe
 #   BenchmarkFlatKernels
+#   BenchmarkNetworkedServe
 #
 # Override the gated set with FAMILIES="PrefixA PrefixB". Benchmarks
 # present in only one file are reported but never fail the gate (new
@@ -36,7 +37,7 @@ fi
 base="$1"
 fresh="$2"
 threshold="${3:-25}"
-families="${FAMILIES:-BenchmarkScopedInvalidation BenchmarkRatingsWriteThroughput BenchmarkWarmCacheTTL BenchmarkScorerServe BenchmarkClustering BenchmarkCandidateIndex BenchmarkPartitionedServe BenchmarkFlatKernels}"
+families="${FAMILIES:-BenchmarkScopedInvalidation BenchmarkRatingsWriteThroughput BenchmarkWarmCacheTTL BenchmarkScorerServe BenchmarkClustering BenchmarkCandidateIndex BenchmarkPartitionedServe BenchmarkFlatKernels BenchmarkNetworkedServe}"
 
 for f in "$base" "$fresh"; do
     if [ ! -r "$f" ]; then
